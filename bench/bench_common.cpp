@@ -1,0 +1,73 @@
+#include "bench_common.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace codesign::bench {
+
+BenchContext BenchContext::from_args(int argc, const char* const* argv,
+                                     const std::string& default_gpu) {
+  CliArgs args = CliArgs::parse(argc, argv);
+  const gpu::GpuSpec& g = gpu::gpu_by_name(args.get_string("gpu", default_gpu));
+
+  const std::string policy_name = to_lower(args.get_string("policy", "auto"));
+  gemm::TilePolicy policy;
+  if (policy_name == "auto") {
+    policy = gemm::TilePolicy::kAuto;
+  } else if (policy_name == "fixed") {
+    policy = gemm::TilePolicy::kFixedLargest;
+  } else {
+    throw Error("--policy must be 'auto' or 'fixed', got '" + policy_name + "'");
+  }
+
+  const std::string fmt = to_lower(args.get_string("format", "ascii"));
+  TableFormat format;
+  if (fmt == "ascii") {
+    format = TableFormat::kAscii;
+  } else if (fmt == "csv") {
+    format = TableFormat::kCsv;
+  } else if (fmt == "markdown" || fmt == "md") {
+    format = TableFormat::kMarkdown;
+  } else {
+    throw Error("--format must be ascii, csv, or markdown; got '" + fmt + "'");
+  }
+
+  return BenchContext(std::move(args), g, policy, format);
+}
+
+void BenchContext::banner(const std::string& figure,
+                          const std::string& description) const {
+  const char* prefix = format_ == TableFormat::kCsv ? "# " : "";
+  std::cout << prefix << "=== " << figure << " — " << description << " ===\n";
+  std::cout << prefix << "GPU: " << gpu_->marketing_name << " ("
+            << gpu_->sm_count << " SMs, "
+            << str_format("%.0f TFLOP/s fp16 tensor, %.0f GB/s HBM",
+                          gpu_->tensor_flops_fp16 / 1e12,
+                          gpu_->hbm_bandwidth / 1e9)
+            << "), tile policy: "
+            << (sim_.policy() == gemm::TilePolicy::kAuto ? "auto" : "fixed 256x128")
+            << "\n";
+}
+
+void BenchContext::section(const std::string& title) const {
+  const char* prefix = format_ == TableFormat::kCsv ? "# " : "";
+  std::cout << '\n' << prefix << "--- " << title << " ---\n";
+}
+
+void BenchContext::emit(const TableWriter& table) const {
+  table.write(std::cout, format_);
+}
+
+int run_bench(int argc, const char* const* argv, int (*body)(BenchContext&),
+              const std::string& default_gpu) {
+  try {
+    BenchContext ctx = BenchContext::from_args(argc, argv, default_gpu);
+    return body(ctx);
+  } catch (const Error& e) {
+    std::cerr << "bench error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace codesign::bench

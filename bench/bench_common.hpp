@@ -1,0 +1,59 @@
+// bench_common.hpp — shared harness for the per-figure bench binaries.
+//
+// Every binary in bench/ regenerates the rows/series of one figure or
+// table from the paper. Conventions:
+//   * stdout carries the data (ASCII tables by default, --format=csv for
+//     machine-readable output); stderr carries logs.
+//   * --gpu=<id> selects the simulated device (default a100; the registry
+//     ids/aliases of gpuarch are accepted).
+//   * --policy=auto|fixed selects the tile-selection policy.
+//   * Each binary prints a header naming the paper figure it reproduces.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "gemmsim/simulator.hpp"
+#include "gpuarch/gpu_spec.hpp"
+
+namespace codesign::bench {
+
+class BenchContext {
+ public:
+  static BenchContext from_args(int argc, const char* const* argv,
+                                const std::string& default_gpu = "a100");
+
+  const CliArgs& args() const { return args_; }
+  const gpu::GpuSpec& gpu() const { return *gpu_; }
+  const gemm::GemmSimulator& sim() const { return sim_; }
+  TableFormat format() const { return format_; }
+
+  /// Print the figure banner: which figure, which GPU, which policy.
+  void banner(const std::string& figure, const std::string& description) const;
+
+  /// Print a section heading (suppressed in CSV mode where a "# section"
+  /// comment line is used instead).
+  void section(const std::string& title) const;
+
+  /// Render a table to stdout in the selected format.
+  void emit(const TableWriter& table) const;
+
+ private:
+  BenchContext(CliArgs args, const gpu::GpuSpec& g, gemm::TilePolicy policy,
+               TableFormat format)
+      : args_(std::move(args)), gpu_(&g), sim_(g, policy), format_(format) {}
+
+  CliArgs args_;
+  const gpu::GpuSpec* gpu_;
+  gemm::GemmSimulator sim_;
+  TableFormat format_;
+};
+
+/// Standard main() wrapper: parses flags, catches codesign::Error with a
+/// clean message and non-zero exit.
+int run_bench(int argc, const char* const* argv,
+              int (*body)(BenchContext&), const std::string& default_gpu = "a100");
+
+}  // namespace codesign::bench

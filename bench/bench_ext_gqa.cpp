@@ -1,0 +1,54 @@
+// Extension — grouped-query attention shape analysis: how the KV head
+// count changes the QKV GEMM shape, parameters, and decode KV traffic
+// (the Llama-2-70B design point), and how the §VI-B alignment rules apply
+// to the shrunken QKV output width.
+#include "bench_common.hpp"
+#include "common/math_util.hpp"
+#include "common/strings.hpp"
+#include "transformer/gemm_mapping.hpp"
+#include "transformer/inference.hpp"
+#include "transformer/model_zoo.hpp"
+#include "transformer/params.hpp"
+
+namespace codesign {
+namespace {
+
+int body(bench::BenchContext& ctx) {
+  ctx.banner("Extension: grouped-query attention",
+             "KV head sweep on the Llama-2-70B shape");
+
+  const auto base = tfm::model_by_name("llama2-70b");  // a = 64, kv = 8
+
+  TableWriter t({"kv heads", "QKV n = (h+2·kv·d)/t", "pow2(n)",
+                 "QKV TFLOP/s", "params", "KV cache/step", "decode tok/s"});
+  for (const std::int64_t kv : {64, 32, 16, 8, 4, 2, 1}) {
+    tfm::TransformerConfig cfg = base;
+    cfg.num_kv_heads = kv;
+    cfg.validate();
+    const auto qkv = tfm::qkv_gemm(cfg);
+    const auto est = ctx.sim().estimate(qkv);
+    const auto inf = tfm::estimate_inference(cfg, ctx.sim());
+    t.new_row()
+        .cell(kv)
+        .cell(qkv.n)
+        .cell(static_cast<std::int64_t>(
+            largest_pow2_dividing(static_cast<std::uint64_t>(qkv.n))))
+        .cell(est.tflops(), 1)
+        .cell(human_count(static_cast<double>(tfm::exact_param_count(cfg))))
+        .cell(human_bytes(inf.kv_bytes_avg))
+        .cell(inf.tokens_per_second, 0);
+  }
+  ctx.emit(t);
+  std::cout << "(KV heads shrink parameters and decode KV traffic without "
+               "touching the score/AOV GEMM shapes; with d = 128 every kv "
+               "count keeps the QKV width 64-aligned, so Llama-2-70B's "
+               "kv = 8 is a free win under the paper's rules)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace codesign
+
+int main(int argc, char** argv) {
+  return codesign::bench::run_bench(argc, argv, codesign::body);
+}

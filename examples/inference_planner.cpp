@@ -1,0 +1,62 @@
+// inference_planner — compare serving latency/throughput of candidate
+// checkpoints on a target GPU (the §VII-C story): which model should I
+// deploy, and does its training-time shape efficiency carry over?
+//
+// Usage: inference_planner [--models=pythia-410m,pythia-1b,...]
+//                          [--gpu=a100] [--prompt=128] [--gen=256]
+//                          [--batch=1]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "gemmsim/simulator.hpp"
+#include "transformer/inference.hpp"
+#include "transformer/model_zoo.hpp"
+#include "transformer/params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace codesign;
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv);
+    const std::string list = args.get_string(
+        "models", "pythia-160m,pythia-410m,pythia-1b,pythia-1.4b,pythia-2.8b");
+    tfm::InferenceWorkload w;
+    w.prompt_len = args.get_int("prompt", 128);
+    w.generate_tokens = args.get_int("gen", 256);
+    w.batch = args.get_int("batch", 1);
+
+    const gemm::GemmSimulator sim =
+        gemm::GemmSimulator::for_gpu(args.get_string("gpu", "a100"));
+
+    std::cout << "Serving plan: prompt " << w.prompt_len << ", generate "
+              << w.generate_tokens << ", batch " << w.batch << " on "
+              << sim.gpu().marketing_name << "\n\n";
+
+    TableWriter t({"model", "params", "prefill", "per token", "tokens/s",
+                   "request latency", "launches/step"});
+    for (const std::string& name : split(list, ',')) {
+      const auto& cfg = tfm::model_by_name(std::string(trim(name)));
+      const auto e = tfm::estimate_inference(cfg, sim, w);
+      t.new_row()
+          .cell(cfg.name)
+          .cell(human_count(static_cast<double>(tfm::exact_param_count(cfg))))
+          .cell(human_time(e.prefill_time))
+          .cell(human_time(e.per_token_time))
+          .cell(e.tokens_per_second, 0)
+          .cell(human_time(e.total_time))
+          .cell(e.launches_per_step, 0);
+    }
+    t.write(std::cout);
+
+    std::cout << "\n(Notice pythia-1b vs pythia-410m: 2.5x the parameters "
+                 "but far less than 2.5x the latency — fewer, wider layers "
+                 "amortize per-kernel overheads, the paper's Fig-13 "
+                 "observation.)\n";
+    return 0;
+  } catch (const codesign::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+// quickstart — the 60-second tour of the library:
+//   1. pick a GPU and a model architecture,
+//   2. map the model to its GEMMs (paper Table II),
+//   3. predict single-layer and full-model performance,
+//   4. run the shape advisor and get the paper's sizing rules + fixes.
+//
+// Usage: quickstart [--model=gpt3-2.7b] [--gpu=a100]
+#include <iostream>
+
+#include "advisor/report.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "gemmsim/simulator.hpp"
+#include "transformer/flops.hpp"
+#include "transformer/layer_model.hpp"
+#include "transformer/model_zoo.hpp"
+#include "transformer/params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace codesign;
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv);
+    const std::string model = args.get_string("model", "gpt3-2.7b");
+    const std::string gpu = args.get_string("gpu", "a100");
+
+    // 1. A simulator bound to a GPU from the spec registry.
+    const gemm::GemmSimulator sim = gemm::GemmSimulator::for_gpu(gpu);
+
+    // 2. A model architecture from the zoo (or build a TransformerConfig
+    //    by hand — see examples/shape_explorer.cpp).
+    const tfm::TransformerConfig cfg = tfm::model_by_name(model);
+    std::cout << "Model: " << cfg.to_string() << "\n";
+    std::cout << "Parameters: "
+              << human_count(static_cast<double>(tfm::exact_param_count(cfg)))
+              << "  (formula 12h^2L+13hL+(v+s)h gives "
+              << human_count(tfm::formula_param_count(cfg)) << ")\n";
+    std::cout << "Forward FLOPs/layer: "
+              << human_flops(tfm::layer_forward_flops(cfg)) << "\n\n";
+
+    // 3. The GEMM decomposition and its predicted performance.
+    std::cout << "Table II decomposition (one layer):\n";
+    for (const auto& p : tfm::layer_gemms(cfg)) {
+      const auto est = sim.estimate(p);
+      std::cout << "  " << p.to_string() << " -> "
+                << str_format("%7.1f TFLOP/s, %s-bound, tile %s",
+                              est.tflops(), gemm::bound_name(est.bound),
+                              est.tile.name().c_str())
+                << "\n";
+    }
+    const auto layer = tfm::analyze_layer(cfg, sim);
+    const auto whole = tfm::analyze_model(cfg, sim);
+    std::cout << str_format(
+        "\nSingle layer: %s (%.1f TFLOP/s useful, %.0f%% in GEMMs)\n",
+        human_time(layer.total_time).c_str(), layer.throughput_tflops,
+        100.0 * layer.gemm_fraction);
+    std::cout << str_format("Full forward pass: %s (%.0f tokens/s)\n\n",
+                            human_time(whole.total_time).c_str(),
+                            whole.tokens_per_second);
+
+    // 4. The advisor: the paper's §VI-B rules plus ranked re-shapes.
+    std::cout << advisor::advise(cfg, sim);
+    return 0;
+  } catch (const codesign::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

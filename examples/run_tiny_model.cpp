@@ -1,0 +1,82 @@
+// run_tiny_model — actually execute a transformer on the CPU substrate:
+// build a small randomly-initialized decoder, run a forward pass, measure
+// the next-token loss (≈ ln v for random weights), and cross-check the
+// executed shapes against the analytic Table-II mapping. This is the
+// "the mapping is real, not just arithmetic" demo.
+//
+// Usage: run_tiny_model [--h=64] [--a=8] [--layers=2] [--s=32] [--v=256]
+//                       [--swiglu] [--parallel] [--rotary]
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "transformer/flops.hpp"
+#include "transformer/forward.hpp"
+#include "transformer/gemm_mapping.hpp"
+#include "transformer/params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace codesign;
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv);
+
+    tfm::TransformerConfig cfg;
+    cfg.name = "tiny";
+    cfg.hidden_size = args.get_int("h", 64);
+    cfg.num_heads = args.get_int("a", 8);
+    cfg.num_layers = args.get_int("layers", 2);
+    cfg.seq_len = args.get_int("s", 32);
+    cfg.microbatch = 1;
+    cfg.vocab_size = args.get_int("v", 256);
+    if (args.get_bool("swiglu", false)) cfg.activation = tfm::Activation::kSwiGlu;
+    if (args.get_bool("parallel", false)) cfg.parallel_layers = true;
+    if (args.get_bool("rotary", false)) cfg.pos_embedding = tfm::PosEmbedding::kRotary;
+    cfg.validate();
+
+    std::cout << "Building " << cfg.to_string() << " ("
+              << human_count(static_cast<double>(tfm::exact_param_count(cfg)))
+              << " parameters, randomly initialized)\n";
+    const auto model = tfm::TransformerModel::random_init(cfg, 2024);
+
+    // A deterministic pseudo-text.
+    Rng rng(7);
+    std::vector<std::int64_t> ids;
+    for (std::int64_t i = 0; i < cfg.seq_len; ++i) {
+      ids.push_back(rng.uniform_int(0, cfg.vocab_size - 1));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const kern::Tensor logits = model.forward(ids);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    std::cout << "Forward pass over " << ids.size() << " tokens: "
+              << human_time(wall) << " on the CPU substrate\n";
+    std::cout << "Logits shape: (" << logits.dim(0) << ", " << logits.dim(1)
+              << ")  — analytic logit GEMM says n = "
+              << tfm::logit_gemm(cfg).n << "\n";
+
+    const double loss = model.next_token_loss(ids);
+    std::cout << str_format(
+        "Next-token loss: %.4f   (ln v = %.4f — a random model is ~uniform)\n",
+        loss, std::log(static_cast<double>(cfg.vocab_size)));
+
+    std::cout << "\nExecuted GEMMs per layer (Table II):\n";
+    for (const auto& p : tfm::layer_gemms(cfg)) {
+      std::cout << "  " << p.to_string() << "\n";
+    }
+    std::cout << "Layer forward FLOPs: "
+              << human_flops(tfm::layer_forward_flops(cfg))
+              << " (formula: "
+              << human_flops(tfm::layer_forward_flops_formula(cfg)) << ")\n";
+    return 0;
+  } catch (const codesign::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,112 @@
+#include "advisor/compare.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "transformer/inference.hpp"
+#include "transformer/layer_model.hpp"
+#include "transformer/params.hpp"
+#include "transformer/training.hpp"
+
+namespace codesign::advisor {
+
+namespace {
+
+ComparisonRow row(std::string metric, double va, double vb,
+                  const std::string& unit_a, const std::string& unit_b,
+                  bool bigger_is_better) {
+  ComparisonRow r;
+  r.metric = std::move(metric);
+  r.value_a = unit_a;
+  r.value_b = unit_b;
+  r.ratio = bigger_is_better ? vb / va : va / vb;
+  r.b_better = r.ratio > 1.0 + 1e-12;
+  return r;
+}
+
+}  // namespace
+
+Comparison compare_configs(const TransformerConfig& a,
+                           const TransformerConfig& b,
+                           const gemm::GemmSimulator& sim) {
+  a.validate();
+  b.validate();
+  Comparison c;
+  c.a = a;
+  c.b = b;
+
+  const auto pa = static_cast<double>(tfm::exact_param_count(a));
+  const auto pb = static_cast<double>(tfm::exact_param_count(b));
+  c.rows.push_back(row("parameters", pa, pb, human_count(pa),
+                       human_count(pb), /*bigger=*/false));
+  // Parameter count is context, not a contest — mark it neutral.
+  c.rows.back().b_better = false;
+  c.rows.back().ratio = pb / pa;
+
+  const auto la = tfm::analyze_layer(a, sim);
+  const auto lb = tfm::analyze_layer(b, sim);
+  c.rows.push_back(row("layer TFLOP/s", la.throughput_tflops,
+                       lb.throughput_tflops,
+                       str_format("%.1f", la.throughput_tflops),
+                       str_format("%.1f", lb.throughput_tflops), true));
+  c.rows.push_back(row("layer time", la.total_time, lb.total_time,
+                       human_time(la.total_time),
+                       human_time(lb.total_time), false));
+
+  const auto ta = tfm::analyze_training_step(a, sim);
+  const auto tb = tfm::analyze_training_step(b, sim);
+  c.rows.push_back(row("train step", ta.total_time, tb.total_time,
+                       human_time(ta.total_time),
+                       human_time(tb.total_time), false));
+  c.rows.push_back(row("MFU", ta.mfu, tb.mfu,
+                       str_format("%.1f%%", 100.0 * ta.mfu),
+                       str_format("%.1f%%", 100.0 * tb.mfu), true));
+
+  const auto ma = tfm::training_memory(a);
+  const auto mb = tfm::training_memory(b);
+  c.rows.push_back(row("train memory", ma.total_bytes, mb.total_bytes,
+                       human_bytes(ma.total_bytes),
+                       human_bytes(mb.total_bytes), false));
+
+  if (a.kind == tfm::ModelKind::kDecoder &&
+      b.kind == tfm::ModelKind::kDecoder) {
+    tfm::InferenceWorkload w;
+    // Stay within the smaller context.
+    w.prompt_len = std::min<std::int64_t>(128, std::min(a.seq_len, b.seq_len) / 2);
+    w.generate_tokens = w.prompt_len;
+    const auto ia = tfm::estimate_inference(a, sim, w);
+    const auto ib = tfm::estimate_inference(b, sim, w);
+    c.rows.push_back(row("decode tokens/s", ia.tokens_per_second,
+                         ib.tokens_per_second,
+                         str_format("%.0f", ia.tokens_per_second),
+                         str_format("%.0f", ib.tokens_per_second), true));
+  }
+  return c;
+}
+
+int Comparison::b_wins() const {
+  int wins = 0;
+  for (const ComparisonRow& r : rows) {
+    if (r.b_better) ++wins;
+  }
+  return wins;
+}
+
+std::string Comparison::to_string() const {
+  std::ostringstream os;
+  os << "A: " << a.to_string() << "\nB: " << b.to_string() << "\n";
+  TableWriter t({"metric", "A", "B", "B vs A"});
+  for (const ComparisonRow& r : rows) {
+    t.new_row()
+        .cell(r.metric)
+        .cell(r.value_a)
+        .cell(r.value_b)
+        .cell(str_format("%.3fx%s", r.ratio, r.b_better ? " *" : ""));
+  }
+  t.write(os);
+  os << "(* = B better; 'B vs A' is oriented so > 1 favours B)\n";
+  return os.str();
+}
+
+}  // namespace codesign::advisor

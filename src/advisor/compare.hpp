@@ -1,0 +1,46 @@
+// compare.hpp — side-by-side "what if" comparison of two architectures.
+//
+// The paper's arguments are all of the form "shape A vs shape B at equal
+// parameters"; this module packages that comparison across every analysis
+// the library offers (parameters, layer/model latency, training step,
+// memory, inference) into one structure + rendered table, powering the
+// `codesign compare` subcommand.
+#pragma once
+
+#include <string>
+
+#include "gemmsim/simulator.hpp"
+#include "transformer/config.hpp"
+
+namespace codesign::advisor {
+
+using tfm::TransformerConfig;
+
+/// One metric row of the comparison.
+struct ComparisonRow {
+  std::string metric;
+  std::string value_a;
+  std::string value_b;
+  double ratio = 1.0;       ///< b relative to a, in "bigger is better" terms
+  bool b_better = false;
+};
+
+struct Comparison {
+  TransformerConfig a;
+  TransformerConfig b;
+  std::vector<ComparisonRow> rows;
+
+  /// Rendered ASCII table with a verdict line.
+  std::string to_string() const;
+
+  /// Count of metrics where B beats A (strictly).
+  int b_wins() const;
+};
+
+/// Compare B against A on the simulator's GPU. Inference rows are skipped
+/// for encoder models.
+Comparison compare_configs(const TransformerConfig& a,
+                           const TransformerConfig& b,
+                           const gemm::GemmSimulator& sim);
+
+}  // namespace codesign::advisor

@@ -1,0 +1,107 @@
+#include "advisor/designer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "advisor/rules.hpp"
+#include "advisor/search.hpp"
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/strings.hpp"
+#include "transformer/params.hpp"
+#include "transformer/training.hpp"
+
+namespace codesign::advisor {
+
+std::vector<Design> design_models(const DesignConstraints& c,
+                                  const gemm::GemmSimulator& sim) {
+  if (c.param_budget <= 0.0) {
+    throw ConfigError("designer: param_budget must be positive");
+  }
+  if (c.head_dims.empty()) {
+    throw ConfigError("designer: need at least one candidate head dim");
+  }
+  if (c.min_aspect <= 0.0 || c.max_aspect < c.min_aspect) {
+    throw ConfigError("designer: bad aspect band");
+  }
+
+  const std::int64_t t = std::max<std::int64_t>(1, c.tensor_parallel);
+  const std::int64_t vocab = pad_vocab(c.vocab_size);
+  const std::int64_t h_step = 64 * t;
+
+  // h range: solve 12h²L = budget at the aspect-band extremes
+  // (L = h/aspect ⇒ h³ = budget·aspect/12).
+  const auto h_from_aspect = [&c](double aspect) {
+    return std::cbrt(c.param_budget * aspect / 12.0);
+  };
+  const std::int64_t h_lo = std::max<std::int64_t>(
+      h_step, round_down(static_cast<std::int64_t>(h_from_aspect(c.min_aspect)),
+                         h_step));
+  const std::int64_t h_hi = round_up(
+      static_cast<std::int64_t>(h_from_aspect(c.max_aspect)), h_step);
+
+  std::vector<Design> designs;
+  for (std::int64_t h = h_lo; h <= h_hi; h += h_step) {
+    // Depth from the leading-order budget, then exact-count corrected.
+    const auto l_guess = static_cast<std::int64_t>(
+        std::llround(c.param_budget / (12.0 * static_cast<double>(h) * h)));
+    for (std::int64_t l = std::max<std::int64_t>(1, l_guess - 1);
+         l <= l_guess + 1; ++l) {
+      const double aspect = static_cast<double>(h) / static_cast<double>(l);
+      if (aspect < c.min_aspect || aspect > c.max_aspect) continue;
+      for (const std::int64_t head_dim : c.head_dims) {
+        if (h % head_dim != 0) continue;
+        const std::int64_t a = h / head_dim;
+        if (a % t != 0) continue;
+
+        TransformerConfig cfg;
+        cfg.name = str_format("design-h%lld-a%lld-L%lld",
+                              static_cast<long long>(h),
+                              static_cast<long long>(a),
+                              static_cast<long long>(l));
+        cfg.hidden_size = h;
+        cfg.num_heads = a;
+        cfg.num_layers = l;
+        cfg.seq_len = c.seq_len;
+        cfg.microbatch = c.microbatch;
+        cfg.vocab_size = vocab;
+        cfg.tensor_parallel = t;
+        cfg.validate();
+
+        Design d;
+        d.config = cfg;
+        d.param_count = static_cast<double>(tfm::exact_param_count(cfg));
+        d.param_error_frac =
+            (d.param_count - c.param_budget) / c.param_budget;
+        if (std::fabs(d.param_error_frac) > c.param_tolerance) continue;
+
+        RuleContext ctx;
+        ctx.gpu = &sim.gpu();
+        if (!satisfies_performance_rules(cfg, ctx)) continue;
+
+        const tfm::TrainingStepReport step =
+            tfm::analyze_training_step(cfg, sim);
+        d.step_tflops = step.model_tflops;
+        d.mfu = step.mfu;
+        d.aspect = aspect;
+        designs.push_back(std::move(d));
+      }
+    }
+  }
+
+  if (designs.empty()) {
+    throw ConfigError(
+        "designer: no (h, a, L) satisfies the budget, rules, and aspect "
+        "band — widen param_tolerance or the aspect band");
+  }
+  std::sort(designs.begin(), designs.end(),
+            [](const Design& a, const Design& b) {
+              return a.step_tflops > b.step_tflops;
+            });
+  // De-duplicate identical (h, L) with different head dims only if they
+  // tie exactly; otherwise keep both (the ranking is the information).
+  if (designs.size() > c.max_designs) designs.resize(c.max_designs);
+  return designs;
+}
+
+}  // namespace codesign::advisor

@@ -1,0 +1,55 @@
+// designer.hpp — design a model architecture from a parameter budget.
+//
+// The paper closes with "this paper can be used to guide future model
+// design". This module is that workflow end to end: given a target
+// parameter count and a GPU, enumerate (h, a, L) combinations that
+//   * hit the budget within a tolerance (via P ≈ 12h²L + embeddings),
+//   * satisfy every §VI-B sizing rule (h on the 64·t granule, h/a on an
+//     efficient head dimension, padded vocab, t | a),
+//   * keep the depth/width aspect ratio in the empirically-sane band
+//     (GPT-3 family spans roughly h/L ≈ 32 … 210; the designer exposes
+//     the band as an option),
+// and rank them by predicted training-step throughput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gemmsim/simulator.hpp"
+#include "transformer/config.hpp"
+
+namespace codesign::advisor {
+
+using tfm::TransformerConfig;
+
+struct DesignConstraints {
+  double param_budget = 0.0;        ///< target parameter count (required)
+  double param_tolerance = 0.10;    ///< acceptable |actual-target|/target
+  std::int64_t seq_len = 2048;
+  std::int64_t microbatch = 4;
+  std::int64_t vocab_size = 50304;  ///< will be padded to 64 if needed
+  std::int64_t tensor_parallel = 1;
+  /// Head dimensions the designer will consider (all 64-aligned).
+  std::vector<std::int64_t> head_dims = {64, 128};
+  /// Width-to-depth band: h/L must land in [min, max].
+  double min_aspect = 24.0;
+  double max_aspect = 216.0;
+  /// Keep at most this many designs (best first).
+  std::size_t max_designs = 12;
+};
+
+struct Design {
+  TransformerConfig config;
+  double param_count = 0.0;
+  double param_error_frac = 0.0;   ///< (actual - budget) / budget
+  double step_tflops = 0.0;        ///< training-step model TFLOP/s
+  double mfu = 0.0;
+  double aspect = 0.0;             ///< h / L
+};
+
+/// Enumerate and rank designs. Throws ConfigError when the budget is not
+/// positive or the constraints admit no design.
+std::vector<Design> design_models(const DesignConstraints& constraints,
+                                  const gemm::GemmSimulator& sim);
+
+}  // namespace codesign::advisor

@@ -1,0 +1,169 @@
+#include "advisor/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "advisor/rules.hpp"
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/strings.hpp"
+#include "transformer/gemm_mapping.hpp"
+#include "transformer/layer_model.hpp"
+#include "transformer/params.hpp"
+
+namespace codesign::advisor {
+
+ShapeCandidate evaluate_candidate(const TransformerConfig& config,
+                                  const TransformerConfig& baseline,
+                                  const gemm::GemmSimulator& sim) {
+  const tfm::LayerLatencyReport base_report =
+      tfm::analyze_layer(baseline, sim);
+  const tfm::LayerLatencyReport report = tfm::analyze_layer(config, sim);
+
+  ShapeCandidate c;
+  c.config = config;
+  c.layer_time = report.total_time;
+  c.layer_tflops = report.throughput_tflops;
+  c.speedup_vs_base = base_report.total_time / report.total_time;
+  c.param_count = static_cast<double>(tfm::exact_param_count(config));
+  const double base_params =
+      static_cast<double>(tfm::exact_param_count(baseline));
+  c.param_delta_frac = (c.param_count - base_params) / base_params;
+  RuleContext ctx;
+  ctx.gpu = &sim.gpu();
+  c.rules_pass = satisfies_performance_rules(config, ctx);
+  return c;
+}
+
+namespace {
+
+void sort_and_trim(std::vector<ShapeCandidate>& cands,
+                   const SearchOptions& options) {
+  std::sort(cands.begin(), cands.end(),
+            [](const ShapeCandidate& a, const ShapeCandidate& b) {
+              return a.layer_time < b.layer_time;
+            });
+  if (cands.size() > options.max_candidates) {
+    cands.resize(options.max_candidates);
+  }
+}
+
+}  // namespace
+
+std::vector<ShapeCandidate> search_heads(const TransformerConfig& base,
+                                         const gemm::GemmSimulator& sim,
+                                         const SearchOptions& options) {
+  base.validate();
+  std::vector<ShapeCandidate> cands;
+  const std::int64_t h = base.hidden_size;
+  for (std::int64_t a = 1; a <= h; ++a) {
+    if (h % a != 0) continue;                       // integral head dim
+    if (a % base.tensor_parallel != 0) continue;    // t | a
+    const std::int64_t head_dim = h / a;
+    if (head_dim < 32 || head_dim > 256) continue;  // practical range
+    TransformerConfig cfg = base.with_heads(a);
+    if (a != base.num_heads) {
+      cfg.name = base.name + "-a" + std::to_string(a);
+    }
+    ShapeCandidate c = evaluate_candidate(cfg, base, sim);
+    c.note = str_format("h/a = %lld (pow2 granule %lld)",
+                        static_cast<long long>(head_dim),
+                        static_cast<long long>(largest_pow2_dividing(
+                            static_cast<std::uint64_t>(head_dim))));
+    cands.push_back(std::move(c));
+  }
+  sort_and_trim(cands, options);
+  return cands;
+}
+
+std::vector<ShapeCandidate> search_hidden(const TransformerConfig& base,
+                                          const gemm::GemmSimulator& sim,
+                                          double radius_frac,
+                                          std::int64_t step,
+                                          const SearchOptions& options) {
+  base.validate();
+  CODESIGN_CHECK(radius_frac > 0.0 && radius_frac < 1.0,
+                 "radius_frac must be in (0, 1)");
+  if (step <= 0) step = 64 * base.tensor_parallel;
+
+  const std::int64_t h0 = base.hidden_size;
+  const auto radius = static_cast<std::int64_t>(
+      std::llround(radius_frac * static_cast<double>(h0)));
+  const std::int64_t lo = std::max<std::int64_t>(step, h0 - radius);
+  const std::int64_t hi = h0 + radius;
+
+  std::vector<ShapeCandidate> cands;
+  for (std::int64_t h = round_up(lo, step); h <= hi; h += step) {
+    if (h % base.num_heads != 0) continue;  // keep a, require integral h/a
+    TransformerConfig cfg = base.with_hidden(h);
+    if (h != h0) cfg.name = base.name + "-h" + std::to_string(h);
+    ShapeCandidate c = evaluate_candidate(cfg, base, sim);
+    if (std::fabs(c.param_delta_frac) > options.max_param_delta_frac &&
+        h != h0) {
+      continue;
+    }
+    c.note = str_format("h = %lld (params %+0.2f%%)", static_cast<long long>(h),
+                        100.0 * c.param_delta_frac);
+    cands.push_back(std::move(c));
+  }
+  // Always keep the baseline for reference even if trimming.
+  sort_and_trim(cands, options);
+  return cands;
+}
+
+std::vector<MlpCandidate> search_mlp_intermediate(
+    const TransformerConfig& base, const gemm::GemmSimulator& sim,
+    std::int64_t lo, std::int64_t hi) {
+  base.validate();
+  CODESIGN_CHECK(lo > 0 && hi >= lo, "bad d_ff search range");
+
+  std::vector<MlpCandidate> out;
+  for (std::int64_t ff = lo; ff <= hi; ++ff) {
+    if (ff % base.tensor_parallel != 0) continue;
+    TransformerConfig cfg = base;
+    cfg.mlp_intermediate = ff;
+    const gemm::GemmProblem up = tfm::mlp_up_gemm(cfg);
+    const gemm::GemmProblem down = tfm::mlp_down_gemm(cfg);
+    double time = sim.latency(up) + sim.latency(down);
+    double flops = up.flops() + down.flops();
+    if (cfg.activation == tfm::Activation::kSwiGlu) {
+      time += sim.latency(up);  // the gate twin
+      flops += up.flops();
+    }
+    MlpCandidate c;
+    c.d_ff = ff;
+    c.mlp_time = time;
+    c.mlp_tflops = flops / time / 1e12;
+    c.coefficient = static_cast<double>(ff) /
+                    static_cast<double>(base.hidden_size);
+    out.push_back(c);
+  }
+  CODESIGN_CHECK(!out.empty(), "d_ff search range produced no candidates");
+
+  std::sort(out.begin(), out.end(),
+            [](const MlpCandidate& a, const MlpCandidate& b) {
+              return a.mlp_time < b.mlp_time;
+            });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].rank_in_range =
+        static_cast<double>(i) / static_cast<double>(out.size() - 1 == 0
+                                                         ? 1
+                                                         : out.size() - 1);
+  }
+  return out;
+}
+
+double mlp_candidate_percentile(const std::vector<MlpCandidate>& scan,
+                                std::int64_t d_ff) {
+  for (const MlpCandidate& c : scan) {
+    if (c.d_ff == d_ff) return c.rank_in_range;
+  }
+  throw LookupError("d_ff " + std::to_string(d_ff) + " not in scan results");
+}
+
+std::int64_t pad_vocab(std::int64_t v) {
+  CODESIGN_CHECK(v > 0, "vocab size must be positive");
+  return round_up<std::int64_t>(v, 64);
+}
+
+}  // namespace codesign::advisor

@@ -1,0 +1,90 @@
+// search.hpp — shape search: find nearby, better-performing architectures.
+//
+// Implements the paper's §VI-B / §VII workflows:
+//   * search_heads        — re-shape GPT-3 2.7B style: keep h, change a so
+//                           h/a lands on an efficient granule (the 1.18×).
+//   * search_hidden       — nearby hidden sizes on efficient granules, with
+//                           the parameter-count delta reported.
+//   * search_mlp_intermediate — the §VII-B SwiGLU brute force: scan d_ff
+//                           around (8/3)h for the best-performing MLP pair
+//                           (this is how Llama-2-7B's 11008 is validated).
+//   * pad_vocab           — the Fig-20 / Karpathy rule: next multiple of 64.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gemmsim/simulator.hpp"
+#include "transformer/config.hpp"
+
+namespace codesign::advisor {
+
+using tfm::TransformerConfig;
+
+/// One candidate architecture with its predicted performance.
+struct ShapeCandidate {
+  TransformerConfig config;
+  double layer_time = 0.0;        ///< seconds per transformer layer
+  double layer_tflops = 0.0;      ///< useful TFLOP/s of the layer
+  double speedup_vs_base = 1.0;   ///< base layer_time / candidate layer_time
+  double param_count = 0.0;       ///< exact parameters
+  double param_delta_frac = 0.0;  ///< (candidate - base) / base
+  bool rules_pass = false;        ///< satisfies_performance_rules
+  std::string note;
+};
+
+struct SearchOptions {
+  /// Maximum |param delta| tolerated for a candidate (fraction of base).
+  /// One 64-element step of h changes the count by ~2·64/h, so ~6% admits
+  /// the immediate neighbours of typical hidden sizes.
+  double max_param_delta_frac = 0.06;
+  /// Keep at most this many candidates (best first).
+  std::size_t max_candidates = 16;
+};
+
+/// Evaluate a config's single-layer time/throughput (shared helper).
+ShapeCandidate evaluate_candidate(const TransformerConfig& config,
+                                  const TransformerConfig& baseline,
+                                  const gemm::GemmSimulator& sim);
+
+/// Alternative head counts for the same h (a must divide h). Candidates are
+/// ranked by predicted layer throughput; parameter count is unchanged by
+/// construction. The baseline itself is always included (speedup 1.0).
+std::vector<ShapeCandidate> search_heads(const TransformerConfig& base,
+                                         const gemm::GemmSimulator& sim,
+                                         const SearchOptions& options = {});
+
+/// Nearby hidden sizes within ±`radius_frac` of h, stepping on multiples of
+/// `step` (default 64·t), keeping a and L fixed. Parameter deltas reported.
+std::vector<ShapeCandidate> search_hidden(const TransformerConfig& base,
+                                          const gemm::GemmSimulator& sim,
+                                          double radius_frac = 0.1,
+                                          std::int64_t step = 0,
+                                          const SearchOptions& options = {});
+
+/// One d_ff candidate of the SwiGLU brute force.
+struct MlpCandidate {
+  std::int64_t d_ff = 0;
+  double mlp_time = 0.0;      ///< up + gate + down GEMM seconds
+  double mlp_tflops = 0.0;
+  double coefficient = 0.0;   ///< d_ff / h
+  double rank_in_range = 0.0; ///< percentile of mlp_time within the scan (0 = best)
+};
+
+/// Brute-force every integral d_ff in [lo, hi] (inclusive) that satisfies
+/// t | d_ff, evaluating the MLP GEMM pair (plus gate when SwiGLU). Returns
+/// all candidates sorted by time, best first.
+std::vector<MlpCandidate> search_mlp_intermediate(
+    const TransformerConfig& base, const gemm::GemmSimulator& sim,
+    std::int64_t lo, std::int64_t hi);
+
+/// Look up a specific d_ff in a scan result (e.g. Llama-2's 11008) and
+/// return its percentile rank (0 = best in range). Throws if absent.
+double mlp_candidate_percentile(const std::vector<MlpCandidate>& scan,
+                                std::int64_t d_ff);
+
+/// The vocab-padding rule: smallest multiple of 64 >= v.
+std::int64_t pad_vocab(std::int64_t v);
+
+}  // namespace codesign::advisor

@@ -1,0 +1,92 @@
+#include "comm/cluster_spec.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace codesign::comm {
+
+const gpu::GpuSpec& ClusterSpec::gpu() const {
+  return gpu::gpu_by_name(gpu_id);
+}
+
+void ClusterSpec::validate() const {
+  auto fail = [this](const std::string& what) {
+    throw ConfigError("ClusterSpec '" + id + "': " + what);
+  };
+  if (gpus_per_node <= 0) fail("gpus_per_node must be positive");
+  if (intra_node_bandwidth <= 0) fail("intra_node_bandwidth must be positive");
+  if (inter_node_bandwidth <= 0) fail("inter_node_bandwidth must be positive");
+  if (link_latency < 0) fail("link_latency must be non-negative");
+  (void)gpu();  // throws LookupError if the GPU id is unknown
+}
+
+namespace {
+
+const std::map<std::string, ClusterSpec>& registry() {
+  static const std::map<std::string, ClusterSpec> reg = [] {
+    std::map<std::string, ClusterSpec> m;
+    auto add = [&m](ClusterSpec c) {
+      c.validate();
+      m.emplace(c.id, std::move(c));
+    };
+    {
+      ClusterSpec c;
+      c.id = "aws-p4d";
+      c.description = "AWS p4d: 8x A100-40GB, EFA 400 Gb/s, NVLink 600 GB/s";
+      c.gpu_id = "a100-40gb";
+      c.gpus_per_node = 8;
+      c.intra_node_bandwidth = 600 * GBps;
+      c.inter_node_bandwidth = 400.0 / 8.0 * GBps;  // 400 Gb/s = 50 GB/s
+      add(c);
+    }
+    {
+      ClusterSpec c;
+      c.id = "ornl-summit";
+      c.description =
+          "ORNL Summit: 6x V100-16GB, IB EDR 200 Gb/s, NVLink 100 GB/s";
+      c.gpu_id = "v100-16gb";
+      c.gpus_per_node = 6;
+      c.intra_node_bandwidth = 100 * GBps;
+      c.inter_node_bandwidth = 200.0 / 8.0 * GBps;
+      add(c);
+    }
+    {
+      ClusterSpec c;
+      c.id = "sdsc-expanse";
+      c.description =
+          "SDSC Expanse: 4x V100-32GB, IB HDR 200 Gb/s, NVLink 100 GB/s";
+      c.gpu_id = "v100-32gb";
+      c.gpus_per_node = 4;
+      c.intra_node_bandwidth = 100 * GBps;
+      c.inter_node_bandwidth = 200.0 / 8.0 * GBps;
+      add(c);
+    }
+    return m;
+  }();
+  return reg;
+}
+
+}  // namespace
+
+const ClusterSpec& cluster_by_name(const std::string& name) {
+  const auto& reg = registry();
+  const auto it = reg.find(to_lower(name));
+  if (it == reg.end()) {
+    throw LookupError("unknown cluster '" + name + "'; known: " +
+                      join(known_clusters(), ", "));
+  }
+  return it->second;
+}
+
+std::vector<std::string> known_clusters() {
+  std::vector<std::string> out;
+  for (const auto& [id, _] : registry()) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace codesign::comm

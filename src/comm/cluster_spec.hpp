@@ -1,0 +1,47 @@
+// cluster_spec.hpp — the multi-GPU systems of paper Table III.
+//
+// | system      | GPUs/node        | inter-node          | intra-node      |
+// | AWS p4d     | 8× A100 40GB     | EFA 400 Gb/s        | NVLink 600 GB/s |
+// | ORNL Summit | 6× V100 16GB     | IB EDR 200 Gb/s     | NVLink 100 GB/s |
+// | SDSC Expanse| 4× V100 32GB     | IB HDR 200 Gb/s     | NVLink 100 GB/s |
+//
+// The paper keeps communication out of its single-GPU analysis but leans
+// on it for two rules ("t as small as possible", "whether pipeline
+// parallelism pays depends on internode speed"); this module carries the
+// numbers those rules need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpuarch/gpu_spec.hpp"
+
+namespace codesign::comm {
+
+struct ClusterSpec {
+  std::string id;             ///< registry key, e.g. "aws-p4d"
+  std::string description;
+  std::string gpu_id;         ///< gpuarch registry id of the node's GPUs
+  int gpus_per_node = 0;
+
+  /// Per-GPU intra-node fabric bandwidth (bytes/s, one direction) — the
+  /// NVLink numbers of Table III.
+  double intra_node_bandwidth = 0.0;
+  /// Per-node inter-node link bandwidth (bytes/s) — EFA/InfiniBand.
+  double inter_node_bandwidth = 0.0;
+  /// Per-message latency of a fabric hop (seconds).
+  double link_latency = 5e-6;
+
+  const gpu::GpuSpec& gpu() const;
+
+  void validate() const;
+};
+
+/// Look up a system by id: "aws-p4d", "ornl-summit", "sdsc-expanse"
+/// (case-insensitive). Throws LookupError otherwise.
+const ClusterSpec& cluster_by_name(const std::string& name);
+
+std::vector<std::string> known_clusters();
+
+}  // namespace codesign::comm

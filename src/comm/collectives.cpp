@@ -1,0 +1,73 @@
+#include "comm/collectives.hpp"
+
+#include "common/error.hpp"
+#include "transformer/layer_model.hpp"
+
+namespace codesign::comm {
+
+const char* collective_name(Collective c) {
+  switch (c) {
+    case Collective::kAllReduce: return "all_reduce";
+    case Collective::kAllGather: return "all_gather";
+    case Collective::kReduceScatter: return "reduce_scatter";
+  }
+  return "?";
+}
+
+double collective_time(Collective op, double bytes, int ranks,
+                       double link_bandwidth, double latency) {
+  CODESIGN_CHECK(ranks >= 1, "collective needs at least one rank");
+  CODESIGN_CHECK(bytes >= 0.0, "negative payload");
+  CODESIGN_CHECK(link_bandwidth > 0.0, "link bandwidth must be positive");
+  CODESIGN_CHECK(latency >= 0.0, "latency must be non-negative");
+  if (ranks == 1) return 0.0;
+
+  const double frac = static_cast<double>(ranks - 1) / ranks;
+  switch (op) {
+    case Collective::kAllReduce:
+      return 2.0 * frac * bytes / link_bandwidth +
+             2.0 * (ranks - 1) * latency;
+    case Collective::kAllGather:
+    case Collective::kReduceScatter:
+      return frac * bytes / link_bandwidth + (ranks - 1) * latency;
+  }
+  return 0.0;
+}
+
+double intra_node_collective_time(Collective op, double bytes, int ranks,
+                                  const ClusterSpec& cluster) {
+  CODESIGN_CHECK(ranks <= cluster.gpus_per_node,
+                 "collective spans more ranks than the node has GPUs");
+  return collective_time(op, bytes, ranks, cluster.intra_node_bandwidth,
+                         cluster.link_latency);
+}
+
+double tp_layer_comm_time(const tfm::TransformerConfig& config,
+                          const ClusterSpec& cluster) {
+  config.validate();
+  const auto ranks = static_cast<int>(config.tensor_parallel);
+  const double activation_bytes =
+      static_cast<double>(config.tokens()) *
+      static_cast<double>(config.hidden_size) *
+      static_cast<double>(gpu::dtype_size(config.dtype));
+  // Two all-reduces per layer forward (post-attention, post-MLP).
+  return 2.0 * intra_node_collective_time(Collective::kAllReduce,
+                                          activation_bytes, ranks, cluster);
+}
+
+TpLayerTime tp_total_layer_time(const tfm::TransformerConfig& config,
+                                const ClusterSpec& cluster) {
+  config.validate();
+  CODESIGN_CHECK(config.tensor_parallel <= cluster.gpus_per_node,
+                 "tensor-parallel degree exceeds the node size");
+  const gemm::GemmSimulator sim(cluster.gpu());
+  TpLayerTime r;
+  r.t = config.tensor_parallel;
+  r.compute_time = tfm::analyze_layer(config, sim).total_time;
+  r.comm_time = tp_layer_comm_time(config, cluster);
+  r.total_time = r.compute_time + r.comm_time;
+  r.comm_fraction = r.total_time > 0.0 ? r.comm_time / r.total_time : 0.0;
+  return r;
+}
+
+}  // namespace codesign::comm

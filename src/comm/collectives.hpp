@@ -1,0 +1,59 @@
+// collectives.hpp — cost model for the collectives tensor parallelism uses.
+//
+// Ring algorithms (the NCCL default at these scales):
+//   all-reduce :  2·(t−1)/t · bytes / link_bw  + 2·(t−1)·latency
+//   all-gather :     (t−1)/t · bytes / link_bw +    (t−1)·latency
+//   reduce-scatter:  (t−1)/t · bytes / link_bw +    (t−1)·latency
+//
+// Megatron-style tensor parallelism inserts 2 all-reduces of the (b·s, h)
+// activation per layer in the forward pass (after the attention
+// projection and after the MLP) and 2 more in the backward pass. This is
+// the cost the paper's "t as small as possible" rule trades against the
+// per-GPU GEMM speedup, and what tp_total_layer_time() exposes.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/cluster_spec.hpp"
+#include "gemmsim/simulator.hpp"
+#include "transformer/config.hpp"
+
+namespace codesign::comm {
+
+enum class Collective { kAllReduce, kAllGather, kReduceScatter };
+
+const char* collective_name(Collective c);
+
+/// Time for one collective over `bytes` payload among `ranks` peers
+/// connected at `link_bandwidth` with `latency` per hop. ranks == 1 is
+/// free. Throws on non-positive ranks/bandwidth or negative bytes.
+double collective_time(Collective op, double bytes, int ranks,
+                       double link_bandwidth, double latency);
+
+/// Convenience: the collective runs inside one node of `cluster` over
+/// `ranks` of its GPUs (ranks <= gpus_per_node).
+double intra_node_collective_time(Collective op, double bytes, int ranks,
+                                  const ClusterSpec& cluster);
+
+/// Tensor-parallel communication per *layer* per forward pass: 2
+/// all-reduces of the s·b·h activation (fp16). Backward doubles it.
+double tp_layer_comm_time(const tfm::TransformerConfig& config,
+                          const ClusterSpec& cluster);
+
+/// One layer's forward time with t-way tensor parallelism on this
+/// cluster: per-GPU compute (from the GEMM simulator, h/t shapes) plus
+/// the TP all-reduces. This is the quantity whose minimum over t answers
+/// "how much parallelism should I use" — and why the answer is "as little
+/// as fits" on slow fabrics.
+struct TpLayerTime {
+  std::int64_t t = 1;
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+  double total_time = 0.0;
+  double comm_fraction = 0.0;
+};
+
+TpLayerTime tp_total_layer_time(const tfm::TransformerConfig& config,
+                                const ClusterSpec& cluster);
+
+}  // namespace codesign::comm

@@ -1,0 +1,154 @@
+#include "comm/parallelism.hpp"
+
+#include <algorithm>
+
+#include "advisor/cluster.hpp"
+#include "comm/collectives.hpp"
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/strings.hpp"
+#include "gemmsim/simulator.hpp"
+#include "transformer/flops.hpp"
+#include "transformer/layer_model.hpp"
+#include "transformer/params.hpp"
+#include "transformer/training.hpp"
+
+namespace codesign::comm {
+
+ParallelStepReport evaluate_plan(const tfm::TransformerConfig& config,
+                                 const ClusterSpec& cluster,
+                                 const ParallelPlan& plan) {
+  CODESIGN_CHECK(plan.tensor >= 1 && plan.pipeline >= 1 && plan.data >= 1 &&
+                     plan.microbatches >= 1,
+                 "parallel plan degrees must be >= 1");
+  ParallelStepReport r;
+  r.plan = plan;
+
+  auto reject = [&r](std::string why) {
+    r.feasible = false;
+    if (!r.infeasible_reason.empty()) r.infeasible_reason += "; ";
+    r.infeasible_reason += std::move(why);
+  };
+
+  if (plan.tensor > cluster.gpus_per_node) {
+    reject(str_format("t=%lld exceeds the %d-GPU node",
+                      static_cast<long long>(plan.tensor),
+                      cluster.gpus_per_node));
+  }
+  const advisor::TpFeasibility tp = advisor::tp_feasibility(config, plan.tensor);
+  if (!tp.feasible) reject(tp.reason);
+  if (plan.pipeline > config.num_layers) {
+    reject(str_format("p=%lld exceeds L=%lld",
+                      static_cast<long long>(plan.pipeline),
+                      static_cast<long long>(config.num_layers)));
+  }
+  if (plan.microbatches < plan.pipeline) {
+    reject("fewer microbatches in flight than pipeline stages");
+  }
+  if (!r.feasible) return r;
+
+  const tfm::TransformerConfig cfg =
+      config.with_tensor_parallel(plan.tensor);
+  const gemm::GemmSimulator sim(cluster.gpu());
+
+  // Per-microbatch, per-layer compute (fwd + bwd) on one TP rank.
+  const double layer_fwd = tfm::analyze_layer(cfg, sim).total_time;
+  const double layer_bwd = tfm::layer_backward_time(cfg, sim);
+  const std::int64_t stage_layers = ceil_div(cfg.num_layers, plan.pipeline);
+  const double stage_compute =
+      static_cast<double>(stage_layers) * (layer_fwd + layer_bwd);
+
+  // TP collectives: 2 all-reduces fwd + 2 bwd per layer of the stage.
+  const double tp_per_layer = 2.0 * tp_layer_comm_time(cfg, cluster);
+  const double stage_tp = static_cast<double>(stage_layers) * tp_per_layer;
+
+  // Pipeline p2p: ship the (b·s, h) activation forward and its gradient
+  // back across the inter-node link once per microbatch per stage
+  // boundary.
+  const double act_bytes = static_cast<double>(cfg.tokens()) *
+                           static_cast<double>(cfg.hidden_size) *
+                           static_cast<double>(gpu::dtype_size(cfg.dtype));
+  const double p2p_per_microbatch =
+      plan.pipeline > 1
+          ? 2.0 * act_bytes / cluster.inter_node_bandwidth +
+                2.0 * cluster.link_latency
+          : 0.0;
+
+  const auto rounds = static_cast<double>(plan.microbatches + plan.pipeline - 1);
+  r.compute_time = rounds * stage_compute;
+  r.tp_comm_time = rounds * stage_tp;
+  r.pp_comm_time = rounds * p2p_per_microbatch;
+
+  // Data parallelism: ring all-reduce of the fp16 gradients per step.
+  const double grad_bytes =
+      2.0 * static_cast<double>(tfm::exact_param_count(cfg)) /
+      static_cast<double>(plan.tensor) / static_cast<double>(plan.pipeline);
+  r.dp_comm_time = collective_time(Collective::kAllReduce, grad_bytes,
+                                   static_cast<int>(plan.data),
+                                   cluster.inter_node_bandwidth,
+                                   cluster.link_latency);
+
+  r.step_time =
+      r.compute_time + r.tp_comm_time + r.pp_comm_time + r.dp_comm_time;
+  r.tokens_per_second = static_cast<double>(plan.data) *
+                        static_cast<double>(plan.microbatches) *
+                        static_cast<double>(cfg.tokens()) / r.step_time;
+
+  // Cluster MFU: useful training math per step over the whole machine.
+  const double useful_flops = static_cast<double>(plan.data) *
+                              static_cast<double>(plan.microbatches) *
+                              tfm::model_training_flops(config);
+  const double peak = cluster.gpu().tensor_flops(cfg.dtype) *
+                      static_cast<double>(plan.total_gpus());
+  r.cluster_mfu = useful_flops / (r.step_time * peak);
+
+  // Memory: static state for this rank's layer shard + p in-flight
+  // microbatches of its activations (the 1F1B stage-0 bound).
+  const tfm::MemoryFootprint mem = tfm::training_memory(cfg);
+  const double static_bytes =
+      (mem.weight_bytes + mem.gradient_bytes + mem.optimizer_bytes) /
+      static_cast<double>(plan.pipeline);
+  const double act_per_microbatch =
+      tfm::activation_bytes_per_layer(cfg) * static_cast<double>(stage_layers);
+  r.memory_per_gpu =
+      static_bytes +
+      act_per_microbatch * static_cast<double>(
+                               std::min<std::int64_t>(plan.pipeline,
+                                                      plan.microbatches));
+  r.fits_memory =
+      r.memory_per_gpu <= cluster.gpu().hbm_capacity * 0.9;
+  return r;
+}
+
+std::vector<ParallelStepReport> rank_plans(
+    const tfm::TransformerConfig& config, const ClusterSpec& cluster,
+    std::int64_t total_gpus, std::int64_t microbatches) {
+  CODESIGN_CHECK(total_gpus >= 1, "total_gpus must be >= 1");
+  std::vector<ParallelStepReport> out;
+  for (std::int64_t t = 1; t <= cluster.gpus_per_node; ++t) {
+    if (cluster.gpus_per_node % static_cast<int>(t) != 0) continue;
+    if (total_gpus % t != 0) continue;
+    const std::int64_t rest = total_gpus / t;
+    for (std::int64_t p = 1; p <= rest; ++p) {
+      if (rest % p != 0) continue;
+      ParallelPlan plan;
+      plan.tensor = t;
+      plan.pipeline = p;
+      plan.data = rest / p;
+      plan.microbatches = microbatches;
+      out.push_back(evaluate_plan(config, cluster, plan));
+    }
+  }
+  CODESIGN_CHECK(!out.empty(), "no (t, p, d) factorization of total_gpus");
+  std::sort(out.begin(), out.end(),
+            [](const ParallelStepReport& a, const ParallelStepReport& b) {
+              // Feasible + fitting first, then by throughput.
+              const int ka = (a.feasible ? 0 : 2) + (a.fits_memory ? 0 : 1);
+              const int kb = (b.feasible ? 0 : 2) + (b.fits_memory ? 0 : 1);
+              if (ka != kb) return ka < kb;
+              return a.tokens_per_second > b.tokens_per_second;
+            });
+  return out;
+}
+
+}  // namespace codesign::comm

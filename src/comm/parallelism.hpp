@@ -1,0 +1,76 @@
+// parallelism.hpp — composite 3D-parallel (tensor × pipeline × data) step
+// model on a concrete cluster.
+//
+// The paper defers distributed shape analysis to Narayanan et al. [23]
+// but states the two facts this module quantifies:
+//   * "whether it is optimal to train using pipeline parallelism depends
+//     on ... the speed and bandwidth of internode connections";
+//   * "t should be as small as possible" (yet t must be large enough to
+//     fit memory).
+//
+// Model (deliberately first-order, like everything else here):
+//   * tensor parallelism: within a node; 2 all-reduces per layer forward
+//     and 2 backward over the intra-node fabric (collectives.hpp);
+//   * pipeline parallelism: 1F1B bubble + stage imbalance
+//     (transformer/pipeline.hpp) with per-microbatch activation
+//     point-to-point transfers over the inter-node link;
+//   * data parallelism: one ring all-reduce of the fp16 gradients per
+//     step over the inter-node link (overlap is not modelled — this is
+//     the pessimistic bound).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/cluster_spec.hpp"
+#include "transformer/config.hpp"
+#include "transformer/pipeline.hpp"
+
+namespace codesign::comm {
+
+struct ParallelPlan {
+  std::int64_t tensor = 1;    ///< t (within a node)
+  std::int64_t pipeline = 1;  ///< p (stages, across nodes)
+  std::int64_t data = 1;      ///< d (replicas)
+  std::int64_t microbatches = 32;  ///< m in flight per step
+
+  std::int64_t total_gpus() const { return tensor * pipeline * data; }
+};
+
+struct ParallelStepReport {
+  ParallelPlan plan;
+  bool feasible = true;
+  std::string infeasible_reason;
+
+  double compute_time = 0.0;      ///< per step, slowest stage, all µbatches
+  double tp_comm_time = 0.0;      ///< TP all-reduces over the step
+  double pp_comm_time = 0.0;      ///< inter-stage activation p2p
+  double dp_comm_time = 0.0;      ///< gradient all-reduce
+  double step_time = 0.0;
+  double tokens_per_second = 0.0;  ///< global: d·m·b·s / step
+  /// Useful FLOP/s per GPU divided by the device peak — the cluster-level
+  /// MFU this plan achieves.
+  double cluster_mfu = 0.0;
+  /// Per-GPU training memory (weights at this t; activations at this
+  /// microbatch count are held per in-flight microbatch on stage 0 —
+  /// approximated by p in-flight microbatches).
+  double memory_per_gpu = 0.0;
+  bool fits_memory = true;
+};
+
+/// Evaluate one plan for `config` on `cluster`. The config's own
+/// tensor_parallel field is overridden by the plan's.
+ParallelStepReport evaluate_plan(const tfm::TransformerConfig& config,
+                                 const ClusterSpec& cluster,
+                                 const ParallelPlan& plan);
+
+/// Enumerate every (t, p, d) factorization of `total_gpus` with t a
+/// divisor of the node size, score the feasible ones, and return them
+/// sorted by tokens/second (best first). Infeasible plans are included at
+/// the tail with their reasons so the caller can show *why* a layout is
+/// impossible (the §VII-A failure mode).
+std::vector<ParallelStepReport> rank_plans(
+    const tfm::TransformerConfig& config, const ClusterSpec& cluster,
+    std::int64_t total_gpus, std::int64_t microbatches = 32);
+
+}  // namespace codesign::comm

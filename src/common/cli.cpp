@@ -1,0 +1,87 @@
+#include "common/cli.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace codesign {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      out.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    CODESIGN_CHECK(!body.empty(), "bare '--' is not a valid flag");
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = body.substr(0, eq);
+      const std::string value = body.substr(eq + 1);
+      CODESIGN_CHECK(!name.empty(), "flag '" + arg + "' has empty name");
+      CODESIGN_CHECK(!value.empty(), "flag '" + arg + "' has empty value");
+      out.flags_[name] = value;
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag; otherwise
+    // treat as a boolean switch.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      out.flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      out.flags_[body] = "true";
+    }
+  }
+  return out;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string CliArgs::get_string(const std::string& name, std::string def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : parse_int(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : parse_double(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  const std::string v = to_lower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("flag --" + name + " expects a boolean, got '" + it->second + "'");
+}
+
+std::vector<std::int64_t> CliArgs::get_int_list(
+    const std::string& name, std::vector<std::int64_t> def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  std::vector<std::int64_t> out;
+  for (const std::string& part : split(it->second, ',')) {
+    if (trim(part).empty()) continue;
+    out.push_back(parse_int(part));
+  }
+  CODESIGN_CHECK(!out.empty(), "flag --" + name + " has an empty list value");
+  return out;
+}
+
+std::vector<std::string> CliArgs::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [k, _] : flags_) names.push_back(k);
+  return names;
+}
+
+}  // namespace codesign

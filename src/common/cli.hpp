@@ -1,0 +1,45 @@
+// cli.hpp — a small --key=value flag parser shared by the bench binaries
+// and examples (google-benchmark owns argv in bench_kernels_cpu; everything
+// else uses this directly).
+//
+// Supported syntax: --name=value, --name value, --flag (boolean true),
+// and bare positional arguments. Unknown flags raise unless allow_unknown.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace codesign {
+
+class CliArgs {
+ public:
+  /// Parse argv (argv[0] is skipped). Throws codesign::Error on malformed
+  /// input such as a value-less "--name=" .
+  static CliArgs parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters with defaults. Throw on unparsable values.
+  std::string get_string(const std::string& name, std::string def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Comma-separated integer list, e.g. --heads=8,16,32.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line (for diagnostics / unknown-flag checks).
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace codesign

@@ -1,0 +1,55 @@
+// error.hpp — error handling primitives for the codesign library.
+//
+// The library is exception-based (per the C++ Core Guidelines: report
+// errors that cannot be handled locally by throwing). All exceptions
+// thrown by this project derive from codesign::Error so callers can
+// catch one type at the API boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace codesign {
+
+/// Root exception type for every error raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Raised when a user-supplied configuration is structurally invalid
+/// (e.g. hidden size not divisible by the number of attention heads).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(std::string what) : Error(std::move(what)) {}
+};
+
+/// Raised when a shape/dimension argument is out of range or inconsistent.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(std::string what) : Error(std::move(what)) {}
+};
+
+/// Raised when a lookup (GPU name, model name, figure id) fails.
+class LookupError : public Error {
+ public:
+  explicit LookupError(std::string what) : Error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+/// CODESIGN_CHECK(cond, msg): precondition check that throws codesign::Error
+/// (never aborts) so library misuse is recoverable and testable.
+#define CODESIGN_CHECK(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::codesign::detail::throw_check_failure(#cond, __FILE__, __LINE__,   \
+                                              (msg));                      \
+    }                                                                      \
+  } while (false)
+
+}  // namespace codesign

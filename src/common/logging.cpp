@@ -1,0 +1,57 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/strings.hpp"
+
+namespace codesign {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+std::mutex g_io_mutex;
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("CODESIGN_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string v = to_lower(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() {
+  int v = g_level.load();
+  if (v < 0) {
+    const LogLevel env = level_from_env();
+    g_level.store(static_cast<int>(env));
+    return env;
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace codesign

@@ -1,0 +1,49 @@
+// logging.hpp — a minimal leveled logger.
+//
+// Benches and examples use this for progress/diagnostic output on stderr so
+// stdout stays clean for the CSV/table data the harness captures.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace codesign {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo,
+/// overridable via the CODESIGN_LOG environment variable
+/// (debug|info|warn|error) read on first use.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line to stderr: "[LEVEL] message".
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define CODESIGN_LOG(level) ::codesign::detail::LogLine(level)
+#define LOG_DEBUG CODESIGN_LOG(::codesign::LogLevel::kDebug)
+#define LOG_INFO CODESIGN_LOG(::codesign::LogLevel::kInfo)
+#define LOG_WARN CODESIGN_LOG(::codesign::LogLevel::kWarn)
+#define LOG_ERROR CODESIGN_LOG(::codesign::LogLevel::kError)
+
+}  // namespace codesign

@@ -1,0 +1,85 @@
+// rng.hpp — deterministic pseudo-random number generation.
+//
+// All randomized tests and the CPU-kernel substrate use this xoshiro256**
+// generator with explicit seeds so every run of the test/bench suite is
+// reproducible bit-for-bit (std::mt19937 distributions are not guaranteed
+// identical across standard libraries; we implement our own sampling).
+#pragma once
+
+#include <cstdint>
+
+namespace codesign {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    auto next_seed = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = next_seed();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive (lo <= hi). Uses rejection
+  /// sampling to avoid modulo bias.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    std::uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % range);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple & stateless).
+  double normal() {
+    double u1;
+    do {
+      u1 = next_double();
+    } while (u1 <= 0.0);
+    const double u2 = next_double();
+    // sqrt/log/cos from <cmath> pulled in by the caller translation unit.
+    return box_muller(u1, u2);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double box_muller(double u1, double u2);
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace codesign

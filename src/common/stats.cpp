@@ -1,0 +1,132 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace codesign {
+
+double mean(const std::vector<double>& xs) {
+  CODESIGN_CHECK(!xs.empty(), "mean of empty vector");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  CODESIGN_CHECK(!xs.empty(), "variance of empty vector");
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double geomean(const std::vector<double>& xs) {
+  CODESIGN_CHECK(!xs.empty(), "geomean of empty vector");
+  double s = 0.0;
+  for (double x : xs) {
+    CODESIGN_CHECK(x > 0.0, "geomean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double percentile(std::vector<double> xs, double p) {
+  CODESIGN_CHECK(!xs.empty(), "percentile of empty vector");
+  CODESIGN_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double min_of(const std::vector<double>& xs) {
+  CODESIGN_CHECK(!xs.empty(), "min of empty vector");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  CODESIGN_CHECK(!xs.empty(), "max of empty vector");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  CODESIGN_CHECK(x.size() == y.size(), "linear_fit: size mismatch");
+  CODESIGN_CHECK(x.size() >= 2, "linear_fit: need at least 2 points");
+  const double n = static_cast<double>(x.size());
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  CODESIGN_CHECK(sxx > 0.0, "linear_fit: x values are all identical");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - fit.predict(x[i]);
+      ss_res += e * e;
+    }
+    fit.r2 = 1.0 - ss_res / syy;
+  } else {
+    fit.r2 = 1.0;  // y constant and perfectly predicted by slope 0
+  }
+  (void)n;
+  return fit;
+}
+
+double PowerLawFit::predict(double x) const {
+  return coefficient * std::pow(x, exponent);
+}
+
+PowerLawFit power_law_fit(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  CODESIGN_CHECK(x.size() == y.size(), "power_law_fit: size mismatch");
+  std::vector<double> lx(x.size());
+  std::vector<double> ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    CODESIGN_CHECK(x[i] > 0.0 && y[i] > 0.0,
+                   "power_law_fit requires positive samples");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit fit = linear_fit(lx, ly);
+  PowerLawFit out;
+  out.exponent = fit.slope;
+  out.coefficient = std::exp(fit.intercept);
+  out.r2 = fit.r2;
+  return out;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  CODESIGN_CHECK(x.size() == y.size() && x.size() >= 2, "pearson: bad input");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  CODESIGN_CHECK(sxx > 0.0 && syy > 0.0, "pearson: zero variance");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace codesign

@@ -1,0 +1,49 @@
+// stats.hpp — summary statistics and simple regression.
+//
+// Used by the bench harness (mean/median/geomean of repeated timings) and
+// by the Fig-13 reproduction, which fits a power-law latency-vs-parameters
+// trend over the Pythia suite and reports each model's deviation from it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace codesign {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);   // population variance
+double stddev(const std::vector<double>& xs);
+double geomean(const std::vector<double>& xs);    // requires all xs > 0
+double median(std::vector<double> xs);            // by-value: sorts a copy
+double percentile(std::vector<double> xs, double p);  // p in [0,100]
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Result of an ordinary least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+
+  double predict(double x) const { return slope * x + intercept; }
+};
+
+/// OLS fit over paired samples; throws if sizes differ or n < 2.
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Power-law fit y = c * x^e via OLS in log-log space. Requires x, y > 0.
+struct PowerLawFit {
+  double coefficient = 0.0;  // c
+  double exponent = 0.0;     // e
+  double r2 = 0.0;           // of the log-log fit
+
+  double predict(double x) const;
+};
+
+PowerLawFit power_law_fit(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Pearson correlation coefficient.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace codesign

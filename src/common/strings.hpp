@@ -1,0 +1,51 @@
+// strings.hpp — string formatting and parsing helpers shared by the CLI,
+// the table writers, and the report generators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codesign {
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Render a byte count with a binary suffix, e.g. "1.50 GiB".
+std::string human_bytes(double bytes);
+
+/// Render a FLOP count with an SI suffix, e.g. "2.35 TFLOP".
+std::string human_flops(double flops);
+
+/// Render a duration (seconds) with an adaptive unit, e.g. "132.4 us".
+std::string human_time(double seconds);
+
+/// Render a parameter count, e.g. "2.65B", "410M".
+std::string human_count(double count);
+
+/// Join a vector of strings with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parse a non-negative integer; throws codesign::Error on failure.
+std::int64_t parse_int(std::string_view s);
+
+/// Parse a double; throws codesign::Error on failure.
+double parse_double(std::string_view s);
+
+}  // namespace codesign

@@ -1,0 +1,66 @@
+#include "gemmsim/flash_attention.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "gpuarch/tensor_core.hpp"
+
+namespace codesign::gemm {
+
+void FlashAttentionProblem::validate() const {
+  if (batch <= 0 || heads <= 0 || seq <= 0 || head_dim <= 0) {
+    throw ShapeError("FlashAttention dimensions must be positive");
+  }
+}
+
+double FlashAttentionProblem::flops() const {
+  const double b = static_cast<double>(batch);
+  const double a = static_cast<double>(heads);
+  const double s = static_cast<double>(seq);
+  const double d = static_cast<double>(head_dim);
+  const double dense = 4.0 * b * a * s * s * d;  // QKᵀ and PV, 2 FLOPs/MAC
+  return causal ? dense / 2.0 : dense;
+}
+
+double FlashAttentionProblem::bytes() const {
+  const double e = static_cast<double>(gpu::dtype_size(dtype));
+  const double b = static_cast<double>(batch);
+  const double a = static_cast<double>(heads);
+  const double s = static_cast<double>(seq);
+  const double d = static_cast<double>(head_dim);
+  const double qkvo = 4.0 * b * a * s * d * e;       // Q, K, V in; O out
+  const double stats = 2.0 * b * a * s * 4.0;        // fp32 row max + sumexp
+  return qkvo + stats;
+}
+
+double FlashAttentionEstimate::flops_per_second() const {
+  return time > 0.0 ? problem.flops() / time : 0.0;
+}
+
+FlashAttentionEstimate estimate_flash_attention(
+    const FlashAttentionProblem& problem, const gpu::GpuSpec& gpu) {
+  problem.validate();
+  FlashAttentionEstimate e;
+  e.problem = problem;
+
+  // The fused kernel's inner MMA shapes are governed by the head dimension;
+  // seq-length tiles are chosen by the kernel itself and stay aligned.
+  const double d_eff =
+      gpu::dim_alignment_efficiency(problem.head_dim, problem.dtype, gpu);
+  const double math_rate = gpu.achievable_tensor_flops(problem.dtype) *
+                           kFlashAttention2Efficiency * d_eff;
+  CODESIGN_CHECK(math_rate > 0.0,
+                 "FlashAttention needs a tensor-core path for this dtype");
+  e.compute_time = problem.flops() / math_rate;
+  e.memory_time = problem.bytes() / gpu.achievable_bandwidth();
+  const double body = std::max(e.compute_time, e.memory_time);
+  e.time = body + gpu.kernel_launch_overhead;
+  if (gpu.kernel_launch_overhead > body) {
+    e.bound = Bound::kLaunch;
+  } else {
+    e.bound = e.compute_time >= e.memory_time ? Bound::kCompute : Bound::kMemory;
+  }
+  return e;
+}
+
+}  // namespace codesign::gemm

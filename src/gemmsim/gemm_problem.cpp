@@ -1,0 +1,86 @@
+#include "gemmsim/gemm_problem.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace codesign::gemm {
+
+GemmProblem GemmProblem::gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                              DType dtype) {
+  GemmProblem p;
+  p.m = m;
+  p.n = n;
+  p.k = k;
+  p.batch = 1;
+  p.dtype = dtype;
+  p.validate();
+  return p;
+}
+
+GemmProblem GemmProblem::bmm(std::int64_t batch, std::int64_t m,
+                             std::int64_t n, std::int64_t k, DType dtype) {
+  GemmProblem p;
+  p.m = m;
+  p.n = n;
+  p.k = k;
+  p.batch = batch;
+  p.dtype = dtype;
+  p.validate();
+  return p;
+}
+
+GemmProblem GemmProblem::folded_3d(std::int64_t d0, std::int64_t d1,
+                                   std::int64_t k, std::int64_t n,
+                                   DType dtype) {
+  return gemm(d0 * d1, n, k, dtype);
+}
+
+double GemmProblem::flops() const {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k) * static_cast<double>(batch);
+}
+
+double GemmProblem::min_bytes() const {
+  const double e = static_cast<double>(gpu::dtype_size(dtype));
+  const double a = static_cast<double>(m) * static_cast<double>(k);
+  const double b = static_cast<double>(k) * static_cast<double>(n);
+  const double c = static_cast<double>(m) * static_cast<double>(n);
+  const double c_traffic = accumulate_into_c ? 2.0 * c : c;
+  return (a + b + c_traffic) * e * static_cast<double>(batch);
+}
+
+double GemmProblem::arithmetic_intensity() const {
+  return flops() / min_bytes();
+}
+
+double GemmProblem::footprint_bytes() const {
+  const double e = static_cast<double>(gpu::dtype_size(dtype));
+  return e * static_cast<double>(batch) *
+         (static_cast<double>(m) * static_cast<double>(k) +
+          static_cast<double>(k) * static_cast<double>(n) +
+          static_cast<double>(m) * static_cast<double>(n));
+}
+
+std::string GemmProblem::to_string() const {
+  if (batch == 1) {
+    return str_format("GEMM(%lld x %lld x %lld, %s)",
+                      static_cast<long long>(m), static_cast<long long>(n),
+                      static_cast<long long>(k),
+                      gpu::dtype_name(dtype).c_str());
+  }
+  return str_format("BMM(b=%lld, %lld x %lld x %lld, %s)",
+                    static_cast<long long>(batch), static_cast<long long>(m),
+                    static_cast<long long>(n), static_cast<long long>(k),
+                    gpu::dtype_name(dtype).c_str());
+}
+
+void GemmProblem::validate() const {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    throw ShapeError("GEMM dimensions must be positive, got " + to_string());
+  }
+  if (batch <= 0) {
+    throw ShapeError("GEMM batch must be positive, got " + to_string());
+  }
+}
+
+}  // namespace codesign::gemm

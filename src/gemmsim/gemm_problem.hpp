@@ -1,0 +1,63 @@
+// gemm_problem.hpp — description of a (batched) GEMM workload.
+//
+// C_i = alpha * A_i B_i + beta * C_i,  i = 1..batch   (paper Eq. 1)
+// with A: m×k, B: k×n, C: m×n. batch == 1 is a plain GEMM; batch > 1 is the
+// BMM used by attention score / attention-over-value computation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpuarch/dtype.hpp"
+
+namespace codesign::gemm {
+
+using gpu::DType;
+
+struct GemmProblem {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+  std::int64_t batch = 1;
+  DType dtype = DType::kFP16;
+  /// beta != 0 (e.g. fused residual add): C is read as well as written.
+  bool accumulate_into_c = false;
+
+  /// Named constructors -----------------------------------------------
+  static GemmProblem gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                          DType dtype = DType::kFP16);
+  static GemmProblem bmm(std::int64_t batch, std::int64_t m, std::int64_t n,
+                         std::int64_t k, DType dtype = DType::kFP16);
+
+  /// Fold a 3-D × 2-D tensor contraction (d0, d1, k) × (k, n) into a 2-D
+  /// GEMM (d0·d1, k) × (k, n). The paper's appendix (Fig 14) shows the
+  /// ordering of the folded dimensions does not affect performance, so the
+  /// model treats them identically by construction.
+  static GemmProblem folded_3d(std::int64_t d0, std::int64_t d1,
+                               std::int64_t k, std::int64_t n,
+                               DType dtype = DType::kFP16);
+
+  /// Total useful math, counting one multiply-add as 2 FLOPs.
+  double flops() const;
+
+  /// Minimum DRAM traffic in bytes: read A and B once, write C once (plus
+  /// read C when accumulating). L2-resident reuse is assumed within one
+  /// kernel, which holds for the transformer-sized operands studied here.
+  double min_bytes() const;
+
+  /// flops() / min_bytes(): compared against the GPU's ridge point to
+  /// classify the problem as compute- or memory-bound.
+  double arithmetic_intensity() const;
+
+  /// Memory footprint of all operands (bytes), for capacity checks.
+  double footprint_bytes() const;
+
+  bool operator==(const GemmProblem&) const = default;
+
+  std::string to_string() const;
+
+  /// Throws ShapeError unless all dims and batch are positive.
+  void validate() const;
+};
+
+}  // namespace codesign::gemm

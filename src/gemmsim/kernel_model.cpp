@@ -1,0 +1,92 @@
+#include "gemmsim/kernel_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace codesign::gemm {
+
+double KernelEstimate::flops_per_second() const {
+  return time > 0.0 ? problem.flops() / time : 0.0;
+}
+
+KernelEstimate estimate_with_tile(const GemmProblem& problem,
+                                  const gpu::TileConfig& tile,
+                                  const gpu::GpuSpec& gpu) {
+  problem.validate();
+  KernelEstimate e;
+  e.problem = problem;
+  e.tile = tile;
+  e.tile_q = tile_quantization(problem, tile);
+  e.wave_q = wave_quantization(e.tile_q.tiles_total, tile, gpu);
+  e.alignment = gpu::alignment_efficiency(problem.m, problem.n, problem.k,
+                                          problem.dtype, gpu);
+
+  // --- compute path ------------------------------------------------------
+  // Scheduled math includes both quantization paddings: every partial tile
+  // executes fully, and every partial wave occupies the whole machine.
+  const double padded_flops =
+      2.0 * static_cast<double>(e.tile_q.padded_m) *
+      static_cast<double>(e.tile_q.padded_n) *
+      static_cast<double>(e.tile_q.padded_k) *
+      static_cast<double>(problem.batch);
+  const double scheduled_flops = padded_flops / e.wave_q.efficiency;
+  const double math_rate =
+      gpu::effective_math_rate(e.alignment, problem.dtype, gpu) *
+      tile.intrinsic_efficiency;
+  CODESIGN_CHECK(math_rate > 0.0, "math rate must be positive");
+  e.compute_time = scheduled_flops / math_rate;
+
+  // --- memory path --------------------------------------------------------
+  // Padded operand traffic (partial tiles still load full tiles of A and B).
+  const double esize = static_cast<double>(gpu::dtype_size(problem.dtype));
+  const double a_bytes = static_cast<double>(e.tile_q.padded_m) *
+                         static_cast<double>(e.tile_q.padded_k) * esize;
+  const double b_bytes = static_cast<double>(e.tile_q.padded_k) *
+                         static_cast<double>(e.tile_q.padded_n) * esize;
+  const double c_elems = static_cast<double>(e.tile_q.padded_m) *
+                         static_cast<double>(e.tile_q.padded_n) * esize;
+  const double c_bytes = problem.accumulate_into_c ? 2.0 * c_elems : c_elems;
+  const double traffic =
+      (a_bytes + b_bytes + c_bytes) * static_cast<double>(problem.batch);
+  const double bandwidth = gpu::effective_bandwidth(e.alignment, gpu);
+  e.memory_time = traffic / bandwidth;
+
+  // --- combine -------------------------------------------------------------
+  e.launch_overhead = gpu.kernel_launch_overhead;
+  const double body = std::max(e.compute_time, e.memory_time);
+  e.time = body + e.launch_overhead;
+  if (e.launch_overhead > body) {
+    e.bound = Bound::kLaunch;
+  } else {
+    e.bound = e.compute_time >= e.memory_time ? Bound::kCompute : Bound::kMemory;
+  }
+  return e;
+}
+
+std::vector<KernelEstimate> estimate_all_tiles(
+    const GemmProblem& problem, const gpu::GpuSpec& gpu,
+    const std::vector<gpu::TileConfig>& catalogue) {
+  CODESIGN_CHECK(!catalogue.empty(), "tile catalogue must not be empty");
+  std::vector<KernelEstimate> out;
+  out.reserve(catalogue.size());
+  for (const gpu::TileConfig& tile : catalogue) {
+    out.push_back(estimate_with_tile(problem, tile, gpu));
+  }
+  return out;
+}
+
+KernelEstimate select_kernel(const GemmProblem& problem,
+                             const gpu::GpuSpec& gpu,
+                             const std::vector<gpu::TileConfig>& catalogue) {
+  const std::vector<KernelEstimate> all =
+      estimate_all_tiles(problem, gpu, catalogue);
+  const auto best = std::min_element(
+      all.begin(), all.end(),
+      [](const KernelEstimate& a, const KernelEstimate& b) {
+        return a.time < b.time;  // strict: ties keep the earlier entry
+      });
+  return *best;
+}
+
+}  // namespace codesign::gemm

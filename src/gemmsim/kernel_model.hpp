@@ -1,0 +1,63 @@
+// kernel_model.hpp — the analytical GEMM latency model.
+//
+// For one (problem, tile) pair the model composes every mechanism the paper
+// describes:
+//   1. tile quantization   — pad m, n, k up to tile boundaries
+//   2. wave quantization   — pad the tile count up to full waves
+//   3. tensor-core alignment — scale the math rate by the alignment ladder
+//   4. roofline            — take the max of compute and memory time
+//   5. launch overhead     — a floor for tiny kernels
+//
+// select_kernel() mimics the cuBLAS/cuBLASLt heuristic by evaluating the
+// whole tile catalogue and returning the fastest predicted configuration;
+// restricting the catalogue to the single largest tile models the fixed-
+// tile behaviour of Fig 5b, the full catalogue the smoothing of Fig 5c.
+#pragma once
+
+#include <vector>
+
+#include "gemmsim/gemm_problem.hpp"
+#include "gemmsim/quantization.hpp"
+#include "gemmsim/roofline.hpp"
+#include "gpuarch/gpu_spec.hpp"
+#include "gpuarch/tensor_core.hpp"
+#include "gpuarch/tile_config.hpp"
+
+namespace codesign::gemm {
+
+/// Full prediction for one kernel configuration.
+struct KernelEstimate {
+  GemmProblem problem;
+  gpu::TileConfig tile;
+  TileQuantization tile_q;
+  WaveQuantization wave_q;
+  gpu::AlignmentEfficiency alignment;
+
+  double compute_time = 0.0;  ///< seconds on the math pipeline
+  double memory_time = 0.0;   ///< seconds on the DRAM pipeline
+  double launch_overhead = 0.0;
+  double time = 0.0;          ///< max(compute, memory) + launch
+  Bound bound = Bound::kCompute;
+
+  /// Useful-work throughput in FLOP/s (the paper's TFLOP/s axis).
+  double flops_per_second() const;
+  double tflops() const { return flops_per_second() / 1e12; }
+};
+
+/// Evaluate the model for a specific tile configuration.
+KernelEstimate estimate_with_tile(const GemmProblem& problem,
+                                  const gpu::TileConfig& tile,
+                                  const gpu::GpuSpec& gpu);
+
+/// Evaluate every tile in `catalogue` and return the fastest. Deterministic:
+/// ties resolve to the earlier catalogue entry.
+KernelEstimate select_kernel(
+    const GemmProblem& problem, const gpu::GpuSpec& gpu,
+    const std::vector<gpu::TileConfig>& catalogue = gpu::default_tile_catalogue());
+
+/// All candidate estimates (for introspection / ablation benches).
+std::vector<KernelEstimate> estimate_all_tiles(
+    const GemmProblem& problem, const gpu::GpuSpec& gpu,
+    const std::vector<gpu::TileConfig>& catalogue = gpu::default_tile_catalogue());
+
+}  // namespace codesign::gemm

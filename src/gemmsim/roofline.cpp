@@ -1,0 +1,44 @@
+#include "gemmsim/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace codesign::gemm {
+
+const char* bound_name(Bound b) {
+  switch (b) {
+    case Bound::kCompute: return "compute";
+    case Bound::kMemory: return "memory";
+    case Bound::kLaunch: return "launch";
+  }
+  return "?";
+}
+
+double Roofline::attainable_flops(double intensity) const {
+  CODESIGN_CHECK(intensity > 0.0, "arithmetic intensity must be positive");
+  return std::min(math_rate, mem_rate * intensity);
+}
+
+double Roofline::time(double flops, double bytes) const {
+  CODESIGN_CHECK(flops >= 0.0 && bytes >= 0.0, "negative workload");
+  CODESIGN_CHECK(math_rate > 0.0 && mem_rate > 0.0, "roofline rates unset");
+  return std::max(flops / math_rate, bytes / mem_rate);
+}
+
+Bound Roofline::bound_for(double flops, double bytes) const {
+  return flops / math_rate >= bytes / mem_rate ? Bound::kCompute
+                                               : Bound::kMemory;
+}
+
+Roofline device_roofline(const gpu::GpuSpec& gpu, DType dtype) {
+  Roofline r;
+  const double tc = gpu.achievable_tensor_flops(dtype);
+  r.math_rate = tc > 0.0
+                    ? tc
+                    : gpu.vector_flops(dtype) * gpu.achievable_math_fraction;
+  r.mem_rate = gpu.achievable_bandwidth();
+  return r;
+}
+
+}  // namespace codesign::gemm

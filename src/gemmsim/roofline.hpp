@@ -1,0 +1,40 @@
+// roofline.hpp — the roofline performance model.
+//
+// attainable rate = min(math_roof, bandwidth × arithmetic_intensity)
+//
+// Small GEMMs and the attention BMMs sit left of the ridge point and are
+// memory-bound (paper §V: "GEMMs are memory-bound for small matrices");
+// the big MLP/QKV GEMMs sit right of it and are compute-bound.
+#pragma once
+
+#include "gemmsim/gemm_problem.hpp"
+#include "gpuarch/gpu_spec.hpp"
+
+namespace codesign::gemm {
+
+enum class Bound { kCompute, kMemory, kLaunch };
+
+const char* bound_name(Bound b);
+
+struct Roofline {
+  double math_rate = 0.0;  ///< FLOP/s roof
+  double mem_rate = 0.0;   ///< bytes/s roof
+
+  /// Arithmetic intensity (FLOP/byte) at which the two roofs intersect.
+  double ridge_point() const { return math_rate / mem_rate; }
+
+  /// Attainable FLOP/s at a given arithmetic intensity.
+  double attainable_flops(double intensity) const;
+
+  /// Time lower bound for a workload of `flops` math and `bytes` traffic.
+  double time(double flops, double bytes) const;
+
+  /// Which roof limits the workload.
+  Bound bound_for(double flops, double bytes) const;
+};
+
+/// Roofline using a GPU's *achievable* (not peak) rates for a dtype,
+/// ignoring alignment (alignment enters through tensor_core.hpp).
+Roofline device_roofline(const gpu::GpuSpec& gpu, DType dtype);
+
+}  // namespace codesign::gemm

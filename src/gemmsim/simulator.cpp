@@ -1,0 +1,52 @@
+#include "gemmsim/simulator.hpp"
+
+#include "common/error.hpp"
+#include "gpuarch/tile_config.hpp"
+
+namespace codesign::gemm {
+
+GemmSimulator::GemmSimulator(const gpu::GpuSpec& gpu, TilePolicy policy)
+    : gpu_(&gpu), policy_(policy) {
+  gpu.validate();
+}
+
+GemmSimulator GemmSimulator::for_gpu(const std::string& gpu_name,
+                                     TilePolicy policy) {
+  return GemmSimulator(gpu::gpu_by_name(gpu_name), policy);
+}
+
+KernelEstimate GemmSimulator::estimate(const GemmProblem& problem) const {
+  if (policy_ == TilePolicy::kFixedLargest) {
+    return estimate_with_tile(problem, gpu::largest_tile(), *gpu_);
+  }
+  return select_kernel(problem, *gpu_);
+}
+
+double GemmSimulator::latency(const GemmProblem& problem) const {
+  return estimate(problem).time;
+}
+
+double GemmSimulator::throughput_tflops(const GemmProblem& problem) const {
+  return estimate(problem).tflops();
+}
+
+double GemmSimulator::sequence_latency(
+    const std::vector<GemmProblem>& problems) const {
+  CODESIGN_CHECK(!problems.empty(), "empty kernel sequence");
+  double total = 0.0;
+  for (const GemmProblem& p : problems) total += latency(p);
+  return total;
+}
+
+DesResult GemmSimulator::simulate(const GemmProblem& problem,
+                                  const DesOptions& options) const {
+  const KernelEstimate est = estimate(problem);
+  return simulate_kernel(problem, est.tile, *gpu_, options);
+}
+
+FlashAttentionEstimate GemmSimulator::estimate_flash(
+    const FlashAttentionProblem& problem) const {
+  return estimate_flash_attention(problem, *gpu_);
+}
+
+}  // namespace codesign::gemm

@@ -1,0 +1,63 @@
+// simulator.hpp — the public façade of the GEMM performance simulator.
+//
+// GemmSimulator binds a GPU spec to a tile-selection policy and exposes the
+// one-call latency/throughput queries the transformer model, the advisor,
+// and every bench binary use. It also exposes the discrete-event backend so
+// callers can cross-check the analytical answer by simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gemmsim/flash_attention.hpp"
+#include "gemmsim/gemm_problem.hpp"
+#include "gemmsim/kernel_model.hpp"
+#include "gemmsim/sm_scheduler.hpp"
+#include "gpuarch/gpu_spec.hpp"
+
+namespace codesign::gemm {
+
+/// How the simulated kernel library picks its thread-block tile.
+enum class TilePolicy {
+  kAuto,         ///< cuBLASLt-style heuristic over the full catalogue (Fig 5c)
+  kFixedLargest  ///< always the 256×128 tile (Fig 5b's fixed-kernel behaviour)
+};
+
+class GemmSimulator {
+ public:
+  explicit GemmSimulator(const gpu::GpuSpec& gpu,
+                         TilePolicy policy = TilePolicy::kAuto);
+
+  /// Convenience: look the GPU up by name ("a100", "v100-32gb", ...).
+  static GemmSimulator for_gpu(const std::string& gpu_name,
+                               TilePolicy policy = TilePolicy::kAuto);
+
+  const gpu::GpuSpec& gpu() const { return *gpu_; }
+  TilePolicy policy() const { return policy_; }
+
+  /// Predicted execution of one (batched) GEMM under the active policy.
+  KernelEstimate estimate(const GemmProblem& problem) const;
+
+  /// Seconds for one GEMM (shortcut for estimate().time).
+  double latency(const GemmProblem& problem) const;
+
+  /// TFLOP/s of useful work (the y-axis of all the paper's figures).
+  double throughput_tflops(const GemmProblem& problem) const;
+
+  /// Sum of per-kernel latencies for a kernel sequence (one CUDA stream).
+  double sequence_latency(const std::vector<GemmProblem>& problems) const;
+
+  /// Discrete-event cross-check of the analytical estimate.
+  DesResult simulate(const GemmProblem& problem,
+                     const DesOptions& options = {}) const;
+
+  /// FlashAttention fused-kernel estimate (policy-independent).
+  FlashAttentionEstimate estimate_flash(
+      const FlashAttentionProblem& problem) const;
+
+ private:
+  const gpu::GpuSpec* gpu_;  ///< registry-owned, never null
+  TilePolicy policy_;
+};
+
+}  // namespace codesign::gemm

@@ -1,0 +1,88 @@
+#include "gemmsim/sm_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace codesign::gemm {
+
+namespace {
+
+/// One SM residency slot becoming free at `time`.
+struct SlotEvent {
+  double time;
+  int sm;
+  bool operator>(const SlotEvent& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+DesResult simulate_kernel(const GemmProblem& problem,
+                          const gpu::TileConfig& tile,
+                          const gpu::GpuSpec& gpu,
+                          const DesOptions& options) {
+  // Reuse the analytical per-kernel quantities so block duration is
+  // consistent with the closed-form model.
+  const KernelEstimate est = estimate_with_tile(problem, tile, gpu);
+
+  DesResult r;
+  r.blocks = est.tile_q.tiles_total;
+  r.slots = static_cast<std::int64_t>(gpu.sm_count) * tile.blocks_per_sm;
+  // A block's nominal duration is its share of the kernel body under full
+  // residency: body_time / waves. (Wave count × duration == body time.)
+  const double body = std::max(est.compute_time, est.memory_time);
+  r.block_duration = body / static_cast<double>(est.wave_q.waves);
+  CODESIGN_CHECK(r.block_duration > 0.0, "block duration must be positive");
+
+  Rng rng(options.seed);
+  r.sm_busy_time.assign(static_cast<std::size_t>(gpu.sm_count), 0.0);
+
+  // Event-driven dispatch: every slot starts free at t=0; the work
+  // distributor hands the next block to the earliest-free slot.
+  std::priority_queue<SlotEvent, std::vector<SlotEvent>, std::greater<>> events;
+  for (std::int64_t s = 0; s < r.slots; ++s) {
+    events.push(SlotEvent{0.0, static_cast<int>(s % gpu.sm_count)});
+  }
+
+  double makespan = 0.0;
+  double total_busy = 0.0;
+  for (std::int64_t b = 0; b < r.blocks; ++b) {
+    SlotEvent ev = events.top();
+    events.pop();
+    double duration = r.block_duration;
+    if (options.block_noise_fraction > 0.0) {
+      const double noise = 1.0 + options.block_noise_fraction * rng.normal();
+      duration *= std::max(0.05, noise);
+    }
+    const double finish = ev.time + duration;
+    makespan = std::max(makespan, finish);
+    total_busy += duration;
+    r.sm_busy_time[static_cast<std::size_t>(ev.sm)] += duration;
+    events.push(SlotEvent{finish, ev.sm});
+  }
+
+  r.makespan = makespan;
+  r.busy_fraction =
+      total_busy / (static_cast<double>(r.slots) * std::max(makespan, 1e-30));
+  return r;
+}
+
+double simulate_kernel_sequence(const std::vector<GemmProblem>& problems,
+                                const gpu::GpuSpec& gpu,
+                                const DesOptions& options) {
+  CODESIGN_CHECK(!problems.empty(), "kernel sequence must not be empty");
+  double total = 0.0;
+  DesOptions opt = options;
+  for (const GemmProblem& p : problems) {
+    const KernelEstimate best = select_kernel(p, gpu);
+    const DesResult r = simulate_kernel(p, best.tile, gpu, opt);
+    total += r.makespan + gpu.kernel_launch_overhead;
+    // Decorrelate noise across kernels deterministically.
+    opt.seed = opt.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return total;
+}
+
+}  // namespace codesign::gemm

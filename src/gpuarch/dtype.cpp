@@ -1,0 +1,31 @@
+#include "gpuarch/dtype.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace codesign::gpu {
+
+std::string dtype_name(DType t) {
+  switch (t) {
+    case DType::kFP16: return "fp16";
+    case DType::kBF16: return "bf16";
+    case DType::kFP32: return "fp32";
+    case DType::kTF32: return "tf32";
+    case DType::kFP64: return "fp64";
+    case DType::kINT8: return "int8";
+  }
+  return "?";
+}
+
+DType dtype_from_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "fp16" || n == "half") return DType::kFP16;
+  if (n == "bf16" || n == "bfloat16") return DType::kBF16;
+  if (n == "fp32" || n == "float") return DType::kFP32;
+  if (n == "tf32") return DType::kTF32;
+  if (n == "fp64" || n == "double") return DType::kFP64;
+  if (n == "int8") return DType::kINT8;
+  throw LookupError("unknown dtype: '" + name + "'");
+}
+
+}  // namespace codesign::gpu

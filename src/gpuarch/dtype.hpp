@@ -1,0 +1,37 @@
+// dtype.hpp — element types understood by the performance model.
+//
+// The paper's experiments are fp16 (the alignment thresholds are stated in
+// bytes: 16 B on V100 and 128 B on A100, i.e. 8 and 64 fp16 elements). The
+// model works in bytes so other dtypes fall out naturally.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace codesign::gpu {
+
+enum class DType { kFP16, kBF16, kFP32, kTF32, kFP64, kINT8 };
+
+/// Size of one element in bytes.
+constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kFP16:
+    case DType::kBF16:
+      return 2;
+    case DType::kFP32:
+    case DType::kTF32:
+      return 4;
+    case DType::kFP64:
+      return 8;
+    case DType::kINT8:
+      return 1;
+  }
+  return 0;  // unreachable
+}
+
+std::string dtype_name(DType t);
+
+/// Parse "fp16"/"bf16"/"fp32"/"tf32"/"fp64"/"int8"; throws LookupError.
+DType dtype_from_name(const std::string& name);
+
+}  // namespace codesign::gpu

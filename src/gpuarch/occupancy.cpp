@@ -1,0 +1,44 @@
+#include "gpuarch/occupancy.hpp"
+
+#include "common/error.hpp"
+
+namespace codesign::gpu {
+
+OccupancyInfo tile_occupancy(const TileConfig& tile, const GpuSpec& gpu,
+                             DType dtype, int stages) {
+  CODESIGN_CHECK(stages >= 1, "pipeline stages must be >= 1");
+  CODESIGN_CHECK(tile.tm > 0 && tile.tn > 0 && tile.tk > 0,
+                 "tile dimensions must be positive");
+  OccupancyInfo o;
+  o.smem_bytes_per_block =
+      static_cast<std::int64_t>(stages) * (tile.tm + tile.tn) * tile.tk *
+      static_cast<std::int64_t>(dtype_size(dtype));
+  o.blocks_cap = gpu.max_blocks_per_sm;
+  const auto smem = static_cast<std::int64_t>(gpu.smem_per_sm_bytes);
+  o.blocks_by_smem = static_cast<int>(smem / o.smem_bytes_per_block);
+  if (o.blocks_by_smem < 1) {
+    o.feasible = false;
+    o.blocks_per_sm = 0;
+    o.smem_utilization = 0.0;
+    return o;
+  }
+  o.blocks_per_sm = std::min(o.blocks_by_smem, o.blocks_cap);
+  o.smem_utilization =
+      static_cast<double>(o.blocks_per_sm * o.smem_bytes_per_block) /
+      gpu.smem_per_sm_bytes;
+  return o;
+}
+
+const TileConfig& largest_feasible_tile(const GpuSpec& gpu, DType dtype,
+                                        int min_blocks, int stages) {
+  CODESIGN_CHECK(min_blocks >= 1, "min_blocks must be >= 1");
+  // The catalogue is ordered largest to smallest by design.
+  for (const TileConfig& tile : default_tile_catalogue()) {
+    const OccupancyInfo o = tile_occupancy(tile, gpu, dtype, stages);
+    if (o.feasible && o.blocks_per_sm >= min_blocks) return tile;
+  }
+  throw LookupError("no catalogue tile fits " + std::to_string(min_blocks) +
+                    " block(s) in " + gpu.id + "'s shared memory");
+}
+
+}  // namespace codesign::gpu

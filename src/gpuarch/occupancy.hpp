@@ -1,0 +1,50 @@
+// occupancy.hpp — shared-memory occupancy model for the tile catalogue.
+//
+// A GEMM thread block stages tiles of A (tm×tk) and B (tk×tn) through
+// shared memory with multi-stage software pipelining, so its footprint is
+//   smem = stages · (tm + tn) · tk · element_size
+// and the number of blocks an SM can host concurrently is
+//   blocks = min(max_blocks_per_sm, smem_per_sm / smem_per_block).
+//
+// The catalogue's hard-coded blocks_per_sm values are exactly this formula
+// evaluated for Ampere (164 KiB of shared memory, 4 stages, fp16) — a
+// consistency the tests assert — while this module lets callers evaluate
+// occupancy for other architectures (e.g. Volta's 96 KiB halves the
+// occupancy of the mid-sized tiles) and dtypes.
+#pragma once
+
+#include <cstdint>
+
+#include "gpuarch/dtype.hpp"
+#include "gpuarch/gpu_spec.hpp"
+#include "gpuarch/tile_config.hpp"
+
+namespace codesign::gpu {
+
+/// Pipeline stages assumed by the catalogue's occupancy numbers.
+constexpr int kDefaultPipelineStages = 4;
+
+struct OccupancyInfo {
+  std::int64_t smem_bytes_per_block = 0;
+  int blocks_by_smem = 0;     ///< smem_per_sm / smem_per_block (>= 0)
+  int blocks_cap = 0;         ///< the GpuSpec residency cap
+  int blocks_per_sm = 0;      ///< min of the two, at least 1 when feasible
+  bool feasible = true;       ///< false if one block exceeds shared memory
+  /// Fraction of shared memory used at the resulting residency.
+  double smem_utilization = 0.0;
+};
+
+/// Evaluate the occupancy of one tile configuration on a GPU.
+OccupancyInfo tile_occupancy(const TileConfig& tile, const GpuSpec& gpu,
+                             DType dtype = DType::kFP16,
+                             int stages = kDefaultPipelineStages);
+
+/// The largest catalogue tile that still fits `min_blocks` blocks per SM
+/// on this GPU (used to reason about why older parts prefer smaller
+/// tiles). Throws LookupError if nothing fits.
+const TileConfig& largest_feasible_tile(const GpuSpec& gpu,
+                                        DType dtype = DType::kFP16,
+                                        int min_blocks = 1,
+                                        int stages = kDefaultPipelineStages);
+
+}  // namespace codesign::gpu

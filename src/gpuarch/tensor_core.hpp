@@ -1,0 +1,68 @@
+// tensor_core.hpp — the alignment-efficiency model (paper §III-B, §VI-B).
+//
+// Tensor cores run at full rate only when every GEMM dimension, measured in
+// bytes, is a multiple of the architecture's alignment requirement (16 B on
+// V100, 128 B on A100/H100). Smaller power-of-two granules run at a reduced
+// rate; below the minimum granule the math falls back to the vector (CUDA
+// core) pipeline entirely. This module turns a (m, n, k, dtype, gpu) tuple
+// into the efficiency factors the GEMM latency model consumes, and is the
+// mechanism behind the paper's Figures 7–9, 20, and 21–47.
+#pragma once
+
+#include <cstdint>
+
+#include "gpuarch/dtype.hpp"
+#include "gpuarch/gpu_spec.hpp"
+
+namespace codesign::gpu {
+
+/// Efficiency of a single dimension: the ladder step selected by the largest
+/// power of two dividing (dim * element_size) bytes, saturating at the
+/// architecture's full-alignment granule. Returns a value in (0, 1].
+double dim_alignment_efficiency(std::int64_t dim, DType dtype,
+                                const GpuSpec& gpu);
+
+/// True iff the dimension meets the minimum tensor-core granule (e.g. 8
+/// fp16 elements on NVIDIA): dimensions below it force the fallback path.
+bool dim_tensor_core_eligible(std::int64_t dim, DType dtype,
+                              const GpuSpec& gpu);
+
+/// Combined result for a full GEMM.
+struct AlignmentEfficiency {
+  double m = 1.0;
+  double n = 1.0;
+  double k = 1.0;
+  /// Combined factor applied to the math rate. The worst-aligned dimension
+  /// gates the MMA pipeline; a second misaligned dimension compounds it
+  /// (softened): combined = min * sqrt(second_min).
+  double combined = 1.0;
+  /// False when any dimension is below the minimum tensor-core granule (or
+  /// the GPU lacks a tensor path for the dtype), in which case the GEMM
+  /// executes on the vector pipeline.
+  bool tensor_cores = true;
+
+  /// Largest power of two (in elements) dividing each dim — the quantity
+  /// the paper's appendix figures use as the series key.
+  std::int64_t pow2_m = 1;
+  std::int64_t pow2_n = 1;
+  std::int64_t pow2_k = 1;
+};
+
+/// Evaluate the alignment model for GEMM C(m×n) = A(m×k) · B(k×n).
+AlignmentEfficiency alignment_efficiency(std::int64_t m, std::int64_t n,
+                                         std::int64_t k, DType dtype,
+                                         const GpuSpec& gpu);
+
+/// The effective math rate (FLOP/s) for a GEMM with this alignment: the
+/// tensor path scaled by `combined`, or the vector path when tensor cores
+/// are unusable, never exceeding the achievable (not peak) rate.
+double effective_math_rate(const AlignmentEfficiency& eff, DType dtype,
+                           const GpuSpec& gpu);
+
+/// Misaligned leading dimensions also break 128-byte coalesced memory
+/// transactions, degrading the *memory* path. The paper's BMM data (Figs
+/// 7–9) shows memory-bound attention GEMMs losing throughput with poor
+/// h/a alignment, so the bandwidth penalty tracks the math penalty.
+double effective_bandwidth(const AlignmentEfficiency& eff, const GpuSpec& gpu);
+
+}  // namespace codesign::gpu

@@ -1,0 +1,124 @@
+#include "kernels/attention_cpu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "kernels/gemm_cpu.hpp"
+#include "kernels/ops.hpp"
+
+namespace codesign::kern {
+
+namespace {
+
+void check_qkv(const Tensor& q, const Tensor& k, const Tensor& v) {
+  CODESIGN_CHECK(q.rank() == 3 && k.rank() == 3 && v.rank() == 3,
+                 "attention expects (heads, len, d) tensors");
+  CODESIGN_CHECK(q.same_shape(k) && q.same_shape(v),
+                 "attention q/k/v shapes must match");
+}
+
+}  // namespace
+
+Tensor attention_reference(const Tensor& q, const Tensor& k, const Tensor& v,
+                           bool causal) {
+  check_qkv(q, k, v);
+  const std::int64_t heads = q.dim(0);
+  const std::int64_t len = q.dim(1);
+  const std::int64_t d = q.dim(2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  // scores = (Q · Kᵀ) * scale, per head.
+  Tensor kt({heads, d, len});
+  for (std::int64_t h = 0; h < heads; ++h) {
+    for (std::int64_t i = 0; i < len; ++i) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        kt.at(h, j, i) = k.at(h, i, j);
+      }
+    }
+  }
+  Tensor scores = batched_matmul(q, kt);
+  scores = kern::scale(scores, scale);
+  const Tensor probs = causal ? causal_softmax(scores)
+                              : softmax_lastdim(scores);
+  return batched_matmul(probs, v);
+}
+
+Tensor attention_streaming(const Tensor& q, const Tensor& k, const Tensor& v,
+                           bool causal, std::int64_t block_size) {
+  check_qkv(q, k, v);
+  CODESIGN_CHECK(block_size > 0, "block_size must be positive");
+  const std::int64_t heads = q.dim(0);
+  const std::int64_t len = q.dim(1);
+  const std::int64_t d = q.dim(2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  Tensor out({heads, len, d});
+  // Per-query online-softmax state: running max m, running normalizer l,
+  // and the unnormalized accumulator rows (kept in `out`, rescaled as the
+  // max updates — exactly the FlashAttention recurrence).
+  std::vector<double> row_max(static_cast<std::size_t>(len));
+  std::vector<double> row_sum(static_cast<std::size_t>(len));
+  std::vector<double> scores(static_cast<std::size_t>(block_size));
+
+  for (std::int64_t h = 0; h < heads; ++h) {
+    for (auto& m : row_max) m = -std::numeric_limits<double>::infinity();
+    for (auto& l : row_sum) l = 0.0;
+
+    for (std::int64_t kb = 0; kb < len; kb += block_size) {
+      const std::int64_t kb_hi = std::min(kb + block_size, len);
+      for (std::int64_t qi = 0; qi < len; ++qi) {
+        const std::int64_t visible_hi = causal ? std::min(kb_hi, qi + 1) : kb_hi;
+        if (visible_hi <= kb) continue;  // fully masked block
+
+        // Scores of this query against the visible keys of the block.
+        double block_max = -std::numeric_limits<double>::infinity();
+        for (std::int64_t kj = kb; kj < visible_hi; ++kj) {
+          double s = 0.0;
+          for (std::int64_t x = 0; x < d; ++x) {
+            s += static_cast<double>(q.at(h, qi, x)) * k.at(h, kj, x);
+          }
+          s *= scale;
+          scores[static_cast<std::size_t>(kj - kb)] = s;
+          block_max = std::max(block_max, s);
+        }
+
+        // Online-softmax rescale.
+        const double new_max =
+            std::max(row_max[static_cast<std::size_t>(qi)], block_max);
+        const double correction =
+            std::exp(row_max[static_cast<std::size_t>(qi)] - new_max);
+        if (correction != 1.0) {
+          for (std::int64_t x = 0; x < d; ++x) {
+            out.at(h, qi, x) *= static_cast<float>(correction);
+          }
+        }
+        row_sum[static_cast<std::size_t>(qi)] *= correction;
+
+        for (std::int64_t kj = kb; kj < visible_hi; ++kj) {
+          const double p =
+              std::exp(scores[static_cast<std::size_t>(kj - kb)] - new_max);
+          row_sum[static_cast<std::size_t>(qi)] += p;
+          for (std::int64_t x = 0; x < d; ++x) {
+            out.at(h, qi, x) += static_cast<float>(p) * v.at(h, kj, x);
+          }
+        }
+        row_max[static_cast<std::size_t>(qi)] = new_max;
+      }
+    }
+
+    // Final normalization by the softmax denominator.
+    for (std::int64_t qi = 0; qi < len; ++qi) {
+      const double l = row_sum[static_cast<std::size_t>(qi)];
+      CODESIGN_CHECK(l > 0.0, "attention row fully masked");
+      const float inv = static_cast<float>(1.0 / l);
+      for (std::int64_t x = 0; x < d; ++x) {
+        out.at(h, qi, x) *= inv;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace codesign::kern

@@ -1,0 +1,32 @@
+// attention_cpu.hpp — scaled dot-product attention on the CPU substrate.
+//
+// Two functionally identical implementations:
+//   * attention_reference — materializes the full (len × len) score matrix
+//     (the BMM + softmax + BMM path of paper Table II rows 2–3);
+//   * attention_streaming — a FlashAttention-style single pass over key
+//     blocks with an *online softmax* (running row max + rescaled partial
+//     sums) that never materializes the score matrix.
+//
+// The streaming kernel is the algorithmic core the Fig-12 performance
+// model represents; tests assert the two agree to floating-point noise,
+// which is the IO-complexity claim ("exact attention") validated in code.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/tensor.hpp"
+
+namespace codesign::kern {
+
+/// q, k, v: (heads, len, d). Returns (heads, len, d). Scores are scaled by
+/// 1/sqrt(d); `causal` masks key positions beyond the query position.
+Tensor attention_reference(const Tensor& q, const Tensor& k, const Tensor& v,
+                           bool causal);
+
+/// Same contract, computed blockwise over keys with an online softmax.
+/// `block_size` is the key-block length (any positive value; it only
+/// affects the summation order, not the result).
+Tensor attention_streaming(const Tensor& q, const Tensor& k, const Tensor& v,
+                           bool causal, std::int64_t block_size = 64);
+
+}  // namespace codesign::kern

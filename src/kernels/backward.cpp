@@ -1,0 +1,214 @@
+#include "kernels/backward.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "kernels/gemm_cpu.hpp"
+#include "kernels/ops.hpp"
+
+namespace codesign::kern {
+
+LinearGrads linear_backward(const Tensor& dy, const Tensor& x,
+                            const Tensor& w) {
+  CODESIGN_CHECK(dy.rank() == 2 && x.rank() == 2 && w.rank() == 2,
+                 "linear_backward expects rank-2 tensors");
+  const std::int64_t rows = x.dim(0);
+  const std::int64_t in = x.dim(1);
+  const std::int64_t out = w.dim(0);
+  CODESIGN_CHECK(w.dim(1) == in, "linear_backward: W/X feature mismatch");
+  CODESIGN_CHECK(dy.dim(0) == rows && dy.dim(1) == out,
+                 "linear_backward: dY shape mismatch");
+
+  LinearGrads g;
+  // dX = dY · W : (rows, out) x (out, in) — the dgrad GEMM.
+  g.dx = matmul(dy, w);
+  // dW = dYᵀ · X : (out, rows) x (rows, in) — the wgrad GEMM with the
+  // row (b·s) dimension on the inside, exactly as training.hpp maps it.
+  g.dw = matmul(dy.transposed_2d(), x);
+  g.db = Tensor({out});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t o = 0; o < out; ++o) {
+      g.db.at(o) += dy.at(r, o);
+    }
+  }
+  return g;
+}
+
+Tensor softmax_backward(const Tensor& probs, const Tensor& dprobs) {
+  CODESIGN_CHECK(probs.same_shape(dprobs), "softmax_backward shape mismatch");
+  Tensor ds = probs;  // reuse shape
+  const std::int64_t n = probs.shape().back();
+  const std::int64_t rows = probs.numel() / n;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* p = probs.data() + r * n;
+    const float* dp = dprobs.data() + r * n;
+    double dot = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) dot += static_cast<double>(p[i]) * dp[i];
+    float* out = ds.data() + r * n;
+    for (std::int64_t i = 0; i < n; ++i) {
+      out[i] = p[i] * (dp[i] - static_cast<float>(dot));
+    }
+  }
+  return ds;
+}
+
+LayerNormGrads layernorm_backward(const Tensor& dy, const Tensor& x,
+                                  const Tensor& gamma, float eps) {
+  CODESIGN_CHECK(dy.same_shape(x), "layernorm_backward shape mismatch");
+  const std::int64_t h = x.shape().back();
+  CODESIGN_CHECK(gamma.rank() == 1 && gamma.dim(0) == h,
+                 "layernorm_backward: gamma mismatch");
+  LayerNormGrads g;
+  g.dx = x;  // shape only
+  g.dgamma = Tensor({h});
+  g.dbeta = Tensor({h});
+  const std::int64_t rows = x.numel() / h;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * h;
+    const float* dyr = dy.data() + r * h;
+    double mean = 0.0;
+    for (std::int64_t i = 0; i < h; ++i) mean += xr[i];
+    mean /= static_cast<double>(h);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < h; ++i) {
+      var += (xr[i] - mean) * (xr[i] - mean);
+    }
+    var /= static_cast<double>(h);
+    const double inv_std = 1.0 / std::sqrt(var + eps);
+
+    // xhat_i = (x_i - mean) * inv_std;  y_i = gamma_i xhat_i + beta_i.
+    // dxhat_i = dy_i * gamma_i
+    // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat ⊙ xhat))
+    double sum_dxhat = 0.0;
+    double sum_dxhat_xhat = 0.0;
+    for (std::int64_t i = 0; i < h; ++i) {
+      const double xhat = (xr[i] - mean) * inv_std;
+      const double dxhat = static_cast<double>(dyr[i]) * gamma.at(i);
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat;
+      g.dgamma.at(i) += static_cast<float>(dyr[i] * xhat);
+      g.dbeta.at(i) += dyr[i];
+    }
+    const double inv_h = 1.0 / static_cast<double>(h);
+    float* dxr = g.dx.data() + r * h;
+    for (std::int64_t i = 0; i < h; ++i) {
+      const double xhat = (xr[i] - mean) * inv_std;
+      const double dxhat = static_cast<double>(dyr[i]) * gamma.at(i);
+      dxr[i] = static_cast<float>(
+          inv_std * (dxhat - sum_dxhat * inv_h - xhat * sum_dxhat_xhat * inv_h));
+    }
+  }
+  return g;
+}
+
+Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
+  CODESIGN_CHECK(dy.same_shape(x), "gelu_backward shape mismatch");
+  Tensor dx = x;
+  constexpr double kInvSqrt2 = 0.70710678118654752440;
+  constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const double v = x.data()[i];
+    const double cdf = 0.5 * (1.0 + std::erf(v * kInvSqrt2));
+    const double pdf = kInvSqrt2Pi * std::exp(-0.5 * v * v);
+    dx.data()[i] = static_cast<float>(dy.data()[i] * (cdf + v * pdf));
+  }
+  return dx;
+}
+
+Tensor silu_backward(const Tensor& dy, const Tensor& x) {
+  CODESIGN_CHECK(dy.same_shape(x), "silu_backward shape mismatch");
+  Tensor dx = x;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const double v = x.data()[i];
+    const double s = 1.0 / (1.0 + std::exp(-v));
+    dx.data()[i] = static_cast<float>(dy.data()[i] * s * (1.0 + v * (1.0 - s)));
+  }
+  return dx;
+}
+
+AttentionGrads attention_backward(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, const Tensor& dout,
+                                  bool causal) {
+  CODESIGN_CHECK(q.rank() == 3 && q.same_shape(k) && q.same_shape(v) &&
+                     q.same_shape(dout),
+                 "attention_backward expects matching (heads, len, d)");
+  const std::int64_t heads = q.dim(0);
+  const std::int64_t len = q.dim(1);
+  const std::int64_t d = q.dim(2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  AttentionGrads g;
+  g.dq = Tensor({heads, len, d});
+  g.dk = Tensor({heads, len, d});
+  g.dv = Tensor({heads, len, d});
+
+  // Recompute the forward probabilities (per head, materialized — this is
+  // the reference path the BMM mapping describes).
+  for (std::int64_t hd = 0; hd < heads; ++hd) {
+    Tensor scores({len, len});
+    for (std::int64_t i = 0; i < len; ++i) {
+      for (std::int64_t j = 0; j < len; ++j) {
+        if (causal && j > i) {
+          scores.at(i, j) = -std::numeric_limits<float>::infinity();
+          continue;
+        }
+        double s = 0.0;
+        for (std::int64_t x = 0; x < d; ++x) {
+          s += static_cast<double>(q.at(hd, i, x)) * k.at(hd, j, x);
+        }
+        scores.at(i, j) = static_cast<float>(s) * scale;
+      }
+    }
+    const Tensor probs = softmax_lastdim(scores);
+
+    // dP = dOut · Vᵀ.
+    Tensor dprobs({len, len});
+    for (std::int64_t i = 0; i < len; ++i) {
+      for (std::int64_t j = 0; j < len; ++j) {
+        double dp = 0.0;
+        for (std::int64_t x = 0; x < d; ++x) {
+          dp += static_cast<double>(dout.at(hd, i, x)) * v.at(hd, j, x);
+        }
+        dprobs.at(i, j) = static_cast<float>(dp);
+      }
+    }
+    // dV = Pᵀ · dOut.
+    for (std::int64_t j = 0; j < len; ++j) {
+      for (std::int64_t x = 0; x < d; ++x) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < len; ++i) {
+          acc += static_cast<double>(probs.at(i, j)) * dout.at(hd, i, x);
+        }
+        g.dv.at(hd, j, x) = static_cast<float>(acc);
+      }
+    }
+
+    // Mask the upstream gradient where the forward was masked (P = 0
+    // there, so softmax_backward already zeroes it, but -inf * 0 hygiene
+    // matters for the scores path).
+    const Tensor dscores = softmax_backward(probs, dprobs);
+
+    // dQ = dS · K * scale ;  dK = dSᵀ · Q * scale.
+    for (std::int64_t i = 0; i < len; ++i) {
+      for (std::int64_t x = 0; x < d; ++x) {
+        double dq_acc = 0.0;
+        for (std::int64_t j = 0; j < len; ++j) {
+          dq_acc += static_cast<double>(dscores.at(i, j)) * k.at(hd, j, x);
+        }
+        g.dq.at(hd, i, x) = static_cast<float>(dq_acc) * scale;
+      }
+    }
+    for (std::int64_t j = 0; j < len; ++j) {
+      for (std::int64_t x = 0; x < d; ++x) {
+        double dk_acc = 0.0;
+        for (std::int64_t i = 0; i < len; ++i) {
+          dk_acc += static_cast<double>(dscores.at(i, j)) * q.at(hd, i, x);
+        }
+        g.dk.at(hd, j, x) = static_cast<float>(dk_acc) * scale;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace codesign::kern

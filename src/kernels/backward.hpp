@@ -1,0 +1,61 @@
+// backward.hpp — analytic backward passes for the CPU substrate.
+//
+// These implement, in executable form, exactly the gradient formulas the
+// training-step model (transformer/training.hpp) prices:
+//   linear:   dX = dY·W,  dW = dYᵀ·X,  db = Σrows dY
+//   softmax:  dS = P ⊙ (dP − rowsum(dP ⊙ P))
+//   layernorm, GELU, SiLU/SwiGLU: the usual chain rules
+//   attention: composition of the above (reference implementation)
+// Every routine is verified against central finite differences in
+// tests/test_backward.cpp, so the dgrad/wgrad GEMM shapes used by the
+// performance model correspond to real, correct math.
+#pragma once
+
+#include "kernels/tensor.hpp"
+
+namespace codesign::kern {
+
+/// Gradients of Y = X·Wᵀ + b (torch-linear convention, W: (out, in)).
+/// dy: (rows, out), x: (rows, in), w: (out, in).
+struct LinearGrads {
+  Tensor dx;  ///< (rows, in)
+  Tensor dw;  ///< (out, in)
+  Tensor db;  ///< (out)
+};
+
+LinearGrads linear_backward(const Tensor& dy, const Tensor& x,
+                            const Tensor& w);
+
+/// Backward of row-wise softmax over the last dim: given the softmax
+/// output P and upstream dP, return dS (same shape).
+Tensor softmax_backward(const Tensor& probs, const Tensor& dprobs);
+
+/// Backward of LayerNorm over the last dim.
+struct LayerNormGrads {
+  Tensor dx;
+  Tensor dgamma;
+  Tensor dbeta;
+};
+
+LayerNormGrads layernorm_backward(const Tensor& dy, const Tensor& x,
+                                  const Tensor& gamma, float eps = 1e-5f);
+
+/// Elementwise backward of exact GELU: dx = dy ⊙ gelu'(x).
+Tensor gelu_backward(const Tensor& dy, const Tensor& x);
+
+/// Elementwise backward of SiLU: dx = dy ⊙ (sigmoid(x)(1 + x(1-sigmoid)))
+Tensor silu_backward(const Tensor& dy, const Tensor& x);
+
+/// Backward of scaled-dot-product attention (reference path, non-fused):
+/// q/k/v: (heads, len, d); dout: same shape. Returns dq, dk, dv.
+struct AttentionGrads {
+  Tensor dq;
+  Tensor dk;
+  Tensor dv;
+};
+
+AttentionGrads attention_backward(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, const Tensor& dout,
+                                  bool causal);
+
+}  // namespace codesign::kern

@@ -1,0 +1,229 @@
+#include "kernels/gemm_cpu.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "kernels/half.hpp"
+
+namespace codesign::kern {
+
+namespace {
+
+// Cache-blocking factors for the blocked kernel: row panel × column panel
+// sized for L1/L2 residency of the B panel.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+
+void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t n, std::int64_t k, float alpha, float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+/// Blocked kernel over a row range [m0, m1): beta is applied to the range
+/// first, then panels of A·B are accumulated with a k-inner loop that keeps
+/// the C row in registers/L1.
+void gemm_blocked_rows(const float* a, const float* b, float* c,
+                       std::int64_t m0, std::int64_t m1, std::int64_t n,
+                       std::int64_t k, float alpha, float beta) {
+  for (std::int64_t i = m0; i < m1; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
+    const std::int64_t k_hi = std::min(kk + kBlockK, k);
+    for (std::int64_t jj = 0; jj < n; jj += kBlockN) {
+      const std::int64_t j_hi = std::min(jj + kBlockN, n);
+      for (std::int64_t ii = m0; ii < m1; ii += kBlockM) {
+        const std::int64_t i_hi = std::min(ii + kBlockM, m1);
+        for (std::int64_t i = ii; i < i_hi; ++i) {
+          const float* arow = a + i * k;
+          float* crow = c + i * n;
+          for (std::int64_t p = kk; p < k_hi; ++p) {
+            const float av = alpha * arow[p];
+            const float* brow = b + p * n;
+            for (std::int64_t j = jj; j < j_hi; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+void gemm_raw(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t n, std::int64_t k, float alpha, float beta,
+              GemmAlgo algo, int num_threads) {
+  CODESIGN_CHECK(m > 0 && n > 0 && k > 0, "gemm dimensions must be positive");
+  switch (algo) {
+    case GemmAlgo::kNaive:
+      gemm_naive(a, b, c, m, n, k, alpha, beta);
+      return;
+    case GemmAlgo::kBlocked:
+      gemm_blocked_rows(a, b, c, 0, m, n, k, alpha, beta);
+      return;
+    case GemmAlgo::kParallel: {
+      const int threads = std::min<std::int64_t>(resolve_threads(num_threads), m);
+      if (threads <= 1) {
+        gemm_blocked_rows(a, b, c, 0, m, n, k, alpha, beta);
+        return;
+      }
+      // Disjoint row panels — no synchronization needed beyond join.
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(threads));
+      const std::int64_t rows_per = ceil_div<std::int64_t>(m, threads);
+      for (int t = 0; t < threads; ++t) {
+        const std::int64_t m0 = t * rows_per;
+        const std::int64_t m1 = std::min(m0 + rows_per, m);
+        if (m0 >= m1) break;
+        pool.emplace_back([=] {
+          gemm_blocked_rows(a, b, c, m0, m1, n, k, alpha, beta);
+        });
+      }
+      for (std::thread& th : pool) th.join();
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Apply fp16 input emulation: returns a quantized copy when enabled.
+const Tensor* maybe_quantize(const Tensor& t, bool enabled, Tensor& storage) {
+  if (!enabled) return &t;
+  storage = t;
+  storage.quantize_fp16();
+  return &storage;
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c,
+          const GemmOptions& options) {
+  CODESIGN_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+                 "gemm expects rank-2 tensors");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  CODESIGN_CHECK(b.dim(0) == k,
+                 "gemm inner dimensions disagree: " +
+                     shape_to_string(a.shape()) + " x " +
+                     shape_to_string(b.shape()));
+  CODESIGN_CHECK(c.dim(0) == m && c.dim(1) == n, "gemm output shape mismatch");
+
+  Tensor aq, bq;
+  const Tensor* ap = maybe_quantize(a, options.fp16_inputs, aq);
+  const Tensor* bp = maybe_quantize(b, options.fp16_inputs, bq);
+
+  gemm_raw(ap->data(), bp->data(), c.data(), m, n, k, options.alpha,
+           options.beta, options.algo, options.num_threads);
+  if (options.fp16_output) c.quantize_fp16();
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, const GemmOptions& options) {
+  CODESIGN_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects rank 2");
+  Tensor c({a.dim(0), b.dim(1)});
+  GemmOptions opt = options;
+  opt.beta = 0.0f;
+  gemm(a, b, c, opt);
+  return c;
+}
+
+void bmm(const Tensor& a, const Tensor& b, Tensor& c,
+         const GemmOptions& options) {
+  CODESIGN_CHECK(a.rank() == 3 && b.rank() == 3 && c.rank() == 3,
+                 "bmm expects rank-3 tensors");
+  const std::int64_t batch = a.dim(0);
+  CODESIGN_CHECK(b.dim(0) == batch && c.dim(0) == batch,
+                 "bmm batch sizes disagree");
+  const std::int64_t m = a.dim(1);
+  const std::int64_t k = a.dim(2);
+  const std::int64_t n = b.dim(2);
+  CODESIGN_CHECK(b.dim(1) == k, "bmm inner dimensions disagree");
+  CODESIGN_CHECK(c.dim(1) == m && c.dim(2) == n, "bmm output shape mismatch");
+
+  Tensor aq, bq;
+  const Tensor* ap = maybe_quantize(a, options.fp16_inputs, aq);
+  const Tensor* bp = maybe_quantize(b, options.fp16_inputs, bq);
+
+  for (std::int64_t i = 0; i < batch; ++i) {
+    gemm_raw(ap->data() + i * m * k, bp->data() + i * k * n,
+             c.data() + i * m * n, m, n, k, options.alpha, options.beta,
+             options.algo == GemmAlgo::kParallel ? GemmAlgo::kBlocked
+                                                 : options.algo,
+             options.num_threads);
+  }
+  if (options.fp16_output) c.quantize_fp16();
+}
+
+Tensor batched_matmul(const Tensor& a, const Tensor& b,
+                      const GemmOptions& options) {
+  CODESIGN_CHECK(a.rank() == 3 && b.rank() == 3, "batched_matmul expects rank 3");
+  Tensor c({a.dim(0), a.dim(1), b.dim(2)});
+  GemmOptions opt = options;
+  opt.beta = 0.0f;
+  bmm(a, b, c, opt);
+  return c;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor* bias,
+              const GemmOptions& options) {
+  CODESIGN_CHECK(w.rank() == 2, "linear weight must be rank 2 (out, in)");
+  const std::int64_t out_features = w.dim(0);
+  const std::int64_t in_features = w.dim(1);
+
+  // Fold rank-3 inputs to 2-D (paper appendix Fig 14: ordering of the
+  // folded dimensions does not matter).
+  Tensor x2d;
+  Shape out_shape;
+  if (x.rank() == 3) {
+    out_shape = {x.dim(0), x.dim(1), out_features};
+    x2d = x.reshape({x.dim(0) * x.dim(1), x.dim(2)});
+  } else {
+    CODESIGN_CHECK(x.rank() == 2, "linear input must be rank 2 or 3");
+    out_shape = {x.dim(0), out_features};
+    x2d = x;
+  }
+  CODESIGN_CHECK(x2d.dim(1) == in_features,
+                 "linear: input feature size mismatch");
+
+  const Tensor wt = w.transposed_2d();
+  Tensor y = matmul(x2d, wt, options);
+  if (bias != nullptr) {
+    CODESIGN_CHECK(bias->rank() == 1 && bias->dim(0) == out_features,
+                   "linear: bias shape mismatch");
+    for (std::int64_t i = 0; i < y.dim(0); ++i) {
+      for (std::int64_t j = 0; j < out_features; ++j) {
+        y.at(i, j) += bias->at(j);
+      }
+    }
+    if (options.fp16_output) y.quantize_fp16();
+  }
+  return y.reshape(out_shape);
+}
+
+}  // namespace codesign::kern

@@ -1,0 +1,61 @@
+// gemm_cpu.hpp — CPU GEMM / BMM kernels.
+//
+// C = alpha * A·B + beta * C with A: (m,k), B: (k,n), C: (m,n), row-major.
+// Three implementations:
+//   * kNaive    — triple loop, the correctness oracle
+//   * kBlocked  — cache-blocked with a k-inner micro-kernel
+//   * kParallel — kBlocked with row-panel parallelism over std::thread
+// plus batched variants operating on rank-3 tensors.
+//
+// An optional fp16 emulation mode rounds A and B elements through binary16
+// before the multiply and the final C through binary16 after accumulation,
+// mirroring tensor-core numerics (fp16 operands, fp32 accumulate).
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/tensor.hpp"
+
+namespace codesign::kern {
+
+enum class GemmAlgo { kNaive, kBlocked, kParallel };
+
+struct GemmOptions {
+  GemmAlgo algo = GemmAlgo::kBlocked;
+  float alpha = 1.0f;
+  float beta = 0.0f;
+  /// Emulate fp16 operand storage / fp16 output with fp32 accumulation.
+  bool fp16_inputs = false;
+  bool fp16_output = false;
+  /// Thread count for kParallel (<=0 means hardware_concurrency).
+  int num_threads = 0;
+};
+
+/// C(m,n) = alpha * A(m,k) · B(k,n) + beta * C. Shapes are validated; C must
+/// be pre-allocated with the right shape.
+void gemm(const Tensor& a, const Tensor& b, Tensor& c,
+          const GemmOptions& options = {});
+
+/// Convenience: allocate and return C with beta = 0.
+Tensor matmul(const Tensor& a, const Tensor& b, const GemmOptions& options = {});
+
+/// Batched: A(batch,m,k) · B(batch,k,n) -> C(batch,m,n).
+void bmm(const Tensor& a, const Tensor& b, Tensor& c,
+         const GemmOptions& options = {});
+
+Tensor batched_matmul(const Tensor& a, const Tensor& b,
+                      const GemmOptions& options = {});
+
+/// torch.nn.functional.linear semantics: Y = X · Wᵀ (+ bias), with
+/// X: (rows, in), W: (out, in), bias: (out) optional, Y: (rows, out).
+/// Accepts rank-2 or rank-3 X (rank-3 is folded to 2-D — the Fig-14 rule).
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor* bias = nullptr,
+              const GemmOptions& options = {});
+
+/// Raw row-major kernel used by all tensor entry points (exposed for the
+/// microbenchmarks): c[m×n] = alpha * a[m×k]·b[k×n] + beta * c.
+void gemm_raw(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t n, std::int64_t k, float alpha, float beta,
+              GemmAlgo algo, int num_threads);
+
+}  // namespace codesign::kern

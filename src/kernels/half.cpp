@@ -1,0 +1,94 @@
+#include "kernels/half.hpp"
+
+#include <cstring>
+
+namespace codesign::kern {
+
+std::uint16_t float_to_half_bits(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((x >> 23) & 0xFFu) - 127 + 15;
+  std::uint32_t mantissa = x & 0x7FFFFFu;
+
+  if (((x >> 23) & 0xFFu) == 0xFFu) {
+    // Inf or NaN. Preserve NaN-ness (quiet bit set), inf maps to inf.
+    if (mantissa != 0) return static_cast<std::uint16_t>(sign | 0x7E00u);
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (exponent >= 0x1F) {
+    // Overflow -> infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (exponent <= 0) {
+    // Subnormal or underflow to zero.
+    if (exponent < -10) return static_cast<std::uint16_t>(sign);
+    // Add the implicit leading 1 and shift into subnormal position.
+    mantissa |= 0x800000u;
+    const int shift = 14 - exponent;  // in [14, 24]
+    std::uint32_t sub = mantissa >> shift;
+    // Round to nearest even on the bits shifted out.
+    const std::uint32_t round_bit = 1u << (shift - 1);
+    const std::uint32_t remainder = mantissa & ((round_bit << 1) - 1);
+    if (remainder > round_bit || (remainder == round_bit && (sub & 1u))) {
+      ++sub;
+    }
+    return static_cast<std::uint16_t>(sign | sub);
+  }
+
+  // Normal number: round the 23-bit mantissa to 10 bits, nearest-even.
+  std::uint32_t half_mant = mantissa >> 13;
+  const std::uint32_t remainder = mantissa & 0x1FFFu;
+  if (remainder > 0x1000u || (remainder == 0x1000u && (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa overflowed into the exponent
+      half_mant = 0;
+      if (exponent + 1 >= 0x1F) {
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+      }
+      return static_cast<std::uint16_t>(
+          sign | (static_cast<std::uint32_t>(exponent + 1) << 10));
+    }
+  }
+  return static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | half_mant);
+}
+
+float half_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exponent = (h >> 10) & 0x1Fu;
+  std::uint32_t mantissa = h & 0x3FFu;
+
+  std::uint32_t x;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      x = sign;  // signed zero
+    } else {
+      // Subnormal half: normalize into a float exponent.
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      mantissa = m & 0x3FFu;
+      const std::uint32_t fexp = static_cast<std::uint32_t>(127 - 15 - e);
+      x = sign | (fexp << 23) | (mantissa << 13);
+    }
+  } else if (exponent == 0x1F) {
+    x = sign | 0x7F800000u | (mantissa << 13);  // inf / NaN
+  } else {
+    const std::uint32_t fexp = exponent - 15 + 127;
+    x = sign | (fexp << 23) | (mantissa << 13);
+  }
+
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
+}  // namespace codesign::kern

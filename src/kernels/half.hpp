@@ -1,0 +1,49 @@
+// half.hpp — IEEE 754 binary16 emulation.
+//
+// The paper's experiments run in fp16; this type lets the CPU execution
+// substrate reproduce fp16 storage semantics (rounding, overflow to inf,
+// subnormals) without hardware half support. Arithmetic is performed in
+// float and rounded back on store, matching how tensor cores accumulate in
+// higher precision and write fp16 results.
+#pragma once
+
+#include <cstdint>
+
+namespace codesign::kern {
+
+/// Convert a float to the nearest binary16 bit pattern (round-to-nearest-
+/// even, correct handling of NaN/inf/subnormals/overflow).
+std::uint16_t float_to_half_bits(float f);
+
+/// Convert a binary16 bit pattern to float (exact).
+float half_bits_to_float(std::uint16_t h);
+
+/// Value type wrapping the bit pattern.
+class half_t {
+ public:
+  half_t() = default;
+  explicit half_t(float f) : bits_(float_to_half_bits(f)) {}
+
+  static half_t from_bits(std::uint16_t bits) {
+    half_t h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  float to_float() const { return half_bits_to_float(bits_); }
+  explicit operator float() const { return to_float(); }
+  std::uint16_t bits() const { return bits_; }
+
+  bool operator==(const half_t& o) const { return bits_ == o.bits_; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Round a float through fp16 precision (the "store to half, load back"
+/// operation used to emulate fp16 tensors).
+inline float round_to_half(float f) {
+  return half_bits_to_float(float_to_half_bits(f));
+}
+
+}  // namespace codesign::kern

@@ -1,0 +1,189 @@
+#include "kernels/ops.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace codesign::kern {
+
+namespace {
+
+/// Apply a stable softmax to `row[0..n)` in place.
+void softmax_row(float* row, std::int64_t n) {
+  float mx = -std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < n; ++i) mx = std::max(mx, row[i]);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    row[i] = std::exp(row[i] - mx);
+    sum += row[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::int64_t i = 0; i < n; ++i) row[i] *= inv;
+}
+
+}  // namespace
+
+Tensor softmax_lastdim(const Tensor& x) {
+  CODESIGN_CHECK(x.rank() == 2 || x.rank() == 3,
+                 "softmax_lastdim expects rank 2 or 3");
+  Tensor y = x;
+  const std::int64_t n = y.shape().back();
+  const std::int64_t rows = y.numel() / n;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    softmax_row(y.data() + r * n, n);
+  }
+  return y;
+}
+
+Tensor causal_softmax(const Tensor& scores) {
+  CODESIGN_CHECK(scores.rank() == 3, "causal_softmax expects (bh, s, s)");
+  CODESIGN_CHECK(scores.dim(1) == scores.dim(2),
+                 "causal_softmax expects square score matrices");
+  Tensor y = scores;
+  const std::int64_t bh = y.dim(0);
+  const std::int64_t s = y.dim(1);
+  const float neg_inf = -std::numeric_limits<float>::infinity();
+  for (std::int64_t b = 0; b < bh; ++b) {
+    for (std::int64_t q = 0; q < s; ++q) {
+      float* row = y.data() + (b * s + q) * s;
+      for (std::int64_t kidx = q + 1; kidx < s; ++kidx) row[kidx] = neg_inf;
+      softmax_row(row, s);
+    }
+  }
+  return y;
+}
+
+Tensor layernorm_lastdim(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, float eps) {
+  const std::int64_t h = x.shape().back();
+  CODESIGN_CHECK(gamma.rank() == 1 && gamma.dim(0) == h,
+                 "layernorm: gamma shape mismatch");
+  CODESIGN_CHECK(beta.rank() == 1 && beta.dim(0) == h,
+                 "layernorm: beta shape mismatch");
+  Tensor y = x;
+  const std::int64_t rows = y.numel() / h;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = y.data() + r * h;
+    double mean = 0.0;
+    for (std::int64_t i = 0; i < h; ++i) mean += row[i];
+    mean /= static_cast<double>(h);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < h; ++i) {
+      const double d = row[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(h);
+    const float inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+    for (std::int64_t i = 0; i < h; ++i) {
+      row[i] = (row[i] - static_cast<float>(mean)) * inv * gamma.at(i) +
+               beta.at(i);
+    }
+  }
+  return y;
+}
+
+Tensor gelu(const Tensor& x) {
+  Tensor y = x;
+  constexpr float kInvSqrt2 = 0.70710678118654752440f;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y.data()[i];
+    y.data()[i] = 0.5f * v * (1.0f + std::erf(v * kInvSqrt2));
+  }
+  return y;
+}
+
+Tensor silu(const Tensor& x) {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y.data()[i];
+    y.data()[i] = v / (1.0f + std::exp(-v));
+  }
+  return y;
+}
+
+Tensor swiglu_combine(const Tensor& gate, const Tensor& up) {
+  CODESIGN_CHECK(gate.same_shape(up), "swiglu: gate/up shape mismatch");
+  Tensor y = silu(gate);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    y.data()[i] *= up.data()[i];
+  }
+  return y;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  CODESIGN_CHECK(a.same_shape(b), "add: shape mismatch");
+  Tensor y = a;
+  for (std::int64_t i = 0; i < y.numel(); ++i) y.data()[i] += b.data()[i];
+  return y;
+}
+
+Tensor dropout(const Tensor& x, float p, Rng& rng) {
+  CODESIGN_CHECK(p >= 0.0f && p < 1.0f, "dropout p must be in [0, 1)");
+  if (p == 0.0f) return x;
+  Tensor y = x;
+  const float keep = 1.0f - p;
+  const float inv_keep = 1.0f / keep;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    y.data()[i] = rng.next_double() < p ? 0.0f : y.data()[i] * inv_keep;
+  }
+  return y;
+}
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  const std::int64_t n = x.shape().back();
+  CODESIGN_CHECK(bias.rank() == 1 && bias.dim(0) == n,
+                 "add_bias: bias must match the last dimension");
+  Tensor y = x;
+  const std::int64_t rows = y.numel() / n;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = y.data() + r * n;
+    for (std::int64_t i = 0; i < n; ++i) row[i] += bias.at(i);
+  }
+  return y;
+}
+
+Tensor scale(const Tensor& x, float factor) {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.numel(); ++i) y.data()[i] *= factor;
+  return y;
+}
+
+Tensor embedding_lookup(const Tensor& table,
+                        const std::vector<std::int64_t>& ids) {
+  CODESIGN_CHECK(table.rank() == 2, "embedding table must be rank 2");
+  CODESIGN_CHECK(!ids.empty(), "embedding lookup with no ids");
+  const std::int64_t vocab = table.dim(0);
+  const std::int64_t h = table.dim(1);
+  Tensor out({static_cast<std::int64_t>(ids.size()), h});
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::int64_t id = ids[i];
+    CODESIGN_CHECK(id >= 0 && id < vocab, "embedding id out of range");
+    for (std::int64_t j = 0; j < h; ++j) {
+      out.at(static_cast<std::int64_t>(i), j) = table.at(id, j);
+    }
+  }
+  return out;
+}
+
+double cross_entropy_mean(const Tensor& logits,
+                          const std::vector<std::int64_t>& targets) {
+  CODESIGN_CHECK(logits.rank() == 2, "cross_entropy expects (rows, vocab)");
+  CODESIGN_CHECK(static_cast<std::int64_t>(targets.size()) == logits.dim(0),
+                 "cross_entropy: target count mismatch");
+  const std::int64_t vocab = logits.dim(1);
+  double total = 0.0;
+  for (std::int64_t r = 0; r < logits.dim(0); ++r) {
+    const float* row = logits.data() + r * vocab;
+    const std::int64_t t = targets[static_cast<std::size_t>(r)];
+    CODESIGN_CHECK(t >= 0 && t < vocab, "cross_entropy: target out of range");
+    float mx = row[0];
+    for (std::int64_t i = 1; i < vocab; ++i) mx = std::max(mx, row[i]);
+    double sumexp = 0.0;
+    for (std::int64_t i = 0; i < vocab; ++i) sumexp += std::exp(row[i] - mx);
+    total += -(row[t] - mx - std::log(sumexp));
+  }
+  return total / static_cast<double>(logits.dim(0));
+}
+
+}  // namespace codesign::kern

@@ -1,0 +1,65 @@
+// ops.hpp — the non-GEMM operators of the transformer layer.
+//
+// These are the memory-bound pointwise/reduction kernels (LayerNorm,
+// softmax, activations, residual adds, embedding lookup) that the paper's
+// Fig 2 accounts for as the non-GEMM share of layer latency. The CPU
+// implementations here are used by the executable forward pass to validate
+// the operator mapping end to end.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/tensor.hpp"
+
+namespace codesign::kern {
+
+/// Row-wise softmax over the last dimension of a rank-2 or rank-3 tensor,
+/// numerically stabilized with the row max.
+Tensor softmax_lastdim(const Tensor& x);
+
+/// Causal (lower-triangular) softmax for attention scores shaped
+/// (batch·heads, s, s): entries with key index > query index are masked to
+/// -inf before the softmax.
+Tensor causal_softmax(const Tensor& scores);
+
+/// LayerNorm over the last dimension: y = (x - mean) / sqrt(var + eps) *
+/// gamma + beta. gamma/beta are rank-1 of the normalized size.
+Tensor layernorm_lastdim(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, float eps = 1e-5f);
+
+/// Exact GELU: x * 0.5 * (1 + erf(x / sqrt(2))).
+Tensor gelu(const Tensor& x);
+
+/// SiLU/Swish: x * sigmoid(x).
+Tensor silu(const Tensor& x);
+
+/// SwiGLU combine (paper §VI-C4): silu(gate) ⊙ up, elementwise over two
+/// equally-shaped tensors — the extra learned matrix is what pushes the MLP
+/// width from 4h to (8/3)h.
+Tensor swiglu_combine(const Tensor& gate, const Tensor& up);
+
+/// Elementwise sum of two equally-shaped tensors (residual connection).
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// Inverted dropout with a deterministic generator: keeps each element
+/// with probability 1-p and scales survivors by 1/(1-p) so the expected
+/// value is preserved (training mode; p = 0 is the identity).
+Tensor dropout(const Tensor& x, float p, Rng& rng);
+
+/// Broadcast-add a rank-1 bias over the last dimension.
+Tensor add_bias(const Tensor& x, const Tensor& bias);
+
+/// Scale every element by a constant (e.g. attention's 1/sqrt(d) factor).
+Tensor scale(const Tensor& x, float factor);
+
+/// Embedding lookup: table (vocab, h), ids rank-1 of indices in [0, vocab)
+/// -> (len, h).
+Tensor embedding_lookup(const Tensor& table, const std::vector<std::int64_t>& ids);
+
+/// Mean cross-entropy of row-wise logits (rows, vocab) against target ids.
+/// Computed with a log-sum-exp for stability; used by the integration test
+/// that trains nothing but checks the loss of a random model ≈ ln(vocab).
+double cross_entropy_mean(const Tensor& logits,
+                          const std::vector<std::int64_t>& targets);
+
+}  // namespace codesign::kern

@@ -1,0 +1,181 @@
+#include "transformer/config.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace codesign::tfm {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kGelu: return "gelu";
+    case Activation::kSwiGlu: return "swiglu";
+  }
+  return "?";
+}
+
+const char* pos_embedding_name(PosEmbedding p) {
+  switch (p) {
+    case PosEmbedding::kLearned: return "learned";
+    case PosEmbedding::kRotary: return "rotary";
+    case PosEmbedding::kAlibi: return "alibi";
+  }
+  return "?";
+}
+
+const char* attention_impl_name(AttentionImpl a) {
+  switch (a) {
+    case AttentionImpl::kBmm: return "bmm";
+    case AttentionImpl::kFlash: return "flash";
+  }
+  return "?";
+}
+
+const char* model_kind_name(ModelKind k) {
+  switch (k) {
+    case ModelKind::kDecoder: return "decoder";
+    case ModelKind::kEncoder: return "encoder";
+  }
+  return "?";
+}
+
+std::int64_t TransformerConfig::head_dim() const {
+  CODESIGN_CHECK(num_heads > 0, "num_heads must be positive");
+  return hidden_size / num_heads;
+}
+
+std::int64_t TransformerConfig::kv_heads() const {
+  return num_kv_heads > 0 ? num_kv_heads : num_heads;
+}
+
+std::int64_t TransformerConfig::qkv_width() const {
+  return hidden_size + 2 * kv_heads() * head_dim();
+}
+
+std::int64_t TransformerConfig::d_ff() const {
+  if (mlp_intermediate > 0) return mlp_intermediate;
+  if (activation == Activation::kSwiGlu) {
+    // The 8h/3 suggestion from Shazeer keeps SwiGLU's 3-matrix MLP at the
+    // parameter count of the classic 2-matrix 4h MLP (paper §VII-B). The
+    // paper's point is precisely that this default is only a suggestion;
+    // advisor::search_mlp_intermediate finds better-aligned values.
+    return static_cast<std::int64_t>(std::llround(8.0 * hidden_size / 3.0));
+  }
+  return 4 * hidden_size;
+}
+
+std::int64_t TransformerConfig::heads_per_tp() const {
+  return num_heads / tensor_parallel;
+}
+
+std::int64_t TransformerConfig::hidden_per_tp() const {
+  return hidden_size / tensor_parallel;
+}
+
+TransformerConfig TransformerConfig::with_heads(std::int64_t a) const {
+  TransformerConfig c = *this;
+  c.num_heads = a;
+  return c;
+}
+
+TransformerConfig TransformerConfig::with_hidden(std::int64_t h) const {
+  TransformerConfig c = *this;
+  c.hidden_size = h;
+  return c;
+}
+
+TransformerConfig TransformerConfig::with_layers(std::int64_t l) const {
+  TransformerConfig c = *this;
+  c.num_layers = l;
+  return c;
+}
+
+TransformerConfig TransformerConfig::with_microbatch(std::int64_t b) const {
+  TransformerConfig c = *this;
+  c.microbatch = b;
+  return c;
+}
+
+TransformerConfig TransformerConfig::with_seq_len(std::int64_t s) const {
+  TransformerConfig c = *this;
+  c.seq_len = s;
+  return c;
+}
+
+TransformerConfig TransformerConfig::with_vocab(std::int64_t v) const {
+  TransformerConfig c = *this;
+  c.vocab_size = v;
+  return c;
+}
+
+TransformerConfig TransformerConfig::with_tensor_parallel(
+    std::int64_t t) const {
+  TransformerConfig c = *this;
+  c.tensor_parallel = t;
+  return c;
+}
+
+TransformerConfig TransformerConfig::with_name(std::string n) const {
+  TransformerConfig c = *this;
+  c.name = std::move(n);
+  return c;
+}
+
+void TransformerConfig::validate() const {
+  auto fail = [this](const std::string& what) {
+    throw ConfigError("TransformerConfig '" + name + "': " + what);
+  };
+  if (hidden_size <= 0) fail("hidden_size must be positive");
+  if (num_heads <= 0) fail("num_heads must be positive");
+  if (num_layers <= 0) fail("num_layers must be positive");
+  if (seq_len <= 0) fail("seq_len must be positive");
+  if (microbatch <= 0) fail("microbatch must be positive");
+  if (vocab_size <= 0) fail("vocab_size must be positive");
+  if (tensor_parallel < 1) fail("tensor_parallel must be >= 1");
+  if (hidden_size % num_heads != 0) {
+    fail(str_format("hidden_size %lld not divisible by num_heads %lld",
+                    static_cast<long long>(hidden_size),
+                    static_cast<long long>(num_heads)));
+  }
+  if (num_heads % tensor_parallel != 0) {
+    fail("num_heads not divisible by tensor_parallel (the paper's "
+         "(b*a)/t-integral rule requires t | a)");
+  }
+  if (num_kv_heads < 0) fail("num_kv_heads must be >= 0");
+  if (num_kv_heads > 0) {
+    if (num_kv_heads > num_heads) fail("num_kv_heads exceeds num_heads");
+    if (num_heads % num_kv_heads != 0) {
+      fail("num_heads must be a multiple of num_kv_heads (integral GQA "
+           "group size)");
+    }
+    if (num_kv_heads % tensor_parallel != 0) {
+      fail("num_kv_heads not divisible by tensor_parallel");
+    }
+  }
+  if (hidden_size % tensor_parallel != 0) {
+    fail("hidden_size not divisible by tensor_parallel");
+  }
+  if (d_ff() % tensor_parallel != 0) {
+    fail("mlp intermediate size not divisible by tensor_parallel");
+  }
+  if (vocab_size % tensor_parallel != 0) {
+    fail("vocab_size not divisible by tensor_parallel");
+  }
+  if (mlp_intermediate < 0) fail("mlp_intermediate must be >= 0");
+}
+
+std::string TransformerConfig::to_string() const {
+  return str_format(
+      "%s (h=%lld a=%lld L=%lld s=%lld b=%lld v=%lld t=%lld d_ff=%lld %s/%s/%s%s)",
+      name.c_str(), static_cast<long long>(hidden_size),
+      static_cast<long long>(num_heads), static_cast<long long>(num_layers),
+      static_cast<long long>(seq_len), static_cast<long long>(microbatch),
+      static_cast<long long>(vocab_size),
+      static_cast<long long>(tensor_parallel),
+      static_cast<long long>(d_ff()), activation_name(activation),
+      pos_embedding_name(pos_embedding), attention_impl_name(attention),
+      parallel_layers ? "/parallel" : "");
+}
+
+}  // namespace codesign::tfm

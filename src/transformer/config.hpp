@@ -1,0 +1,110 @@
+// config.hpp — the transformer architecture hyperparameters (paper Table I).
+//
+//   a : number of attention heads        s : sequence length
+//   b : microbatch size                  t : tensor-parallel size
+//   h : hidden dimension size            v : vocabulary size
+//   L : number of transformer layers
+//
+// plus the architectural variants of paper §VI-C: parallel layers,
+// positional-embedding flavour, SwiGLU (with its (8/3)h MLP width), and the
+// attention implementation (unfused BMMs vs FlashAttention).
+//
+// Per the paper's convention, all sizes are *per GPU*: with t-way tensor
+// parallelism the mapping divides the relevant dimensions by t.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpuarch/dtype.hpp"
+
+namespace codesign::tfm {
+
+using gpu::DType;
+
+enum class Activation { kGelu, kSwiGlu };
+enum class PosEmbedding { kLearned, kRotary, kAlibi };
+enum class AttentionImpl { kBmm, kFlash };
+/// Decoder-only (GPT-style, causal) or encoder-only (BERT-style,
+/// bidirectional). The paper's analysis covers both (§III-C): the GEMM
+/// shapes are identical; only the attention mask differs.
+enum class ModelKind { kDecoder, kEncoder };
+
+const char* activation_name(Activation a);
+const char* pos_embedding_name(PosEmbedding p);
+const char* attention_impl_name(AttentionImpl a);
+const char* model_kind_name(ModelKind k);
+
+struct TransformerConfig {
+  std::string name = "unnamed";
+
+  std::int64_t hidden_size = 0;      ///< h
+  std::int64_t num_heads = 0;        ///< a
+  /// Grouped-query attention: number of key/value head groups (0 = full
+  /// multi-head, i.e. a KV groups). Shrinks the K/V slices of the QKV
+  /// transform and the KV cache; the score/AOV math is unchanged because
+  /// every query head still attends (K/V are broadcast within a group).
+  std::int64_t num_kv_heads = 0;
+  std::int64_t num_layers = 0;       ///< L
+  std::int64_t seq_len = 2048;       ///< s
+  std::int64_t microbatch = 4;       ///< b
+  std::int64_t vocab_size = 50304;   ///< v
+  std::int64_t tensor_parallel = 1;  ///< t
+
+  Activation activation = Activation::kGelu;
+  PosEmbedding pos_embedding = PosEmbedding::kLearned;
+  AttentionImpl attention = AttentionImpl::kBmm;
+  ModelKind kind = ModelKind::kDecoder;
+  /// Parallel attention+MLP formulation (paper §VI-C1):
+  /// y = x + MLP(Norm(x)) + Attn(Norm(x)). Same GEMMs, fewer kernel
+  /// launches because the two branches fuse.
+  bool parallel_layers = false;
+
+  /// MLP intermediate size d_ff. 0 resolves to the default: 4h for GELU,
+  /// round(8h/3) for SwiGLU (paper §VII-B) — resolved by d_ff().
+  std::int64_t mlp_intermediate = 0;
+
+  /// GPT-2/GPT-3 tie the logit projection to the token embedding; the
+  /// GPT-NeoX family (Pythia) and Llama keep a separate LM head. Affects
+  /// parameter counts only — the logit GEMM shape is identical.
+  bool tied_embeddings = true;
+
+  DType dtype = DType::kFP16;
+
+  // --- derived quantities -------------------------------------------------
+  std::int64_t head_dim() const;       ///< h / a — the paper's pivotal h/a
+  std::int64_t kv_heads() const;       ///< resolved KV head count (a if MHA)
+  /// Width of the fused QKV output: h + 2·kv_heads·head_dim (== 3h for MHA).
+  std::int64_t qkv_width() const;
+  std::int64_t d_ff() const;           ///< resolved MLP intermediate size
+  std::int64_t heads_per_tp() const;   ///< a / t
+  std::int64_t hidden_per_tp() const;  ///< h / t
+  std::int64_t tokens() const { return microbatch * seq_len; }  ///< b·s
+  /// Number of MLP weight matrices (2 for GELU, 3 for SwiGLU).
+  int mlp_matrices() const {
+    return activation == Activation::kSwiGlu ? 3 : 2;
+  }
+
+  // --- fluent copies for sweeps --------------------------------------------
+  TransformerConfig with_heads(std::int64_t a) const;
+  TransformerConfig with_hidden(std::int64_t h) const;
+  TransformerConfig with_layers(std::int64_t l) const;
+  TransformerConfig with_microbatch(std::int64_t b) const;
+  TransformerConfig with_seq_len(std::int64_t s) const;
+  TransformerConfig with_vocab(std::int64_t v) const;
+  TransformerConfig with_tensor_parallel(std::int64_t t) const;
+  TransformerConfig with_name(std::string n) const;
+
+  /// Structural validation (throws ConfigError):
+  ///   h, a, L, s, b, v > 0;  a | h  (integral head dim);
+  ///   t >= 1;  t | a and t | h and t | d_ff  (tensor-parallel split);
+  ///   t | v (vocab-parallel logits).
+  void validate() const;
+
+  /// Human-readable one-liner, e.g. "gpt3-2.7b (h=2560 a=32 L=32 ...)".
+  std::string to_string() const;
+
+  bool operator==(const TransformerConfig&) const = default;
+};
+
+}  // namespace codesign::tfm

@@ -1,0 +1,107 @@
+#include "transformer/config_parse.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace codesign::tfm {
+
+namespace {
+
+Activation parse_activation(const std::string& v) {
+  if (iequals(v, "gelu")) return Activation::kGelu;
+  if (iequals(v, "swiglu")) return Activation::kSwiGlu;
+  throw ConfigError("unknown activation '" + v + "' (gelu|swiglu)");
+}
+
+PosEmbedding parse_pos(const std::string& v) {
+  if (iequals(v, "learned")) return PosEmbedding::kLearned;
+  if (iequals(v, "rotary")) return PosEmbedding::kRotary;
+  if (iequals(v, "alibi")) return PosEmbedding::kAlibi;
+  throw ConfigError("unknown positional embedding '" + v +
+                    "' (learned|rotary|alibi)");
+}
+
+AttentionImpl parse_attn(const std::string& v) {
+  if (iequals(v, "bmm")) return AttentionImpl::kBmm;
+  if (iequals(v, "flash")) return AttentionImpl::kFlash;
+  throw ConfigError("unknown attention impl '" + v + "' (bmm|flash)");
+}
+
+ModelKind parse_kind(const std::string& v) {
+  if (iequals(v, "decoder")) return ModelKind::kDecoder;
+  if (iequals(v, "encoder")) return ModelKind::kEncoder;
+  throw ConfigError("unknown model kind '" + v + "' (decoder|encoder)");
+}
+
+bool parse_flag(const std::string& key, const std::string& v) {
+  if (v == "1" || iequals(v, "true")) return true;
+  if (v == "0" || iequals(v, "false")) return false;
+  throw ConfigError("key '" + key + "' expects 0/1, got '" + v + "'");
+}
+
+}  // namespace
+
+TransformerConfig parse_config_string(const std::string& spec) {
+  TransformerConfig c;
+  c.name = "custom";
+  c.hidden_size = 0;  // force explicit h/a/L
+  c.num_heads = 0;
+  c.num_layers = 0;
+
+  for (const std::string& part : split(spec, ',')) {
+    const std::string item{trim(part)};
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      throw ConfigError("malformed config entry '" + item +
+                        "' (want key=value)");
+    }
+    const std::string key = to_lower(item.substr(0, eq));
+    const std::string value = item.substr(eq + 1);
+
+    if (key == "h") {
+      c.hidden_size = parse_int(value);
+    } else if (key == "a") {
+      c.num_heads = parse_int(value);
+    } else if (key == "l" || key == "layers") {
+      c.num_layers = parse_int(value);
+    } else if (key == "s" || key == "seq") {
+      c.seq_len = parse_int(value);
+    } else if (key == "b") {
+      c.microbatch = parse_int(value);
+    } else if (key == "v" || key == "vocab") {
+      c.vocab_size = parse_int(value);
+    } else if (key == "t" || key == "tp") {
+      c.tensor_parallel = parse_int(value);
+    } else if (key == "kv") {
+      c.num_kv_heads = parse_int(value);
+    } else if (key == "dff") {
+      c.mlp_intermediate = parse_int(value);
+    } else if (key == "act") {
+      c.activation = parse_activation(value);
+    } else if (key == "pos") {
+      c.pos_embedding = parse_pos(value);
+    } else if (key == "attn") {
+      c.attention = parse_attn(value);
+    } else if (key == "kind") {
+      c.kind = parse_kind(value);
+    } else if (key == "parallel") {
+      c.parallel_layers = parse_flag(key, value);
+    } else if (key == "tied") {
+      c.tied_embeddings = parse_flag(key, value);
+    } else if (key == "name") {
+      c.name = value;
+    } else {
+      throw ConfigError("unknown config key '" + key + "'");
+    }
+  }
+
+  if (c.hidden_size <= 0 || c.num_heads <= 0 || c.num_layers <= 0) {
+    throw ConfigError(
+        "config string must set at least h=, a=, and L= (got '" + spec + "')");
+  }
+  c.validate();
+  return c;
+}
+
+}  // namespace codesign::tfm

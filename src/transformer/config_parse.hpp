@@ -1,0 +1,30 @@
+// config_parse.hpp — parse a TransformerConfig from a compact spec string.
+//
+// Grammar: comma-separated key=value pairs, e.g.
+//   "h=2560,a=32,L=32,s=2048,b=4,v=50304,t=1"
+//   "h=4096,a=32,kv=8,L=32,dff=11008,act=swiglu,pos=rotary,attn=flash"
+//
+// Keys:
+//   h, a, L (layers), s (seq), b (microbatch), v (vocab),
+//   t (tensor parallel), kv (KV heads), dff (MLP intermediate),
+//   act = gelu | swiglu
+//   pos = learned | rotary | alibi
+//   attn = bmm | flash
+//   kind = decoder | encoder
+//   parallel = 0 | 1   (parallel attention+MLP layers)
+//   tied = 0 | 1       (weight-tied LM head)
+//   name = <identifier>
+//
+// Unknown keys and malformed values throw ConfigError; the result is
+// validate()d before being returned. This powers `codesign ... --custom=`.
+#pragma once
+
+#include <string>
+
+#include "transformer/config.hpp"
+
+namespace codesign::tfm {
+
+TransformerConfig parse_config_string(const std::string& spec);
+
+}  // namespace codesign::tfm

@@ -1,0 +1,41 @@
+#include "transformer/flops.hpp"
+
+#include "transformer/gemm_mapping.hpp"
+
+namespace codesign::tfm {
+
+double layer_forward_flops_formula(const TransformerConfig& c) {
+  const double b = static_cast<double>(c.microbatch);
+  const double s = static_cast<double>(c.seq_len);
+  const double h = static_cast<double>(c.hidden_size);
+  return 24.0 * b * s * h * h + 4.0 * b * s * s * h;
+}
+
+double layer_forward_flops(const TransformerConfig& c) {
+  double total = 0.0;
+  for (const gemm::GemmProblem& p : layer_gemms(c)) total += p.flops();
+  if (c.attention == AttentionImpl::kFlash) {
+    // The fused kernel's useful math is the two matmuls it absorbs. Count
+    // the dense (non-causal) math to stay comparable with the BMM path,
+    // which also computes the full score matrix.
+    gemm::FlashAttentionProblem fp = flash_attention_problem(c);
+    fp.causal = false;
+    total += fp.flops();
+  }
+  return total;
+}
+
+double model_forward_flops(const TransformerConfig& c) {
+  return static_cast<double>(c.num_layers) * layer_forward_flops(c) +
+         logit_gemm(c).flops();
+}
+
+double model_training_flops(const TransformerConfig& c) {
+  return 3.0 * model_forward_flops(c);
+}
+
+double flops_per_token(const TransformerConfig& c) {
+  return model_forward_flops(c) / static_cast<double>(c.tokens());
+}
+
+}  // namespace codesign::tfm

@@ -1,0 +1,31 @@
+// flops.hpp — FLOP accounting (paper §III-C).
+//
+// Forward pass of one layer (t = 1, 4h MLP): 24·b·s·h² + 4·b·s²·h
+//                                          = 24·b·s·h²·(1 + s/6h)
+// The formula is checked against the summed per-GEMM FLOPs of the Table-II
+// mapping in tests/test_flops.cpp.
+#pragma once
+
+#include "transformer/config.hpp"
+
+namespace codesign::tfm {
+
+/// Paper closed form for one layer's forward GEMM FLOPs (assumes t=1 and
+/// the standard 4h MLP; exact for that architecture).
+double layer_forward_flops_formula(const TransformerConfig& config);
+
+/// Sum of 2·m·n·k over this layer's actual GEMMs (any variant, any t).
+/// FlashAttention configs count the fused kernel's math.
+double layer_forward_flops(const TransformerConfig& config);
+
+/// All L layers plus the logit projection.
+double model_forward_flops(const TransformerConfig& config);
+
+/// Training step ≈ 3× forward (1 forward + 2 for the backward pass), the
+/// standard Megatron accounting the paper builds on.
+double model_training_flops(const TransformerConfig& config);
+
+/// Model FLOPs per token processed in the forward pass.
+double flops_per_token(const TransformerConfig& config);
+
+}  // namespace codesign::tfm

@@ -1,0 +1,244 @@
+#include "transformer/forward.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "kernels/gemm_cpu.hpp"
+#include "kernels/ops.hpp"
+
+namespace codesign::tfm {
+
+using kern::GemmOptions;
+
+namespace {
+
+constexpr float kInitStd = 0.02f;
+
+LayerWeights random_layer(const TransformerConfig& c, Rng& rng) {
+  const std::int64_t h = c.hidden_size;
+  const std::int64_t ff = c.d_ff();
+  LayerWeights w;
+  w.ln1_gamma = Tensor::full({h}, 1.0f);
+  w.ln1_beta = Tensor::zeros({h});
+  w.w_qkv = Tensor::randn({3 * h, h}, rng, kInitStd);
+  w.b_qkv = Tensor::zeros({3 * h});
+  w.w_proj = Tensor::randn({h, h}, rng, kInitStd);
+  w.b_proj = Tensor::zeros({h});
+  w.ln2_gamma = Tensor::full({h}, 1.0f);
+  w.ln2_beta = Tensor::zeros({h});
+  w.w_up = Tensor::randn({ff, h}, rng, kInitStd);
+  w.b_up = Tensor::zeros({ff});
+  if (c.activation == Activation::kSwiGlu) {
+    w.w_gate = Tensor::randn({ff, h}, rng, kInitStd);
+  }
+  w.w_down = Tensor::randn({h, ff}, rng, kInitStd);
+  w.b_down = Tensor::zeros({h});
+  return w;
+}
+
+/// Split the fused (len, 3h) QKV activation into per-head rank-3 tensors
+/// q, k, v of shape (a, len, d) with d = h/a.
+void split_heads(const Tensor& qkv, std::int64_t heads, std::int64_t d,
+                 Tensor& q, Tensor& k, Tensor& v) {
+  const std::int64_t len = qkv.dim(0);
+  const std::int64_t h = heads * d;
+  q = Tensor({heads, len, d});
+  k = Tensor({heads, len, d});
+  v = Tensor({heads, len, d});
+  for (std::int64_t a = 0; a < heads; ++a) {
+    for (std::int64_t i = 0; i < len; ++i) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        q.at(a, i, j) = qkv.at(i, a * d + j);
+        k.at(a, i, j) = qkv.at(i, h + a * d + j);
+        v.at(a, i, j) = qkv.at(i, 2 * h + a * d + j);
+      }
+    }
+  }
+}
+
+/// Merge (a, len, d) context back to (len, h).
+Tensor merge_heads(const Tensor& ctx) {
+  const std::int64_t heads = ctx.dim(0);
+  const std::int64_t len = ctx.dim(1);
+  const std::int64_t d = ctx.dim(2);
+  Tensor out({len, heads * d});
+  for (std::int64_t a = 0; a < heads; ++a) {
+    for (std::int64_t i = 0; i < len; ++i) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        out.at(i, a * d + j) = ctx.at(a, i, j);
+      }
+    }
+  }
+  return out;
+}
+
+/// Batched transpose of the key tensor: (a, len, d) -> (a, d, len).
+Tensor transpose_keys(const Tensor& k) {
+  Tensor out({k.dim(0), k.dim(2), k.dim(1)});
+  for (std::int64_t a = 0; a < k.dim(0); ++a) {
+    for (std::int64_t i = 0; i < k.dim(1); ++i) {
+      for (std::int64_t j = 0; j < k.dim(2); ++j) {
+        out.at(a, j, i) = k.at(a, i, j);
+      }
+    }
+  }
+  return out;
+}
+
+/// Rotary position embedding applied to a per-head (a, len, d) tensor,
+/// rotating consecutive even/odd pairs by position-dependent angles.
+Tensor apply_rotary(const Tensor& x) {
+  Tensor out = x;
+  const std::int64_t heads = x.dim(0);
+  const std::int64_t len = x.dim(1);
+  const std::int64_t d = x.dim(2);
+  for (std::int64_t a = 0; a < heads; ++a) {
+    for (std::int64_t pos = 0; pos < len; ++pos) {
+      for (std::int64_t j = 0; j + 1 < d; j += 2) {
+        const double theta =
+            static_cast<double>(pos) *
+            std::pow(10000.0, -static_cast<double>(j) / static_cast<double>(d));
+        const float c = static_cast<float>(std::cos(theta));
+        const float s = static_cast<float>(std::sin(theta));
+        const float x0 = x.at(a, pos, j);
+        const float x1 = x.at(a, pos, j + 1);
+        out.at(a, pos, j) = x0 * c - x1 * s;
+        out.at(a, pos, j + 1) = x0 * s + x1 * c;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TransformerModel TransformerModel::random_init(const TransformerConfig& config,
+                                               std::uint64_t seed) {
+  config.validate();
+  CODESIGN_CHECK(config.tensor_parallel == 1,
+                 "the executable forward pass models a single GPU (t = 1)");
+  CODESIGN_CHECK(config.kv_heads() == config.num_heads,
+                 "the executable forward pass implements full multi-head "
+                 "attention (set num_kv_heads = 0)");
+  TransformerModel m;
+  m.config_ = config;
+  Rng rng(seed);
+  m.weights_.token_embedding =
+      Tensor::randn({config.vocab_size, config.hidden_size}, rng, kInitStd);
+  if (config.pos_embedding == PosEmbedding::kLearned) {
+    m.weights_.pos_embedding =
+        Tensor::randn({config.seq_len, config.hidden_size}, rng, kInitStd);
+  }
+  m.weights_.layers.reserve(static_cast<std::size_t>(config.num_layers));
+  for (std::int64_t l = 0; l < config.num_layers; ++l) {
+    m.weights_.layers.push_back(random_layer(config, rng));
+  }
+  m.weights_.final_ln_gamma = Tensor::full({config.hidden_size}, 1.0f);
+  m.weights_.final_ln_beta = Tensor::zeros({config.hidden_size});
+  if (!config.tied_embeddings) {
+    m.weights_.lm_head =
+        Tensor::randn({config.vocab_size, config.hidden_size}, rng, kInitStd);
+  }
+  return m;
+}
+
+Tensor TransformerModel::attention_block(const Tensor& x,
+                                         const LayerWeights& w) const {
+  const std::int64_t heads = config_.num_heads;
+  const std::int64_t d = config_.head_dim();
+
+  // QKV transform: (len, h) x (h, 3h) — Table II row 1.
+  const Tensor qkv = kern::linear(x, w.w_qkv, &w.b_qkv);
+
+  Tensor q, k, v;
+  split_heads(qkv, heads, d, q, k, v);
+  if (config_.pos_embedding == PosEmbedding::kRotary) {
+    q = apply_rotary(q);
+    k = apply_rotary(k);
+  }
+
+  // Attention scores: a batched (len, d) x (d, len) — Table II row 2.
+  const Tensor kt = transpose_keys(k);
+  Tensor scores = kern::batched_matmul(q, kt);
+  scores = kern::scale(scores, 1.0f / std::sqrt(static_cast<float>(d)));
+  const Tensor probs = config_.kind == ModelKind::kDecoder
+                           ? kern::causal_softmax(scores)
+                           : kern::softmax_lastdim(scores);
+
+  // Attention over values: batched (len, len) x (len, d) — Table II row 3.
+  const Tensor ctx = kern::batched_matmul(probs, v);
+
+  // Post-attention projection: (len, h) x (h, h) — Table II row 4.
+  return kern::linear(merge_heads(ctx), w.w_proj, &w.b_proj);
+}
+
+Tensor TransformerModel::mlp_block(const Tensor& x,
+                                   const LayerWeights& w) const {
+  const Tensor up = kern::linear(x, w.w_up, &w.b_up);
+  Tensor hidden;
+  if (config_.activation == Activation::kSwiGlu) {
+    const Tensor gate = kern::linear(x, w.w_gate);
+    hidden = kern::swiglu_combine(gate, up);
+  } else {
+    hidden = kern::gelu(up);
+  }
+  return kern::linear(hidden, w.w_down, &w.b_down);
+}
+
+Tensor TransformerModel::forward(
+    const std::vector<std::int64_t>& token_ids) const {
+  CODESIGN_CHECK(!token_ids.empty(), "forward needs at least one token");
+  CODESIGN_CHECK(
+      static_cast<std::int64_t>(token_ids.size()) <= config_.seq_len,
+      "sequence longer than the configured s");
+
+  Tensor x = kern::embedding_lookup(weights_.token_embedding, token_ids);
+  if (config_.pos_embedding == PosEmbedding::kLearned) {
+    for (std::int64_t i = 0; i < x.dim(0); ++i) {
+      for (std::int64_t j = 0; j < x.dim(1); ++j) {
+        x.at(i, j) += weights_.pos_embedding.at(i, j);
+      }
+    }
+  }
+
+  for (const LayerWeights& w : weights_.layers) {
+    const Tensor normed1 = kern::layernorm_lastdim(x, w.ln1_gamma, w.ln1_beta);
+    if (config_.parallel_layers) {
+      // y = x + Attn(Norm(x)) + MLP(Norm(x))  (paper §VI-C1)
+      const Tensor attn = attention_block(normed1, w);
+      const Tensor mlp = mlp_block(normed1, w);
+      x = kern::add(kern::add(x, attn), mlp);
+    } else {
+      x = kern::add(x, attention_block(normed1, w));
+      const Tensor normed2 =
+          kern::layernorm_lastdim(x, w.ln2_gamma, w.ln2_beta);
+      x = kern::add(x, mlp_block(normed2, w));
+    }
+  }
+
+  x = kern::layernorm_lastdim(x, weights_.final_ln_gamma,
+                              weights_.final_ln_beta);
+  // Logit projection — Table II last row. Weight-tied to the token
+  // embedding in the GPT-2 convention, a separate LM head otherwise.
+  const Tensor& head = config_.tied_embeddings ? weights_.token_embedding
+                                               : weights_.lm_head;
+  return kern::linear(x, head);
+}
+
+double TransformerModel::next_token_loss(
+    const std::vector<std::int64_t>& token_ids) const {
+  CODESIGN_CHECK(token_ids.size() >= 2, "need at least 2 tokens for a loss");
+  const Tensor logits = forward(token_ids);
+  // Predict token[i+1] from position i.
+  Tensor trimmed({logits.dim(0) - 1, logits.dim(1)});
+  for (std::int64_t i = 0; i + 1 < logits.dim(0); ++i) {
+    for (std::int64_t j = 0; j < logits.dim(1); ++j) {
+      trimmed.at(i, j) = logits.at(i, j);
+    }
+  }
+  const std::vector<std::int64_t> targets(token_ids.begin() + 1,
+                                          token_ids.end());
+  return kern::cross_entropy_mean(trimmed, targets);
+}
+
+}  // namespace codesign::tfm

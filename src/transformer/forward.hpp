@@ -1,0 +1,68 @@
+// forward.hpp — an executable CPU forward pass.
+//
+// This is the substrate that validates the analytic mapping: the model
+// actually runs (embedding → L× [LN, QKV, attention BMMs, projection, LN,
+// MLP] → final LN → logits) on the kernels library, and its tensor shapes
+// are asserted against the Table-II GEMM decomposition in the integration
+// tests. Single GPU (t = 1), batch folded into the sequence dimension,
+// inference-mode (no dropout).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/tensor.hpp"
+#include "transformer/config.hpp"
+
+namespace codesign::tfm {
+
+using kern::Tensor;
+
+/// Weights of one transformer layer (linear-layer convention: W is
+/// (out_features, in_features) as in torch.nn.functional.linear).
+struct LayerWeights {
+  Tensor ln1_gamma, ln1_beta;
+  Tensor w_qkv, b_qkv;      ///< (3h, h), (3h)
+  Tensor w_proj, b_proj;    ///< (h, h), (h)
+  Tensor ln2_gamma, ln2_beta;
+  Tensor w_up, b_up;        ///< (d_ff, h), (d_ff)
+  Tensor w_gate;            ///< (d_ff, h), SwiGLU only (no bias)
+  Tensor w_down, b_down;    ///< (h, d_ff), (h)
+};
+
+struct ModelWeights {
+  Tensor token_embedding;  ///< (v, h)
+  Tensor pos_embedding;    ///< (s, h) when learned, empty otherwise
+  std::vector<LayerWeights> layers;
+  Tensor final_ln_gamma, final_ln_beta;
+  Tensor lm_head;          ///< (v, h) when untied, empty when weight-tied
+};
+
+class TransformerModel {
+ public:
+  /// Build a model with N(0, 0.02²) weights from a deterministic seed.
+  static TransformerModel random_init(const TransformerConfig& config,
+                                      std::uint64_t seed = 1234);
+
+  const TransformerConfig& config() const { return config_; }
+  const ModelWeights& weights() const { return weights_; }
+
+  /// Full forward pass over one sequence of token ids (length <= s).
+  /// Returns logits of shape (len, v).
+  Tensor forward(const std::vector<std::int64_t>& token_ids) const;
+
+  /// Sub-blocks exposed for the mapping integration tests. `x` is the
+  /// (len, h) activation; both return (len, h).
+  Tensor attention_block(const Tensor& x, const LayerWeights& w) const;
+  Tensor mlp_block(const Tensor& x, const LayerWeights& w) const;
+
+  /// Mean cross-entropy of forward(ids) against next-token targets —
+  /// ≈ ln(v) for a random model, which the integration test asserts.
+  double next_token_loss(const std::vector<std::int64_t>& token_ids) const;
+
+ private:
+  TransformerConfig config_;
+  ModelWeights weights_;
+};
+
+}  // namespace codesign::tfm

@@ -1,0 +1,133 @@
+#include "transformer/layer_model.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "transformer/flops.hpp"
+
+namespace codesign::tfm {
+
+OpLatency op_latency(const MappedOp& op, const gemm::GemmSimulator& sim) {
+  OpLatency out;
+  out.op = op.op;
+  out.name = op_name(op.op);
+  out.flops = op.flops;
+
+  if (op.gemm.has_value()) {
+    const gemm::KernelEstimate est = sim.estimate(*op.gemm);
+    out.is_gemm = true;
+    out.time = est.time;
+    out.tflops = est.tflops();
+    out.detail = str_format("%s tile=%s bound=%s waves=%lld",
+                            op.gemm->to_string().c_str(),
+                            est.tile.name().c_str(),
+                            gemm::bound_name(est.bound),
+                            static_cast<long long>(est.wave_q.waves));
+    return out;
+  }
+
+  if (op.flash.has_value()) {
+    const gemm::FlashAttentionEstimate est = sim.estimate_flash(*op.flash);
+    out.is_gemm = true;  // fused matmuls count toward the GEMM share
+    out.time = est.time;
+    out.tflops = est.tflops();
+    out.detail = str_format("flash(s=%lld d=%lld) bound=%s",
+                            static_cast<long long>(op.flash->seq),
+                            static_cast<long long>(op.flash->head_dim),
+                            gemm::bound_name(est.bound));
+    return out;
+  }
+
+  // Non-GEMM: memory-bound elementwise/reduction kernel.
+  out.bytes = op.elementwise_bytes;
+  out.time = op.elementwise_bytes / sim.gpu().achievable_bandwidth() +
+             sim.gpu().kernel_launch_overhead;
+  out.tflops = op.flops > 0.0 ? op.flops / out.time / 1e12 : 0.0;
+  out.detail = human_bytes(op.elementwise_bytes) + " traffic";
+  return out;
+}
+
+namespace {
+
+/// Parallel-layer formulation fuses the attention and MLP branches
+/// (§VI-C1): one shared LayerNorm and one fused residual, saving the
+/// second LN's and one residual add's traffic + launches.
+std::vector<MappedOp> schedule_for(const TransformerConfig& c) {
+  std::vector<MappedOp> ops = layer_ops(c);
+  if (!c.parallel_layers) return ops;
+  std::vector<MappedOp> fused;
+  fused.reserve(ops.size());
+  for (const MappedOp& op : ops) {
+    if (op.op == LayerOp::kLayerNorm2 || op.op == LayerOp::kResidualAdd1) {
+      continue;  // absorbed into the fused block
+    }
+    fused.push_back(op);
+  }
+  return fused;
+}
+
+}  // namespace
+
+double LayerLatencyReport::share_of(LayerOp op) const {
+  CODESIGN_CHECK(total_time > 0.0, "report has zero total time");
+  double t = 0.0;
+  for (const OpLatency& o : ops) {
+    if (o.op == op) t += o.time;
+  }
+  return t / total_time;
+}
+
+double LayerLatencyReport::gemm_share_of(LayerOp op) const {
+  CODESIGN_CHECK(gemm_time > 0.0, "report has zero GEMM time");
+  double t = 0.0;
+  for (const OpLatency& o : ops) {
+    if (o.op == op && o.is_gemm) t += o.time;
+  }
+  return t / gemm_time;
+}
+
+LayerLatencyReport analyze_layer(const TransformerConfig& config,
+                                 const gemm::GemmSimulator& sim) {
+  config.validate();
+  LayerLatencyReport r;
+  r.config = config;
+  for (const MappedOp& op : schedule_for(config)) {
+    r.ops.push_back(op_latency(op, sim));
+  }
+  for (const OpLatency& o : r.ops) {
+    r.total_time += o.time;
+    if (o.is_gemm) {
+      r.gemm_time += o.time;
+    } else {
+      r.non_gemm_time += o.time;
+    }
+  }
+  r.layer_flops = layer_forward_flops(config);
+  r.throughput_tflops = r.layer_flops / r.total_time / 1e12;
+  r.gemm_fraction = r.gemm_time / r.total_time;
+  return r;
+}
+
+ModelLatencyReport analyze_model(const TransformerConfig& config,
+                                 const gemm::GemmSimulator& sim) {
+  ModelLatencyReport r;
+  r.config = config;
+  r.layer = analyze_layer(config, sim);
+  for (const MappedOp& op : model_level_ops(config)) {
+    const OpLatency lat = op_latency(op, sim);
+    switch (op.op) {
+      case LayerOp::kEmbeddingLookup: r.embedding_time = lat.time; break;
+      case LayerOp::kFinalLayerNorm: r.final_ln_time = lat.time; break;
+      case LayerOp::kLogitProjection: r.logit_time = lat.time; break;
+      default:
+        throw Error("unexpected model-level op");
+    }
+  }
+  r.total_time = static_cast<double>(config.num_layers) * r.layer.total_time +
+                 r.embedding_time + r.final_ln_time + r.logit_time;
+  r.model_flops = model_forward_flops(config);
+  r.throughput_tflops = r.model_flops / r.total_time / 1e12;
+  r.tokens_per_second = static_cast<double>(config.tokens()) / r.total_time;
+  return r;
+}
+
+}  // namespace codesign::tfm

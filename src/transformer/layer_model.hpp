@@ -1,0 +1,78 @@
+// layer_model.hpp — end-to-end latency model of the transformer layer.
+//
+// Combines the Table-II GEMM mapping with the GEMM simulator and a
+// bandwidth model for the non-GEMM operators to produce:
+//   * per-operator latencies and shares  (Figs 2 and 11)
+//   * single-layer throughput            (Fig 1)
+//   * whole-model step latency and throughput
+//
+// The non-GEMM operators are modelled as memory-bound kernels:
+// time = DRAM traffic / achievable bandwidth + launch overhead. Parallel-
+// layer models (paper §VI-C1) fuse the attention and MLP branches, which
+// removes one LayerNorm and one residual add worth of kernel traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gemmsim/simulator.hpp"
+#include "transformer/config.hpp"
+#include "transformer/gemm_mapping.hpp"
+
+namespace codesign::tfm {
+
+/// Latency of a single operator instance.
+struct OpLatency {
+  LayerOp op;
+  std::string name;       ///< op_name(op)
+  bool is_gemm = false;
+  double time = 0.0;      ///< seconds
+  double flops = 0.0;     ///< useful math
+  double bytes = 0.0;     ///< DRAM traffic (non-GEMM ops; 0 for GEMMs)
+  double tflops = 0.0;    ///< flops / time / 1e12 (0 for pure data movement)
+  std::string detail;     ///< e.g. the GEMM size, tile, and bound
+};
+
+struct LayerLatencyReport {
+  TransformerConfig config;
+  std::vector<OpLatency> ops;
+
+  double gemm_time = 0.0;
+  double non_gemm_time = 0.0;
+  double total_time = 0.0;
+  double layer_flops = 0.0;        ///< useful GEMM math in the layer
+  double throughput_tflops = 0.0;  ///< layer_flops / total_time / 1e12
+  double gemm_fraction = 0.0;      ///< gemm_time / total_time (Fig 2's point)
+
+  /// Share of total layer time spent in one operator kind.
+  double share_of(LayerOp op) const;
+  /// Share of *GEMM* time spent in one GEMM kind (Fig 11 normalization).
+  double gemm_share_of(LayerOp op) const;
+};
+
+/// Analyze one transformer layer on the simulator's GPU.
+LayerLatencyReport analyze_layer(const TransformerConfig& config,
+                                 const gemm::GemmSimulator& sim);
+
+struct ModelLatencyReport {
+  TransformerConfig config;
+  LayerLatencyReport layer;        ///< one representative layer
+  double embedding_time = 0.0;
+  double final_ln_time = 0.0;
+  double logit_time = 0.0;
+  double total_time = 0.0;         ///< L·layer + model-level ops
+  double model_flops = 0.0;        ///< forward GEMM math of the whole model
+  double throughput_tflops = 0.0;
+  double tokens_per_second = 0.0;  ///< b·s / total_time (forward pass)
+};
+
+/// Analyze a full forward pass: L identical layers plus embedding lookup,
+/// final LayerNorm, and the logit projection.
+ModelLatencyReport analyze_model(const TransformerConfig& config,
+                                 const gemm::GemmSimulator& sim);
+
+/// Latency of one MappedOp on the simulator's GPU (exposed for tests and
+/// the inference model).
+OpLatency op_latency(const MappedOp& op, const gemm::GemmSimulator& sim);
+
+}  // namespace codesign::tfm

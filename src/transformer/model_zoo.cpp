@@ -1,0 +1,212 @@
+#include "transformer/model_zoo.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace codesign::tfm {
+
+namespace {
+
+TransformerConfig base(std::string name, std::int64_t h, std::int64_t a,
+                       std::int64_t layers, std::int64_t vocab,
+                       std::int64_t seq = 2048) {
+  TransformerConfig c;
+  c.name = std::move(name);
+  c.hidden_size = h;
+  c.num_heads = a;
+  c.num_layers = layers;
+  c.vocab_size = vocab;
+  c.seq_len = seq;
+  c.microbatch = 4;
+  return c;
+}
+
+TransformerConfig pythia(std::string name, std::int64_t h, std::int64_t a,
+                         std::int64_t layers) {
+  // Pythia models (Biderman et al. 2023): GPT-NeoX architecture — rotary
+  // embeddings, parallel attention+MLP, vocab padded to 50304.
+  TransformerConfig c = base(std::move(name), h, a, layers, 50304);
+  c.pos_embedding = PosEmbedding::kRotary;
+  c.parallel_layers = true;
+  c.tied_embeddings = false;  // GPT-NeoX keeps a separate LM head
+  return c;
+}
+
+TransformerConfig llama2(std::string name, std::int64_t h, std::int64_t a,
+                         std::int64_t layers, std::int64_t d_ff) {
+  TransformerConfig c = base(std::move(name), h, a, layers, 32000, 4096);
+  c.pos_embedding = PosEmbedding::kRotary;
+  c.activation = Activation::kSwiGlu;
+  c.mlp_intermediate = d_ff;
+  c.tied_embeddings = false;  // Llama keeps a separate LM head
+  return c;
+}
+
+const std::map<std::string, TransformerConfig>& registry() {
+  static const std::map<std::string, TransformerConfig> reg = [] {
+    std::map<std::string, TransformerConfig> m;
+    auto add = [&m](TransformerConfig c) {
+      c.validate();
+      m.emplace(c.name, std::move(c));
+    };
+
+    // --- GPT-3 family (Brown et al. 2020, Table 2.1). The 13B entry uses
+    // h=5120 (the paper's 5140 is a widely-noted typo that no replication
+    // kept, since 5140/40 = 128.5 is not an integral head dim).
+    add(base("gpt3-125m", 768, 12, 12, 50257));
+    add(base("gpt3-350m", 1024, 16, 24, 50257));
+    add(base("gpt3-760m", 1536, 16, 24, 50257));
+    add(base("gpt3-1.3b", 2048, 16, 24, 50257));
+    add(base("gpt3-2.7b", 2560, 32, 32, 50257));
+    add(base("gpt3-6.7b", 4096, 32, 32, 50257));
+    add(base("gpt3-13b", 5120, 40, 40, 50257));
+    add(base("gpt3-175b", 12288, 96, 96, 50257));
+
+    // --- Fig-1 variants defined by the paper: same h (2560) and layer
+    // count, different head counts. C2 (a=40, h/a=64) is the efficient
+    // re-shape that trains ~1.18x faster than the default (a=32, h/a=80);
+    // C1 (a=64, h/a=40) is the badly-shaped comparator.
+    add(base("gpt3-2.7b-c1", 2560, 64, 32, 50257));
+    add(base("gpt3-2.7b-c2", 2560, 40, 32, 50257));
+
+    // --- GPT-3 2.7B clones (paper §VI-B: architectures copied from Brown
+    // et al., inheriting the h/a = 80 inefficiency).
+    add(base("gpt-neo-2.7b", 2560, 32, 32, 50257));
+    {
+      TransformerConfig c = base("opt-2.7b", 2560, 32, 32, 50272);
+      add(c);
+    }
+    {
+      TransformerConfig c = base("redpajama-incite-3b", 2560, 32, 32, 50432);
+      c.pos_embedding = PosEmbedding::kRotary;
+      c.parallel_layers = true;
+      add(c);
+    }
+
+    // --- Pythia suite (Fig 13).
+    add(pythia("pythia-70m", 512, 8, 6));
+    add(pythia("pythia-160m", 768, 12, 12));
+    add(pythia("pythia-410m", 1024, 16, 24));
+    add(pythia("pythia-1b", 2048, 8, 16));
+    add(pythia("pythia-1.4b", 2048, 16, 24));
+    add(pythia("pythia-2.8b", 2560, 32, 32));
+    add(pythia("pythia-6.9b", 4096, 32, 32));
+    add(pythia("pythia-12b", 5120, 40, 36));
+
+    // --- GPT-NeoX-20B (Black et al.): the library the paper's transformer
+    // implementations are ported from.
+    {
+      TransformerConfig c = base("gpt-neox-20b", 6144, 64, 44, 50432);
+      c.pos_embedding = PosEmbedding::kRotary;
+      c.parallel_layers = true;
+      c.tied_embeddings = false;
+      add(c);
+    }
+
+    // --- Llama-2 (§VII-B SwiGLU case study). 7B's d_ff = 11008
+    // (11008/4096 = 2.6875 ≈ 8/3) and 70B's d_ff = 28672 (3.5h). 70B uses
+    // grouped-query attention with 8 KV head groups.
+    add(llama2("llama2-7b", 4096, 32, 32, 11008));
+    add(llama2("llama2-13b", 5120, 40, 40, 13824));
+    {
+      TransformerConfig c = llama2("llama2-70b", 8192, 64, 80, 28672);
+      c.num_kv_heads = 8;
+      add(c);
+    }
+
+    // --- Encoder-only (BERT) models — the paper's §III-C note that its
+    // conclusions extend to encoders, and the §VIII MLPerf-BERT hook.
+    // BERT's 30522-entry WordPiece vocabulary violates the %64 rule
+    // (MLPerf submissions pad it to 30528 for exactly that reason).
+    {
+      TransformerConfig c = base("bert-base", 768, 12, 12, 30522, 512);
+      c.kind = ModelKind::kEncoder;
+      c.microbatch = 32;
+      add(c);
+    }
+    {
+      TransformerConfig c = base("bert-large", 1024, 16, 24, 30522, 512);
+      c.kind = ModelKind::kEncoder;
+      c.microbatch = 32;
+      add(c);
+    }
+
+    // --- MQA/GQA exemplars beyond Llama.
+    {
+      // Falcon-7B: multi-query attention (kv = 1) and the famously odd
+      // a = 71 — which still satisfies the paper's rule because
+      // h/a = 4544/71 = 64 exactly. Head *count* need not be round;
+      // head *dimension* must be.
+      TransformerConfig c = base("falcon-7b", 4544, 71, 32, 65024);
+      c.pos_embedding = PosEmbedding::kRotary;
+      c.parallel_layers = true;
+      c.tied_embeddings = false;
+      c.num_kv_heads = 1;
+      add(c);
+    }
+    {
+      // Mistral-7B: GQA with 8 KV heads, d_ff = 3.5h (the Llama-2-70B
+      // coefficient at 7B scale). Sliding-window attention is not
+      // modelled; s is set to the 8K training context.
+      TransformerConfig c = base("mistral-7b", 4096, 32, 32, 32000, 8192);
+      c.pos_embedding = PosEmbedding::kRotary;
+      c.activation = Activation::kSwiGlu;
+      c.mlp_intermediate = 14336;
+      c.tied_embeddings = false;
+      c.num_kv_heads = 8;
+      add(c);
+    }
+    return m;
+  }();
+  return reg;
+}
+
+}  // namespace
+
+const TransformerConfig& model_by_name(const std::string& name) {
+  const auto& reg = registry();
+  const auto it = reg.find(to_lower(name));
+  if (it == reg.end()) {
+    throw LookupError("unknown model '" + name + "'; known: " +
+                      join(known_models(), ", "));
+  }
+  return it->second;
+}
+
+std::vector<std::string> known_models() {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : registry()) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TransformerConfig> pythia_suite() {
+  return {
+      model_by_name("pythia-70m"),  model_by_name("pythia-160m"),
+      model_by_name("pythia-410m"), model_by_name("pythia-1b"),
+      model_by_name("pythia-1.4b"), model_by_name("pythia-2.8b"),
+      model_by_name("pythia-6.9b"), model_by_name("pythia-12b"),
+  };
+}
+
+std::vector<TransformerConfig> gpt3_27b_family() {
+  std::vector<TransformerConfig> family;
+  family.push_back(model_by_name("gpt3-2.7b"));
+  family.push_back(model_by_name("gpt3-2.7b-c1"));
+  family.push_back(model_by_name("gpt3-2.7b-c2"));
+  // Same-h variants across the head-count grid of the paper's appendix
+  // (practical head dims only; the full a-grid lives in the head-sweep
+  // bench).
+  const TransformerConfig& ref = model_by_name("gpt3-2.7b");
+  for (const std::int64_t a : {16, 20, 80}) {
+    if (2560 % a != 0) continue;
+    family.push_back(
+        ref.with_heads(a).with_name("gpt3-2.7b-a" + std::to_string(a)));
+  }
+  return family;
+}
+
+}  // namespace codesign::tfm

@@ -1,0 +1,35 @@
+// model_zoo.hpp — the published model architectures used by the paper.
+//
+// Includes the GPT-3 family (Brown et al.), the shape variants the paper
+// defines for Fig 1 (C1: h=2560 a=64; C2: h=2560 a=40), the Pythia suite
+// (Fig 13), the GPT-3-2.7B-clones (GPT-Neo, OPT, RedPajama-INCITE), and
+// the Llama-2 SwiGLU models of the §VII-B case study.
+//
+// Every entry records the *architecture*; workload knobs (b, s overrides,
+// tensor parallel, attention impl) are adjusted per experiment via the
+// with_*() fluent copies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transformer/config.hpp"
+
+namespace codesign::tfm {
+
+/// Look up a model by name (case-insensitive): "gpt3-2.7b", "gpt3-2.7b-c1",
+/// "gpt3-2.7b-c2", "pythia-410m", "llama2-7b", ... Throws LookupError.
+const TransformerConfig& model_by_name(const std::string& name);
+
+/// All registry names, sorted.
+std::vector<std::string> known_models();
+
+/// The Pythia suite in parameter order (70m … 12b) — the Fig-13 x-axis.
+std::vector<TransformerConfig> pythia_suite();
+
+/// The GPT-3 2.7B shape family benchmarked in Fig 1: the default (a=32,
+/// h/a=80), the paper's C1 (a=64, h/a=40) and C2 (a=40, h/a=64), plus the
+/// further same-parameter-count variants swept by the bench.
+std::vector<TransformerConfig> gpt3_27b_family();
+
+}  // namespace codesign::tfm

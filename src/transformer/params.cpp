@@ -1,0 +1,89 @@
+#include "transformer/params.hpp"
+
+#include "common/strings.hpp"
+
+namespace codesign::tfm {
+
+namespace {
+
+std::int64_t product(const std::vector<std::int64_t>& shape) {
+  std::int64_t p = 1;
+  for (std::int64_t d : shape) p *= d;
+  return p;
+}
+
+void add(std::vector<WeightInfo>& out, std::string name,
+         std::vector<std::int64_t> shape) {
+  WeightInfo w;
+  w.name = std::move(name);
+  w.count = product(shape);
+  w.shape = std::move(shape);
+  out.push_back(std::move(w));
+}
+
+}  // namespace
+
+std::vector<WeightInfo> enumerate_weights(const TransformerConfig& config) {
+  config.validate();
+  const std::int64_t h = config.hidden_size;
+  const std::int64_t v = config.vocab_size;
+  const std::int64_t s = config.seq_len;
+  const std::int64_t ff = config.d_ff();
+
+  std::vector<WeightInfo> out;
+  add(out, "embed.token", {v, h});
+  if (config.pos_embedding == PosEmbedding::kLearned) {
+    add(out, "embed.position", {s, h});
+  }
+  // Rotary/ALiBi embeddings have no learned parameters.
+
+  for (std::int64_t l = 0; l < config.num_layers; ++l) {
+    const std::string p = "layer" + std::to_string(l) + ".";
+    add(out, p + "ln1.gamma", {h});
+    add(out, p + "ln1.beta", {h});
+    add(out, p + "attn.w_qkv", {h, config.qkv_width()});
+    add(out, p + "attn.b_qkv", {config.qkv_width()});
+    add(out, p + "attn.w_proj", {h, h});
+    add(out, p + "attn.b_proj", {h});
+    add(out, p + "ln2.gamma", {h});
+    add(out, p + "ln2.beta", {h});
+    add(out, p + "mlp.w_up", {h, ff});
+    add(out, p + "mlp.b_up", {ff});
+    if (config.activation == Activation::kSwiGlu) {
+      // The extra learned matrix of §VII-B (gate projections carry no bias
+      // in the reference LLaMA implementation).
+      add(out, p + "mlp.w_gate", {h, ff});
+    }
+    add(out, p + "mlp.w_down", {ff, h});
+    add(out, p + "mlp.b_down", {h});
+  }
+
+  add(out, "final_ln.gamma", {h});
+  add(out, "final_ln.beta", {h});
+  if (!config.tied_embeddings) {
+    add(out, "lm_head", {v, h});
+  }
+  return out;
+}
+
+std::int64_t exact_param_count(const TransformerConfig& config) {
+  std::int64_t total = 0;
+  for (const WeightInfo& w : enumerate_weights(config)) total += w.count;
+  return total;
+}
+
+double formula_param_count(const TransformerConfig& config) {
+  const double h = static_cast<double>(config.hidden_size);
+  const double l = static_cast<double>(config.num_layers);
+  const double v = static_cast<double>(config.vocab_size);
+  const double s = static_cast<double>(config.seq_len);
+  return 12.0 * h * h * l + 13.0 * h * l + (v + s) * h;
+}
+
+double approx_param_count(const TransformerConfig& config) {
+  const double h = static_cast<double>(config.hidden_size);
+  const double l = static_cast<double>(config.num_layers);
+  return 12.0 * h * h * l;
+}
+
+}  // namespace codesign::tfm

@@ -1,0 +1,65 @@
+#include "transformer/pipeline.hpp"
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "transformer/layer_model.hpp"
+#include "transformer/training.hpp"
+
+namespace codesign::tfm {
+
+PipelineReport analyze_pipeline(const TransformerConfig& config,
+                                const gemm::GemmSimulator& sim,
+                                const PipelineSchedule& schedule) {
+  config.validate();
+  CODESIGN_CHECK(schedule.stages >= 1, "stages must be >= 1");
+  CODESIGN_CHECK(schedule.microbatches >= 1, "microbatches must be >= 1");
+  CODESIGN_CHECK(schedule.stages <= config.num_layers,
+                 "more pipeline stages than layers");
+
+  PipelineReport r;
+  r.config = config;
+  r.schedule = schedule;
+
+  const std::int64_t p = schedule.stages;
+  const std::int64_t m = schedule.microbatches;
+  const std::int64_t l = config.num_layers;
+  r.layers_per_stage_max = ceil_div(l, p);
+  r.layers_per_stage_min = l / p;
+  r.balanced = (l % p == 0);
+
+  // Per-microbatch, per-layer forward + backward time.
+  const double layer_fwd = analyze_layer(config, sim).total_time;
+  const double layer_bwd = layer_backward_time(config, sim);
+  const double per_layer = layer_fwd + layer_bwd;
+
+  r.microbatch_stage_time =
+      static_cast<double>(r.layers_per_stage_max) * per_layer;
+  r.step_time = static_cast<double>(m + p - 1) * r.microbatch_stage_time;
+
+  r.bubble_fraction =
+      static_cast<double>(p - 1) / static_cast<double>(m + p - 1);
+  r.imbalance_factor = static_cast<double>(r.layers_per_stage_max) *
+                       static_cast<double>(p) / static_cast<double>(l);
+
+  // Ideal: m microbatches through L layers with no bubble, no imbalance.
+  const double ideal = static_cast<double>(m) * static_cast<double>(l) *
+                       per_layer / static_cast<double>(p);
+  r.efficiency = ideal / r.step_time;
+
+  r.tokens_per_second = static_cast<double>(m) *
+                        static_cast<double>(config.tokens()) / r.step_time;
+  return r;
+}
+
+std::vector<std::int64_t> balanced_stage_counts(const TransformerConfig& config,
+                                                std::int64_t max_stages) {
+  config.validate();
+  CODESIGN_CHECK(max_stages >= 1, "max_stages must be >= 1");
+  std::vector<std::int64_t> out;
+  for (std::int64_t p = 1; p <= max_stages && p <= config.num_layers; ++p) {
+    if (config.num_layers % p == 0) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace codesign::tfm

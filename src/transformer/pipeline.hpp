@@ -1,0 +1,64 @@
+// pipeline.hpp — a pipeline-parallel schedule model.
+//
+// The paper's §VI-B closes with "in all cases it is optimal for the number
+// of layers to be divisible by the number of pipeline parallel stages".
+// This module quantifies why, with the standard 1F1B/GPipe bubble
+// accounting (Narayanan et al.):
+//
+//   step time = (m + p - 1) · T_slowest_stage
+//
+// where m is the number of microbatches in flight and p the stage count.
+// Two separate inefficiencies fall out:
+//   * the bubble fraction (p - 1) / (m + p - 1), independent of shape;
+//   * stage imbalance: stages hold ceil(L/p) or floor(L/p) layers, and the
+//     slowest stage sets the clock, so when p ∤ L the whole pipeline runs
+//     at ceil(L/p)·p/L of its balanced speed — the paper's rule.
+//
+// Inter-stage point-to-point communication is not modelled (the paper
+// explicitly leaves network effects to future work); embedding and logit
+// work is assigned to the first/last stages.
+#pragma once
+
+#include <cstdint>
+
+#include "gemmsim/simulator.hpp"
+#include "transformer/config.hpp"
+
+namespace codesign::tfm {
+
+struct PipelineSchedule {
+  std::int64_t stages = 1;        ///< p
+  std::int64_t microbatches = 8;  ///< m (gradient-accumulation steps)
+};
+
+struct PipelineReport {
+  TransformerConfig config;
+  PipelineSchedule schedule;
+
+  std::int64_t layers_per_stage_max = 0;  ///< ceil(L / p)
+  std::int64_t layers_per_stage_min = 0;  ///< floor(L / p)
+  bool balanced = true;                   ///< p | L
+
+  double microbatch_stage_time = 0.0;  ///< fwd+bwd of the slowest stage, 1 µb
+  double step_time = 0.0;              ///< (m + p - 1) · slowest stage
+  double bubble_fraction = 0.0;        ///< (p - 1) / (m + p - 1)
+  /// Slowdown purely from p ∤ L: ceil(L/p)·p / L (1.0 when balanced).
+  double imbalance_factor = 1.0;
+  /// Useful throughput relative to a zero-bubble, balanced pipeline.
+  double efficiency = 1.0;
+
+  double tokens_per_second = 0.0;  ///< m·b·s / step_time
+};
+
+/// Evaluate a pipeline schedule for this model on the simulator's GPU.
+/// Throws if stages exceed the layer count or either field is < 1.
+PipelineReport analyze_pipeline(const TransformerConfig& config,
+                                const gemm::GemmSimulator& sim,
+                                const PipelineSchedule& schedule);
+
+/// The set of stage counts that divide L (the rule's "good" choices),
+/// up to `max_stages`.
+std::vector<std::int64_t> balanced_stage_counts(const TransformerConfig& config,
+                                                std::int64_t max_stages = 64);
+
+}  // namespace codesign::tfm

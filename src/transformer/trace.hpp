@@ -1,0 +1,32 @@
+// trace.hpp — chrome-trace export of the simulated execution timeline.
+//
+// Serializes one layer's (or one model's) operator schedule as a Chrome
+// Trace Event JSON document (load via chrome://tracing or Perfetto), with
+// GEMMs and non-GEMM kernels on separate tracks. This is the "show me
+// where the time goes" artifact for a proposed shape, built from the same
+// latency model as the figures.
+#pragma once
+
+#include <string>
+
+#include "gemmsim/simulator.hpp"
+#include "transformer/config.hpp"
+
+namespace codesign::tfm {
+
+struct TraceOptions {
+  /// Emit this many consecutive layers (timeline repeats).
+  std::int64_t layers = 1;
+  /// Include the model-level ops (embedding, final LN, logits) around the
+  /// layer stack.
+  bool include_model_level = false;
+};
+
+/// Chrome Trace Event JSON ({"traceEvents": [...]}) of the simulated
+/// schedule. Timestamps/durations are microseconds, one "complete" (ph=X)
+/// event per operator; GEMMs on tid 1, non-GEMM kernels on tid 2.
+std::string trace_json(const TransformerConfig& config,
+                       const gemm::GemmSimulator& sim,
+                       const TraceOptions& options = {});
+
+}  // namespace codesign::tfm

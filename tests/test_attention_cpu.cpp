@@ -1,0 +1,133 @@
+// Tests for kernels/attention_cpu.hpp — the streaming (online-softmax)
+// attention kernel must be numerically exact against the materialized
+// reference, which is the FlashAttention "exact attention" claim validated
+// in code.
+#include "kernels/attention_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/ops.hpp"
+
+namespace codesign::kern {
+namespace {
+
+std::tuple<Tensor, Tensor, Tensor> random_qkv(std::int64_t heads,
+                                              std::int64_t len,
+                                              std::int64_t d,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  return {Tensor::randn({heads, len, d}, rng), Tensor::randn({heads, len, d}, rng),
+          Tensor::randn({heads, len, d}, rng)};
+}
+
+TEST(AttentionCpu, ReferenceRowsAreConvexCombinations) {
+  const auto [q, k, v] = random_qkv(2, 8, 4, 1);
+  const Tensor out = attention_reference(q, k, v, /*causal=*/false);
+  EXPECT_TRUE(out.all_finite());
+  // First causal row equals v's first row when causal.
+  const Tensor causal = attention_reference(q, k, v, /*causal=*/true);
+  for (std::int64_t h = 0; h < 2; ++h) {
+    for (std::int64_t x = 0; x < 4; ++x) {
+      EXPECT_NEAR(causal.at(h, 0, x), v.at(h, 0, x), 1e-5f);
+    }
+  }
+}
+
+// Property suite: streaming == reference across shapes, masks, and block
+// sizes (including blocks that do not divide the length).
+class StreamingExactness
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, std::int64_t, bool,
+                     std::int64_t>> {};
+
+TEST_P(StreamingExactness, MatchesReference) {
+  const auto [heads, len, d, causal, block] = GetParam();
+  const auto [q, k, v] = random_qkv(heads, len, d, 42 + len);
+  const Tensor ref = attention_reference(q, k, v, causal);
+  const Tensor str = attention_streaming(q, k, v, causal, block);
+  EXPECT_LT(max_abs_diff(ref, str), 2e-5f)
+      << "heads=" << heads << " len=" << len << " d=" << d
+      << " causal=" << causal << " block=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StreamingExactness,
+    ::testing::Values(std::make_tuple(1, 1, 4, false, 64),
+                      std::make_tuple(2, 16, 8, false, 4),
+                      std::make_tuple(2, 16, 8, true, 4),
+                      std::make_tuple(4, 33, 16, false, 7),
+                      std::make_tuple(4, 33, 16, true, 7),
+                      std::make_tuple(1, 64, 32, true, 64),
+                      std::make_tuple(1, 64, 32, true, 128),  // block > len
+                      std::make_tuple(3, 50, 20, true, 1)));  // block = 1
+
+TEST(AttentionCpu, BlockSizeDoesNotChangeResult) {
+  const auto [q, k, v] = random_qkv(2, 40, 16, 7);
+  const Tensor b8 = attention_streaming(q, k, v, true, 8);
+  const Tensor b13 = attention_streaming(q, k, v, true, 13);
+  EXPECT_LT(max_abs_diff(b8, b13), 2e-5f);
+}
+
+TEST(AttentionCpu, LargeScoresStayStable) {
+  // Online softmax must survive score magnitudes that overflow a naive
+  // exp() — the reason the running-max recurrence exists.
+  Rng rng(9);
+  Tensor q = Tensor::randn({1, 8, 4}, rng, 30.0f);
+  Tensor k = Tensor::randn({1, 8, 4}, rng, 30.0f);
+  Tensor v = Tensor::randn({1, 8, 4}, rng);
+  const Tensor ref = attention_reference(q, k, v, false);
+  const Tensor str = attention_streaming(q, k, v, false, 2);
+  EXPECT_TRUE(str.all_finite());
+  EXPECT_LT(max_abs_diff(ref, str), 1e-4f);
+}
+
+TEST(AttentionCpu, CausalOutputIgnoresFutureValues) {
+  auto [q, k, v] = random_qkv(1, 10, 4, 11);
+  const Tensor before = attention_streaming(q, k, v, true, 4);
+  // Perturb the last key/value; rows 0..8 must not change.
+  for (std::int64_t x = 0; x < 4; ++x) {
+    k.at(0, 9, x) += 5.0f;
+    v.at(0, 9, x) += 5.0f;
+  }
+  const Tensor after = attention_streaming(q, k, v, true, 4);
+  for (std::int64_t i = 0; i < 9; ++i) {
+    for (std::int64_t x = 0; x < 4; ++x) {
+      EXPECT_EQ(before.at(0, i, x), after.at(0, i, x)) << i;
+    }
+  }
+}
+
+TEST(AttentionCpu, Validation) {
+  Tensor q({2, 4, 8});
+  Tensor k({2, 4, 8});
+  Tensor bad({2, 5, 8});
+  EXPECT_THROW(attention_reference(q, k, bad, false), Error);
+  EXPECT_THROW(attention_streaming(q, k, k, false, 0), Error);
+  Tensor rank2({4, 8});
+  EXPECT_THROW(attention_reference(rank2, rank2, rank2, false), Error);
+}
+
+TEST(AttentionCpu, UniformValuesGiveUniformOutput) {
+  // If all V rows are identical, attention must return exactly that row
+  // regardless of the score distribution.
+  Rng rng(13);
+  const Tensor q = Tensor::randn({1, 6, 4}, rng);
+  const Tensor k = Tensor::randn({1, 6, 4}, rng);
+  Tensor v({1, 6, 4});
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t x = 0; x < 4; ++x) v.at(0, i, x) = static_cast<float>(x);
+  }
+  const Tensor out = attention_streaming(q, k, v, true, 3);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t x = 0; x < 4; ++x) {
+      EXPECT_NEAR(out.at(0, i, x), static_cast<float>(x), 1e-5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace codesign::kern

@@ -1,0 +1,188 @@
+// Tests for kernels/backward.hpp — every analytic gradient is verified
+// against central finite differences of the corresponding forward op.
+#include "kernels/backward.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/attention_cpu.hpp"
+#include "kernels/gemm_cpu.hpp"
+#include "kernels/ops.hpp"
+
+namespace codesign::kern {
+namespace {
+
+/// Scalar loss used by every gradcheck: a fixed random projection of the
+/// op's output, so dLoss/dOutput is a known constant tensor.
+struct Projector {
+  Tensor weights;
+  explicit Projector(const Shape& shape, std::uint64_t seed) {
+    Rng rng(seed);
+    weights = Tensor::randn(shape, rng, 1.0f);
+  }
+  double loss(const Tensor& out) const {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      s += static_cast<double>(out.data()[i]) * weights.data()[i];
+    }
+    return s;
+  }
+};
+
+/// Central finite difference of `loss(f(x))` with respect to x[i].
+double fd_grad(Tensor& x, std::int64_t i,
+               const std::function<double()>& loss_fn, double eps = 1e-3) {
+  const float orig = x.data()[i];
+  x.data()[i] = static_cast<float>(orig + eps);
+  const double up = loss_fn();
+  x.data()[i] = static_cast<float>(orig - eps);
+  const double down = loss_fn();
+  x.data()[i] = orig;
+  return (up - down) / (2.0 * eps);
+}
+
+void expect_grad_matches(const Tensor& analytic, Tensor& input,
+                         const std::function<double()>& loss_fn,
+                         double tol = 2e-2) {
+  // Check a spread of positions (all of them for small tensors).
+  const std::int64_t n = analytic.numel();
+  const std::int64_t stride = std::max<std::int64_t>(1, n / 24);
+  for (std::int64_t i = 0; i < n; i += stride) {
+    const double fd = fd_grad(input, i, loss_fn);
+    const double an = analytic.data()[i];
+    EXPECT_NEAR(an, fd, std::max(tol, tol * std::fabs(fd))) << "index " << i;
+  }
+}
+
+TEST(Backward, LinearGradcheck) {
+  Rng rng(1);
+  Tensor x = Tensor::randn({5, 7}, rng, 0.5f);
+  Tensor w = Tensor::randn({4, 7}, rng, 0.5f);
+  const Tensor b = Tensor::randn({4}, rng, 0.5f);
+  const Projector proj({5, 4}, 99);
+  auto loss = [&] { return proj.loss(linear(x, w, &b)); };
+
+  const LinearGrads g = linear_backward(proj.weights, x, w);
+  expect_grad_matches(g.dx, x, loss);
+  expect_grad_matches(g.dw, w, loss);
+  // Bias gradient: column sums of dY.
+  for (std::int64_t o = 0; o < 4; ++o) {
+    double expect = 0.0;
+    for (std::int64_t r = 0; r < 5; ++r) expect += proj.weights.at(r, o);
+    EXPECT_NEAR(g.db.at(o), expect, 1e-4);
+  }
+}
+
+TEST(Backward, LinearGradShapesMatchTrainingModel) {
+  // The executable wgrad has (out, in) shape from a (rows, out)ᵀ x
+  // (rows, in) product — i.e. rows (b·s) is the inner dimension, exactly
+  // the rotation transformer/training.hpp prices.
+  Rng rng(2);
+  const Tensor x = Tensor::randn({8, 6}, rng);
+  const Tensor w = Tensor::randn({3, 6}, rng);
+  const Tensor dy = Tensor::randn({8, 3}, rng);
+  const LinearGrads g = linear_backward(dy, x, w);
+  EXPECT_EQ(g.dx.dim(0), 8);
+  EXPECT_EQ(g.dx.dim(1), 6);
+  EXPECT_EQ(g.dw.dim(0), 3);
+  EXPECT_EQ(g.dw.dim(1), 6);
+  EXPECT_EQ(g.db.dim(0), 3);
+}
+
+TEST(Backward, SoftmaxGradcheck) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({4, 6}, rng, 1.0f);
+  const Projector proj({4, 6}, 17);
+  auto loss = [&] { return proj.loss(softmax_lastdim(x)); };
+  const Tensor ds = softmax_backward(softmax_lastdim(x), proj.weights);
+  expect_grad_matches(ds, x, loss, 1e-2);
+}
+
+TEST(Backward, SoftmaxRowsSumToZero) {
+  // Softmax gradients live on the simplex tangent: each row sums to 0.
+  Rng rng(4);
+  const Tensor x = Tensor::randn({3, 8}, rng);
+  const Tensor dp = Tensor::randn({3, 8}, rng);
+  const Tensor ds = softmax_backward(softmax_lastdim(x), dp);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < 8; ++i) sum += ds.at(r, i);
+    EXPECT_NEAR(sum, 0.0, 1e-5);
+  }
+}
+
+TEST(Backward, LayerNormGradcheck) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({3, 12}, rng, 1.5f);
+  Tensor gamma = Tensor::randn({12}, rng, 0.5f);
+  Tensor beta = Tensor::randn({12}, rng, 0.5f);
+  const Projector proj({3, 12}, 23);
+  auto loss = [&] {
+    return proj.loss(layernorm_lastdim(x, gamma, beta));
+  };
+  const LayerNormGrads g = layernorm_backward(proj.weights, x, gamma);
+  expect_grad_matches(g.dx, x, loss, 2e-2);
+  expect_grad_matches(g.dgamma, gamma, loss, 2e-2);
+  // dbeta is just the upstream sum over rows.
+  for (std::int64_t i = 0; i < 12; ++i) {
+    double expect = 0.0;
+    for (std::int64_t r = 0; r < 3; ++r) expect += proj.weights.at(r, i);
+    EXPECT_NEAR(g.dbeta.at(i), expect, 1e-4);
+  }
+}
+
+TEST(Backward, GeluGradcheck) {
+  Rng rng(6);
+  Tensor x = Tensor::randn({64}, rng, 1.0f);
+  const Projector proj({64}, 31);
+  auto loss = [&] { return proj.loss(gelu(x)); };
+  expect_grad_matches(gelu_backward(proj.weights, x), x, loss, 1e-2);
+}
+
+TEST(Backward, SiluGradcheck) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({64}, rng, 1.0f);
+  const Projector proj({64}, 37);
+  auto loss = [&] { return proj.loss(silu(x)); };
+  expect_grad_matches(silu_backward(proj.weights, x), x, loss, 1e-2);
+}
+
+class AttentionGradcheck : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AttentionGradcheck, MatchesFiniteDifferences) {
+  const bool causal = GetParam();
+  Rng rng(8);
+  Tensor q = Tensor::randn({2, 5, 4}, rng, 0.7f);
+  Tensor k = Tensor::randn({2, 5, 4}, rng, 0.7f);
+  Tensor v = Tensor::randn({2, 5, 4}, rng, 0.7f);
+  const Projector proj({2, 5, 4}, 41);
+  auto loss = [&] {
+    return proj.loss(attention_reference(q, k, v, causal));
+  };
+  const AttentionGrads g =
+      attention_backward(q, k, v, proj.weights, causal);
+  expect_grad_matches(g.dq, q, loss, 2e-2);
+  expect_grad_matches(g.dk, k, loss, 2e-2);
+  expect_grad_matches(g.dv, v, loss, 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, AttentionGradcheck,
+                         ::testing::Values(false, true));
+
+TEST(Backward, ShapeValidation) {
+  Tensor a({2, 3});
+  Tensor b({3, 3});
+  EXPECT_THROW(linear_backward(a, a, Tensor({4, 4})), Error);
+  EXPECT_THROW(softmax_backward(a, b), Error);
+  EXPECT_THROW(gelu_backward(a, b), Error);
+  Tensor q({2, 4, 4});
+  Tensor bad({2, 5, 4});
+  EXPECT_THROW(attention_backward(q, q, q, bad, false), Error);
+}
+
+}  // namespace
+}  // namespace codesign::kern

@@ -1,0 +1,84 @@
+// Tests for bench/bench_common.hpp — the shared harness every figure
+// binary is built on (flag parsing, banner/section/table emission).
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace codesign::bench {
+namespace {
+
+BenchContext make(std::initializer_list<const char*> flags) {
+  std::vector<const char*> argv = {"bench"};
+  argv.insert(argv.end(), flags.begin(), flags.end());
+  return BenchContext::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchContext, Defaults) {
+  const BenchContext ctx = make({});
+  EXPECT_EQ(ctx.gpu().id, "a100-40gb");
+  EXPECT_EQ(ctx.sim().policy(), gemm::TilePolicy::kAuto);
+  EXPECT_EQ(ctx.format(), TableFormat::kAscii);
+}
+
+TEST(BenchContext, GpuFlag) {
+  EXPECT_EQ(make({"--gpu=v100"}).gpu().id, "v100-16gb");
+  EXPECT_EQ(make({"--gpu=h100"}).gpu().id, "h100-sxm");
+  EXPECT_THROW(make({"--gpu=tpu"}), LookupError);
+}
+
+TEST(BenchContext, PolicyFlag) {
+  EXPECT_EQ(make({"--policy=fixed"}).sim().policy(),
+            gemm::TilePolicy::kFixedLargest);
+  EXPECT_EQ(make({"--policy=auto"}).sim().policy(), gemm::TilePolicy::kAuto);
+  EXPECT_THROW(make({"--policy=greedy"}), Error);
+}
+
+TEST(BenchContext, FormatFlag) {
+  EXPECT_EQ(make({"--format=csv"}).format(), TableFormat::kCsv);
+  EXPECT_EQ(make({"--format=markdown"}).format(), TableFormat::kMarkdown);
+  EXPECT_EQ(make({"--format=md"}).format(), TableFormat::kMarkdown);
+  EXPECT_THROW(make({"--format=xml"}), Error);
+}
+
+TEST(BenchContext, ExtraFlagsReachableViaArgs) {
+  const BenchContext ctx = make({"--heads=8,16", "--b=2"});
+  const auto heads = ctx.args().get_int_list("heads", {});
+  ASSERT_EQ(heads.size(), 2u);
+  EXPECT_EQ(ctx.args().get_int("b", 0), 2);
+}
+
+TEST(BenchContext, BannerAndEmit) {
+  // Capture stdout to verify banner/section/table routing.
+  const BenchContext ctx = make({"--format=csv"});
+  ::testing::internal::CaptureStdout();
+  ctx.banner("Figure X", "smoke");
+  ctx.section("series one");
+  TableWriter t({"a"});
+  t.new_row().cell(std::int64_t{1});
+  ctx.emit(t);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  // CSV mode prefixes narrative lines with '#'.
+  EXPECT_NE(out.find("# === Figure X"), std::string::npos);
+  EXPECT_NE(out.find("# --- series one"), std::string::npos);
+  EXPECT_NE(out.find("a\n1\n"), std::string::npos);
+}
+
+TEST(RunBench, CleanErrorPath) {
+  const char* argv[] = {"bench", "--gpu=bogus"};
+  const int rc = run_bench(
+      2, argv, [](BenchContext&) { return 0; });
+  EXPECT_EQ(rc, 1);  // caught and reported, not thrown
+}
+
+TEST(RunBench, BodyReturnCodePropagates) {
+  const char* argv[] = {"bench"};
+  EXPECT_EQ(run_bench(1, argv, [](BenchContext&) { return 0; }), 0);
+  EXPECT_EQ(run_bench(1, argv, [](BenchContext&) { return 7; }), 7);
+}
+
+}  // namespace
+}  // namespace codesign::bench

@@ -1,0 +1,96 @@
+// Tests for common/cli.hpp — the flag parser every bench binary uses.
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace codesign {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, EqualsSyntax) {
+  const CliArgs a = parse({"--gpu=a100", "--heads=32"});
+  EXPECT_EQ(a.get_string("gpu", ""), "a100");
+  EXPECT_EQ(a.get_int("heads", 0), 32);
+}
+
+TEST(CliArgs, SpaceSyntax) {
+  const CliArgs a = parse({"--gpu", "v100", "--b", "4"});
+  EXPECT_EQ(a.get_string("gpu", ""), "v100");
+  EXPECT_EQ(a.get_int("b", 0), 4);
+}
+
+TEST(CliArgs, BooleanSwitch) {
+  const CliArgs a = parse({"--verbose", "--csv"});
+  EXPECT_TRUE(a.get_bool("verbose", false));
+  EXPECT_TRUE(a.get_bool("csv", false));
+  EXPECT_FALSE(a.get_bool("absent", false));
+  EXPECT_TRUE(a.get_bool("absent", true));
+}
+
+TEST(CliArgs, BoolValues) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_THROW(parse({"--x=maybe"}).get_bool("x", true), Error);
+}
+
+TEST(CliArgs, Defaults) {
+  const CliArgs a = parse({});
+  EXPECT_EQ(a.get_string("gpu", "a100"), "a100");
+  EXPECT_EQ(a.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("f", 2.5), 2.5);
+}
+
+TEST(CliArgs, DoubleValues) {
+  EXPECT_DOUBLE_EQ(parse({"--frac=0.25"}).get_double("frac", 0), 0.25);
+  EXPECT_THROW(parse({"--frac=abc"}).get_double("frac", 0), Error);
+}
+
+TEST(CliArgs, IntList) {
+  const CliArgs a = parse({"--heads=8,16,32"});
+  const auto v = a.get_int_list("heads", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 8);
+  EXPECT_EQ(v[2], 32);
+  // Default when the flag is absent.
+  const auto d = a.get_int_list("absent", {1, 2});
+  ASSERT_EQ(d.size(), 2u);
+}
+
+TEST(CliArgs, Positional) {
+  const CliArgs a = parse({"first", "--k=v", "second"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "first");
+  EXPECT_EQ(a.positional()[1], "second");
+}
+
+TEST(CliArgs, Has) {
+  const CliArgs a = parse({"--x=1"});
+  EXPECT_TRUE(a.has("x"));
+  EXPECT_FALSE(a.has("y"));
+}
+
+TEST(CliArgs, MalformedFlags) {
+  EXPECT_THROW(parse({"--"}), Error);
+  EXPECT_THROW(parse({"--name="}), Error);
+}
+
+TEST(CliArgs, FlagNames) {
+  const CliArgs a = parse({"--b=1", "--a=2"});
+  const auto names = a.flag_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // map order: sorted
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace codesign

@@ -1,0 +1,152 @@
+// Tests for the comm substrate — Table III clusters and the collective
+// cost model behind the "t as small as possible" rule.
+#include <gtest/gtest.h>
+
+#include "comm/cluster_spec.hpp"
+#include "comm/collectives.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "transformer/model_zoo.hpp"
+
+namespace codesign::comm {
+namespace {
+
+TEST(ClusterSpec, TableIIISystemsPresent) {
+  const auto names = known_clusters();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_NO_THROW(cluster_by_name("aws-p4d"));
+  EXPECT_NO_THROW(cluster_by_name("ORNL-Summit"));  // case-insensitive
+  EXPECT_NO_THROW(cluster_by_name("sdsc-expanse"));
+  EXPECT_THROW(cluster_by_name("frontier"), LookupError);
+}
+
+TEST(ClusterSpec, TableIIIValues) {
+  const ClusterSpec& p4d = cluster_by_name("aws-p4d");
+  EXPECT_EQ(p4d.gpus_per_node, 8);
+  EXPECT_EQ(p4d.gpu().id, "a100-40gb");
+  EXPECT_DOUBLE_EQ(p4d.intra_node_bandwidth, 600 * GBps);
+
+  const ClusterSpec& summit = cluster_by_name("ornl-summit");
+  EXPECT_EQ(summit.gpus_per_node, 6);  // the §VII-A case study's premise
+  EXPECT_EQ(summit.gpu().id, "v100-16gb");
+  EXPECT_DOUBLE_EQ(summit.intra_node_bandwidth, 100 * GBps);
+
+  const ClusterSpec& expanse = cluster_by_name("sdsc-expanse");
+  EXPECT_EQ(expanse.gpus_per_node, 4);
+  EXPECT_EQ(expanse.gpu().id, "v100-32gb");
+}
+
+TEST(ClusterSpec, ValidateRejectsBrokenSpecs) {
+  ClusterSpec c = cluster_by_name("aws-p4d");
+  c.gpus_per_node = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = cluster_by_name("aws-p4d");
+  c.gpu_id = "tpu";
+  EXPECT_THROW(c.validate(), LookupError);
+}
+
+TEST(Collectives, RingFormulas) {
+  // 4 ranks, 1 GB, 100 GB/s, zero latency.
+  const double gb = 1e9;
+  const double bw = 100e9;
+  EXPECT_DOUBLE_EQ(
+      collective_time(Collective::kAllReduce, gb, 4, bw, 0.0),
+      2.0 * 0.75 * gb / bw);
+  EXPECT_DOUBLE_EQ(
+      collective_time(Collective::kAllGather, gb, 4, bw, 0.0),
+      0.75 * gb / bw);
+  EXPECT_DOUBLE_EQ(
+      collective_time(Collective::kReduceScatter, gb, 4, bw, 0.0),
+      collective_time(Collective::kAllGather, gb, 4, bw, 0.0));
+}
+
+TEST(Collectives, LatencyTerm) {
+  const double t = collective_time(Collective::kAllReduce, 0.0, 4, 1e9, 5e-6);
+  EXPECT_DOUBLE_EQ(t, 2.0 * 3 * 5e-6);
+}
+
+TEST(Collectives, SingleRankFree) {
+  EXPECT_DOUBLE_EQ(
+      collective_time(Collective::kAllReduce, 1e9, 1, 1e9, 1e-6), 0.0);
+}
+
+TEST(Collectives, MoreRanksMoreTime) {
+  double prev = 0.0;
+  for (int ranks : {2, 4, 8}) {
+    const double t =
+        collective_time(Collective::kAllReduce, 1e9, ranks, 100e9, 5e-6);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Collectives, Validation) {
+  EXPECT_THROW(collective_time(Collective::kAllReduce, 1.0, 0, 1e9, 0.0),
+               Error);
+  EXPECT_THROW(collective_time(Collective::kAllReduce, -1.0, 2, 1e9, 0.0),
+               Error);
+  EXPECT_THROW(collective_time(Collective::kAllReduce, 1.0, 2, 0.0, 0.0),
+               Error);
+  const ClusterSpec& p4d = cluster_by_name("aws-p4d");
+  EXPECT_THROW(
+      intra_node_collective_time(Collective::kAllReduce, 1.0, 9, p4d),
+      Error);
+}
+
+TEST(TpComm, LayerCommGrowsWithT) {
+  const auto base = tfm::model_by_name("gpt3-2.7b").with_vocab(50304);
+  const ClusterSpec& p4d = cluster_by_name("aws-p4d");
+  double prev = -1.0;
+  for (std::int64_t t : {1, 2, 4, 8}) {
+    const double c = tp_layer_comm_time(base.with_tensor_parallel(t), p4d);
+    EXPECT_GT(c, prev) << t;
+    prev = c;
+  }
+  // t = 1 is communication-free.
+  EXPECT_DOUBLE_EQ(tp_layer_comm_time(base, p4d), 0.0);
+}
+
+TEST(TpComm, TotalTimeTradeoff) {
+  // Per-GPU compute shrinks with t; comm grows. On p4d's 600 GB/s NVLink
+  // the compute win dominates through t = 8 for a 2.7B layer, but the
+  // marginal speedup decays — the quantitative "t as small as possible".
+  const auto base = tfm::model_by_name("gpt3-2.7b").with_vocab(50304);
+  const ClusterSpec& p4d = cluster_by_name("aws-p4d");
+  const auto t1 = tp_total_layer_time(base, p4d);
+  const auto t2 = tp_total_layer_time(base.with_tensor_parallel(2), p4d);
+  const auto t8 = tp_total_layer_time(base.with_tensor_parallel(8), p4d);
+  EXPECT_LT(t2.total_time, t1.total_time);
+  // Efficiency loss: t=8 achieves less than 8/2 = 4x over t=2.
+  EXPECT_LT(t2.total_time / t8.total_time, 4.0);
+  EXPECT_GT(t8.comm_fraction, t2.comm_fraction);
+  EXPECT_DOUBLE_EQ(t1.comm_fraction, 0.0);
+}
+
+TEST(TpComm, SlowFabricHurtsMore) {
+  // The same model pays a larger comm fraction on Summit's 100 GB/s
+  // NVLink than on p4d's 600 GB/s.
+  const auto cfg = tfm::model_by_name("gpt3-1.3b")
+                       .with_tensor_parallel(2)
+                       .with_vocab(50304);
+  const auto p4d = tp_total_layer_time(cfg, cluster_by_name("aws-p4d"));
+  const auto summit =
+      tp_total_layer_time(cfg, cluster_by_name("ornl-summit"));
+  EXPECT_GT(summit.comm_fraction, p4d.comm_fraction);
+}
+
+TEST(TpComm, RejectsOversizedT) {
+  const auto cfg = tfm::model_by_name("gpt3-2.7b")
+                       .with_tensor_parallel(8)
+                       .with_vocab(50304);
+  EXPECT_THROW(tp_total_layer_time(cfg, cluster_by_name("sdsc-expanse")),
+               Error);  // 4-GPU nodes
+}
+
+TEST(Collectives, Names) {
+  EXPECT_STREQ(collective_name(Collective::kAllReduce), "all_reduce");
+  EXPECT_STREQ(collective_name(Collective::kAllGather), "all_gather");
+  EXPECT_STREQ(collective_name(Collective::kReduceScatter), "reduce_scatter");
+}
+
+}  // namespace
+}  // namespace codesign::comm

@@ -1,0 +1,72 @@
+// Tests for advisor/compare.hpp — the side-by-side what-if tool.
+#include "advisor/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "transformer/model_zoo.hpp"
+
+namespace codesign::advisor {
+namespace {
+
+gemm::GemmSimulator sim() { return gemm::GemmSimulator::for_gpu("a100"); }
+
+TEST(Compare, C2BeatsDefaultAcrossTheBoard) {
+  const auto c = compare_configs(tfm::model_by_name("gpt3-2.7b"),
+                                 tfm::model_by_name("gpt3-2.7b-c2"), sim());
+  // Same parameters; faster layer, faster training step, better MFU.
+  // (Decode is a tie — per-token time is weight/KV streaming, which the
+  // head count does not change; the paper's inference win is in prefill.)
+  EXPECT_GE(c.b_wins(), 4);
+  for (const auto& r : c.rows) {
+    if (r.metric == "parameters" || r.metric == "decode tokens/s") {
+      EXPECT_NEAR(r.ratio, 1.0, 1e-9) << r.metric;
+    }
+    if (r.metric == "layer TFLOP/s" || r.metric == "train step" ||
+        r.metric == "MFU" || r.metric == "layer time") {
+      EXPECT_TRUE(r.b_better) << r.metric;
+      EXPECT_GT(r.ratio, 1.0) << r.metric;
+    }
+  }
+}
+
+TEST(Compare, SymmetricRatios) {
+  const auto ab = compare_configs(tfm::model_by_name("gpt3-2.7b"),
+                                  tfm::model_by_name("gpt3-2.7b-c1"), sim());
+  const auto ba = compare_configs(tfm::model_by_name("gpt3-2.7b-c1"),
+                                  tfm::model_by_name("gpt3-2.7b"), sim());
+  for (std::size_t i = 0; i < ab.rows.size(); ++i) {
+    EXPECT_NEAR(ab.rows[i].ratio * ba.rows[i].ratio, 1.0, 1e-9)
+        << ab.rows[i].metric;
+  }
+}
+
+TEST(Compare, EncodersSkipInferenceRow) {
+  const auto c = compare_configs(tfm::model_by_name("bert-base"),
+                                 tfm::model_by_name("bert-large"), sim());
+  for (const auto& r : c.rows) {
+    EXPECT_NE(r.metric, "decode tokens/s");
+  }
+  EXPECT_GE(c.rows.size(), 6u);
+}
+
+TEST(Compare, RenderedReport) {
+  const auto c = compare_configs(tfm::model_by_name("pythia-410m"),
+                                 tfm::model_by_name("pythia-1b"), sim());
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("pythia-410m"), std::string::npos);
+  EXPECT_NE(s.find("pythia-1b"), std::string::npos);
+  EXPECT_NE(s.find("decode tokens/s"), std::string::npos);
+  EXPECT_NE(s.find("B vs A"), std::string::npos);
+}
+
+TEST(Compare, ValidatesInputs) {
+  tfm::TransformerConfig broken = tfm::model_by_name("gpt3-2.7b");
+  broken.num_heads = 48;  // h % a != 0
+  EXPECT_THROW(compare_configs(broken, tfm::model_by_name("gpt3-2.7b"),
+                               sim()),
+               Error);
+}
+
+}  // namespace
+}  // namespace codesign::advisor

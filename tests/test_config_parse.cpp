@@ -1,0 +1,82 @@
+// Tests for transformer/config_parse.hpp.
+#include "transformer/config_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace codesign::tfm {
+namespace {
+
+TEST(ConfigParse, MinimalSpec) {
+  const auto c = parse_config_string("h=2560,a=32,L=32");
+  EXPECT_EQ(c.hidden_size, 2560);
+  EXPECT_EQ(c.num_heads, 32);
+  EXPECT_EQ(c.num_layers, 32);
+  // Defaults preserved.
+  EXPECT_EQ(c.seq_len, 2048);
+  EXPECT_EQ(c.vocab_size, 50304);
+  EXPECT_EQ(c.activation, Activation::kGelu);
+  EXPECT_EQ(c.kind, ModelKind::kDecoder);
+  EXPECT_EQ(c.name, "custom");
+}
+
+TEST(ConfigParse, FullSpec) {
+  const auto c = parse_config_string(
+      "name=my-7b,h=4096,a=32,kv=8,L=32,s=4096,b=2,v=32000,t=2,dff=11008,"
+      "act=swiglu,pos=rotary,attn=flash,kind=decoder,parallel=1,tied=0");
+  EXPECT_EQ(c.name, "my-7b");
+  EXPECT_EQ(c.num_kv_heads, 8);
+  EXPECT_EQ(c.tensor_parallel, 2);
+  EXPECT_EQ(c.d_ff(), 11008);
+  EXPECT_EQ(c.activation, Activation::kSwiGlu);
+  EXPECT_EQ(c.pos_embedding, PosEmbedding::kRotary);
+  EXPECT_EQ(c.attention, AttentionImpl::kFlash);
+  EXPECT_TRUE(c.parallel_layers);
+  EXPECT_FALSE(c.tied_embeddings);
+}
+
+TEST(ConfigParse, WhitespaceAndCaseTolerant) {
+  const auto c =
+      parse_config_string(" h=768 , A=12 , layers=12 , ACT=SwiGLU ");
+  EXPECT_EQ(c.hidden_size, 768);
+  EXPECT_EQ(c.num_heads, 12);
+  EXPECT_EQ(c.activation, Activation::kSwiGlu);
+}
+
+TEST(ConfigParse, EncoderKind) {
+  const auto c = parse_config_string("h=1024,a=16,L=24,kind=encoder,v=30528");
+  EXPECT_EQ(c.kind, ModelKind::kEncoder);
+}
+
+TEST(ConfigParse, RequiresCoreFields) {
+  EXPECT_THROW(parse_config_string(""), ConfigError);
+  EXPECT_THROW(parse_config_string("h=2560,a=32"), ConfigError);  // no L
+  EXPECT_THROW(parse_config_string("a=32,L=32"), ConfigError);    // no h
+}
+
+TEST(ConfigParse, RejectsMalformedEntries) {
+  EXPECT_THROW(parse_config_string("h=2560,a=32,L=32,bogus=1"), ConfigError);
+  EXPECT_THROW(parse_config_string("h2560"), ConfigError);
+  EXPECT_THROW(parse_config_string("h="), ConfigError);
+  EXPECT_THROW(parse_config_string("=32"), ConfigError);
+  EXPECT_THROW(parse_config_string("h=abc,a=32,L=32"), Error);
+  EXPECT_THROW(parse_config_string("h=2560,a=32,L=32,act=relu"), ConfigError);
+  EXPECT_THROW(parse_config_string("h=2560,a=32,L=32,parallel=maybe"),
+               ConfigError);
+}
+
+TEST(ConfigParse, ResultIsValidated) {
+  // h % a != 0 must be rejected by the embedded validate().
+  EXPECT_THROW(parse_config_string("h=2560,a=48,L=32"), ConfigError);
+  // t must divide a.
+  EXPECT_THROW(parse_config_string("h=2560,a=32,L=32,t=6"), ConfigError);
+}
+
+TEST(ConfigParse, EmptySegmentsIgnored) {
+  const auto c = parse_config_string("h=768,a=12,L=12,,");
+  EXPECT_EQ(c.hidden_size, 768);
+}
+
+}  // namespace
+}  // namespace codesign::tfm

@@ -1,0 +1,117 @@
+// Tests for advisor/designer.hpp — designing a model from a parameter
+// budget under the paper's rules.
+#include "advisor/designer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "advisor/rules.hpp"
+#include "common/error.hpp"
+#include "transformer/model_zoo.hpp"
+#include "transformer/params.hpp"
+#include "transformer/training.hpp"
+
+namespace codesign::advisor {
+namespace {
+
+gemm::GemmSimulator sim() { return gemm::GemmSimulator::for_gpu("a100"); }
+
+DesignConstraints budget(double params) {
+  DesignConstraints c;
+  c.param_budget = params;
+  return c;
+}
+
+TEST(Designer, HitsTheBudget) {
+  const auto designs = design_models(budget(2.7e9), sim());
+  ASSERT_FALSE(designs.empty());
+  for (const Design& d : designs) {
+    EXPECT_LE(std::fabs(d.param_error_frac), 0.10) << d.config.name;
+    EXPECT_NO_THROW(d.config.validate());
+  }
+}
+
+TEST(Designer, EveryDesignSatisfiesTheRules) {
+  RuleContext ctx;
+  ctx.gpu = &sim().gpu();
+  for (const Design& d : design_models(budget(2.7e9), sim())) {
+    EXPECT_TRUE(satisfies_performance_rules(d.config, ctx)) << d.config.name;
+    // Head dim from the requested set, h on the 64 granule.
+    EXPECT_TRUE(d.config.head_dim() == 64 || d.config.head_dim() == 128)
+        << d.config.name;
+    EXPECT_EQ(d.config.hidden_size % 64, 0) << d.config.name;
+    EXPECT_EQ(d.config.vocab_size % 64, 0) << d.config.name;
+  }
+}
+
+TEST(Designer, SortedByThroughput) {
+  const auto designs = design_models(budget(1.3e9), sim());
+  for (std::size_t i = 1; i < designs.size(); ++i) {
+    EXPECT_GE(designs[i - 1].step_tflops, designs[i].step_tflops);
+  }
+  EXPECT_GT(designs.front().mfu, 0.1);
+}
+
+TEST(Designer, BeatsTheHistoricalShapeAtEqualBudget) {
+  // The designer's best 2.7B shape must out-train the GPT-3 2.7B default
+  // (that is the paper's whole point).
+  const auto designs = design_models(budget(2.65e9), sim());
+  const auto baseline = tfm::analyze_training_step(
+      tfm::model_by_name("gpt3-2.7b"), sim());
+  EXPECT_GT(designs.front().step_tflops, baseline.model_tflops * 1.05);
+}
+
+TEST(Designer, AspectBandRespected) {
+  DesignConstraints c = budget(2.7e9);
+  c.min_aspect = 60.0;
+  c.max_aspect = 100.0;
+  for (const Design& d : design_models(c, sim())) {
+    EXPECT_GE(d.aspect, 60.0) << d.config.name;
+    EXPECT_LE(d.aspect, 100.0) << d.config.name;
+  }
+}
+
+TEST(Designer, TensorParallelConstraintsApplied) {
+  DesignConstraints c = budget(20e9);
+  c.tensor_parallel = 8;
+  for (const Design& d : design_models(c, sim())) {
+    EXPECT_EQ(d.config.tensor_parallel, 8);
+    EXPECT_EQ(d.config.num_heads % 8, 0) << d.config.name;
+    EXPECT_EQ(d.config.hidden_size % (64 * 8), 0) << d.config.name;
+  }
+}
+
+TEST(Designer, PadsOddVocab) {
+  DesignConstraints c = budget(1.3e9);
+  c.vocab_size = 50257;
+  for (const Design& d : design_models(c, sim())) {
+    EXPECT_EQ(d.config.vocab_size, 50304);
+  }
+}
+
+TEST(Designer, MaxDesignsHonored) {
+  DesignConstraints c = budget(2.7e9);
+  c.max_designs = 3;
+  EXPECT_LE(design_models(c, sim()).size(), 3u);
+}
+
+TEST(Designer, Validation) {
+  EXPECT_THROW(design_models(budget(0.0), sim()), ConfigError);
+  DesignConstraints c = budget(2.7e9);
+  c.head_dims.clear();
+  EXPECT_THROW(design_models(c, sim()), ConfigError);
+  c = budget(2.7e9);
+  c.min_aspect = 10.0;
+  c.max_aspect = 5.0;
+  EXPECT_THROW(design_models(c, sim()), ConfigError);
+  // An impossible corner: tiny tolerance + tiny aspect window.
+  c = budget(2.7e9);
+  c.param_tolerance = 1e-6;
+  c.min_aspect = 200.0;
+  c.max_aspect = 201.0;
+  EXPECT_THROW(design_models(c, sim()), ConfigError);
+}
+
+}  // namespace
+}  // namespace codesign::advisor

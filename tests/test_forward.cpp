@@ -1,0 +1,159 @@
+// Tests for transformer/forward.hpp — the executable CPU model. Uses tiny
+// configurations (the point is mapping correctness, not speed).
+#include "transformer/forward.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace codesign::tfm {
+namespace {
+
+TransformerConfig tiny() {
+  TransformerConfig c;
+  c.name = "tiny";
+  c.hidden_size = 32;
+  c.num_heads = 4;
+  c.num_layers = 2;
+  c.seq_len = 16;
+  c.microbatch = 1;
+  c.vocab_size = 96;
+  return c;
+}
+
+std::vector<std::int64_t> ids(std::int64_t n, std::int64_t vocab) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t i = 0; i < n; ++i) out.push_back((7 * i + 3) % vocab);
+  return out;
+}
+
+TEST(Forward, LogitShape) {
+  const auto model = TransformerModel::random_init(tiny());
+  const Tensor logits = model.forward(ids(10, 96));
+  ASSERT_EQ(logits.rank(), 2u);
+  EXPECT_EQ(logits.dim(0), 10);
+  EXPECT_EQ(logits.dim(1), 96);
+  EXPECT_TRUE(logits.all_finite());
+}
+
+TEST(Forward, Deterministic) {
+  const auto m1 = TransformerModel::random_init(tiny(), 7);
+  const auto m2 = TransformerModel::random_init(tiny(), 7);
+  const auto in = ids(8, 96);
+  EXPECT_EQ(kern::max_abs_diff(m1.forward(in), m2.forward(in)), 0.0f);
+}
+
+TEST(Forward, DifferentSeedsDifferentLogits) {
+  const auto m1 = TransformerModel::random_init(tiny(), 7);
+  const auto m2 = TransformerModel::random_init(tiny(), 8);
+  const auto in = ids(8, 96);
+  EXPECT_GT(kern::max_abs_diff(m1.forward(in), m2.forward(in)), 1e-6f);
+}
+
+TEST(Forward, RandomModelLossNearLnV) {
+  // A freshly initialized model is ~uniform over the vocabulary, so the
+  // next-token cross-entropy must sit near ln(v).
+  const auto model = TransformerModel::random_init(tiny());
+  const double loss = model.next_token_loss(ids(16, 96));
+  EXPECT_NEAR(loss, std::log(96.0), 0.35);
+}
+
+TEST(Forward, CausalityPastLogitsUnaffectedByFutureTokens) {
+  // The decoder must be causal: changing token i must not change logits
+  // for positions < i.
+  const auto model = TransformerModel::random_init(tiny());
+  auto a = ids(12, 96);
+  auto b = a;
+  b[11] = (b[11] + 5) % 96;  // perturb only the last token
+  const Tensor la = model.forward(a);
+  const Tensor lb = model.forward(b);
+  for (std::int64_t pos = 0; pos < 11; ++pos) {
+    for (std::int64_t v = 0; v < 96; ++v) {
+      EXPECT_EQ(la.at(pos, v), lb.at(pos, v)) << "pos " << pos;
+    }
+  }
+  // ... and the final position must change.
+  float diff = 0.0f;
+  for (std::int64_t v = 0; v < 96; ++v) {
+    diff = std::max(diff, std::fabs(la.at(11, v) - lb.at(11, v)));
+  }
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST(Forward, ParallelLayersVariantRuns) {
+  TransformerConfig c = tiny();
+  c.parallel_layers = true;
+  const auto model = TransformerModel::random_init(c);
+  EXPECT_TRUE(model.forward(ids(8, 96)).all_finite());
+}
+
+TEST(Forward, RotaryVariantRuns) {
+  TransformerConfig c = tiny();
+  c.pos_embedding = PosEmbedding::kRotary;
+  const auto model = TransformerModel::random_init(c);
+  EXPECT_TRUE(model.forward(ids(8, 96)).all_finite());
+  // No learned position table allocated.
+  EXPECT_TRUE(model.weights().pos_embedding.empty());
+}
+
+TEST(Forward, SwigluVariantRuns) {
+  TransformerConfig c = tiny();
+  c.activation = Activation::kSwiGlu;
+  c.mlp_intermediate = 48;
+  const auto model = TransformerModel::random_init(c);
+  EXPECT_TRUE(model.forward(ids(8, 96)).all_finite());
+  EXPECT_EQ(model.weights().layers[0].w_gate.dim(0), 48);
+}
+
+TEST(Forward, UntiedLmHead) {
+  TransformerConfig c = tiny();
+  c.tied_embeddings = false;
+  const auto model = TransformerModel::random_init(c);
+  EXPECT_FALSE(model.weights().lm_head.empty());
+  EXPECT_TRUE(model.forward(ids(8, 96)).all_finite());
+}
+
+TEST(Forward, RotaryPreservesCausality) {
+  TransformerConfig c = tiny();
+  c.pos_embedding = PosEmbedding::kRotary;
+  const auto model = TransformerModel::random_init(c);
+  auto a = ids(10, 96);
+  auto b = a;
+  b[9] = (b[9] + 1) % 96;
+  const Tensor la = model.forward(a);
+  const Tensor lb = model.forward(b);
+  for (std::int64_t v = 0; v < 96; ++v) {
+    EXPECT_EQ(la.at(4, v), lb.at(4, v));
+  }
+}
+
+TEST(Forward, InputValidation) {
+  const auto model = TransformerModel::random_init(tiny());
+  EXPECT_THROW(model.forward({}), Error);
+  EXPECT_THROW(model.forward(ids(17, 96)), Error);  // longer than s
+  EXPECT_THROW(model.next_token_loss({1}), Error);  // needs 2+ tokens
+}
+
+TEST(Forward, RejectsTensorParallelConfigs) {
+  TransformerConfig c = tiny();
+  c.tensor_parallel = 2;
+  c.vocab_size = 96;  // divisible by 2; heads 4 divisible by 2
+  EXPECT_THROW(TransformerModel::random_init(c), Error);
+}
+
+TEST(Forward, BlocksPreserveShape) {
+  const auto model = TransformerModel::random_init(tiny());
+  codesign::Rng rng(3);
+  const Tensor x = Tensor::randn({8, 32}, rng, 0.1f);
+  const Tensor attn = model.attention_block(x, model.weights().layers[0]);
+  EXPECT_EQ(attn.dim(0), 8);
+  EXPECT_EQ(attn.dim(1), 32);
+  const Tensor mlp = model.mlp_block(x, model.weights().layers[0]);
+  EXPECT_EQ(mlp.dim(0), 8);
+  EXPECT_EQ(mlp.dim(1), 32);
+}
+
+}  // namespace
+}  // namespace codesign::tfm

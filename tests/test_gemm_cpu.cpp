@@ -1,0 +1,190 @@
+// Tests for kernels/gemm_cpu.hpp — the CPU execution substrate. The blocked
+// and parallel kernels are verified against the naive triple loop over a
+// grid of awkward shapes, and the fp16 emulation's error is bounded.
+#include "kernels/gemm_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace codesign::kern {
+namespace {
+
+Tensor random2d(std::int64_t m, std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn({m, n}, rng, 1.0f);
+}
+
+// Property suite: blocked == naive == parallel for awkward shapes.
+class GemmAlgoAgreement
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, std::int64_t>> {};
+
+TEST_P(GemmAlgoAgreement, BlockedAndParallelMatchNaive) {
+  const auto [m, n, k] = GetParam();
+  const Tensor a = random2d(m, k, 1);
+  const Tensor b = random2d(k, n, 2);
+
+  GemmOptions naive;
+  naive.algo = GemmAlgo::kNaive;
+  const Tensor c_ref = matmul(a, b, naive);
+
+  GemmOptions blocked;
+  blocked.algo = GemmAlgo::kBlocked;
+  const Tensor c_blk = matmul(a, b, blocked);
+  EXPECT_LT(relative_error(c_blk, c_ref), 1e-5f);
+
+  GemmOptions parallel;
+  parallel.algo = GemmAlgo::kParallel;
+  parallel.num_threads = 3;
+  const Tensor c_par = matmul(a, b, parallel);
+  EXPECT_LT(relative_error(c_par, c_ref), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, GemmAlgoAgreement,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(7, 5, 3),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 129, 257),
+                      std::make_tuple(128, 33, 300),
+                      std::make_tuple(17, 256, 64),
+                      std::make_tuple(100, 100, 1)));
+
+TEST(GemmCpu, AlphaBeta) {
+  const Tensor a = random2d(8, 8, 3);
+  const Tensor b = random2d(8, 8, 4);
+  Tensor c = Tensor::full({8, 8}, 1.0f);
+  GemmOptions opt;
+  opt.alpha = 2.0f;
+  opt.beta = 0.5f;
+  gemm(a, b, c, opt);
+
+  // Reference: 2*A*B + 0.5*ones.
+  const Tensor ab = matmul(a, b);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    for (std::int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(c.at(i, j), 2.0f * ab.at(i, j) + 0.5f, 1e-4f);
+    }
+  }
+}
+
+TEST(GemmCpu, BetaOnePreservesAccumulator) {
+  const Tensor a = random2d(4, 4, 5);
+  const Tensor b = random2d(4, 4, 6);
+  Tensor c = Tensor::full({4, 4}, 10.0f);
+  GemmOptions opt;
+  opt.beta = 1.0f;
+  gemm(a, b, c, opt);
+  const Tensor ab = matmul(a, b);
+  EXPECT_NEAR(c.at(2, 2), ab.at(2, 2) + 10.0f, 1e-4f);
+}
+
+TEST(GemmCpu, ShapeValidation) {
+  const Tensor a({2, 3});
+  const Tensor b({4, 5});  // inner mismatch
+  Tensor c({2, 5});
+  EXPECT_THROW(gemm(a, b, c), Error);
+  const Tensor b_ok({3, 5});
+  Tensor c_bad({2, 4});
+  EXPECT_THROW(gemm(a, b_ok, c_bad), Error);
+}
+
+TEST(GemmCpu, IdentityMultiplication) {
+  Tensor eye({3, 3});
+  for (int i = 0; i < 3; ++i) eye.at(i, i) = 1.0f;
+  const Tensor a = random2d(3, 3, 7);
+  EXPECT_LT(max_abs_diff(matmul(eye, a), a), 1e-6f);
+  EXPECT_LT(max_abs_diff(matmul(a, eye), a), 1e-6f);
+}
+
+TEST(GemmCpu, Fp16EmulationErrorBounded) {
+  const Tensor a = random2d(64, 64, 8);
+  const Tensor b = random2d(64, 64, 9);
+  const Tensor ref = matmul(a, b);
+  GemmOptions fp16;
+  fp16.fp16_inputs = true;
+  fp16.fp16_output = true;
+  const Tensor q = matmul(a, b, fp16);
+  const float err = relative_error(q, ref);
+  EXPECT_GT(err, 0.0f);      // quantization must actually happen
+  EXPECT_LT(err, 5e-3f);     // but stays within fp16 accuracy
+}
+
+TEST(Bmm, MatchesPerBatchGemm) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn({3, 5, 7}, rng);
+  const Tensor b = Tensor::randn({3, 7, 4}, rng);
+  const Tensor c = batched_matmul(a, b);
+  ASSERT_EQ(c.dim(0), 3);
+  ASSERT_EQ(c.dim(1), 5);
+  ASSERT_EQ(c.dim(2), 4);
+  for (std::int64_t batch = 0; batch < 3; ++batch) {
+    Tensor a2({5, 7}), b2({7, 4});
+    for (std::int64_t i = 0; i < 5; ++i)
+      for (std::int64_t j = 0; j < 7; ++j) a2.at(i, j) = a.at(batch, i, j);
+    for (std::int64_t i = 0; i < 7; ++i)
+      for (std::int64_t j = 0; j < 4; ++j) b2.at(i, j) = b.at(batch, i, j);
+    const Tensor c2 = matmul(a2, b2);
+    for (std::int64_t i = 0; i < 5; ++i) {
+      for (std::int64_t j = 0; j < 4; ++j) {
+        EXPECT_NEAR(c.at(batch, i, j), c2.at(i, j), 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(Bmm, BatchMismatchThrows) {
+  const Tensor a({2, 4, 4});
+  const Tensor b({3, 4, 4});
+  Tensor c({2, 4, 4});
+  EXPECT_THROW(bmm(a, b, c), Error);
+}
+
+TEST(Linear, MatchesManualTranspose) {
+  // Y = X W^T: X (4, 6), W (5, 6) -> Y (4, 5).
+  const Tensor x = random2d(4, 6, 12);
+  const Tensor w = random2d(5, 6, 13);
+  const Tensor y = linear(x, w);
+  const Tensor y_ref = matmul(x, w.transposed_2d());
+  EXPECT_LT(max_abs_diff(y, y_ref), 1e-5f);
+}
+
+TEST(Linear, BiasApplied) {
+  const Tensor x = random2d(3, 4, 14);
+  const Tensor w = random2d(2, 4, 15);
+  const Tensor bias = Tensor::from_values({10.0f, 20.0f});
+  const Tensor y = linear(x, w, &bias);
+  const Tensor y0 = linear(x, w);
+  EXPECT_NEAR(y.at(1, 0) - y0.at(1, 0), 10.0f, 1e-5f);
+  EXPECT_NEAR(y.at(2, 1) - y0.at(2, 1), 20.0f, 1e-5f);
+}
+
+TEST(Linear, Rank3FoldingMatchesRank2) {
+  // The Fig-14 property, numerically: a (2, 3, 4) input equals the (6, 4)
+  // folding, and the batched dimension ordering is irrelevant.
+  Rng rng(16);
+  const Tensor x3 = Tensor::randn({2, 3, 4}, rng);
+  const Tensor w = random2d(5, 4, 17);
+  const Tensor y3 = linear(x3, w);
+  ASSERT_EQ(y3.rank(), 3u);
+  EXPECT_EQ(y3.dim(0), 2);
+  EXPECT_EQ(y3.dim(1), 3);
+  EXPECT_EQ(y3.dim(2), 5);
+  const Tensor y2 = linear(x3.reshape({6, 4}), w);
+  EXPECT_LT(max_abs_diff(y3.reshape({6, 5}), y2), 1e-6f);
+}
+
+TEST(Linear, ValidationErrors) {
+  const Tensor x({2, 3});
+  const Tensor w({4, 9});  // in_features mismatch
+  EXPECT_THROW(linear(x, w), Error);
+  const Tensor w_ok({4, 3});
+  const Tensor bad_bias = Tensor::from_values({1.0f});
+  EXPECT_THROW(linear(x, w_ok, &bad_bias), Error);
+}
+
+}  // namespace
+}  // namespace codesign::kern

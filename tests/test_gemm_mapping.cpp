@@ -1,0 +1,203 @@
+// Tests for transformer/gemm_mapping.hpp — Table II, exactly.
+#include "transformer/gemm_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "transformer/model_zoo.hpp"
+
+namespace codesign::tfm {
+namespace {
+
+using gemm::GemmProblem;
+
+TransformerConfig cfg(std::int64_t t = 1) {
+  TransformerConfig c = model_by_name("gpt3-2.7b");
+  c.microbatch = 4;
+  if (t > 1) {
+    c = c.with_tensor_parallel(t).with_vocab(50304);  // v divisible by t
+  }
+  return c;
+}
+
+TEST(Mapping, QkvTransformShape) {
+  // (b·s, h) × (h, 3h/t)
+  const GemmProblem p = qkv_gemm(cfg());
+  EXPECT_EQ(p.m, 4 * 2048);
+  EXPECT_EQ(p.n, 3 * 2560);
+  EXPECT_EQ(p.k, 2560);
+  EXPECT_EQ(p.batch, 1);
+}
+
+TEST(Mapping, AttentionScoreShape) {
+  // b·a/t batched (s, h/a) × (h/a, s)
+  const GemmProblem p = attention_score_bmm(cfg());
+  EXPECT_EQ(p.batch, 4 * 32);
+  EXPECT_EQ(p.m, 2048);
+  EXPECT_EQ(p.n, 2048);
+  EXPECT_EQ(p.k, 80);
+}
+
+TEST(Mapping, AttentionOverValueShape) {
+  // b·a/t batched (s, s) × (s, h/a)
+  const GemmProblem p = attention_over_value_bmm(cfg());
+  EXPECT_EQ(p.batch, 4 * 32);
+  EXPECT_EQ(p.m, 2048);
+  EXPECT_EQ(p.n, 80);
+  EXPECT_EQ(p.k, 2048);
+}
+
+TEST(Mapping, ProjectionShape) {
+  // (b·s, h/t) × (h/t, h)
+  const GemmProblem p = post_attn_projection_gemm(cfg());
+  EXPECT_EQ(p.m, 8192);
+  EXPECT_EQ(p.n, 2560);
+  EXPECT_EQ(p.k, 2560);
+}
+
+TEST(Mapping, MlpShapes) {
+  const GemmProblem up = mlp_up_gemm(cfg());
+  EXPECT_EQ(up.m, 8192);
+  EXPECT_EQ(up.n, 4 * 2560);
+  EXPECT_EQ(up.k, 2560);
+  const GemmProblem down = mlp_down_gemm(cfg());
+  EXPECT_EQ(down.m, 8192);
+  EXPECT_EQ(down.n, 2560);
+  EXPECT_EQ(down.k, 4 * 2560);
+}
+
+TEST(Mapping, LogitShape) {
+  const GemmProblem p = logit_gemm(cfg());
+  EXPECT_EQ(p.m, 8192);
+  EXPECT_EQ(p.n, 50257);
+  EXPECT_EQ(p.k, 2560);
+}
+
+TEST(Mapping, TensorParallelDividesShapes) {
+  const TransformerConfig c = cfg(4);
+  EXPECT_EQ(qkv_gemm(c).n, 3 * 2560 / 4);
+  EXPECT_EQ(attention_score_bmm(c).batch, 4 * 32 / 4);
+  EXPECT_EQ(attention_score_bmm(c).k, 80);  // head dim unchanged by TP
+  EXPECT_EQ(post_attn_projection_gemm(c).k, 2560 / 4);
+  EXPECT_EQ(mlp_up_gemm(c).n, 4 * 2560 / 4);
+  EXPECT_EQ(mlp_down_gemm(c).k, 4 * 2560 / 4);
+  EXPECT_EQ(logit_gemm(c).n, 50304 / 4);
+}
+
+TEST(Mapping, ChainabilityOfOperatorShapes) {
+  // Output of each operator must be a valid input to the next.
+  const TransformerConfig c = cfg();
+  const GemmProblem qkv = qkv_gemm(c);
+  const GemmProblem score = attention_score_bmm(c);
+  const GemmProblem aov = attention_over_value_bmm(c);
+  const GemmProblem proj = post_attn_projection_gemm(c);
+  const GemmProblem up = mlp_up_gemm(c);
+  const GemmProblem down = mlp_down_gemm(c);
+
+  // QKV output (b·s, 3h/t) splits into 3 tensors of (b·a/t) heads × (s, h/a).
+  EXPECT_EQ(qkv.m * qkv.n,
+            3 * score.batch * score.m * score.k);
+  // Score output (b·a/t, s, s) is AOV's left operand.
+  EXPECT_EQ(score.batch, aov.batch);
+  EXPECT_EQ(score.m, aov.m);
+  EXPECT_EQ(score.n, aov.k);
+  // AOV output (b·a/t, s, h/a) merges to the projection input (b·s, h/t).
+  EXPECT_EQ(aov.batch * aov.m * aov.n, proj.m * proj.k);
+  // Projection output feeds the MLP input.
+  EXPECT_EQ(proj.m, up.m);
+  EXPECT_EQ(proj.n, up.k);
+  // MLP up output feeds MLP down.
+  EXPECT_EQ(up.n, down.k);
+  EXPECT_EQ(down.n, up.k);
+}
+
+TEST(Mapping, LayerGemmsStandardCount) {
+  // GELU + BMM attention: QKV, score, AOV, proj, up, down = 6 (Table II).
+  EXPECT_EQ(layer_gemms(cfg()).size(), 6u);
+}
+
+TEST(Mapping, LayerGemmsSwigluCount) {
+  TransformerConfig c = cfg();
+  c.activation = Activation::kSwiGlu;
+  c.mlp_intermediate = 6912;
+  EXPECT_EQ(layer_gemms(c).size(), 7u);  // + gate
+}
+
+TEST(Mapping, LayerGemmsFlashCount) {
+  TransformerConfig c = cfg();
+  c.attention = AttentionImpl::kFlash;
+  EXPECT_EQ(layer_gemms(c).size(), 4u);  // score/AOV absorbed
+}
+
+TEST(Mapping, FlashProblemFields) {
+  TransformerConfig c = cfg();
+  const auto p = flash_attention_problem(c);
+  EXPECT_EQ(p.batch, 4);
+  EXPECT_EQ(p.heads, 32);
+  EXPECT_EQ(p.seq, 2048);
+  EXPECT_EQ(p.head_dim, 80);
+  EXPECT_TRUE(p.causal);
+}
+
+TEST(Mapping, LayerOpsScheduleOrder) {
+  const auto ops = layer_ops(cfg());
+  ASSERT_GE(ops.size(), 10u);
+  EXPECT_EQ(ops.front().op, LayerOp::kLayerNorm1);
+  EXPECT_EQ(ops[1].op, LayerOp::kQkvTransform);
+  EXPECT_EQ(ops.back().op, LayerOp::kResidualAdd2);
+  // GEMM ops carry problems; non-GEMM ops carry traffic.
+  for (const MappedOp& op : ops) {
+    if (op.is_gemm()) {
+      EXPECT_TRUE(op_is_gemm(op.op)) << op_name(op.op);
+      EXPECT_GT(op.flops, 0.0);
+    } else if (!op.flash.has_value()) {
+      EXPECT_GT(op.elementwise_bytes, 0.0) << op_name(op.op);
+    }
+  }
+}
+
+TEST(Mapping, RotaryAddsOp) {
+  TransformerConfig c = cfg();
+  c.pos_embedding = PosEmbedding::kRotary;
+  const auto ops = layer_ops(c);
+  bool has_rotary = false;
+  for (const auto& op : ops) has_rotary |= op.op == LayerOp::kRotaryEmbedding;
+  EXPECT_TRUE(has_rotary);
+}
+
+TEST(Mapping, FlashScheduleHasNoSoftmax) {
+  TransformerConfig c = cfg();
+  c.attention = AttentionImpl::kFlash;
+  for (const auto& op : layer_ops(c)) {
+    EXPECT_NE(op.op, LayerOp::kSoftmax);
+    EXPECT_NE(op.op, LayerOp::kAttentionScore);
+    EXPECT_NE(op.op, LayerOp::kAttentionOverValue);
+  }
+}
+
+TEST(Mapping, ModelLevelOps) {
+  const auto ops = model_level_ops(cfg());
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].op, LayerOp::kEmbeddingLookup);
+  EXPECT_EQ(ops[1].op, LayerOp::kFinalLayerNorm);
+  EXPECT_EQ(ops[2].op, LayerOp::kLogitProjection);
+  EXPECT_TRUE(ops[2].is_gemm());
+}
+
+TEST(Mapping, OpNamesAndPredicate) {
+  EXPECT_STREQ(op_name(LayerOp::kQkvTransform), "qkv_transform");
+  EXPECT_TRUE(op_is_gemm(LayerOp::kMlpUp));
+  EXPECT_FALSE(op_is_gemm(LayerOp::kSoftmax));
+  EXPECT_FALSE(op_is_gemm(LayerOp::kFlashAttention));
+}
+
+TEST(Mapping, InvalidConfigRejected) {
+  TransformerConfig c = cfg();
+  c.num_heads = 48;  // h % a != 0
+  EXPECT_THROW(qkv_gemm(c), Error);
+  EXPECT_THROW(layer_gemms(c), Error);
+}
+
+}  // namespace
+}  // namespace codesign::tfm

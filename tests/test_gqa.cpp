@@ -1,0 +1,103 @@
+// Tests for grouped-query attention support (num_kv_heads).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gemmsim/simulator.hpp"
+#include "transformer/forward.hpp"
+#include "transformer/gemm_mapping.hpp"
+#include "transformer/inference.hpp"
+#include "transformer/model_zoo.hpp"
+#include "transformer/params.hpp"
+
+namespace codesign::tfm {
+namespace {
+
+TransformerConfig gqa_cfg(std::int64_t kv) {
+  TransformerConfig c = model_by_name("llama2-7b");  // a = 32
+  c.num_kv_heads = kv;
+  return c;
+}
+
+TEST(Gqa, DefaultIsFullMultiHead) {
+  const auto& c = model_by_name("gpt3-2.7b");
+  EXPECT_EQ(c.num_kv_heads, 0);
+  EXPECT_EQ(c.kv_heads(), 32);
+  EXPECT_EQ(c.qkv_width(), 3 * 2560);
+}
+
+TEST(Gqa, QkvWidthShrinks) {
+  const auto c = gqa_cfg(8);
+  // h + 2 * 8 * 128 = 4096 + 2048.
+  EXPECT_EQ(c.qkv_width(), 4096 + 2 * 8 * 128);
+  EXPECT_EQ(qkv_gemm(c).n, 4096 + 2048);
+}
+
+TEST(Gqa, ScoreAndAovShapesUnchanged) {
+  // Every query head still attends over the full context.
+  const auto mha = gqa_cfg(0);
+  const auto gqa = gqa_cfg(8);
+  EXPECT_EQ(attention_score_bmm(mha), attention_score_bmm(gqa));
+  EXPECT_EQ(attention_over_value_bmm(mha), attention_over_value_bmm(gqa));
+}
+
+TEST(Gqa, ParameterCountShrinks) {
+  const auto mha = gqa_cfg(0);
+  const auto gqa = gqa_cfg(8);
+  const auto delta = exact_param_count(mha) - exact_param_count(gqa);
+  // Per layer: (2h - 2·kv·d) columns of the (h, ·) QKV matrix + biases.
+  const std::int64_t per_layer = (2 * 4096 - 2 * 8 * 128) * (4096 + 1);
+  EXPECT_EQ(delta, 32 * per_layer);
+}
+
+TEST(Gqa, Llama70bUsesEightGroups) {
+  const auto& c = model_by_name("llama2-70b");
+  EXPECT_EQ(c.num_kv_heads, 8);
+  EXPECT_EQ(c.kv_heads(), 8);
+  EXPECT_EQ(c.head_dim(), 128);
+  // ~69B parameters with GQA (would be ~75B with full MHA).
+  const auto p = static_cast<double>(exact_param_count(c));
+  EXPECT_NEAR(p / 69e9, 1.0, 0.03);
+}
+
+TEST(Gqa, KvCacheTrafficShrinks) {
+  const auto sim = gemm::GemmSimulator::for_gpu("a100");
+  const auto mha = estimate_inference(gqa_cfg(0), sim);
+  const auto gqa = estimate_inference(gqa_cfg(8), sim);
+  EXPECT_NEAR(gqa.kv_bytes_avg, mha.kv_bytes_avg / 4.0, 1.0);
+  EXPECT_LT(gqa.per_token_time, mha.per_token_time);
+}
+
+TEST(Gqa, ValidationRules) {
+  TransformerConfig c = gqa_cfg(8);
+  EXPECT_NO_THROW(c.validate());
+  c.num_kv_heads = 33;  // exceeds a = 32
+  EXPECT_THROW(c.validate(), ConfigError);
+  c.num_kv_heads = 7;  // 32 % 7 != 0
+  EXPECT_THROW(c.validate(), ConfigError);
+  c.num_kv_heads = -1;
+  EXPECT_THROW(c.validate(), ConfigError);
+  // t must divide kv heads.
+  c = gqa_cfg(8).with_tensor_parallel(16).with_vocab(32000);
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(Gqa, ExecutableForwardRejectsGqa) {
+  TransformerConfig c;
+  c.name = "tiny-gqa";
+  c.hidden_size = 32;
+  c.num_heads = 4;
+  c.num_kv_heads = 2;
+  c.num_layers = 1;
+  c.seq_len = 8;
+  c.microbatch = 1;
+  c.vocab_size = 64;
+  EXPECT_THROW(TransformerModel::random_init(c), Error);
+}
+
+TEST(Gqa, TensorParallelQkvWidth) {
+  const auto c = gqa_cfg(8).with_tensor_parallel(4).with_vocab(32000);
+  EXPECT_EQ(qkv_gemm(c).n, (4096 + 2048) / 4);
+}
+
+}  // namespace
+}  // namespace codesign::tfm

@@ -1,0 +1,98 @@
+// Tests for kernels/half.hpp — IEEE binary16 emulation.
+#include "kernels/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace codesign::kern {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; i += 37) {
+    EXPECT_EQ(round_to_half(static_cast<float>(i)), static_cast<float>(i))
+        << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(float_to_half_bits(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000);
+  EXPECT_EQ(float_to_half_bits(1.0f), 0x3C00);
+  EXPECT_EQ(float_to_half_bits(-1.0f), 0xBC00);
+  EXPECT_EQ(float_to_half_bits(2.0f), 0x4000);
+  EXPECT_EQ(float_to_half_bits(0.5f), 0x3800);
+  EXPECT_EQ(float_to_half_bits(65504.0f), 0x7BFF);  // max finite half
+}
+
+TEST(Half, RoundTripBitPatterns) {
+  // Every finite half value round-trips exactly through float.
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const std::uint32_t exp = (h >> 10) & 0x1F;
+    if (exp == 0x1F) continue;  // skip inf/NaN here
+    const float f = half_bits_to_float(h);
+    EXPECT_EQ(float_to_half_bits(f), h) << std::hex << bits;
+  }
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_EQ(float_to_half_bits(1e6f), 0x7C00);
+  EXPECT_EQ(float_to_half_bits(-1e6f), 0xFC00);
+  EXPECT_EQ(float_to_half_bits(65520.0f), 0x7C00);  // rounds past max
+  EXPECT_TRUE(std::isinf(round_to_half(70000.0f)));
+}
+
+TEST(Half, InfinityAndNaN) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(float_to_half_bits(inf), 0x7C00);
+  EXPECT_EQ(float_to_half_bits(-inf), 0xFC00);
+  EXPECT_TRUE(std::isinf(half_bits_to_float(0x7C00)));
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(round_to_half(nan)));
+}
+
+TEST(Half, SubnormalsPreserved) {
+  // Smallest positive subnormal half = 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(float_to_half_bits(tiny), 0x0001);
+  EXPECT_EQ(half_bits_to_float(0x0001), tiny);
+  // Largest subnormal.
+  EXPECT_EQ(half_bits_to_float(0x03FF), std::ldexp(1023.0f, -24));
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_EQ(float_to_half_bits(1e-9f), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-1e-9f), 0x8000);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1.0 and the next half (1 + 2^-10):
+  // ties to even => 1.0 (mantissa 0 is even).
+  EXPECT_EQ(round_to_half(1.0f + std::ldexp(1.0f, -11)), 1.0f);
+  // (1 + 3*2^-11) ties between 1+2^-10 and 1+2^-9: even is 1+2^-9... the
+  // midpoint rounds to the even mantissa (2).
+  const float up = round_to_half(1.0f + 3.0f * std::ldexp(1.0f, -11));
+  EXPECT_EQ(up, 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Half, RelativeErrorBounded) {
+  // Round-to-nearest of normal values has relative error <= 2^-11.
+  for (float f : {0.1f, 0.3f, 3.14159f, 123.456f, 0.999f, 1e-3f, 6e4f}) {
+    const float r = round_to_half(f);
+    EXPECT_LE(std::fabs(r - f) / f, std::ldexp(1.0f, -11) + 1e-7f) << f;
+  }
+}
+
+TEST(HalfType, WrapperBehaviour) {
+  const half_t h(1.5f);
+  EXPECT_EQ(h.to_float(), 1.5f);
+  EXPECT_EQ(static_cast<float>(h), 1.5f);
+  EXPECT_EQ(half_t::from_bits(h.bits()), h);
+  EXPECT_EQ(half_t(1.5f), half_t(1.5f));
+}
+
+}  // namespace
+}  // namespace codesign::kern

@@ -1,0 +1,147 @@
+// Tests for transformer/layer_model.hpp — per-op latency and shares.
+#include "transformer/layer_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "transformer/model_zoo.hpp"
+
+namespace codesign::tfm {
+namespace {
+
+gemm::GemmSimulator sim() { return gemm::GemmSimulator::for_gpu("a100"); }
+
+TEST(LayerModel, TimesArePositiveAndDecompose) {
+  const auto r = analyze_layer(model_by_name("gpt3-2.7b"), sim());
+  EXPECT_GT(r.total_time, 0.0);
+  EXPECT_GT(r.gemm_time, 0.0);
+  EXPECT_GT(r.non_gemm_time, 0.0);
+  EXPECT_NEAR(r.gemm_time + r.non_gemm_time, r.total_time, 1e-12);
+  EXPECT_GT(r.throughput_tflops, 0.0);
+  EXPECT_GT(r.gemm_fraction, 0.0);
+  EXPECT_LT(r.gemm_fraction, 1.0);
+}
+
+TEST(LayerModel, SharesSumToOne) {
+  const auto r = analyze_layer(model_by_name("gpt3-2.7b"), sim());
+  double total = 0.0;
+  for (const OpLatency& o : r.ops) total += o.time / r.total_time;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LayerModel, GemmFractionGrowsWithModelSize) {
+  // Fig 2's headline: 68.3% for medium models, 94.9% for large ones. The
+  // ordering (and rough magnitudes) must reproduce.
+  const double small =
+      analyze_layer(model_by_name("gpt3-125m"), sim()).gemm_fraction;
+  const double medium =
+      analyze_layer(model_by_name("gpt3-2.7b"), sim()).gemm_fraction;
+  const double large =
+      analyze_layer(model_by_name("gpt3-175b"), sim()).gemm_fraction;
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+  EXPECT_GT(large, 0.85);
+}
+
+TEST(LayerModel, QkvAndMlpDominateLargeModelGemms) {
+  // Fig 11: for large models the QKV and MLP GEMMs dominate; AOV is the
+  // smallest GEMM.
+  const auto r = analyze_layer(model_by_name("gpt3-175b"), sim());
+  const double qkv = r.gemm_share_of(LayerOp::kQkvTransform);
+  const double mlp = r.gemm_share_of(LayerOp::kMlpUp) +
+                     r.gemm_share_of(LayerOp::kMlpDown);
+  const double aov = r.gemm_share_of(LayerOp::kAttentionOverValue);
+  const double score = r.gemm_share_of(LayerOp::kAttentionScore);
+  EXPECT_GT(qkv + mlp, 0.6);
+  EXPECT_LT(aov, score + 1e-12);
+  EXPECT_LT(aov, 0.15);
+}
+
+TEST(LayerModel, ShareAccessors) {
+  const auto r = analyze_layer(model_by_name("gpt3-2.7b"), sim());
+  double total_share = 0.0;
+  for (const OpLatency& o : r.ops) {
+    (void)o;
+  }
+  for (LayerOp op : {LayerOp::kLayerNorm1, LayerOp::kQkvTransform,
+                     LayerOp::kAttentionScore, LayerOp::kSoftmax,
+                     LayerOp::kAttentionOverValue, LayerOp::kPostAttnProjection,
+                     LayerOp::kResidualAdd1, LayerOp::kLayerNorm2,
+                     LayerOp::kMlpUp, LayerOp::kActivation, LayerOp::kMlpDown,
+                     LayerOp::kResidualAdd2}) {
+    total_share += r.share_of(op);
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+
+  double gemm_share = 0.0;
+  for (LayerOp op : {LayerOp::kQkvTransform, LayerOp::kAttentionScore,
+                     LayerOp::kAttentionOverValue,
+                     LayerOp::kPostAttnProjection, LayerOp::kMlpUp,
+                     LayerOp::kMlpDown}) {
+    gemm_share += r.gemm_share_of(op);
+  }
+  EXPECT_NEAR(gemm_share, 1.0, 1e-9);
+}
+
+TEST(LayerModel, ParallelLayersFasterSameGemms) {
+  TransformerConfig seq_cfg = model_by_name("gpt3-2.7b");
+  TransformerConfig par_cfg = seq_cfg;
+  par_cfg.parallel_layers = true;
+  const auto rs = analyze_layer(seq_cfg, sim());
+  const auto rp = analyze_layer(par_cfg, sim());
+  // §VI-C1: the fusion reduces non-GEMM time but "does not impact our
+  // analysis at all" — same GEMM time.
+  EXPECT_NEAR(rp.gemm_time, rs.gemm_time, rs.gemm_time * 1e-9);
+  EXPECT_LT(rp.non_gemm_time, rs.non_gemm_time);
+  EXPECT_LT(rp.total_time, rs.total_time);
+}
+
+TEST(LayerModel, FlashAttentionFasterForUnalignedHeads) {
+  // §VI-B's recommendation: FlashAttention mitigates h/a misalignment for
+  // small models.
+  TransformerConfig bmm_cfg = model_by_name("gpt3-2.7b");  // h/a = 80
+  TransformerConfig flash_cfg = bmm_cfg;
+  flash_cfg.attention = AttentionImpl::kFlash;
+  const auto rb = analyze_layer(bmm_cfg, sim());
+  const auto rf = analyze_layer(flash_cfg, sim());
+  EXPECT_LT(rf.total_time, rb.total_time);
+}
+
+TEST(LayerModel, DetailStringsPopulated) {
+  const auto r = analyze_layer(model_by_name("gpt3-2.7b"), sim());
+  for (const OpLatency& o : r.ops) {
+    EXPECT_FALSE(o.name.empty());
+    EXPECT_FALSE(o.detail.empty());
+    EXPECT_GT(o.time, 0.0);
+  }
+}
+
+TEST(ModelModel, TotalsCompose) {
+  const TransformerConfig c = model_by_name("gpt3-2.7b");
+  const auto r = analyze_model(c, sim());
+  EXPECT_NEAR(r.total_time,
+              32.0 * r.layer.total_time + r.embedding_time +
+                  r.final_ln_time + r.logit_time,
+              r.total_time * 1e-12);
+  EXPECT_GT(r.tokens_per_second, 0.0);
+  EXPECT_GT(r.throughput_tflops, 0.0);
+  EXPECT_GT(r.logit_time, r.embedding_time);  // the logit GEMM is heavy
+}
+
+TEST(ModelModel, BiggerModelSlower) {
+  const auto small = analyze_model(model_by_name("gpt3-125m"), sim());
+  const auto big = analyze_model(model_by_name("gpt3-6.7b"), sim());
+  EXPECT_GT(big.total_time, small.total_time);
+  EXPECT_LT(big.tokens_per_second, small.tokens_per_second);
+}
+
+TEST(ModelModel, BetterGpuFaster) {
+  const TransformerConfig c = model_by_name("gpt3-2.7b");
+  const auto on_a100 = analyze_model(c, gemm::GemmSimulator::for_gpu("a100"));
+  const auto on_v100 = analyze_model(c, gemm::GemmSimulator::for_gpu("v100"));
+  const auto on_h100 = analyze_model(c, gemm::GemmSimulator::for_gpu("h100"));
+  EXPECT_LT(on_a100.total_time, on_v100.total_time);
+  EXPECT_LT(on_h100.total_time, on_a100.total_time);
+}
+
+}  // namespace
+}  // namespace codesign::tfm

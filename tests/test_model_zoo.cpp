@@ -1,0 +1,145 @@
+// Tests for transformer/model_zoo.hpp.
+#include "transformer/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "transformer/params.hpp"
+
+namespace codesign::tfm {
+namespace {
+
+TEST(ModelZoo, LookupAndCaseInsensitivity) {
+  EXPECT_EQ(model_by_name("gpt3-2.7b").hidden_size, 2560);
+  EXPECT_EQ(model_by_name("GPT3-2.7B").num_heads, 32);
+  EXPECT_THROW(model_by_name("gpt5"), LookupError);
+}
+
+TEST(ModelZoo, AllEntriesValidate) {
+  for (const std::string& name : known_models()) {
+    EXPECT_NO_THROW(model_by_name(name).validate()) << name;
+  }
+}
+
+TEST(ModelZoo, ExpectedEntriesPresent) {
+  const auto names = known_models();
+  for (const char* expected :
+       {"gpt3-125m", "gpt3-2.7b", "gpt3-2.7b-c1", "gpt3-2.7b-c2",
+        "gpt3-175b", "pythia-70m", "pythia-410m", "pythia-1b", "pythia-12b",
+        "llama2-7b", "llama2-70b", "gpt-neox-20b", "opt-2.7b",
+        "redpajama-incite-3b"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(ModelZoo, PaperVariantHeadCounts) {
+  // Fig 1 caption: C1: h=2560, a=64; C2: h=2560, a=40.
+  const auto& c1 = model_by_name("gpt3-2.7b-c1");
+  EXPECT_EQ(c1.hidden_size, 2560);
+  EXPECT_EQ(c1.num_heads, 64);
+  EXPECT_EQ(c1.head_dim(), 40);
+  const auto& c2 = model_by_name("gpt3-2.7b-c2");
+  EXPECT_EQ(c2.num_heads, 40);
+  EXPECT_EQ(c2.head_dim(), 64);
+  // The default keeps GPT-3's h/a = 80.
+  EXPECT_EQ(model_by_name("gpt3-2.7b").head_dim(), 80);
+}
+
+TEST(ModelZoo, PythiaSuiteOrderedByParams) {
+  const auto suite = pythia_suite();
+  ASSERT_EQ(suite.size(), 8u);
+  std::int64_t prev = 0;
+  for (const TransformerConfig& c : suite) {
+    const std::int64_t p = exact_param_count(c);
+    EXPECT_GT(p, prev) << c.name;
+    prev = p;
+  }
+  EXPECT_EQ(suite.front().name, "pythia-70m");
+  EXPECT_EQ(suite.back().name, "pythia-12b");
+}
+
+TEST(ModelZoo, PythiaArchitectureFlags) {
+  const auto& p = model_by_name("pythia-410m");
+  EXPECT_EQ(p.pos_embedding, PosEmbedding::kRotary);
+  EXPECT_TRUE(p.parallel_layers);
+  EXPECT_FALSE(p.tied_embeddings);
+  EXPECT_EQ(p.vocab_size, 50304);
+  EXPECT_EQ(p.vocab_size % 64, 0);  // NeoX pads its vocab — rule satisfied
+}
+
+TEST(ModelZoo, PythiaSizingContrast) {
+  // The Fig-13 protagonists: 410M is deep and thin with h/a = 64; 1B is
+  // shallower and wide with h/a = 256.
+  const auto& m410 = model_by_name("pythia-410m");
+  const auto& m1b = model_by_name("pythia-1b");
+  EXPECT_EQ(m410.num_layers, 24);
+  EXPECT_EQ(m410.hidden_size, 1024);
+  EXPECT_EQ(m1b.num_layers, 16);
+  EXPECT_EQ(m1b.hidden_size, 2048);
+  EXPECT_LT(m1b.num_heads, m410.num_heads);
+}
+
+TEST(ModelZoo, Llama2SwigluCoefficients) {
+  // §VII-B: 7B uses 11008/4096 = 2.6875; 70B uses 28672/8192 = 3.5.
+  const auto& l7 = model_by_name("llama2-7b");
+  EXPECT_EQ(l7.activation, Activation::kSwiGlu);
+  EXPECT_EQ(l7.d_ff(), 11008);
+  EXPECT_NEAR(static_cast<double>(l7.d_ff()) / l7.hidden_size, 2.6875, 1e-12);
+  const auto& l70 = model_by_name("llama2-70b");
+  EXPECT_NEAR(static_cast<double>(l70.d_ff()) / l70.hidden_size, 3.5, 1e-12);
+}
+
+TEST(ModelZoo, ClonesShareTheDefaultShape) {
+  // §VI-B: GPT-Neo/OPT/RedPajama copied GPT-3 2.7B's h/a = 80.
+  for (const char* name : {"gpt-neo-2.7b", "opt-2.7b", "redpajama-incite-3b"}) {
+    const auto& c = model_by_name(name);
+    EXPECT_EQ(c.hidden_size, 2560) << name;
+    EXPECT_EQ(c.num_heads, 32) << name;
+    EXPECT_EQ(c.head_dim(), 80) << name;
+  }
+}
+
+TEST(ModelZoo, FamilyContainsPaperVariants) {
+  const auto family = gpt3_27b_family();
+  ASSERT_GE(family.size(), 3u);
+  EXPECT_EQ(family[0].name, "gpt3-2.7b");
+  EXPECT_EQ(family[1].name, "gpt3-2.7b-c1");
+  EXPECT_EQ(family[2].name, "gpt3-2.7b-c2");
+  for (const auto& c : family) {
+    EXPECT_EQ(c.hidden_size, 2560) << c.name;
+    EXPECT_NO_THROW(c.validate()) << c.name;
+  }
+}
+
+TEST(ModelZoo, FalconOddHeadCountIsRuleClean) {
+  // Falcon-7B: a = 71 looks bizarre, but h/a = 4544/71 = 64 — the rule is
+  // about the head *dimension*, not the head count.
+  const auto& c = model_by_name("falcon-7b");
+  EXPECT_EQ(c.num_heads, 71);
+  EXPECT_EQ(c.head_dim(), 64);
+  EXPECT_EQ(c.num_kv_heads, 1);  // multi-query attention
+  EXPECT_EQ(c.kv_heads(), 1);
+  EXPECT_EQ(c.qkv_width(), 4544 + 2 * 64);
+  EXPECT_EQ(c.vocab_size % 64, 0);
+}
+
+TEST(ModelZoo, MistralGqaShape) {
+  const auto& c = model_by_name("mistral-7b");
+  EXPECT_EQ(c.num_kv_heads, 8);
+  EXPECT_EQ(c.d_ff(), 14336);
+  EXPECT_NEAR(static_cast<double>(c.d_ff()) / c.hidden_size, 3.5, 1e-12);
+  EXPECT_EQ(c.seq_len, 8192);
+  // ~7.2B parameters.
+  EXPECT_NEAR(static_cast<double>(exact_param_count(c)) / 7.24e9, 1.0, 0.03);
+}
+
+TEST(ModelZoo, KnownModelsSortedUnique) {
+  const auto names = known_models();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  EXPECT_GE(names.size(), 20u);
+}
+
+}  // namespace
+}  // namespace codesign::tfm

@@ -1,0 +1,96 @@
+// Tests for gpuarch/occupancy.hpp — the shared-memory occupancy model and
+// its consistency with the tile catalogue.
+#include "gpuarch/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace codesign::gpu {
+namespace {
+
+TEST(Occupancy, FootprintFormula) {
+  const TileConfig& t = tile_by_name("256x128");
+  const OccupancyInfo o = tile_occupancy(t, gpu_by_name("a100"));
+  // 4 stages * (256 + 128) * 32 * 2 bytes.
+  EXPECT_EQ(o.smem_bytes_per_block, 4 * 384 * 32 * 2);
+  EXPECT_TRUE(o.feasible);
+}
+
+TEST(Occupancy, CatalogueConsistentOnAmpere) {
+  // The catalogue's hard-coded blocks_per_sm must equal the computed
+  // occupancy on A100 (164 KiB smem, 4 stages, fp16) for every entry.
+  const GpuSpec& a100 = gpu_by_name("a100");
+  for (const TileConfig& t : default_tile_catalogue()) {
+    const OccupancyInfo o = tile_occupancy(t, a100);
+    EXPECT_EQ(o.blocks_per_sm, t.blocks_per_sm) << t.name();
+    EXPECT_TRUE(o.feasible) << t.name();
+  }
+}
+
+TEST(Occupancy, VoltaHoldsFewerBlocks) {
+  // V100 has 96 KiB of shared memory to A100's 164 KiB: the 128x128 tile
+  // drops from 2 resident blocks to 1.
+  const TileConfig& t = tile_by_name("128x128");
+  EXPECT_EQ(tile_occupancy(t, gpu_by_name("a100")).blocks_per_sm, 2);
+  EXPECT_EQ(tile_occupancy(t, gpu_by_name("v100")).blocks_per_sm, 1);
+}
+
+TEST(Occupancy, CapLimitsSmallTiles) {
+  const TileConfig& t = tile_by_name("32x32");
+  const OccupancyInfo o = tile_occupancy(t, gpu_by_name("a100"));
+  EXPECT_GT(o.blocks_by_smem, o.blocks_cap);  // smem would allow more
+  EXPECT_EQ(o.blocks_per_sm, o.blocks_cap);   // residency cap binds
+}
+
+TEST(Occupancy, MoreStagesMoreSmem) {
+  const TileConfig& t = tile_by_name("128x128");
+  const GpuSpec& g = gpu_by_name("a100");
+  const auto s2 = tile_occupancy(t, g, DType::kFP16, 2);
+  const auto s6 = tile_occupancy(t, g, DType::kFP16, 6);
+  EXPECT_LT(s2.smem_bytes_per_block, s6.smem_bytes_per_block);
+  EXPECT_GE(s2.blocks_per_sm, s6.blocks_per_sm);
+}
+
+TEST(Occupancy, Fp32DoublesFootprint) {
+  const TileConfig& t = tile_by_name("256x128");
+  const GpuSpec& g = gpu_by_name("a100");
+  EXPECT_EQ(tile_occupancy(t, g, DType::kFP32).smem_bytes_per_block,
+            2 * tile_occupancy(t, g, DType::kFP16).smem_bytes_per_block);
+  // fp32 256x128 at 4 stages = 192 KiB > 164 KiB: infeasible.
+  const auto o = tile_occupancy(t, g, DType::kFP32);
+  EXPECT_FALSE(o.feasible);
+  EXPECT_EQ(o.blocks_per_sm, 0);
+}
+
+TEST(Occupancy, UtilizationBounded) {
+  for (const TileConfig& t : default_tile_catalogue()) {
+    const OccupancyInfo o = tile_occupancy(t, gpu_by_name("a100"));
+    EXPECT_GT(o.smem_utilization, 0.0) << t.name();
+    EXPECT_LE(o.smem_utilization, 1.0) << t.name();
+  }
+}
+
+TEST(Occupancy, LargestFeasibleTile) {
+  // fp16: the 256x128 flagship fits everywhere.
+  EXPECT_EQ(largest_feasible_tile(gpu_by_name("a100")).name(), "256x128");
+  EXPECT_EQ(largest_feasible_tile(gpu_by_name("v100")).name(), "256x128");
+  // fp32 at 4 stages: A100 must step down to a smaller tile.
+  const TileConfig& t32 = largest_feasible_tile(gpu_by_name("a100"),
+                                                DType::kFP32);
+  EXPECT_LT(t32.tm * t32.tn, 256 * 128);
+  // Demanding 2 resident fp16 blocks steps down from the flagship too.
+  EXPECT_NE(largest_feasible_tile(gpu_by_name("a100"), DType::kFP16, 2).name(),
+            "256x128");
+}
+
+TEST(Occupancy, Validation) {
+  const TileConfig& t = tile_by_name("64x64");
+  EXPECT_THROW(tile_occupancy(t, gpu_by_name("a100"), DType::kFP16, 0),
+               Error);
+  EXPECT_THROW(largest_feasible_tile(gpu_by_name("a100"), DType::kFP16, 0),
+               Error);
+}
+
+}  // namespace
+}  // namespace codesign::gpu

@@ -1,0 +1,226 @@
+// Tests for kernels/ops.hpp — the non-GEMM transformer operators.
+#include "kernels/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace codesign::kern {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  const Tensor x = Tensor::randn({4, 9}, rng, 2.0f);
+  const Tensor y = softmax_lastdim(x);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < 9; ++c) {
+      EXPECT_GT(y.at(r, c), 0.0f);
+      sum += y.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  const Tensor x = Tensor::from_values({1000.0f, 1001.0f, 1002.0f});
+  const Tensor y = softmax_lastdim(x.reshape({1, 3}));
+  EXPECT_TRUE(y.all_finite());
+  EXPECT_GT(y.at(0, 2), y.at(0, 1));
+}
+
+TEST(Softmax, Rank3Supported) {
+  Rng rng(2);
+  const Tensor x = Tensor::randn({2, 3, 5}, rng);
+  const Tensor y = softmax_lastdim(x);
+  double sum = 0.0;
+  for (std::int64_t c = 0; c < 5; ++c) sum += y.at(1, 2, c);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(CausalSoftmax, MasksFuture) {
+  Rng rng(3);
+  const Tensor scores = Tensor::randn({2, 4, 4}, rng);
+  const Tensor p = causal_softmax(scores);
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t q = 0; q < 4; ++q) {
+      double sum = 0.0;
+      for (std::int64_t k = 0; k < 4; ++k) {
+        if (k > q) {
+          EXPECT_EQ(p.at(b, q, k), 0.0f) << "future position unmasked";
+        }
+        sum += p.at(b, q, k);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+  }
+  // First row attends only to itself.
+  EXPECT_NEAR(p.at(0, 0, 0), 1.0f, 1e-6f);
+}
+
+TEST(CausalSoftmax, RequiresSquare) {
+  EXPECT_THROW(causal_softmax(Tensor({2, 3, 4})), Error);
+  EXPECT_THROW(causal_softmax(Tensor({3, 3})), Error);
+}
+
+TEST(LayerNorm, NormalizesMeanAndVariance) {
+  Rng rng(4);
+  const std::int64_t h = 64;
+  const Tensor x = Tensor::randn({3, h}, rng, 5.0f);
+  const Tensor gamma = Tensor::full({h}, 1.0f);
+  const Tensor beta = Tensor::zeros({h});
+  const Tensor y = layernorm_lastdim(x, gamma, beta);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::int64_t c = 0; c < h; ++c) mean += y.at(r, c);
+    mean /= h;
+    for (std::int64_t c = 0; c < h; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= h;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  const Tensor x = Tensor::from_values({1.0f, 3.0f}).reshape({1, 2});
+  const Tensor gamma = Tensor::from_values({2.0f, 2.0f});
+  const Tensor beta = Tensor::from_values({5.0f, 5.0f});
+  const Tensor y = layernorm_lastdim(x, gamma, beta);
+  // Normalized values are -1 and 1 (up to eps); scaled: 3 and 7.
+  EXPECT_NEAR(y.at(0, 0), 3.0f, 1e-2f);
+  EXPECT_NEAR(y.at(0, 1), 7.0f, 1e-2f);
+}
+
+TEST(LayerNorm, ShapeErrors) {
+  const Tensor x({2, 4});
+  const Tensor bad = Tensor::zeros({3});
+  const Tensor ok = Tensor::zeros({4});
+  EXPECT_THROW(layernorm_lastdim(x, bad, ok), Error);
+  EXPECT_THROW(layernorm_lastdim(x, ok, bad), Error);
+}
+
+TEST(Gelu, KnownValues) {
+  const Tensor x = Tensor::from_values({0.0f, 100.0f, -100.0f, 1.0f});
+  const Tensor y = gelu(x);
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_NEAR(y.at(1), 100.0f, 1e-3f);   // large positive ≈ identity
+  EXPECT_NEAR(y.at(2), 0.0f, 1e-3f);     // large negative ≈ 0
+  EXPECT_NEAR(y.at(3), 0.84134f, 1e-4f); // 1 * Φ(1)
+}
+
+TEST(Silu, KnownValues) {
+  const Tensor x = Tensor::from_values({0.0f, 100.0f, 1.0f});
+  const Tensor y = silu(x);
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_NEAR(y.at(1), 100.0f, 1e-3f);
+  EXPECT_NEAR(y.at(2), 1.0f / (1.0f + std::exp(-1.0f)), 1e-5f);
+}
+
+TEST(Swiglu, CombinesGateAndUp) {
+  const Tensor gate = Tensor::from_values({1.0f, -1.0f});
+  const Tensor up = Tensor::from_values({2.0f, 3.0f});
+  const Tensor y = swiglu_combine(gate, up);
+  EXPECT_NEAR(y.at(0), silu(gate).at(0) * 2.0f, 1e-6f);
+  EXPECT_NEAR(y.at(1), silu(gate).at(1) * 3.0f, 1e-6f);
+  EXPECT_THROW(swiglu_combine(gate, Tensor({3})), Error);
+}
+
+TEST(AddScale, Elementwise) {
+  const Tensor a = Tensor::from_values({1, 2});
+  const Tensor b = Tensor::from_values({10, 20});
+  const Tensor s = add(a, b);
+  EXPECT_EQ(s.at(0), 11.0f);
+  EXPECT_EQ(s.at(1), 22.0f);
+  const Tensor sc = scale(a, 0.5f);
+  EXPECT_EQ(sc.at(0), 0.5f);
+  EXPECT_THROW(add(a, Tensor({3})), Error);
+}
+
+TEST(Embedding, LooksUpRows) {
+  Tensor table({5, 3});
+  for (std::int64_t i = 0; i < 5; ++i)
+    for (std::int64_t j = 0; j < 3; ++j)
+      table.at(i, j) = static_cast<float>(10 * i + j);
+  const Tensor out = embedding_lookup(table, {4, 0, 4});
+  ASSERT_EQ(out.dim(0), 3);
+  EXPECT_EQ(out.at(0, 2), 42.0f);
+  EXPECT_EQ(out.at(1, 0), 0.0f);
+  EXPECT_EQ(out.at(2, 1), 41.0f);
+}
+
+TEST(Embedding, Errors) {
+  Tensor table({5, 3});
+  EXPECT_THROW(embedding_lookup(table, {5}), Error);   // out of range
+  EXPECT_THROW(embedding_lookup(table, {-1}), Error);
+  EXPECT_THROW(embedding_lookup(table, {}), Error);
+}
+
+TEST(Dropout, IdentityAtZero) {
+  Rng rng(1);
+  const Tensor x = Tensor::from_values({1, 2, 3});
+  EXPECT_EQ(max_abs_diff(dropout(x, 0.0f, rng), x), 0.0f);
+}
+
+TEST(Dropout, PreservesExpectation) {
+  Rng rng(2);
+  const Tensor x = Tensor::full({100000}, 1.0f);
+  const Tensor y = dropout(x, 0.3f, rng);
+  // Mean stays ~1 (inverted dropout) and ~30% of entries are zero.
+  EXPECT_NEAR(y.sum() / 100000.0f, 1.0f, 0.02f);
+  int zeros = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y.at(i) == 0.0f) ++zeros;
+    else EXPECT_NEAR(y.at(i), 1.0f / 0.7f, 1e-5f);
+  }
+  EXPECT_NEAR(zeros / 100000.0, 0.3, 0.01);
+}
+
+TEST(Dropout, DeterministicPerSeed) {
+  const Tensor x = Tensor::full({64}, 2.0f);
+  Rng r1(9), r2(9);
+  EXPECT_EQ(max_abs_diff(dropout(x, 0.5f, r1), dropout(x, 0.5f, r2)), 0.0f);
+}
+
+TEST(Dropout, RejectsBadP) {
+  Rng rng(3);
+  const Tensor x = Tensor::from_values({1});
+  EXPECT_THROW(dropout(x, 1.0f, rng), Error);
+  EXPECT_THROW(dropout(x, -0.1f, rng), Error);
+}
+
+TEST(AddBias, BroadcastsOverRows) {
+  Tensor x({2, 3});
+  const Tensor bias = Tensor::from_values({10, 20, 30});
+  const Tensor y = add_bias(x, bias);
+  EXPECT_EQ(y.at(0, 0), 10.0f);
+  EXPECT_EQ(y.at(1, 2), 30.0f);
+  EXPECT_THROW(add_bias(x, Tensor::from_values({1, 2})), Error);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLnV) {
+  const std::int64_t v = 50;
+  const Tensor logits = Tensor::zeros({4, v});
+  const double loss = cross_entropy_mean(logits, {0, 1, 2, 3});
+  EXPECT_NEAR(loss, std::log(static_cast<double>(v)), 1e-6);
+}
+
+TEST(CrossEntropy, ConfidentCorrectNearZero) {
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 50.0f;
+  EXPECT_NEAR(cross_entropy_mean(logits, {1}), 0.0, 1e-6);
+  EXPECT_GT(cross_entropy_mean(logits, {0}), 10.0);
+}
+
+TEST(CrossEntropy, Errors) {
+  const Tensor logits({2, 3});
+  EXPECT_THROW(cross_entropy_mean(logits, {0}), Error);       // count mismatch
+  EXPECT_THROW(cross_entropy_mean(logits, {0, 3}), Error);    // target range
+}
+
+}  // namespace
+}  // namespace codesign::kern

@@ -1,0 +1,100 @@
+// Tests for transformer/pipeline.hpp — the L % p rule quantified.
+#include "transformer/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "transformer/model_zoo.hpp"
+
+namespace codesign::tfm {
+namespace {
+
+gemm::GemmSimulator sim() { return gemm::GemmSimulator::for_gpu("a100"); }
+
+PipelineReport run(std::int64_t stages, std::int64_t microbatches,
+                   const char* model = "gpt3-2.7b") {
+  PipelineSchedule s;
+  s.stages = stages;
+  s.microbatches = microbatches;
+  return analyze_pipeline(model_by_name(model), sim(), s);
+}
+
+TEST(Pipeline, BalancedCase) {
+  // L = 32, p = 8: perfectly balanced.
+  const auto r = run(8, 8);
+  EXPECT_TRUE(r.balanced);
+  EXPECT_EQ(r.layers_per_stage_max, 4);
+  EXPECT_EQ(r.layers_per_stage_min, 4);
+  EXPECT_DOUBLE_EQ(r.imbalance_factor, 1.0);
+  // Bubble: (p-1)/(m+p-1) = 7/15.
+  EXPECT_DOUBLE_EQ(r.bubble_fraction, 7.0 / 15.0);
+  // Balanced efficiency is exactly 1 - bubble.
+  EXPECT_NEAR(r.efficiency, 1.0 - r.bubble_fraction, 1e-12);
+}
+
+TEST(Pipeline, ImbalancedCase) {
+  // L = 32, p = 6: stages hold 6,6,6,6,6,2 — slowest has ceil(32/6) = 6.
+  const auto r = run(6, 8);
+  EXPECT_FALSE(r.balanced);
+  EXPECT_EQ(r.layers_per_stage_max, 6);
+  EXPECT_EQ(r.layers_per_stage_min, 5);
+  EXPECT_NEAR(r.imbalance_factor, 6.0 * 6.0 / 32.0, 1e-12);  // 1.125
+  EXPECT_NEAR(r.efficiency,
+              (1.0 - r.bubble_fraction) / r.imbalance_factor, 1e-12);
+}
+
+TEST(Pipeline, StepTimeFormula) {
+  const auto r = run(4, 16);
+  EXPECT_NEAR(r.step_time, 19.0 * r.microbatch_stage_time, 1e-15);
+  EXPECT_GT(r.tokens_per_second, 0.0);
+}
+
+TEST(Pipeline, MoreMicrobatchesShrinkBubble) {
+  const auto r8 = run(8, 8);
+  const auto r64 = run(8, 64);
+  EXPECT_LT(r64.bubble_fraction, r8.bubble_fraction);
+  EXPECT_GT(r64.efficiency, r8.efficiency);
+}
+
+TEST(Pipeline, DivisibleStageCountBeatsNearbyIndivisible) {
+  // The paper's rule, per-GPU: at equal microbatches, p = 8 (divides 32)
+  // must have higher efficiency than p = 6 or p = 7.
+  const double e8 = run(8, 32).efficiency;
+  const double e7 = run(7, 32).efficiency;
+  const double e6 = run(6, 32).efficiency;
+  EXPECT_GT(e8, e7);
+  EXPECT_GT(e8, e6);
+}
+
+TEST(Pipeline, SingleStageIsBubbleFree) {
+  const auto r = run(1, 4);
+  EXPECT_DOUBLE_EQ(r.bubble_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.imbalance_factor, 1.0);
+  EXPECT_NEAR(r.efficiency, 1.0, 1e-12);
+}
+
+TEST(Pipeline, Validation) {
+  PipelineSchedule s;
+  s.stages = 0;
+  EXPECT_THROW(analyze_pipeline(model_by_name("gpt3-2.7b"), sim(), s), Error);
+  s.stages = 64;  // more stages than layers (L = 32)
+  s.microbatches = 8;
+  EXPECT_THROW(analyze_pipeline(model_by_name("gpt3-2.7b"), sim(), s), Error);
+  s.stages = 4;
+  s.microbatches = 0;
+  EXPECT_THROW(analyze_pipeline(model_by_name("gpt3-2.7b"), sim(), s), Error);
+}
+
+TEST(Pipeline, BalancedStageCounts) {
+  // L = 32: divisors up to 16.
+  const auto counts = balanced_stage_counts(model_by_name("gpt3-2.7b"), 16);
+  const std::vector<std::int64_t> expected = {1, 2, 4, 8, 16};
+  EXPECT_EQ(counts, expected);
+  // Pythia-12B: L = 36.
+  const auto c36 = balanced_stage_counts(model_by_name("pythia-12b"), 12);
+  const std::vector<std::int64_t> expected36 = {1, 2, 3, 4, 6, 9, 12};
+  EXPECT_EQ(c36, expected36);
+}
+
+}  // namespace
+}  // namespace codesign::tfm

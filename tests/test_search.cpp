@@ -1,0 +1,154 @@
+// Tests for advisor/search.hpp — shape search, including the §VII-B SwiGLU
+// brute force.
+#include "advisor/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "transformer/model_zoo.hpp"
+
+namespace codesign::advisor {
+namespace {
+
+using tfm::model_by_name;
+
+gemm::GemmSimulator sim() { return gemm::GemmSimulator::for_gpu("a100"); }
+
+TEST(SearchHeads, FindsTheC2Reshape) {
+  // The paper's headline: for GPT-3 2.7B the advisor must rank a head count
+  // giving h/a = 64 (a = 40) above the default a = 32, with a material
+  // speedup and zero parameter change.
+  const auto cands = search_heads(model_by_name("gpt3-2.7b"), sim());
+  ASSERT_FALSE(cands.empty());
+
+  const ShapeCandidate* best_a40 = nullptr;
+  const ShapeCandidate* base = nullptr;
+  std::size_t idx_a40 = 0, idx_base = 0;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].config.num_heads == 40) {
+      best_a40 = &cands[i];
+      idx_a40 = i;
+    }
+    if (cands[i].config.num_heads == 32) {
+      base = &cands[i];
+      idx_base = i;
+    }
+  }
+  ASSERT_NE(best_a40, nullptr);
+  ASSERT_NE(base, nullptr);
+  EXPECT_LT(idx_a40, idx_base);                 // ranked strictly better
+  EXPECT_GT(best_a40->speedup_vs_base, 1.05);
+  EXPECT_DOUBLE_EQ(best_a40->param_delta_frac, 0.0);
+  EXPECT_DOUBLE_EQ(base->speedup_vs_base, 1.0);
+}
+
+TEST(SearchHeads, AllCandidatesValidAndSorted) {
+  const auto cands = search_heads(model_by_name("gpt3-2.7b"), sim());
+  double prev = 0.0;
+  for (const ShapeCandidate& c : cands) {
+    EXPECT_NO_THROW(c.config.validate());
+    EXPECT_EQ(c.config.hidden_size, 2560);
+    EXPECT_GE(c.layer_time, prev);
+    prev = c.layer_time;
+    EXPECT_GE(c.config.head_dim(), 32);
+    EXPECT_LE(c.config.head_dim(), 256);
+  }
+}
+
+TEST(SearchHeads, RespectsTensorParallel) {
+  const auto base =
+      model_by_name("gpt3-2.7b").with_tensor_parallel(4).with_vocab(50304);
+  for (const ShapeCandidate& c : search_heads(base, sim())) {
+    EXPECT_EQ(c.config.num_heads % 4, 0) << c.config.name;
+  }
+}
+
+TEST(SearchHeads, MaxCandidatesHonored) {
+  SearchOptions opt;
+  opt.max_candidates = 3;
+  EXPECT_LE(search_heads(model_by_name("gpt3-2.7b"), sim(), opt).size(), 3u);
+}
+
+TEST(SearchHidden, BoundsParameterDelta) {
+  const auto cands = search_hidden(model_by_name("gpt3-2.7b"), sim());
+  ASSERT_FALSE(cands.empty());
+  for (const ShapeCandidate& c : cands) {
+    if (c.config.hidden_size == 2560) continue;  // baseline
+    EXPECT_LE(std::abs(c.param_delta_frac), 0.06 + 1e-9) << c.config.name;
+    EXPECT_EQ(c.config.hidden_size % 64, 0);
+    EXPECT_EQ(c.config.hidden_size % 32, 0);  // a = 32 must divide h
+  }
+}
+
+TEST(SearchHidden, InvalidRadiusRejected) {
+  EXPECT_THROW(search_hidden(model_by_name("gpt3-2.7b"), sim(), 0.0), Error);
+  EXPECT_THROW(search_hidden(model_by_name("gpt3-2.7b"), sim(), 1.5), Error);
+}
+
+TEST(SearchMlp, AlignedWidthsDominate) {
+  // Scan a small window; every top-quartile candidate should have a larger
+  // power-of-two granule than the bottom quartile's average.
+  const auto base = model_by_name("llama2-7b");
+  const auto scan = search_mlp_intermediate(base, sim(), 10944, 11072);
+  ASSERT_GT(scan.size(), 64u);
+  // The best candidate must be divisible by 64.
+  EXPECT_EQ(scan.front().d_ff % 64, 0);
+  // An odd d_ff must rank in the bottom half.
+  EXPECT_GT(mlp_candidate_percentile(scan, 11001), 0.5);
+}
+
+TEST(SearchMlp, Llama2_11008IsNearOptimal) {
+  // §VII-B: "a brute-force search reveals that Llama-2-7B's intermediate
+  // size is indeed one of the best performing sizes in its range".
+  const auto base = model_by_name("llama2-7b");
+  const auto scan = search_mlp_intermediate(base, sim(), 10752, 11264);
+  const double pct = mlp_candidate_percentile(scan, 11008);
+  EXPECT_LT(pct, 0.05);  // top 5% of its range
+}
+
+TEST(SearchMlp, ResultsSortedAndRanked) {
+  const auto scan =
+      search_mlp_intermediate(model_by_name("gpt3-2.7b"), sim(), 10200, 10300);
+  for (std::size_t i = 1; i < scan.size(); ++i) {
+    EXPECT_LE(scan[i - 1].mlp_time, scan[i].mlp_time);
+    EXPECT_LE(scan[i - 1].rank_in_range, scan[i].rank_in_range);
+  }
+  EXPECT_DOUBLE_EQ(scan.front().rank_in_range, 0.0);
+  EXPECT_DOUBLE_EQ(scan.back().rank_in_range, 1.0);
+}
+
+TEST(SearchMlp, CoefficientReported) {
+  const auto base = model_by_name("llama2-7b");
+  const auto scan = search_mlp_intermediate(base, sim(), 11008, 11008);
+  ASSERT_EQ(scan.size(), 1u);
+  EXPECT_NEAR(scan.front().coefficient, 2.6875, 1e-12);
+}
+
+TEST(SearchMlp, Validation) {
+  EXPECT_THROW(
+      search_mlp_intermediate(model_by_name("gpt3-2.7b"), sim(), 100, 50),
+      Error);
+  const auto scan =
+      search_mlp_intermediate(model_by_name("gpt3-2.7b"), sim(), 5000, 5100);
+  EXPECT_THROW(mlp_candidate_percentile(scan, 999), LookupError);
+}
+
+TEST(PadVocab, PaperExamples) {
+  EXPECT_EQ(pad_vocab(50257), 50304);  // GPT-2 BPE → nanoGPT's padded size
+  EXPECT_EQ(pad_vocab(50304), 50304);
+  EXPECT_EQ(pad_vocab(1), 64);
+  EXPECT_THROW(pad_vocab(0), Error);
+}
+
+TEST(EvaluateCandidate, SpeedupIsRelative) {
+  const auto base = model_by_name("gpt3-2.7b");
+  const ShapeCandidate self = evaluate_candidate(base, base, sim());
+  EXPECT_DOUBLE_EQ(self.speedup_vs_base, 1.0);
+  EXPECT_DOUBLE_EQ(self.param_delta_frac, 0.0);
+  const ShapeCandidate c2 =
+      evaluate_candidate(model_by_name("gpt3-2.7b-c2"), base, sim());
+  EXPECT_GT(c2.speedup_vs_base, 1.0);
+}
+
+}  // namespace
+}  // namespace codesign::advisor

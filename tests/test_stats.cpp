@@ -1,0 +1,98 @@
+// Tests for common/stats.hpp — including the power-law fit the Fig-13
+// reproduction uses to define the Pythia latency trend.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace codesign {
+namespace {
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({7}), 7.0);
+  EXPECT_THROW(mean({}), Error);
+}
+
+TEST(Variance, Basic) {
+  EXPECT_DOUBLE_EQ(variance({2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({1, 3}), 1.0);  // population variance
+  EXPECT_DOUBLE_EQ(stddev({1, 3}), 1.0);
+}
+
+TEST(Geomean, Basic) {
+  EXPECT_NEAR(geomean({1, 100}), 10.0, 1e-12);
+  EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
+  EXPECT_THROW(geomean({1.0, -1.0}), Error);
+  EXPECT_THROW(geomean({0.0}), Error);
+}
+
+TEST(Median, Basic) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5}), 5.0);
+}
+
+TEST(Percentile, Basic) {
+  std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+  EXPECT_THROW(percentile(xs, 101), Error);
+  EXPECT_THROW(percentile({}, 50), Error);
+}
+
+TEST(MinMax, Basic) {
+  EXPECT_DOUBLE_EQ(min_of({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(max_of({3, 1, 2}), 3.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  const LinearFit f = linear_fit({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_NEAR(f.predict(10), 21.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHasR2BelowOne) {
+  const LinearFit f = linear_fit({1, 2, 3, 4}, {3.1, 4.9, 7.2, 8.8});
+  EXPECT_GT(f.r2, 0.98);
+  EXPECT_LT(f.r2, 1.0);
+}
+
+TEST(LinearFit, Errors) {
+  EXPECT_THROW(linear_fit({1}, {2}), Error);
+  EXPECT_THROW(linear_fit({1, 2}, {1}), Error);
+  EXPECT_THROW(linear_fit({2, 2}, {1, 5}), Error);  // zero x-variance
+}
+
+TEST(PowerLawFit, ExactPowerLaw) {
+  // y = 3 x^0.7
+  std::vector<double> x = {1, 2, 4, 8, 16};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 * std::pow(xi, 0.7));
+  const PowerLawFit f = power_law_fit(x, y);
+  EXPECT_NEAR(f.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(f.exponent, 0.7, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_NEAR(f.predict(32), 3.0 * std::pow(32.0, 0.7), 1e-6);
+}
+
+TEST(PowerLawFit, RequiresPositive) {
+  EXPECT_THROW(power_law_fit({1, -2}, {1, 2}), Error);
+  EXPECT_THROW(power_law_fit({1, 2}, {0, 2}), Error);
+}
+
+TEST(Pearson, Correlations) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_THROW(pearson({1, 1}, {2, 3}), Error);  // zero variance
+}
+
+}  // namespace
+}  // namespace codesign

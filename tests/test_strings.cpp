@@ -1,0 +1,122 @@
+// Tests for common/strings.hpp.
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace codesign {
+namespace {
+
+TEST(StrFormat, Basic) {
+  EXPECT_EQ(str_format("%d + %d = %d", 2, 2, 4), "2 + 2 = 4");
+  EXPECT_EQ(str_format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(str_format("%s", "hello"), "hello");
+}
+
+TEST(StrFormat, LongOutput) {
+  const std::string long_str(500, 'x');
+  EXPECT_EQ(str_format("%s!", long_str.c_str()).size(), 501u);
+}
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, Basic) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\nx"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(IEquals, Basic) {
+  EXPECT_TRUE(iequals("A100", "a100"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("a100", "a10"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(ToLowerStartsWith, Basic) {
+  EXPECT_EQ(to_lower("V100-16GB"), "v100-16gb");
+  EXPECT_TRUE(starts_with("--gpu=a100", "--"));
+  EXPECT_FALSE(starts_with("-g", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(human_bytes(40.0 * 1024 * 1024 * 1024), "40.00 GiB");
+}
+
+TEST(HumanFlops, Units) {
+  EXPECT_EQ(human_flops(2e12), "2.00 TFLOP");
+  EXPECT_EQ(human_flops(5e9), "5.00 GFLOP");
+  EXPECT_EQ(human_flops(100), "100 FLOP");
+}
+
+TEST(HumanTime, Units) {
+  EXPECT_EQ(human_time(1.5), "1.500 s");
+  EXPECT_EQ(human_time(0.0021), "2.100 ms");
+  EXPECT_EQ(human_time(42e-6), "42.0 us");
+  EXPECT_EQ(human_time(5e-9), "5 ns");
+}
+
+TEST(HumanCount, Units) {
+  EXPECT_EQ(human_count(2.65e9), "2.65B");
+  EXPECT_EQ(human_count(410e6), "410M");
+  EXPECT_EQ(human_count(50304), "50K");
+  EXPECT_EQ(human_count(12), "12");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(ParseInt, Valid) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_EQ(parse_int("2560"), 2560);
+}
+
+TEST(ParseInt, Invalid) {
+  EXPECT_THROW(parse_int(""), Error);
+  EXPECT_THROW(parse_int("abc"), Error);
+  EXPECT_THROW(parse_int("12x"), Error);
+  EXPECT_THROW(parse_int("1.5"), Error);
+}
+
+TEST(ParseDouble, Valid) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double(" 2 "), 2.0);
+}
+
+TEST(ParseDouble, Invalid) {
+  EXPECT_THROW(parse_double(""), Error);
+  EXPECT_THROW(parse_double("x"), Error);
+  EXPECT_THROW(parse_double("1.2.3"), Error);
+}
+
+}  // namespace
+}  // namespace codesign

@@ -1,0 +1,263 @@
+// Tests for transformer/training.hpp — backward GEMM mapping, training-
+// step latency, and the memory model behind "b as large as possible".
+#include "transformer/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "transformer/flops.hpp"
+#include "transformer/gemm_mapping.hpp"
+#include "transformer/model_zoo.hpp"
+#include "transformer/params.hpp"
+
+namespace codesign::tfm {
+namespace {
+
+gemm::GemmSimulator sim() { return gemm::GemmSimulator::for_gpu("a100"); }
+
+TEST(BackwardOf, ShapeRotations) {
+  // Forward (m, n, k) = (8192, 7680, 2560):
+  const auto fwd = gemm::GemmProblem::gemm(8192, 7680, 2560);
+  const BackwardPair p = backward_of(fwd);
+  // dgrad: (m, k, n).
+  EXPECT_EQ(p.dgrad.m, 8192);
+  EXPECT_EQ(p.dgrad.n, 2560);
+  EXPECT_EQ(p.dgrad.k, 7680);
+  // wgrad: (k, n, m) — b·s becomes the inner dimension.
+  EXPECT_EQ(p.wgrad.m, 2560);
+  EXPECT_EQ(p.wgrad.n, 7680);
+  EXPECT_EQ(p.wgrad.k, 8192);
+  EXPECT_TRUE(p.wgrad.accumulate_into_c);  // grads accumulate
+  EXPECT_FALSE(p.dgrad.accumulate_into_c);
+}
+
+TEST(BackwardOf, FlopsMatchForward) {
+  // Each backward GEMM does exactly the forward GEMM's math.
+  const auto fwd = gemm::GemmProblem::bmm(128, 2048, 2048, 80);
+  const BackwardPair p = backward_of(fwd);
+  EXPECT_DOUBLE_EQ(p.dgrad.flops(), fwd.flops());
+  EXPECT_DOUBLE_EQ(p.wgrad.flops(), fwd.flops());
+  EXPECT_EQ(p.dgrad.batch, 128);
+}
+
+TEST(BackwardGemms, CountAndTotalFlops) {
+  const auto cfg = model_by_name("gpt3-2.7b");
+  const auto bwd = layer_backward_gemms(cfg);
+  // 4 weight GEMMs x 2 + 2 activation BMMs x 2 = 12.
+  EXPECT_EQ(bwd.size(), 12u);
+  double bwd_flops = 0.0;
+  for (const auto& p : bwd) bwd_flops += p.flops();
+  // Backward does exactly 2x the forward GEMM math.
+  EXPECT_NEAR(bwd_flops, 2.0 * layer_forward_flops(cfg), 1.0);
+}
+
+TEST(BackwardGemms, SwigluAddsGatePair) {
+  TransformerConfig cfg = model_by_name("gpt3-2.7b");
+  cfg.activation = Activation::kSwiGlu;
+  cfg.mlp_intermediate = 6912;
+  EXPECT_EQ(layer_backward_gemms(cfg).size(), 14u);
+}
+
+TEST(BackwardGemms, FlashDropsAttentionBmmGrads) {
+  TransformerConfig cfg = model_by_name("gpt3-2.7b");
+  cfg.attention = AttentionImpl::kFlash;
+  EXPECT_EQ(layer_backward_gemms(cfg).size(), 8u);  // 4 weight GEMMs x 2
+}
+
+TEST(TrainingStep, ComponentsPositiveAndSum) {
+  const auto r = analyze_training_step(model_by_name("gpt3-2.7b"), sim());
+  EXPECT_GT(r.forward_time, 0.0);
+  EXPECT_GT(r.backward_time, 0.0);
+  EXPECT_GT(r.optimizer_time, 0.0);
+  EXPECT_NEAR(r.total_time,
+              r.forward_time + r.backward_time + r.optimizer_time, 1e-12);
+  EXPECT_GT(r.model_tflops, 0.0);
+  EXPECT_GT(r.mfu, 0.05);
+  EXPECT_LT(r.mfu, 1.0);
+}
+
+TEST(TrainingStep, BackwardRoughlyTwiceForward) {
+  // The GEMM math ratio is exactly 2; elementwise/optimizer shift it a
+  // little. Accept [1.5, 2.8].
+  const auto r = analyze_training_step(model_by_name("gpt3-6.7b"), sim());
+  const double ratio = r.backward_time / r.forward_time;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.8);
+}
+
+TEST(TrainingStep, ReshapeSpeedupCarriesToTraining) {
+  // The Fig-1 headline is a *training* result; the full step must show it.
+  const auto base = analyze_training_step(model_by_name("gpt3-2.7b"), sim());
+  const auto c2 = analyze_training_step(model_by_name("gpt3-2.7b-c2"), sim());
+  const double speedup = base.total_time / c2.total_time;
+  EXPECT_GT(speedup, 1.05);
+  EXPECT_LT(speedup, 1.40);
+}
+
+TEST(TrainingStep, StepFlopsIsThreeForwards) {
+  const auto cfg = model_by_name("gpt3-2.7b");
+  const auto r = analyze_training_step(cfg, sim());
+  EXPECT_DOUBLE_EQ(r.step_flops, 3.0 * model_forward_flops(cfg));
+}
+
+TEST(Memory, MixedPrecisionStateIs16P) {
+  const auto cfg = model_by_name("gpt3-2.7b");
+  const auto m = training_memory(cfg);
+  const double p = static_cast<double>(exact_param_count(cfg));
+  EXPECT_DOUBLE_EQ(m.weight_bytes, 2.0 * p);
+  EXPECT_DOUBLE_EQ(m.gradient_bytes, 2.0 * p);
+  EXPECT_DOUBLE_EQ(m.optimizer_bytes, 12.0 * p);
+  EXPECT_GT(m.activation_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(m.total_bytes, 16.0 * p + m.activation_bytes);
+}
+
+TEST(Memory, TensorParallelDividesState) {
+  const auto cfg =
+      model_by_name("gpt3-2.7b").with_tensor_parallel(4).with_vocab(50304);
+  const auto m1 = training_memory(cfg.with_tensor_parallel(1));
+  const auto m4 = training_memory(cfg);
+  EXPECT_NEAR(m4.weight_bytes, m1.weight_bytes / 4.0,
+              m1.weight_bytes * 1e-9);
+  // Activations shrink with t but LESS than 4x: the 10·s·b·h LayerNorm/
+  // dropout streams are replicated under plain tensor parallelism.
+  EXPECT_LT(m4.activation_bytes, m1.activation_bytes / 2.0);
+  EXPECT_GT(m4.activation_bytes, m1.activation_bytes / 4.0);
+}
+
+TEST(Memory, SequenceParallelSplitsTheRest) {
+  const auto cfg =
+      model_by_name("gpt3-2.7b").with_tensor_parallel(4).with_vocab(50304);
+  MemoryOptions sp;
+  sp.sequence_parallel = true;
+  const auto m1 = training_memory(cfg.with_tensor_parallel(1));
+  const auto m4sp = training_memory(cfg, sp);
+  // With sequence parallelism everything divides by t exactly.
+  EXPECT_NEAR(m4sp.activation_bytes, m1.activation_bytes / 4.0,
+              m1.activation_bytes * 1e-9);
+  EXPECT_LT(m4sp.activation_bytes, training_memory(cfg).activation_bytes);
+}
+
+TEST(Memory, SequenceParallelNoopAtT1) {
+  const auto cfg = model_by_name("gpt3-2.7b");
+  MemoryOptions sp;
+  sp.sequence_parallel = true;
+  EXPECT_DOUBLE_EQ(training_memory(cfg, sp).activation_bytes,
+                   training_memory(cfg).activation_bytes);
+}
+
+TEST(Memory, ActivationFormula) {
+  // s·b·h·(34 + 5as/h) for the standard BMM+GELU layer.
+  TransformerConfig c = model_by_name("gpt3-2.7b");  // h=2560, a=32, s=2048, b=4
+  const double expected =
+      2048.0 * 4.0 * 2560.0 * (34.0 + 5.0 * 32.0 * 2048.0 / 2560.0);
+  EXPECT_DOUBLE_EQ(activation_bytes_per_layer(c), expected);
+}
+
+TEST(Memory, FlashAttentionShrinksActivations) {
+  TransformerConfig bmm_cfg = model_by_name("gpt3-2.7b");
+  TransformerConfig flash_cfg = bmm_cfg;
+  flash_cfg.attention = AttentionImpl::kFlash;
+  EXPECT_LT(activation_bytes_per_layer(flash_cfg),
+            activation_bytes_per_layer(bmm_cfg) * 0.5);
+}
+
+TEST(Memory, FitsChecksCapacityWithReserve) {
+  // 2.65B params: 16P = 42.4 GB static alone exceeds A100-40GB; at b = 1
+  // (~27 GB of activations) the total ~69 GB still fits the 80 GB part.
+  const auto cfg = model_by_name("gpt3-2.7b").with_microbatch(1);
+  const auto m = training_memory(cfg);
+  EXPECT_FALSE(m.fits(gpu::gpu_by_name("a100-40gb")));
+  EXPECT_TRUE(m.fits(gpu::gpu_by_name("a100-80gb")));
+  EXPECT_THROW(m.fits(gpu::gpu_by_name("a100"), 1.5), Error);
+}
+
+TEST(Memory, MaxMicrobatchBehaviour) {
+  // A 125M model has ~2GB of state; activations dominate, so b scales
+  // with capacity.
+  const auto small = model_by_name("gpt3-125m");
+  const std::int64_t b40 = max_microbatch(small, gpu::gpu_by_name("a100-40gb"));
+  const std::int64_t b80 = max_microbatch(small, gpu::gpu_by_name("a100-80gb"));
+  EXPECT_GT(b40, 4);
+  EXPECT_GT(b80, b40);
+  // 2.7B with 42GB of static state: b = 0 on a 40GB part (needs TP/ZeRO).
+  EXPECT_EQ(max_microbatch(model_by_name("gpt3-2.7b"),
+                           gpu::gpu_by_name("a100-40gb")),
+            0);
+  EXPECT_GE(max_microbatch(model_by_name("gpt3-2.7b"),
+                           gpu::gpu_by_name("a100-80gb")),
+            1);
+}
+
+TEST(Memory, FlashRaisesMaxMicrobatch) {
+  TransformerConfig bmm_cfg = model_by_name("gpt3-125m");
+  TransformerConfig flash_cfg = bmm_cfg;
+  flash_cfg.attention = AttentionImpl::kFlash;
+  const auto& g = gpu::gpu_by_name("a100-40gb");
+  EXPECT_GT(max_microbatch(flash_cfg, g), max_microbatch(bmm_cfg, g));
+}
+
+TEST(Memory, MaxMicrobatchValidation) {
+  EXPECT_THROW(
+      max_microbatch(model_by_name("gpt3-125m"), gpu::gpu_by_name("a100"), 0),
+      Error);
+}
+
+TEST(MemoryOptions, CheckpointingShrinksActivations) {
+  const auto cfg = model_by_name("gpt3-2.7b");
+  MemoryOptions ckpt;
+  ckpt.activation_checkpointing = true;
+  const auto plain = training_memory(cfg);
+  const auto saved = training_memory(cfg, ckpt);
+  // Boundary activations are ~2sbh per layer vs ~160+sbh: huge reduction.
+  EXPECT_LT(saved.activation_bytes, 0.1 * plain.activation_bytes);
+  // Static state unchanged.
+  EXPECT_DOUBLE_EQ(saved.weight_bytes, plain.weight_bytes);
+  EXPECT_DOUBLE_EQ(saved.optimizer_bytes, plain.optimizer_bytes);
+}
+
+TEST(MemoryOptions, CheckpointingEnablesTrainingOn40GB) {
+  // The 2.7B model that did not fit at all now trains on A100-40GB... not
+  // quite: 42.4 GB of static state still exceeds 40 GB — ZeRO-1 over 8
+  // data-parallel ranks shards the optimizer state down to ~9.8 GB.
+  const auto cfg = model_by_name("gpt3-2.7b");
+  MemoryOptions opt;
+  opt.activation_checkpointing = true;
+  EXPECT_EQ(max_microbatch(cfg, gpu::gpu_by_name("a100-40gb"), 64, opt), 0);
+  opt.zero_stage = 1;
+  opt.data_parallel = 8;
+  EXPECT_GE(max_microbatch(cfg, gpu::gpu_by_name("a100-40gb"), 64, opt), 4);
+}
+
+TEST(MemoryOptions, ZeroStagesShardProgressively) {
+  const auto cfg = model_by_name("gpt3-2.7b");
+  MemoryOptions opt;
+  opt.data_parallel = 8;
+  opt.zero_stage = 1;
+  const auto z1 = training_memory(cfg, opt);
+  opt.zero_stage = 2;
+  const auto z2 = training_memory(cfg, opt);
+  opt.zero_stage = 3;
+  const auto z3 = training_memory(cfg, opt);
+  const auto z0 = training_memory(cfg);
+  EXPECT_DOUBLE_EQ(z1.optimizer_bytes, z0.optimizer_bytes / 8.0);
+  EXPECT_DOUBLE_EQ(z1.gradient_bytes, z0.gradient_bytes);
+  EXPECT_DOUBLE_EQ(z2.gradient_bytes, z0.gradient_bytes / 8.0);
+  EXPECT_DOUBLE_EQ(z2.weight_bytes, z0.weight_bytes);
+  EXPECT_DOUBLE_EQ(z3.weight_bytes, z0.weight_bytes / 8.0);
+  EXPECT_LT(z3.total_bytes, z2.total_bytes);
+  EXPECT_LT(z2.total_bytes, z1.total_bytes);
+}
+
+TEST(MemoryOptions, Validation) {
+  const auto cfg = model_by_name("gpt3-125m");
+  MemoryOptions opt;
+  opt.zero_stage = 4;
+  EXPECT_THROW(training_memory(cfg, opt), Error);
+  opt.zero_stage = 1;
+  opt.data_parallel = 0;
+  EXPECT_THROW(training_memory(cfg, opt), Error);
+}
+
+}  // namespace
+}  // namespace codesign::tfm

@@ -1,0 +1,365 @@
+// codesign — the command-line front door to the library.
+//
+//   codesign gpus                       list the GPU spec registry
+//   codesign models                     list the model zoo
+//   codesign advise  <model> [--gpu=]   shape-advisor report
+//   codesign gemm    --m= --n= --k= [--batch=] [--dtype=] [--gpu=]
+//                                       estimate one (batched) GEMM
+//   codesign train   <model> [--gpu=]   training-step latency + memory
+//   codesign infer   <model> [--gpu=] [--prompt=] [--gen=] [--batch=]
+//   codesign pipeline <model> --stages= [--microbatches=] [--gpu=]
+//
+// Every subcommand accepts --gpu (default a100). Models are zoo names
+// (see `codesign models`).
+#include <iostream>
+
+#include "advisor/compare.hpp"
+#include "advisor/designer.hpp"
+#include "advisor/report.hpp"
+#include "comm/cluster_spec.hpp"
+#include "comm/parallelism.hpp"
+#include "common/cli.hpp"
+#include "gemmsim/explain.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "gemmsim/simulator.hpp"
+#include "transformer/config_parse.hpp"
+#include "transformer/inference.hpp"
+#include "transformer/model_zoo.hpp"
+#include "transformer/params.hpp"
+#include "transformer/pipeline.hpp"
+#include "transformer/trace.hpp"
+#include "transformer/training.hpp"
+
+#include <fstream>
+
+namespace codesign {
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: codesign <command> [args]\n"
+         "  gpus                         list known GPUs\n"
+         "  clusters                     list the Table-III systems\n"
+         "  models                       list the model zoo\n"
+         "  advise <model> [--gpu=]      sizing-rule report + re-shapes\n"
+         "  gemm --m= --n= --k= [--batch=] [--dtype=fp16] [--gpu=]\n"
+         "  explain --m= --n= --k= [--batch=] [--gpu=]   factor breakdown\n"
+         "  train <model> [--gpu=]       training step + memory footprint\n"
+         "  infer <model> [--gpu=] [--prompt=128] [--gen=128] [--batch=1]\n"
+         "  pipeline <model> --stages=N [--microbatches=32] [--gpu=]\n"
+         "  trace <model> [--layers=1] [--out=trace.json] [--gpu=]\n"
+         "  design --params=2.7e9 [--t=1] [--s=2048] [--v=50304] [--gpu=]\n"
+         "  compare <modelA> <modelB> [--gpu=]    side-by-side what-if\n"
+         "  plan <model> --gpus=N [--cluster=aws-p4d] [--microbatches=32]\n"
+         "                               rank (t, p, d) parallel layouts\n"
+         "\n"
+         "Model-taking commands also accept --custom=h=...,a=...,L=...\n";
+  return 2;
+}
+
+gemm::GemmSimulator sim_for(const CliArgs& args) {
+  return gemm::GemmSimulator::for_gpu(args.get_string("gpu", "a100"));
+}
+
+/// Resolve the model from either a zoo name (positional) or a --custom=
+/// spec string like "h=2560,a=32,L=32,act=swiglu".
+tfm::TransformerConfig model_arg(const CliArgs& args, std::size_t index = 1) {
+  if (args.has("custom")) {
+    return tfm::parse_config_string(args.get_string("custom", ""));
+  }
+  CODESIGN_CHECK(args.positional().size() > index,
+                 "expected a model name (or --custom=h=...,a=...,L=...); "
+                 "run `codesign models` for the list");
+  return tfm::model_by_name(args.positional()[index]);
+}
+
+int cmd_gpus() {
+  TableWriter t({"id", "name", "SMs", "fp16 tensor TFLOP/s", "HBM GB/s",
+                 "HBM GiB", "TC alignment"});
+  for (const std::string& id : gpu::known_gpus()) {
+    const gpu::GpuSpec& g = gpu::gpu_by_name(id);
+    t.new_row()
+        .cell(id)
+        .cell(g.marketing_name)
+        .cell(static_cast<std::int64_t>(g.sm_count))
+        .cell(g.tensor_flops_fp16 / 1e12, 0)
+        .cell(g.hbm_bandwidth / 1e9, 0)
+        .cell(g.hbm_capacity / (1024.0 * 1024 * 1024), 0)
+        .cell(str_format("%lld B", static_cast<long long>(
+                                       g.tc_full_alignment_bytes)));
+  }
+  t.write(std::cout);
+  return 0;
+}
+
+int cmd_clusters() {
+  TableWriter t({"id", "description", "GPUs/node", "intra GB/s",
+                 "inter GB/s"});
+  for (const std::string& id : comm::known_clusters()) {
+    const comm::ClusterSpec& c = comm::cluster_by_name(id);
+    t.new_row()
+        .cell(id)
+        .cell(c.description)
+        .cell(static_cast<std::int64_t>(c.gpus_per_node))
+        .cell(c.intra_node_bandwidth / 1e9, 0)
+        .cell(c.inter_node_bandwidth / 1e9, 0);
+  }
+  t.write(std::cout);
+  return 0;
+}
+
+int cmd_models() {
+  TableWriter t({"name", "h", "a", "kv", "L", "d_ff", "v", "params",
+                 "flavour"});
+  for (const std::string& name : tfm::known_models()) {
+    const auto& c = tfm::model_by_name(name);
+    t.new_row()
+        .cell(name)
+        .cell(c.hidden_size)
+        .cell(c.num_heads)
+        .cell(c.kv_heads())
+        .cell(c.num_layers)
+        .cell(c.d_ff())
+        .cell(c.vocab_size)
+        .cell(human_count(static_cast<double>(tfm::exact_param_count(c))))
+        .cell(str_format("%s/%s%s", tfm::activation_name(c.activation),
+                         tfm::pos_embedding_name(c.pos_embedding),
+                         c.parallel_layers ? "/parallel" : ""));
+  }
+  t.write(std::cout);
+  return 0;
+}
+
+int cmd_advise(const CliArgs& args) {
+  std::cout << advisor::advise(model_arg(args), sim_for(args));
+  return 0;
+}
+
+int cmd_gemm(const CliArgs& args) {
+  gemm::GemmProblem p;
+  p.m = args.get_int("m", 0);
+  p.n = args.get_int("n", 0);
+  p.k = args.get_int("k", 0);
+  p.batch = args.get_int("batch", 1);
+  p.dtype = gpu::dtype_from_name(args.get_string("dtype", "fp16"));
+  p.validate();
+  const auto sim = sim_for(args);
+  const auto est = sim.estimate(p);
+  std::cout << p.to_string() << " on " << sim.gpu().id << ":\n"
+            << str_format(
+                   "  time %s  |  %.1f TFLOP/s  |  %s-bound  |  tile %s  |  "
+                   "%lld tiles in %lld waves\n",
+                   human_time(est.time).c_str(), est.tflops(),
+                   gemm::bound_name(est.bound), est.tile.name().c_str(),
+                   static_cast<long long>(est.tile_q.tiles_total),
+                   static_cast<long long>(est.wave_q.waves))
+            << str_format(
+                   "  alignment: m %.2f, n %.2f, k %.2f (combined %.2f, "
+                   "tensor cores %s)\n",
+                   est.alignment.m, est.alignment.n, est.alignment.k,
+                   est.alignment.combined,
+                   est.alignment.tensor_cores ? "ON" : "OFF");
+  return 0;
+}
+
+int cmd_explain(const CliArgs& args) {
+  gemm::GemmProblem p;
+  p.m = args.get_int("m", 0);
+  p.n = args.get_int("n", 0);
+  p.k = args.get_int("k", 0);
+  p.batch = args.get_int("batch", 1);
+  p.dtype = gpu::dtype_from_name(args.get_string("dtype", "fp16"));
+  p.validate();
+  const auto sim = sim_for(args);
+  std::cout << gemm::explain_gemm(p, sim.gpu()).to_string();
+  return 0;
+}
+
+int cmd_train(const CliArgs& args) {
+  const auto& cfg = model_arg(args);
+  const auto sim = sim_for(args);
+  const auto r = tfm::analyze_training_step(cfg, sim);
+  const auto m = tfm::training_memory(cfg);
+  std::cout << cfg.to_string() << " on " << sim.gpu().id << ":\n"
+            << str_format(
+                   "  step %s (fwd %s, bwd %s, optimizer %s)\n",
+                   human_time(r.total_time).c_str(),
+                   human_time(r.forward_time).c_str(),
+                   human_time(r.backward_time).c_str(),
+                   human_time(r.optimizer_time).c_str())
+            << str_format("  model %.1f TFLOP/s, MFU %.1f%%\n",
+                          r.model_tflops, 100.0 * r.mfu)
+            << str_format(
+                   "  memory: static %s + activations %s = %s (%s; max b = "
+                   "%lld)\n",
+                   human_bytes(m.weight_bytes + m.gradient_bytes +
+                               m.optimizer_bytes)
+                       .c_str(),
+                   human_bytes(m.activation_bytes).c_str(),
+                   human_bytes(m.total_bytes).c_str(),
+                   m.fits(sim.gpu()) ? "fits" : "DOES NOT FIT",
+                   static_cast<long long>(
+                       tfm::max_microbatch(cfg, sim.gpu())));
+  return 0;
+}
+
+int cmd_infer(const CliArgs& args) {
+  const auto& cfg = model_arg(args);
+  const auto sim = sim_for(args);
+  tfm::InferenceWorkload w;
+  w.prompt_len = args.get_int("prompt", 128);
+  w.generate_tokens = args.get_int("gen", 128);
+  w.batch = args.get_int("batch", 1);
+  const auto e = tfm::estimate_inference(cfg, sim, w);
+  std::cout << cfg.to_string() << " on " << sim.gpu().id << ":\n"
+            << str_format(
+                   "  prefill %s, per-token %s (%.0f tokens/s), request %s\n",
+                   human_time(e.prefill_time).c_str(),
+                   human_time(e.per_token_time).c_str(), e.tokens_per_second,
+                   human_time(e.total_time).c_str())
+            << str_format("  per step: %s weights + %s KV, %.0f launches\n",
+                          human_bytes(e.weight_bytes).c_str(),
+                          human_bytes(e.kv_bytes_avg).c_str(),
+                          e.launches_per_step);
+  return 0;
+}
+
+int cmd_pipeline(const CliArgs& args) {
+  const auto& cfg = model_arg(args);
+  const auto sim = sim_for(args);
+  tfm::PipelineSchedule s;
+  s.stages = args.get_int("stages", 1);
+  s.microbatches = args.get_int("microbatches", 32);
+  const auto r = tfm::analyze_pipeline(cfg, sim, s);
+  std::cout << cfg.to_string() << ", p = " << s.stages
+            << ", m = " << s.microbatches << ":\n"
+            << str_format(
+                   "  step %s | bubble %.1f%% | imbalance %.3fx | "
+                   "efficiency %.1f%% | %.0f tokens/s\n",
+                   human_time(r.step_time).c_str(),
+                   100.0 * r.bubble_fraction, r.imbalance_factor,
+                   100.0 * r.efficiency, r.tokens_per_second);
+  if (!r.balanced) {
+    std::cout << "  note: " << cfg.num_layers << " layers do not divide into "
+              << s.stages << " stages — the paper's rule says pick p from "
+                             "the divisors of L\n";
+  }
+  return 0;
+}
+
+int cmd_trace(const CliArgs& args) {
+  const auto& cfg = model_arg(args);
+  const auto sim = sim_for(args);
+  tfm::TraceOptions opt;
+  opt.layers = args.get_int("layers", 1);
+  opt.include_model_level = args.get_bool("model-level", true);
+  const std::string json = tfm::trace_json(cfg, sim, opt);
+  const std::string out = args.get_string("out", "trace.json");
+  std::ofstream f(out);
+  CODESIGN_CHECK(f.good(), "cannot open '" + out + "' for writing");
+  f << json;
+  f.close();
+  std::cout << "wrote " << json.size() << " bytes to " << out
+            << " — open with chrome://tracing or https://ui.perfetto.dev\n";
+  return 0;
+}
+
+int cmd_plan(const CliArgs& args) {
+  tfm::TransformerConfig m = model_arg(args);
+  if (m.vocab_size % 64 != 0) m = m.with_vocab(((m.vocab_size + 63) / 64) * 64);
+  const auto& cluster =
+      comm::cluster_by_name(args.get_string("cluster", "aws-p4d"));
+  const std::int64_t gpus = args.get_int("gpus", 32);
+  const std::int64_t mb = args.get_int("microbatches", 32);
+  std::cout << "Parallel layouts for " << m.to_string() << "\non " << gpus
+            << " GPUs of " << cluster.description << ":\n";
+  TableWriter t({"t", "p", "d", "ok", "step", "tokens/s", "MFU", "note"});
+  int listed = 0;
+  for (const auto& r : comm::rank_plans(m, cluster, gpus, mb)) {
+    if (listed++ >= 12) break;
+    t.new_row()
+        .cell(r.plan.tensor)
+        .cell(r.plan.pipeline)
+        .cell(r.plan.data)
+        .cell(r.feasible ? (r.fits_memory ? "yes" : "OOM") : "NO")
+        .cell(r.feasible ? human_time(r.step_time) : "-")
+        .cell(r.feasible ? str_format("%.0f", r.tokens_per_second) : "-")
+        .cell(r.feasible ? str_format("%.1f%%", 100.0 * r.cluster_mfu) : "-")
+        .cell(r.infeasible_reason);
+  }
+  t.write(std::cout);
+  return 0;
+}
+
+int cmd_compare(const CliArgs& args) {
+  CODESIGN_CHECK(args.positional().size() >= 3,
+                 "compare needs two model names");
+  const auto& a = tfm::model_by_name(args.positional()[1]);
+  const auto& b = tfm::model_by_name(args.positional()[2]);
+  std::cout << advisor::compare_configs(a, b, sim_for(args)).to_string();
+  return 0;
+}
+
+int cmd_design(const CliArgs& args) {
+  advisor::DesignConstraints c;
+  c.param_budget = args.get_double("params", 0.0);
+  c.seq_len = args.get_int("s", 2048);
+  c.microbatch = args.get_int("b", 4);
+  c.vocab_size = args.get_int("v", 50304);
+  c.tensor_parallel = args.get_int("t", 1);
+  const auto sim = sim_for(args);
+  const auto designs = advisor::design_models(c, sim);
+  std::cout << "Rule-clean designs for a " << human_count(c.param_budget)
+            << "-parameter budget on " << sim.gpu().id << ":\n";
+  TableWriter t({"design", "h", "a", "h/a", "L", "params", "h/L",
+                 "step TFLOP/s", "MFU"});
+  for (const auto& d : designs) {
+    t.new_row()
+        .cell(d.config.name)
+        .cell(d.config.hidden_size)
+        .cell(d.config.num_heads)
+        .cell(d.config.head_dim())
+        .cell(d.config.num_layers)
+        .cell(human_count(d.param_count))
+        .cell(d.aspect, 0)
+        .cell(d.step_tflops, 1)
+        .cell(str_format("%.1f%%", 100.0 * d.mfu));
+  }
+  t.write(std::cout);
+  return 0;
+}
+
+int dispatch(int argc, const char* const* argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string& cmd = args.positional()[0];
+  if (cmd == "gpus") return cmd_gpus();
+  if (cmd == "clusters") return cmd_clusters();
+  if (cmd == "models") return cmd_models();
+  if (cmd == "advise") return cmd_advise(args);
+  if (cmd == "gemm") return cmd_gemm(args);
+  if (cmd == "explain") return cmd_explain(args);
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "infer") return cmd_infer(args);
+  if (cmd == "pipeline") return cmd_pipeline(args);
+  if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "design") return cmd_design(args);
+  if (cmd == "compare") return cmd_compare(args);
+  if (cmd == "plan") return cmd_plan(args);
+  std::cerr << "unknown command '" << cmd << "'\n";
+  return usage();
+}
+
+}  // namespace
+}  // namespace codesign
+
+int main(int argc, char** argv) {
+  try {
+    return codesign::dispatch(argc, argv);
+  } catch (const codesign::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
