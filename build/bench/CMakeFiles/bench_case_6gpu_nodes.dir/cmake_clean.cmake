@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_6gpu_nodes.dir/bench_case_6gpu_nodes.cpp.o"
+  "CMakeFiles/bench_case_6gpu_nodes.dir/bench_case_6gpu_nodes.cpp.o.d"
+  "bench_case_6gpu_nodes"
+  "bench_case_6gpu_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_6gpu_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_bert.dir/bench_case_bert.cpp.o"
+  "CMakeFiles/bench_case_bert.dir/bench_case_bert.cpp.o.d"
+  "bench_case_bert"
+  "bench_case_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

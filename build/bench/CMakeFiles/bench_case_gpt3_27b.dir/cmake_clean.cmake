@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_gpt3_27b.dir/bench_case_gpt3_27b.cpp.o"
+  "CMakeFiles/bench_case_gpt3_27b.dir/bench_case_gpt3_27b.cpp.o.d"
+  "bench_case_gpt3_27b"
+  "bench_case_gpt3_27b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_gpt3_27b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_hw_ratio.dir/bench_case_hw_ratio.cpp.o"
+  "CMakeFiles/bench_case_hw_ratio.dir/bench_case_hw_ratio.cpp.o.d"
+  "bench_case_hw_ratio"
+  "bench_case_hw_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_hw_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_swiglu.dir/bench_case_swiglu.cpp.o"
+  "CMakeFiles/bench_case_swiglu.dir/bench_case_swiglu.cpp.o.d"
+  "bench_case_swiglu"
+  "bench_case_swiglu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_swiglu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

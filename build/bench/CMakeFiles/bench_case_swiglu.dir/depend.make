@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_case_swiglu.
+# This may be replaced when dependencies are built.

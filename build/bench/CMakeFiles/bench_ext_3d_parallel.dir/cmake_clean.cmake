@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_3d_parallel.dir/bench_ext_3d_parallel.cpp.o"
+  "CMakeFiles/bench_ext_3d_parallel.dir/bench_ext_3d_parallel.cpp.o.d"
+  "bench_ext_3d_parallel"
+  "bench_ext_3d_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_3d_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gqa.dir/bench_ext_gqa.cpp.o"
+  "CMakeFiles/bench_ext_gqa.dir/bench_ext_gqa.cpp.o.d"
+  "bench_ext_gqa"
+  "bench_ext_gqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_seqlen.dir/bench_ext_seqlen.cpp.o"
+  "CMakeFiles/bench_ext_seqlen.dir/bench_ext_seqlen.cpp.o.d"
+  "bench_ext_seqlen"
+  "bench_ext_seqlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_seqlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

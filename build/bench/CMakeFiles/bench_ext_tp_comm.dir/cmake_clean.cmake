@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tp_comm.dir/bench_ext_tp_comm.cpp.o"
+  "CMakeFiles/bench_ext_tp_comm.dir/bench_ext_tp_comm.cpp.o.d"
+  "bench_ext_tp_comm"
+  "bench_ext_tp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_training_step.dir/bench_ext_training_step.cpp.o"
+  "CMakeFiles/bench_ext_training_step.dir/bench_ext_training_step.cpp.o.d"
+  "bench_ext_training_step"
+  "bench_ext_training_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_training_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_volta_vs_ampere.dir/bench_ext_volta_vs_ampere.cpp.o"
+  "CMakeFiles/bench_ext_volta_vs_ampere.dir/bench_ext_volta_vs_ampere.cpp.o.d"
+  "bench_ext_volta_vs_ampere"
+  "bench_ext_volta_vs_ampere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_volta_vs_ampere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

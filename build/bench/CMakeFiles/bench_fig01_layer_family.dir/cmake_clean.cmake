@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_layer_family.dir/bench_fig01_layer_family.cpp.o"
+  "CMakeFiles/bench_fig01_layer_family.dir/bench_fig01_layer_family.cpp.o.d"
+  "bench_fig01_layer_family"
+  "bench_fig01_layer_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_layer_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_gemm_proportions.dir/bench_fig11_gemm_proportions.cpp.o"
+  "CMakeFiles/bench_fig11_gemm_proportions.dir/bench_fig11_gemm_proportions.cpp.o.d"
+  "bench_fig11_gemm_proportions"
+  "bench_fig11_gemm_proportions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_gemm_proportions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

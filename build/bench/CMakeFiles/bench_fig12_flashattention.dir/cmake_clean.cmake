@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_flashattention.dir/bench_fig12_flashattention.cpp.o"
+  "CMakeFiles/bench_fig12_flashattention.dir/bench_fig12_flashattention.cpp.o.d"
+  "bench_fig12_flashattention"
+  "bench_fig12_flashattention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_flashattention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

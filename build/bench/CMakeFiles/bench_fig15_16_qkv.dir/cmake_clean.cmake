@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_qkv.dir/bench_fig15_16_qkv.cpp.o"
+  "CMakeFiles/bench_fig15_16_qkv.dir/bench_fig15_16_qkv.cpp.o.d"
+  "bench_fig15_16_qkv"
+  "bench_fig15_16_qkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_qkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

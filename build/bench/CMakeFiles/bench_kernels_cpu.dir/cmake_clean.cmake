@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernels_cpu.dir/bench_kernels_cpu.cpp.o"
+  "CMakeFiles/bench_kernels_cpu.dir/bench_kernels_cpu.cpp.o.d"
+  "bench_kernels_cpu"
+  "bench_kernels_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/codesign_bench_common.dir/bench_common.cpp.o.d"
+  "libcodesign_bench_common.a"
+  "libcodesign_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

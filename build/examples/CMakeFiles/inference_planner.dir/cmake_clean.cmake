@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_planner.dir/inference_planner.cpp.o"
+  "CMakeFiles/inference_planner.dir/inference_planner.cpp.o.d"
+  "inference_planner"
+  "inference_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/paper_tour.cpp" "examples/CMakeFiles/paper_tour.dir/paper_tour.cpp.o" "gcc" "examples/CMakeFiles/paper_tour.dir/paper_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/codesign_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/codesign_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/transformer/CMakeFiles/codesign_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemmsim/CMakeFiles/codesign_gemmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/codesign_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuarch/CMakeFiles/codesign_gpuarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/codesign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_tiny_model.dir/run_tiny_model.cpp.o"
+  "CMakeFiles/run_tiny_model.dir/run_tiny_model.cpp.o.d"
+  "run_tiny_model"
+  "run_tiny_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_tiny_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

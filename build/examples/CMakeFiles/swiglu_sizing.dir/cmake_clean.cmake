@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiglu_sizing.dir/swiglu_sizing.cpp.o"
+  "CMakeFiles/swiglu_sizing.dir/swiglu_sizing.cpp.o.d"
+  "swiglu_sizing"
+  "swiglu_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiglu_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "--model=gpt3-125m")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_shape_explorer "/root/repo/build/examples/shape_explorer" "--h=2048" "--a=16" "--layers=24")
+set_tests_properties(smoke_shape_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_swiglu_sizing "/root/repo/build/examples/swiglu_sizing" "--h=2048" "--radius=128")
+set_tests_properties(smoke_swiglu_sizing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_inference_planner "/root/repo/build/examples/inference_planner" "--models=pythia-160m,pythia-410m")
+set_tests_properties(smoke_inference_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_cluster_planner "/root/repo/build/examples/cluster_planner" "--model=gpt3-1.3b" "--cluster=aws-p4d")
+set_tests_properties(smoke_cluster_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_paper_tour "/root/repo/build/examples/paper_tour")
+set_tests_properties(smoke_paper_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_run_tiny_model "/root/repo/build/examples/run_tiny_model" "--h=32" "--a=4" "--layers=1" "--s=16" "--v=64")
+set_tests_properties(smoke_run_tiny_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

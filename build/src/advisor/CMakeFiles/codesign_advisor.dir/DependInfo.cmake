@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/cluster.cpp" "src/advisor/CMakeFiles/codesign_advisor.dir/cluster.cpp.o" "gcc" "src/advisor/CMakeFiles/codesign_advisor.dir/cluster.cpp.o.d"
+  "/root/repo/src/advisor/compare.cpp" "src/advisor/CMakeFiles/codesign_advisor.dir/compare.cpp.o" "gcc" "src/advisor/CMakeFiles/codesign_advisor.dir/compare.cpp.o.d"
+  "/root/repo/src/advisor/designer.cpp" "src/advisor/CMakeFiles/codesign_advisor.dir/designer.cpp.o" "gcc" "src/advisor/CMakeFiles/codesign_advisor.dir/designer.cpp.o.d"
+  "/root/repo/src/advisor/report.cpp" "src/advisor/CMakeFiles/codesign_advisor.dir/report.cpp.o" "gcc" "src/advisor/CMakeFiles/codesign_advisor.dir/report.cpp.o.d"
+  "/root/repo/src/advisor/rules.cpp" "src/advisor/CMakeFiles/codesign_advisor.dir/rules.cpp.o" "gcc" "src/advisor/CMakeFiles/codesign_advisor.dir/rules.cpp.o.d"
+  "/root/repo/src/advisor/search.cpp" "src/advisor/CMakeFiles/codesign_advisor.dir/search.cpp.o" "gcc" "src/advisor/CMakeFiles/codesign_advisor.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transformer/CMakeFiles/codesign_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemmsim/CMakeFiles/codesign_gemmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/codesign_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuarch/CMakeFiles/codesign_gpuarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/codesign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

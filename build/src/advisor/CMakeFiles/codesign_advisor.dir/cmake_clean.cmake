@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_advisor.dir/cluster.cpp.o"
+  "CMakeFiles/codesign_advisor.dir/cluster.cpp.o.d"
+  "CMakeFiles/codesign_advisor.dir/compare.cpp.o"
+  "CMakeFiles/codesign_advisor.dir/compare.cpp.o.d"
+  "CMakeFiles/codesign_advisor.dir/designer.cpp.o"
+  "CMakeFiles/codesign_advisor.dir/designer.cpp.o.d"
+  "CMakeFiles/codesign_advisor.dir/report.cpp.o"
+  "CMakeFiles/codesign_advisor.dir/report.cpp.o.d"
+  "CMakeFiles/codesign_advisor.dir/rules.cpp.o"
+  "CMakeFiles/codesign_advisor.dir/rules.cpp.o.d"
+  "CMakeFiles/codesign_advisor.dir/search.cpp.o"
+  "CMakeFiles/codesign_advisor.dir/search.cpp.o.d"
+  "libcodesign_advisor.a"
+  "libcodesign_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

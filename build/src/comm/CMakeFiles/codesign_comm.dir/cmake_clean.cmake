@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_comm.dir/cluster_spec.cpp.o"
+  "CMakeFiles/codesign_comm.dir/cluster_spec.cpp.o.d"
+  "CMakeFiles/codesign_comm.dir/collectives.cpp.o"
+  "CMakeFiles/codesign_comm.dir/collectives.cpp.o.d"
+  "CMakeFiles/codesign_comm.dir/parallelism.cpp.o"
+  "CMakeFiles/codesign_comm.dir/parallelism.cpp.o.d"
+  "libcodesign_comm.a"
+  "libcodesign_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_common.dir/cli.cpp.o"
+  "CMakeFiles/codesign_common.dir/cli.cpp.o.d"
+  "CMakeFiles/codesign_common.dir/error.cpp.o"
+  "CMakeFiles/codesign_common.dir/error.cpp.o.d"
+  "CMakeFiles/codesign_common.dir/logging.cpp.o"
+  "CMakeFiles/codesign_common.dir/logging.cpp.o.d"
+  "CMakeFiles/codesign_common.dir/rng.cpp.o"
+  "CMakeFiles/codesign_common.dir/rng.cpp.o.d"
+  "CMakeFiles/codesign_common.dir/stats.cpp.o"
+  "CMakeFiles/codesign_common.dir/stats.cpp.o.d"
+  "CMakeFiles/codesign_common.dir/strings.cpp.o"
+  "CMakeFiles/codesign_common.dir/strings.cpp.o.d"
+  "CMakeFiles/codesign_common.dir/table.cpp.o"
+  "CMakeFiles/codesign_common.dir/table.cpp.o.d"
+  "libcodesign_common.a"
+  "libcodesign_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

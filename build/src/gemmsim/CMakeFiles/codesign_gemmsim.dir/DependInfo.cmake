@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemmsim/explain.cpp" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/explain.cpp.o" "gcc" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/explain.cpp.o.d"
+  "/root/repo/src/gemmsim/flash_attention.cpp" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/flash_attention.cpp.o" "gcc" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/flash_attention.cpp.o.d"
+  "/root/repo/src/gemmsim/gemm_problem.cpp" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/gemm_problem.cpp.o" "gcc" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/gemm_problem.cpp.o.d"
+  "/root/repo/src/gemmsim/kernel_model.cpp" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/kernel_model.cpp.o" "gcc" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/gemmsim/quantization.cpp" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/quantization.cpp.o" "gcc" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/quantization.cpp.o.d"
+  "/root/repo/src/gemmsim/roofline.cpp" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/roofline.cpp.o" "gcc" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/roofline.cpp.o.d"
+  "/root/repo/src/gemmsim/simulator.cpp" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/simulator.cpp.o" "gcc" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/gemmsim/sm_scheduler.cpp" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/sm_scheduler.cpp.o" "gcc" "src/gemmsim/CMakeFiles/codesign_gemmsim.dir/sm_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpuarch/CMakeFiles/codesign_gpuarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/codesign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

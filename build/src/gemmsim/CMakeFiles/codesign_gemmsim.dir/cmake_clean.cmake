@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_gemmsim.dir/explain.cpp.o"
+  "CMakeFiles/codesign_gemmsim.dir/explain.cpp.o.d"
+  "CMakeFiles/codesign_gemmsim.dir/flash_attention.cpp.o"
+  "CMakeFiles/codesign_gemmsim.dir/flash_attention.cpp.o.d"
+  "CMakeFiles/codesign_gemmsim.dir/gemm_problem.cpp.o"
+  "CMakeFiles/codesign_gemmsim.dir/gemm_problem.cpp.o.d"
+  "CMakeFiles/codesign_gemmsim.dir/kernel_model.cpp.o"
+  "CMakeFiles/codesign_gemmsim.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/codesign_gemmsim.dir/quantization.cpp.o"
+  "CMakeFiles/codesign_gemmsim.dir/quantization.cpp.o.d"
+  "CMakeFiles/codesign_gemmsim.dir/roofline.cpp.o"
+  "CMakeFiles/codesign_gemmsim.dir/roofline.cpp.o.d"
+  "CMakeFiles/codesign_gemmsim.dir/simulator.cpp.o"
+  "CMakeFiles/codesign_gemmsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/codesign_gemmsim.dir/sm_scheduler.cpp.o"
+  "CMakeFiles/codesign_gemmsim.dir/sm_scheduler.cpp.o.d"
+  "libcodesign_gemmsim.a"
+  "libcodesign_gemmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_gemmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

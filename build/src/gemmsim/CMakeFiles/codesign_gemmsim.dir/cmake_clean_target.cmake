@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcodesign_gemmsim.a"
+)

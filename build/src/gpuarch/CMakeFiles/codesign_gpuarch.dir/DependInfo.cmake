@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpuarch/dtype.cpp" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/dtype.cpp.o" "gcc" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/dtype.cpp.o.d"
+  "/root/repo/src/gpuarch/gpu_spec.cpp" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/gpu_spec.cpp.o" "gcc" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/gpuarch/occupancy.cpp" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/occupancy.cpp.o" "gcc" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/occupancy.cpp.o.d"
+  "/root/repo/src/gpuarch/tensor_core.cpp" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/tensor_core.cpp.o" "gcc" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/tensor_core.cpp.o.d"
+  "/root/repo/src/gpuarch/tile_config.cpp" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/tile_config.cpp.o" "gcc" "src/gpuarch/CMakeFiles/codesign_gpuarch.dir/tile_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/codesign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_gpuarch.dir/dtype.cpp.o"
+  "CMakeFiles/codesign_gpuarch.dir/dtype.cpp.o.d"
+  "CMakeFiles/codesign_gpuarch.dir/gpu_spec.cpp.o"
+  "CMakeFiles/codesign_gpuarch.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/codesign_gpuarch.dir/occupancy.cpp.o"
+  "CMakeFiles/codesign_gpuarch.dir/occupancy.cpp.o.d"
+  "CMakeFiles/codesign_gpuarch.dir/tensor_core.cpp.o"
+  "CMakeFiles/codesign_gpuarch.dir/tensor_core.cpp.o.d"
+  "CMakeFiles/codesign_gpuarch.dir/tile_config.cpp.o"
+  "CMakeFiles/codesign_gpuarch.dir/tile_config.cpp.o.d"
+  "libcodesign_gpuarch.a"
+  "libcodesign_gpuarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_gpuarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

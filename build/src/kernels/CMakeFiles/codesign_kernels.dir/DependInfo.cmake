@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/attention_cpu.cpp" "src/kernels/CMakeFiles/codesign_kernels.dir/attention_cpu.cpp.o" "gcc" "src/kernels/CMakeFiles/codesign_kernels.dir/attention_cpu.cpp.o.d"
+  "/root/repo/src/kernels/backward.cpp" "src/kernels/CMakeFiles/codesign_kernels.dir/backward.cpp.o" "gcc" "src/kernels/CMakeFiles/codesign_kernels.dir/backward.cpp.o.d"
+  "/root/repo/src/kernels/gemm_cpu.cpp" "src/kernels/CMakeFiles/codesign_kernels.dir/gemm_cpu.cpp.o" "gcc" "src/kernels/CMakeFiles/codesign_kernels.dir/gemm_cpu.cpp.o.d"
+  "/root/repo/src/kernels/half.cpp" "src/kernels/CMakeFiles/codesign_kernels.dir/half.cpp.o" "gcc" "src/kernels/CMakeFiles/codesign_kernels.dir/half.cpp.o.d"
+  "/root/repo/src/kernels/ops.cpp" "src/kernels/CMakeFiles/codesign_kernels.dir/ops.cpp.o" "gcc" "src/kernels/CMakeFiles/codesign_kernels.dir/ops.cpp.o.d"
+  "/root/repo/src/kernels/tensor.cpp" "src/kernels/CMakeFiles/codesign_kernels.dir/tensor.cpp.o" "gcc" "src/kernels/CMakeFiles/codesign_kernels.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/codesign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

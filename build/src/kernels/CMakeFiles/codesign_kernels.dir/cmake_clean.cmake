@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_kernels.dir/attention_cpu.cpp.o"
+  "CMakeFiles/codesign_kernels.dir/attention_cpu.cpp.o.d"
+  "CMakeFiles/codesign_kernels.dir/backward.cpp.o"
+  "CMakeFiles/codesign_kernels.dir/backward.cpp.o.d"
+  "CMakeFiles/codesign_kernels.dir/gemm_cpu.cpp.o"
+  "CMakeFiles/codesign_kernels.dir/gemm_cpu.cpp.o.d"
+  "CMakeFiles/codesign_kernels.dir/half.cpp.o"
+  "CMakeFiles/codesign_kernels.dir/half.cpp.o.d"
+  "CMakeFiles/codesign_kernels.dir/ops.cpp.o"
+  "CMakeFiles/codesign_kernels.dir/ops.cpp.o.d"
+  "CMakeFiles/codesign_kernels.dir/tensor.cpp.o"
+  "CMakeFiles/codesign_kernels.dir/tensor.cpp.o.d"
+  "libcodesign_kernels.a"
+  "libcodesign_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transformer/config.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/config.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/config.cpp.o.d"
+  "/root/repo/src/transformer/config_parse.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/config_parse.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/config_parse.cpp.o.d"
+  "/root/repo/src/transformer/flops.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/flops.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/flops.cpp.o.d"
+  "/root/repo/src/transformer/forward.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/forward.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/forward.cpp.o.d"
+  "/root/repo/src/transformer/gemm_mapping.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/gemm_mapping.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/gemm_mapping.cpp.o.d"
+  "/root/repo/src/transformer/inference.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/inference.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/inference.cpp.o.d"
+  "/root/repo/src/transformer/layer_model.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/layer_model.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/layer_model.cpp.o.d"
+  "/root/repo/src/transformer/model_zoo.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/model_zoo.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/transformer/params.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/params.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/params.cpp.o.d"
+  "/root/repo/src/transformer/pipeline.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/pipeline.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/pipeline.cpp.o.d"
+  "/root/repo/src/transformer/trace.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/trace.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/trace.cpp.o.d"
+  "/root/repo/src/transformer/training.cpp" "src/transformer/CMakeFiles/codesign_transformer.dir/training.cpp.o" "gcc" "src/transformer/CMakeFiles/codesign_transformer.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gemmsim/CMakeFiles/codesign_gemmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/codesign_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuarch/CMakeFiles/codesign_gpuarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/codesign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

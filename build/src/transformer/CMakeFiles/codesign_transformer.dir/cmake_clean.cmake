@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_transformer.dir/config.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/config.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/config_parse.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/config_parse.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/flops.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/flops.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/forward.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/forward.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/gemm_mapping.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/gemm_mapping.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/inference.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/inference.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/layer_model.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/layer_model.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/model_zoo.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/params.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/params.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/pipeline.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/pipeline.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/trace.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/trace.cpp.o.d"
+  "CMakeFiles/codesign_transformer.dir/training.cpp.o"
+  "CMakeFiles/codesign_transformer.dir/training.cpp.o.d"
+  "libcodesign_transformer.a"
+  "libcodesign_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backward.dir/test_backward.cpp.o"
+  "CMakeFiles/test_backward.dir/test_backward.cpp.o.d"
+  "test_backward"
+  "test_backward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_context.dir/test_bench_context.cpp.o"
+  "CMakeFiles/test_bench_context.dir/test_bench_context.cpp.o.d"
+  "test_bench_context"
+  "test_bench_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_designer.dir/test_designer.cpp.o"
+  "CMakeFiles/test_designer.dir/test_designer.cpp.o.d"
+  "test_designer"
+  "test_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forward.dir/test_forward.cpp.o"
+  "CMakeFiles/test_forward.dir/test_forward.cpp.o.d"
+  "test_forward"
+  "test_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

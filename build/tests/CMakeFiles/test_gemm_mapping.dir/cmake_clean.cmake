@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_mapping.dir/test_gemm_mapping.cpp.o"
+  "CMakeFiles/test_gemm_mapping.dir/test_gemm_mapping.cpp.o.d"
+  "test_gemm_mapping"
+  "test_gemm_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

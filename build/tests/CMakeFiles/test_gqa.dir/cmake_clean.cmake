@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gqa.dir/test_gqa.cpp.o"
+  "CMakeFiles/test_gqa.dir/test_gqa.cpp.o.d"
+  "test_gqa"
+  "test_gqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer_model.dir/test_layer_model.cpp.o"
+  "CMakeFiles/test_layer_model.dir/test_layer_model.cpp.o.d"
+  "test_layer_model"
+  "test_layer_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

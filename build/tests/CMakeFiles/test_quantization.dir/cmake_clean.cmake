@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantization.dir/test_quantization.cpp.o"
+  "CMakeFiles/test_quantization.dir/test_quantization.cpp.o.d"
+  "test_quantization"
+  "test_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

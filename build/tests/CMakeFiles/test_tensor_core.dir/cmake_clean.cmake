@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_core.dir/test_tensor_core.cpp.o"
+  "CMakeFiles/test_tensor_core.dir/test_tensor_core.cpp.o.d"
+  "test_tensor_core"
+  "test_tensor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zoo_wide.dir/test_zoo_wide.cpp.o"
+  "CMakeFiles/test_zoo_wide.dir/test_zoo_wide.cpp.o.d"
+  "test_zoo_wide"
+  "test_zoo_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zoo_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

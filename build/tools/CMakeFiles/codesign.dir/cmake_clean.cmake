@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign.dir/codesign_cli.cpp.o"
+  "CMakeFiles/codesign.dir/codesign_cli.cpp.o.d"
+  "codesign"
+  "codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_cli_gpus "/root/repo/build/tools/codesign" "gpus")
+set_tests_properties(smoke_cli_gpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_models "/root/repo/build/tools/codesign" "models")
+set_tests_properties(smoke_cli_models PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_clusters "/root/repo/build/tools/codesign" "clusters")
+set_tests_properties(smoke_cli_clusters PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_advise "/root/repo/build/tools/codesign" "advise" "gpt3-2.7b")
+set_tests_properties(smoke_cli_advise PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_custom "/root/repo/build/tools/codesign" "train" "--custom=h=2048,a=16,L=24,v=50304")
+set_tests_properties(smoke_cli_custom PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_gemm "/root/repo/build/tools/codesign" "gemm" "--m=4096" "--n=4096" "--k=4096")
+set_tests_properties(smoke_cli_gemm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_explain "/root/repo/build/tools/codesign" "explain" "--m=8192" "--n=50257" "--k=2560")
+set_tests_properties(smoke_cli_explain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_train "/root/repo/build/tools/codesign" "train" "gpt3-125m")
+set_tests_properties(smoke_cli_train PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_infer "/root/repo/build/tools/codesign" "infer" "pythia-410m")
+set_tests_properties(smoke_cli_infer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_pipeline "/root/repo/build/tools/codesign" "pipeline" "gpt3-2.7b" "--stages=8")
+set_tests_properties(smoke_cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_design "/root/repo/build/tools/codesign" "design" "--params=1.3e9")
+set_tests_properties(smoke_cli_design PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_plan "/root/repo/build/tools/codesign" "plan" "gpt3-2.7b" "--gpus=16")
+set_tests_properties(smoke_cli_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_compare "/root/repo/build/tools/codesign" "compare" "gpt3-2.7b" "gpt3-2.7b-c2")
+set_tests_properties(smoke_cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_cli_trace "/root/repo/build/tools/codesign" "trace" "gpt3-125m" "--out=/root/repo/build/trace_smoke.json")
+set_tests_properties(smoke_cli_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
