@@ -1,0 +1,292 @@
+// bench_search_parallel — design-space search throughput: cold vs. warm
+// estimate cache, 1 vs. N evaluation threads, seed path vs. pipeline.
+//
+// The paper's workflow (Figs 5-10, 21-47) sweeps thousands of transformer
+// shapes through the GEMM model; this bench tracks how fast this repo can
+// do that. It measures the joint heads × hidden grid search three ways:
+//   * seed      — the pre-pipeline code path: one thread, no cache, the
+//                 baseline layer re-analyzed for every candidate, and the
+//                 reporting-weight evaluation (full analyze_layer report,
+//                 per-tensor weight enumeration, formatted rule messages)
+//                 the searches used before the lean twins existed.
+//   * pipeline  — the shared search pipeline at 1..N threads, cache off.
+//   * cached    — the pipeline with the estimate cache, cold then warm.
+// It also asserts the determinism contract (identical ranking at every
+// thread count / cache setting) and writes BENCH_search.json so future PRs
+// can track the trajectory.
+//
+// Flags: --model= --radius= --threads= --repeat= --out= --smoke (tiny,
+// fast configuration for ctest), plus the standard --gpu/--policy/--format.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "advisor/rules.hpp"
+#include "advisor/search.hpp"
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "transformer/layer_model.hpp"
+#include "transformer/model_zoo.hpp"
+#include "transformer/params.hpp"
+
+namespace codesign::bench {
+namespace {
+
+using advisor::SearchOptions;
+using advisor::ShapeCandidate;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best wall-clock of `repeat` runs of fn() (returns candidate count).
+struct Timing {
+  double seconds = 0.0;
+  std::size_t candidates = 0;
+};
+
+template <typename F>
+Timing best_of(int repeat, F&& fn) {
+  Timing best;
+  best.seconds = 1e30;
+  for (int r = 0; r < repeat; ++r) {
+    const double t0 = now_seconds();
+    const std::size_t n = fn();
+    const double dt = now_seconds() - t0;
+    if (dt < best.seconds) best = Timing{dt, n};
+  }
+  return best;
+}
+
+/// One candidate evaluation exactly as the seed advisor did it: a full
+/// analyze_layer report for the baseline AND the candidate (the baseline
+/// was re-derived per call), parameter counts by enumerating every named
+/// weight tensor, and the rules verdict by folding over check_rules with
+/// all its formatted diagnostics. The optimized pipeline replaces each of
+/// these with a lean twin; this keeps the seed cost profile measurable.
+ShapeCandidate seed_evaluate(const tfm::TransformerConfig& config,
+                             const tfm::TransformerConfig& base,
+                             const gemm::GemmSimulator& sim) {
+  const auto enumerated_params = [](const tfm::TransformerConfig& c) {
+    std::int64_t total = 0;
+    for (const tfm::WeightInfo& w : tfm::enumerate_weights(c)) {
+      total += w.count;
+    }
+    return static_cast<double>(total);
+  };
+  const double base_time = tfm::analyze_layer(base, sim).total_time;
+  const double base_params = enumerated_params(base);
+  const tfm::LayerLatencyReport report = tfm::analyze_layer(config, sim);
+  ShapeCandidate c;
+  c.config = config;
+  c.layer_time = report.total_time;
+  c.layer_tflops = report.throughput_tflops;
+  c.speedup_vs_base = base_time / report.total_time;
+  c.param_count = enumerated_params(config);
+  c.param_delta_frac = (c.param_count - base_params) / base_params;
+  advisor::RuleContext ctx;
+  ctx.gpu = &sim.gpu();
+  c.rules_pass = true;
+  for (const advisor::RuleResult& r : advisor::check_rules(config, ctx)) {
+    if (!r.passed && r.severity != advisor::RuleSeverity::kAdvisory) {
+      c.rules_pass = false;
+    }
+  }
+  return c;
+}
+
+/// The seed evaluation path: enumerate the same joint grid inline and
+/// evaluate every candidate through seed_evaluate, single-threaded, with
+/// no cache. The param-delta filter matches the pipeline's `keep` (it ran
+/// after evaluation in the seed too, so every grid point pays full cost).
+std::size_t run_seed_path(const tfm::TransformerConfig& base,
+                          const gemm::GemmSimulator& sim, double radius,
+                          double max_param_delta_frac) {
+  const std::int64_t step = 64 * base.tensor_parallel;
+  const auto r = static_cast<std::int64_t>(
+      radius * static_cast<double>(base.hidden_size));
+  std::vector<ShapeCandidate> cands;
+  for (std::int64_t h = ((std::max(step, base.hidden_size - r) + step - 1) /
+                         step) * step;
+       h <= base.hidden_size + r; h += step) {
+    for (std::int64_t a = 1; a <= h; ++a) {
+      if (h % a != 0 || a % base.tensor_parallel != 0) continue;
+      const std::int64_t head_dim = h / a;
+      if (head_dim < 32 || head_dim > 256) continue;
+      tfm::TransformerConfig cfg = base.with_hidden(h).with_heads(a);
+      ShapeCandidate c = seed_evaluate(cfg, base, sim);
+      if (h == base.hidden_size ||
+          std::fabs(c.param_delta_frac) <= max_param_delta_frac) {
+        cands.push_back(std::move(c));
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const ShapeCandidate& x, const ShapeCandidate& y) {
+              return x.layer_time < y.layer_time;
+            });
+  return cands.size();
+}
+
+bool same_ranking(const std::vector<ShapeCandidate>& a,
+                  const std::vector<ShapeCandidate>& b) {
+  return a == b;  // field-exact, including every double, bit pattern aside
+}
+
+int body(BenchContext& ctx) {
+  const bool smoke = ctx.args().get_bool("smoke", false);
+  const std::string model_name =
+      ctx.args().get_string("model", smoke ? "pythia-160m" : "gpt3-2.7b");
+  const double radius =
+      ctx.args().get_double("radius", smoke ? 0.05 : 0.15);
+  const auto threads =
+      static_cast<std::size_t>(ctx.args().get_int("threads", 8));
+  const int repeat = static_cast<int>(
+      ctx.args().get_int("repeat", smoke ? 1 : 3));
+  const std::string out_path =
+      ctx.args().get_string("out", "BENCH_search.json");
+
+  const tfm::TransformerConfig base = tfm::model_by_name(model_name);
+  SearchOptions options;
+  options.max_candidates = 1 << 20;  // rank everything; no trim noise
+
+  ctx.banner("search throughput",
+             "joint heads x hidden design-space search: seed path vs. "
+             "parallel pipeline with memoized GEMM estimates");
+
+  // Candidate ranking ground truth: 1 thread, no cache.
+  const std::vector<ShapeCandidate> reference =
+      advisor::search_joint(base, ctx.sim(), radius, 0, options);
+  CODESIGN_CHECK(!reference.empty(), "joint grid produced no candidates");
+
+  // --- determinism: every thread count / cache setting, same ranking ----
+  bool deterministic = true;
+  for (std::size_t t : {std::size_t{2}, threads}) {
+    SearchOptions opt = options;
+    opt.threads = t;
+    gemm::GemmSimulator cached = ctx.sim();
+    cached.enable_cache();
+    deterministic =
+        deterministic &&
+        same_ranking(reference,
+                     advisor::search_joint(base, ctx.sim(), radius, 0, opt)) &&
+        same_ranking(reference,
+                     advisor::search_joint(base, cached, radius, 0, opt)) &&
+        same_ranking(reference,
+                     advisor::search_joint(base, cached, radius, 0, opt));
+  }
+
+  // --- timings ----------------------------------------------------------
+  const Timing seed = best_of(repeat, [&] {
+    return run_seed_path(base, ctx.sim(), radius,
+                         options.max_param_delta_frac);
+  });
+
+  const auto run_pipeline = [&](std::size_t nthreads,
+                                gemm::GemmSimulator& sim) {
+    SearchOptions opt = options;
+    opt.threads = nthreads;
+    return advisor::search_joint(base, sim, radius, 0, opt).size();
+  };
+
+  gemm::GemmSimulator plain = ctx.sim();
+  const Timing pipe1 = best_of(repeat, [&] { return run_pipeline(1, plain); });
+  const Timing pipeN =
+      best_of(repeat, [&] { return run_pipeline(threads, plain); });
+
+  gemm::GemmSimulator cached = ctx.sim();
+  cached.enable_cache();
+  const Timing cold = best_of(1, [&] { return run_pipeline(1, cached); });
+  const Timing warm1 =
+      best_of(repeat, [&] { return run_pipeline(1, cached); });
+  const Timing warmN =
+      best_of(repeat, [&] { return run_pipeline(threads, cached); });
+  const gemm::CacheStats cache_stats = cached.cache()->stats();
+
+  const double speedup_warmN = seed.seconds / warmN.seconds;
+  const double speedup_warm1 = seed.seconds / warm1.seconds;
+
+  TableWriter t({"configuration", "threads", "cache", "time", "candidates",
+                 "evals/s", "speedup vs seed"});
+  const auto row = [&](const std::string& name, std::size_t nthreads,
+                       const std::string& cache_state, const Timing& timing) {
+    t.new_row()
+        .cell(name)
+        .cell(static_cast<std::int64_t>(nthreads))
+        .cell(cache_state)
+        .cell(human_time(timing.seconds))
+        .cell(static_cast<std::int64_t>(timing.candidates))
+        .cell(static_cast<double>(timing.candidates) / timing.seconds, 0)
+        .cell(str_format("%.2fx", seed.seconds / timing.seconds));
+  };
+  row("seed (per-candidate baseline)", 1, "off", seed);
+  row("pipeline", 1, "off", pipe1);
+  row("pipeline", threads, "off", pipeN);
+  row("pipeline", 1, "cold", cold);
+  row("pipeline", 1, "warm", warm1);
+  row("pipeline", threads, "warm", warmN);
+  ctx.emit(t);
+
+  std::cout << str_format(
+      "deterministic ranking: %s | cache: %llu hits / %llu misses "
+      "(%.1f%% hit rate)\n",
+      deterministic ? "yes" : "NO",
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      100.0 * cache_stats.hit_rate());
+
+  // --- JSON trajectory record ------------------------------------------
+  std::ofstream json(out_path);
+  CODESIGN_CHECK(json.good(), "cannot open '" + out_path + "' for writing");
+  json << str_format(
+      "{\n"
+      "  \"bench\": \"search_parallel\",\n"
+      "  \"model\": \"%s\",\n"
+      "  \"gpu\": \"%s\",\n"
+      "  \"radius_frac\": %g,\n"
+      "  \"candidates\": %zu,\n"
+      "  \"threads\": %zu,\n"
+      "  \"deterministic\": %s,\n"
+      "  \"seconds\": {\n"
+      "    \"seed_1t_nocache\": %.6g,\n"
+      "    \"pipeline_1t_nocache\": %.6g,\n"
+      "    \"pipeline_Nt_nocache\": %.6g,\n"
+      "    \"pipeline_1t_coldcache\": %.6g,\n"
+      "    \"pipeline_1t_warmcache\": %.6g,\n"
+      "    \"pipeline_Nt_warmcache\": %.6g\n"
+      "  },\n"
+      "  \"speedup_warm_Nt_vs_seed\": %.3f,\n"
+      "  \"speedup_warm_1t_vs_seed\": %.3f,\n"
+      "  \"cache\": {\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.4f,\n"
+      "            \"entries\": %zu, \"evictions\": %llu}\n"
+      "}\n",
+      model_name.c_str(), ctx.gpu().id.c_str(), radius, reference.size(),
+      threads, deterministic ? "true" : "false", seed.seconds, pipe1.seconds,
+      pipeN.seconds, cold.seconds, warm1.seconds, warmN.seconds,
+      speedup_warmN, speedup_warm1,
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      cache_stats.hit_rate(), cache_stats.entries,
+      static_cast<unsigned long long>(cache_stats.evictions));
+  json.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!deterministic) {
+    std::cerr << "FAIL: ranking depends on thread count or cache state\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace codesign::bench
+
+int main(int argc, char** argv) {
+  return codesign::bench::run_bench(argc, argv, codesign::bench::body);
+}

@@ -83,10 +83,13 @@ std::string advise(const TransformerConfig& config,
     os << title << ":\n" << t.render() << '\n';
   };
 
+  SearchOptions search_options;
+  search_options.threads = options.search_threads;
   suggest("Head-count alternatives (same h, same parameter count)",
-          search_heads(config, sim));
+          search_heads(config, sim, search_options));
   suggest("Hidden-size alternatives (±10%, parameter delta bounded)",
-          search_hidden(config, sim));
+          search_hidden(config, sim, /*radius_frac=*/0.1, /*step=*/0,
+                        search_options));
 
   if (config.vocab_size % 64 != 0) {
     os << "Vocabulary: pad v from " << config.vocab_size << " to "

@@ -20,6 +20,8 @@ struct ReportOptions {
   bool include_suggestions = true;
   /// Number of alternatives listed per search.
   int suggestions_per_search = 5;
+  /// Worker threads for the suggestion searches (see SearchOptions::threads).
+  std::size_t search_threads = 1;
 };
 
 /// Full advisor report: config summary, per-GEMM breakdown, rule table,

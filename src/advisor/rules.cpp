@@ -45,6 +45,13 @@ std::int64_t full_granule_elems(const RuleContext& ctx,
   return std::max<std::int64_t>(1, bytes / esize);
 }
 
+/// Rule 3's predicate: the largest power of two dividing `value` reaches
+/// the tensor-core granule. Shared by check_rules and the messageless
+/// satisfies_performance_rules fast path.
+bool pow2_granule_ok(std::int64_t value, std::int64_t granule) {
+  return static_cast<std::int64_t>(largest_pow2_dividing(value)) >= granule;
+}
+
 RuleResult divisibility_rule(RuleId id, RuleSeverity severity,
                              const std::string& what, std::int64_t value,
                              std::int64_t granule) {
@@ -54,7 +61,7 @@ RuleResult divisibility_rule(RuleId id, RuleSeverity severity,
   const std::int64_t p2 =
       static_cast<std::int64_t>(largest_pow2_dividing(value));
   r.metric = static_cast<double>(p2);
-  r.passed = p2 >= granule;
+  r.passed = pow2_granule_ok(value, granule);
   r.message = str_format(
       "%s = %lld; largest power of two dividing it is %lld (want >= %lld)",
       what.c_str(), static_cast<long long>(value), static_cast<long long>(p2),
@@ -172,8 +179,28 @@ std::vector<RuleResult> check_rules(const TransformerConfig& c,
 
 bool satisfies_performance_rules(const TransformerConfig& config,
                                  const RuleContext& ctx) {
-  for (const RuleResult& r : check_rules(config, ctx)) {
-    if (!r.passed && r.severity != RuleSeverity::kAdvisory) return false;
+  // The same pass/fail verdict a fold over check_rules() gives, without
+  // formatting any of the diagnostic messages — this predicate runs once
+  // per candidate on the search hot path. Advisory rules (2: microbatch
+  // size, 5: tensor-parallel width) never affect the verdict and are
+  // skipped outright. test_rules asserts agreement with check_rules.
+  config.validate();
+  CODESIGN_CHECK(ctx.pipeline_stages >= 1, "pipeline_stages must be >= 1");
+  const std::int64_t granule = full_granule_elems(ctx, config);
+  if (config.vocab_size % 64 != 0) return false;                 // rule 1
+  if (!pow2_granule_ok(config.head_dim(), granule)) return false;      // 3a
+  if (!pow2_granule_ok(config.hidden_per_tp(), granule)) return false; // 3b
+  if (!pow2_granule_ok(config.tokens(), granule)) return false;        // 3c
+  if (!pow2_granule_ok(config.d_ff() / config.tensor_parallel, granule)) {
+    return false;                                                // §VII-B
+  }
+  if ((config.microbatch * config.num_heads) % config.tensor_parallel != 0) {
+    return false;                                                // rule 4
+  }
+  // Rule 6 is only non-advisory when pipeline parallelism is actually on.
+  if (ctx.pipeline_stages > 1 &&
+      config.num_layers % ctx.pipeline_stages != 0) {
+    return false;
   }
   return true;
 }

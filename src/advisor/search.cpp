@@ -2,78 +2,191 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "advisor/rules.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "transformer/flops.hpp"
 #include "transformer/gemm_mapping.hpp"
 #include "transformer/layer_model.hpp"
 #include "transformer/params.hpp"
 
 namespace codesign::advisor {
 
-ShapeCandidate evaluate_candidate(const TransformerConfig& config,
-                                  const TransformerConfig& baseline,
-                                  const gemm::GemmSimulator& sim) {
-  const tfm::LayerLatencyReport base_report =
-      tfm::analyze_layer(baseline, sim);
-  const tfm::LayerLatencyReport report = tfm::analyze_layer(config, sim);
+namespace {
 
+/// Baseline quantities shared by every candidate of one search. Computed
+/// once per search instead of once per candidate — the baseline layer
+/// analysis is exactly as expensive as a candidate's, so hoisting it halves
+/// the evaluation cost of the whole sweep.
+struct BaselineContext {
+  double layer_time = 0.0;
+  double param_count = 0.0;
+};
+
+BaselineContext make_baseline(const TransformerConfig& base,
+                              const gemm::GemmSimulator& sim) {
+  BaselineContext ctx;
+  ctx.layer_time = tfm::layer_total_time(base, sim);
+  ctx.param_count = static_cast<double>(tfm::exact_param_count(base));
+  return ctx;
+}
+
+ShapeCandidate evaluate_against(const TransformerConfig& config,
+                                const BaselineContext& base,
+                                const gemm::GemmSimulator& sim) {
+  // layer_total_time is the lean twin of analyze_layer: bit-identical
+  // total, none of the per-op report the search never reads.
+  const double layer_time = tfm::layer_total_time(config, sim);
   ShapeCandidate c;
   c.config = config;
-  c.layer_time = report.total_time;
-  c.layer_tflops = report.throughput_tflops;
-  c.speedup_vs_base = base_report.total_time / report.total_time;
+  c.layer_time = layer_time;
+  c.layer_tflops = tfm::layer_forward_flops(config) / layer_time / 1e12;
+  c.speedup_vs_base = base.layer_time / layer_time;
   c.param_count = static_cast<double>(tfm::exact_param_count(config));
-  const double base_params =
-      static_cast<double>(tfm::exact_param_count(baseline));
-  c.param_delta_frac = (c.param_count - base_params) / base_params;
+  c.param_delta_frac = (c.param_count - base.param_count) / base.param_count;
   RuleContext ctx;
   ctx.gpu = &sim.gpu();
   c.rules_pass = satisfies_performance_rules(config, ctx);
   return c;
 }
 
-namespace {
-
+/// Deterministic merge: stable sort on (layer_time, config name) — the name
+/// tie-break makes the order total, so the ranking cannot depend on
+/// evaluation order — then trim. The baseline is always kept for reference:
+/// if it fell past the cut it replaces the worst kept candidate.
 void sort_and_trim(std::vector<ShapeCandidate>& cands,
+                   const TransformerConfig& baseline,
                    const SearchOptions& options) {
-  std::sort(cands.begin(), cands.end(),
-            [](const ShapeCandidate& a, const ShapeCandidate& b) {
-              return a.layer_time < b.layer_time;
-            });
-  if (cands.size() > options.max_candidates) {
-    cands.resize(options.max_candidates);
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const ShapeCandidate& a, const ShapeCandidate& b) {
+                     if (a.layer_time != b.layer_time) {
+                       return a.layer_time < b.layer_time;
+                     }
+                     return a.config.name < b.config.name;
+                   });
+  if (cands.size() <= options.max_candidates) return;
+
+  const auto base_it =
+      std::find_if(cands.begin(), cands.end(), [&](const ShapeCandidate& c) {
+        return c.config == baseline;
+      });
+  const bool baseline_trimmed =
+      base_it != cands.end() &&
+      static_cast<std::size_t>(base_it - cands.begin()) >=
+          options.max_candidates;
+  ShapeCandidate baseline_copy;
+  if (baseline_trimmed) baseline_copy = *base_it;
+
+  cands.resize(options.max_candidates);
+  if (baseline_trimmed && !cands.empty()) {
+    cands.back() = std::move(baseline_copy);
   }
 }
 
+/// The shared "generate → evaluate in parallel → deterministically merge"
+/// pipeline. `annotate` fills the human-readable note from the evaluated
+/// candidate; `keep` filters (e.g. the hidden sweep's parameter-delta
+/// bound). Candidates are evaluated into slots indexed by generation order,
+/// so the merged ranking is byte-identical at any thread count.
+std::vector<ShapeCandidate> evaluate_pipeline(
+    const std::vector<TransformerConfig>& configs,
+    const TransformerConfig& baseline, const gemm::GemmSimulator& sim,
+    const SearchOptions& options,
+    const std::function<void(ShapeCandidate&)>& annotate,
+    const std::function<bool(const ShapeCandidate&)>& keep) {
+  const BaselineContext base = make_baseline(baseline, sim);
+
+  std::vector<ShapeCandidate> evaluated(configs.size());
+  const auto evaluate_one = [&](std::size_t i) {
+    ShapeCandidate c = evaluate_against(configs[i], base, sim);
+    annotate(c);
+    evaluated[i] = std::move(c);
+  };
+  if (options.threads == 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) evaluate_one(i);
+  } else {
+    ThreadPool pool(options.threads);
+    pool.parallel_for(configs.size(), evaluate_one);
+  }
+
+  std::vector<ShapeCandidate> out;
+  out.reserve(evaluated.size());
+  for (ShapeCandidate& c : evaluated) {
+    if (keep(c)) out.push_back(std::move(c));
+  }
+  sort_and_trim(out, baseline, options);
+  return out;
+}
+
+/// Legal head counts for a given hidden size: a | h, t | a, and a practical
+/// head dimension (32 <= h/a <= 256).
+std::vector<std::int64_t> legal_head_counts(std::int64_t h,
+                                            std::int64_t tensor_parallel) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t a = 1; a <= h; ++a) {
+    if (h % a != 0) continue;
+    if (a % tensor_parallel != 0) continue;
+    const std::int64_t head_dim = h / a;
+    if (head_dim < 32 || head_dim > 256) continue;
+    out.push_back(a);
+  }
+  return out;
+}
+
+/// The hidden sizes the ±radius sweep visits (multiples of `step`).
+std::vector<std::int64_t> hidden_grid(const TransformerConfig& base,
+                                      double radius_frac, std::int64_t step) {
+  CODESIGN_CHECK(radius_frac > 0.0 && radius_frac < 1.0,
+                 "radius_frac must be in (0, 1)");
+  if (step <= 0) step = 64 * base.tensor_parallel;
+  const std::int64_t h0 = base.hidden_size;
+  const auto radius = static_cast<std::int64_t>(
+      std::llround(radius_frac * static_cast<double>(h0)));
+  const std::int64_t lo = std::max<std::int64_t>(step, h0 - radius);
+  const std::int64_t hi = h0 + radius;
+  std::vector<std::int64_t> out;
+  for (std::int64_t h = round_up(lo, step); h <= hi; h += step) {
+    out.push_back(h);
+  }
+  return out;
+}
+
 }  // namespace
+
+ShapeCandidate evaluate_candidate(const TransformerConfig& config,
+                                  const TransformerConfig& baseline,
+                                  const gemm::GemmSimulator& sim) {
+  return evaluate_against(config, make_baseline(baseline, sim), sim);
+}
 
 std::vector<ShapeCandidate> search_heads(const TransformerConfig& base,
                                          const gemm::GemmSimulator& sim,
                                          const SearchOptions& options) {
   base.validate();
-  std::vector<ShapeCandidate> cands;
-  const std::int64_t h = base.hidden_size;
-  for (std::int64_t a = 1; a <= h; ++a) {
-    if (h % a != 0) continue;                       // integral head dim
-    if (a % base.tensor_parallel != 0) continue;    // t | a
-    const std::int64_t head_dim = h / a;
-    if (head_dim < 32 || head_dim > 256) continue;  // practical range
+  std::vector<TransformerConfig> configs;
+  for (std::int64_t a : legal_head_counts(base.hidden_size,
+                                          base.tensor_parallel)) {
     TransformerConfig cfg = base.with_heads(a);
     if (a != base.num_heads) {
       cfg.name = base.name + "-a" + std::to_string(a);
     }
-    ShapeCandidate c = evaluate_candidate(cfg, base, sim);
-    c.note = str_format("h/a = %lld (pow2 granule %lld)",
-                        static_cast<long long>(head_dim),
-                        static_cast<long long>(largest_pow2_dividing(
-                            static_cast<std::uint64_t>(head_dim))));
-    cands.push_back(std::move(c));
+    configs.push_back(std::move(cfg));
   }
-  sort_and_trim(cands, options);
-  return cands;
+  return evaluate_pipeline(
+      configs, base, sim, options,
+      [](ShapeCandidate& c) {
+        const std::int64_t head_dim = c.config.head_dim();
+        c.note = str_format("h/a = %lld (pow2 granule %lld)",
+                            static_cast<long long>(head_dim),
+                            static_cast<long long>(largest_pow2_dividing(
+                                static_cast<std::uint64_t>(head_dim))));
+      },
+      [](const ShapeCandidate&) { return true; });
 }
 
 std::vector<ShapeCandidate> search_hidden(const TransformerConfig& base,
@@ -82,44 +195,76 @@ std::vector<ShapeCandidate> search_hidden(const TransformerConfig& base,
                                           std::int64_t step,
                                           const SearchOptions& options) {
   base.validate();
-  CODESIGN_CHECK(radius_frac > 0.0 && radius_frac < 1.0,
-                 "radius_frac must be in (0, 1)");
-  if (step <= 0) step = 64 * base.tensor_parallel;
-
-  const std::int64_t h0 = base.hidden_size;
-  const auto radius = static_cast<std::int64_t>(
-      std::llround(radius_frac * static_cast<double>(h0)));
-  const std::int64_t lo = std::max<std::int64_t>(step, h0 - radius);
-  const std::int64_t hi = h0 + radius;
-
-  std::vector<ShapeCandidate> cands;
-  for (std::int64_t h = round_up(lo, step); h <= hi; h += step) {
+  std::vector<TransformerConfig> configs;
+  for (std::int64_t h : hidden_grid(base, radius_frac, step)) {
     if (h % base.num_heads != 0) continue;  // keep a, require integral h/a
     TransformerConfig cfg = base.with_hidden(h);
-    if (h != h0) cfg.name = base.name + "-h" + std::to_string(h);
-    ShapeCandidate c = evaluate_candidate(cfg, base, sim);
-    if (std::fabs(c.param_delta_frac) > options.max_param_delta_frac &&
-        h != h0) {
-      continue;
-    }
-    c.note = str_format("h = %lld (params %+0.2f%%)", static_cast<long long>(h),
-                        100.0 * c.param_delta_frac);
-    cands.push_back(std::move(c));
+    if (h != base.hidden_size) cfg.name = base.name + "-h" + std::to_string(h);
+    configs.push_back(std::move(cfg));
   }
-  // Always keep the baseline for reference even if trimming.
-  sort_and_trim(cands, options);
-  return cands;
+  const std::int64_t h0 = base.hidden_size;
+  return evaluate_pipeline(
+      configs, base, sim, options,
+      [](ShapeCandidate& c) {
+        c.note = str_format("h = %lld (params %+0.2f%%)",
+                            static_cast<long long>(c.config.hidden_size),
+                            100.0 * c.param_delta_frac);
+      },
+      [&options, h0](const ShapeCandidate& c) {
+        return c.config.hidden_size == h0 ||
+               std::fabs(c.param_delta_frac) <= options.max_param_delta_frac;
+      });
+}
+
+std::vector<ShapeCandidate> search_joint(const TransformerConfig& base,
+                                         const gemm::GemmSimulator& sim,
+                                         double radius_frac,
+                                         std::int64_t step,
+                                         const SearchOptions& options) {
+  base.validate();
+  std::vector<TransformerConfig> configs;
+  for (std::int64_t h : hidden_grid(base, radius_frac, step)) {
+    for (std::int64_t a : legal_head_counts(h, base.tensor_parallel)) {
+      TransformerConfig cfg = base.with_hidden(h).with_heads(a);
+      if (h != base.hidden_size || a != base.num_heads) {
+        cfg.name = base.name + "-a" + std::to_string(a) + "-h" +
+                   std::to_string(h);
+      }
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const std::int64_t h0 = base.hidden_size;
+  return evaluate_pipeline(
+      configs, base, sim, options,
+      [](ShapeCandidate& c) {
+        c.note = str_format("a = %lld, h = %lld, h/a = %lld (params %+0.2f%%)",
+                            static_cast<long long>(c.config.num_heads),
+                            static_cast<long long>(c.config.hidden_size),
+                            static_cast<long long>(c.config.head_dim()),
+                            100.0 * c.param_delta_frac);
+      },
+      [&options, h0](const ShapeCandidate& c) {
+        return c.config.hidden_size == h0 ||
+               std::fabs(c.param_delta_frac) <= options.max_param_delta_frac;
+      });
 }
 
 std::vector<MlpCandidate> search_mlp_intermediate(
     const TransformerConfig& base, const gemm::GemmSimulator& sim,
-    std::int64_t lo, std::int64_t hi) {
+    std::int64_t lo, std::int64_t hi, const SearchOptions& options) {
   base.validate();
   CODESIGN_CHECK(lo > 0 && hi >= lo, "bad d_ff search range");
 
-  std::vector<MlpCandidate> out;
-  for (std::int64_t ff = lo; ff <= hi; ++ff) {
-    if (ff % base.tensor_parallel != 0) continue;
+  // Only multiples of t are legal, so step by t from the first one instead
+  // of testing divisibility value by value.
+  const std::int64_t t = base.tensor_parallel;
+  std::vector<std::int64_t> widths;
+  for (std::int64_t ff = round_up(lo, t); ff <= hi; ff += t) {
+    widths.push_back(ff);
+  }
+  CODESIGN_CHECK(!widths.empty(), "d_ff search range produced no candidates");
+
+  const auto evaluate_width = [&base, &sim](std::int64_t ff) {
     TransformerConfig cfg = base;
     cfg.mlp_intermediate = ff;
     const gemm::GemmProblem up = tfm::mlp_up_gemm(cfg);
@@ -134,16 +279,29 @@ std::vector<MlpCandidate> search_mlp_intermediate(
     c.d_ff = ff;
     c.mlp_time = time;
     c.mlp_tflops = flops / time / 1e12;
-    c.coefficient = static_cast<double>(ff) /
-                    static_cast<double>(base.hidden_size);
-    out.push_back(c);
-  }
-  CODESIGN_CHECK(!out.empty(), "d_ff search range produced no candidates");
+    c.coefficient =
+        static_cast<double>(ff) / static_cast<double>(base.hidden_size);
+    return c;
+  };
 
-  std::sort(out.begin(), out.end(),
-            [](const MlpCandidate& a, const MlpCandidate& b) {
-              return a.mlp_time < b.mlp_time;
-            });
+  std::vector<MlpCandidate> out(widths.size());
+  if (options.threads == 1) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      out[i] = evaluate_width(widths[i]);
+    }
+  } else {
+    ThreadPool pool(options.threads);
+    pool.parallel_for(widths.size(),
+                      [&](std::size_t i) { out[i] = evaluate_width(widths[i]); });
+  }
+
+  // Deterministic merge: d_ff is unique per candidate, so it is the total
+  // tie-break for equal predicted times.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MlpCandidate& a, const MlpCandidate& b) {
+                     if (a.mlp_time != b.mlp_time) return a.mlp_time < b.mlp_time;
+                     return a.d_ff < b.d_ff;
+                   });
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i].rank_in_range =
         static_cast<double>(i) / static_cast<double>(out.size() - 1 == 0
@@ -155,6 +313,7 @@ std::vector<MlpCandidate> search_mlp_intermediate(
 
 double mlp_candidate_percentile(const std::vector<MlpCandidate>& scan,
                                 std::int64_t d_ff) {
+  CODESIGN_CHECK(!scan.empty(), "d_ff percentile lookup in an empty scan");
   for (const MlpCandidate& c : scan) {
     if (c.d_ff == d_ff) return c.rank_in_range;
   }

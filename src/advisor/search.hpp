@@ -5,10 +5,21 @@
 //                           h/a lands on an efficient granule (the 1.18×).
 //   * search_hidden       — nearby hidden sizes on efficient granules, with
 //                           the parameter-count delta reported.
+//   * search_joint        — the heads × hidden grid: every legal (a, h)
+//                           combination in the neighbourhood, ranked
+//                           together. Tractable because the evaluation
+//                           pipeline parallelizes across candidates and the
+//                           simulator memoizes recurring GEMM shapes (see
+//                           docs/search_pipeline.md).
 //   * search_mlp_intermediate — the §VII-B SwiGLU brute force: scan d_ff
 //                           around (8/3)h for the best-performing MLP pair
 //                           (this is how Llama-2-7B's 11008 is validated).
 //   * pad_vocab           — the Fig-20 / Karpathy rule: next multiple of 64.
+//
+// Every search runs the same pipeline: generate candidate configs →
+// evaluate them (in parallel when SearchOptions::threads > 1) →
+// deterministically merge (stable sort with a total tie-break on the config
+// name). Results are byte-identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +43,10 @@ struct ShapeCandidate {
   double param_delta_frac = 0.0;  ///< (candidate - base) / base
   bool rules_pass = false;        ///< satisfies_performance_rules
   std::string note;
+
+  /// Field-exact equality (used by the determinism tests: an N-thread
+  /// search must reproduce the 1-thread result bit for bit).
+  bool operator==(const ShapeCandidate&) const = default;
 };
 
 struct SearchOptions {
@@ -39,8 +54,14 @@ struct SearchOptions {
   /// One 64-element step of h changes the count by ~2·64/h, so ~6% admits
   /// the immediate neighbours of typical hidden sizes.
   double max_param_delta_frac = 0.06;
-  /// Keep at most this many candidates (best first).
+  /// Keep at most this many candidates (best first). The baseline config is
+  /// always retained for reference: if trimming would drop it, it replaces
+  /// the worst kept candidate.
   std::size_t max_candidates = 16;
+  /// Candidate-evaluation parallelism: 1 = sequential on the calling
+  /// thread, N > 1 = a pool of N workers, 0 = one worker per hardware
+  /// thread. The ranking is identical for every value.
+  std::size_t threads = 1;
 };
 
 /// Evaluate a config's single-layer time/throughput (shared helper).
@@ -63,6 +84,17 @@ std::vector<ShapeCandidate> search_hidden(const TransformerConfig& base,
                                           std::int64_t step = 0,
                                           const SearchOptions& options = {});
 
+/// Joint grid search over heads × hidden: every hidden size the
+/// search_hidden sweep would visit, crossed with every legal head count for
+/// that hidden size (a | h, t | a, 32 <= h/a <= 256), ranked in one list.
+/// Quadratically more candidates than either single sweep — run it with
+/// options.threads > 1 and a cache-enabled simulator.
+std::vector<ShapeCandidate> search_joint(const TransformerConfig& base,
+                                         const gemm::GemmSimulator& sim,
+                                         double radius_frac = 0.1,
+                                         std::int64_t step = 0,
+                                         const SearchOptions& options = {});
+
 /// One d_ff candidate of the SwiGLU brute force.
 struct MlpCandidate {
   std::int64_t d_ff = 0;
@@ -70,17 +102,21 @@ struct MlpCandidate {
   double mlp_tflops = 0.0;
   double coefficient = 0.0;   ///< d_ff / h
   double rank_in_range = 0.0; ///< percentile of mlp_time within the scan (0 = best)
+
+  bool operator==(const MlpCandidate&) const = default;
 };
 
-/// Brute-force every integral d_ff in [lo, hi] (inclusive) that satisfies
-/// t | d_ff, evaluating the MLP GEMM pair (plus gate when SwiGLU). Returns
-/// all candidates sorted by time, best first.
+/// Brute-force every d_ff in [lo, hi] (inclusive) that satisfies t | d_ff —
+/// the scan starts at round_up(lo, t) and steps by t, so no iteration is
+/// wasted on non-divisible values. Evaluates the MLP GEMM pair (plus gate
+/// when SwiGLU); returns all candidates sorted by time, best first.
 std::vector<MlpCandidate> search_mlp_intermediate(
     const TransformerConfig& base, const gemm::GemmSimulator& sim,
-    std::int64_t lo, std::int64_t hi);
+    std::int64_t lo, std::int64_t hi, const SearchOptions& options = {});
 
 /// Look up a specific d_ff in a scan result (e.g. Llama-2's 11008) and
-/// return its percentile rank (0 = best in range). Throws if absent.
+/// return its percentile rank (0 = best in range). Throws if absent (a
+/// LookupError) or if the scan is empty (an Error).
 double mlp_candidate_percentile(const std::vector<MlpCandidate>& scan,
                                 std::int64_t d_ff);
 

@@ -1,0 +1,92 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace codesign {
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // chunk bodies catch their own exceptions
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, n / (size() * 4));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+
+  // Per-call completion state, shared with the enqueued chunk closures.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+    explicit Batch(std::size_t r) : remaining(r) {}
+  };
+  auto batch = std::make_shared<Batch>(chunks);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CODESIGN_CHECK(!stop_, "parallel_for on a stopped thread pool");
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * grain;
+      const std::size_t end = std::min(n, begin + grain);
+      queue_.emplace_back([batch, begin, end, &fn] {
+        std::exception_ptr error;
+        try {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> batch_lock(batch->mu);
+        if (error && !batch->first_error) batch->first_error = error;
+        if (--batch->remaining == 0) batch->done_cv.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&batch] { return batch->remaining == 0; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+}  // namespace codesign

@@ -1,0 +1,68 @@
+// thread_pool.hpp — a small fixed-size worker pool with a chunked
+// parallel_for, used to fan design-space searches out across cores.
+//
+// Design constraints (see docs/search_pipeline.md):
+//   * deterministic results: parallel_for hands out index ranges, callers
+//     write into pre-sized slots, so the output never depends on worker
+//     interleaving — only wall-clock does.
+//   * exception safety: the first exception thrown by any chunk is captured
+//     and rethrown on the calling thread once every worker has drained; the
+//     pool stays usable afterwards.
+//   * a pool of size 1 still routes work through its worker thread, so the
+//     single-threaded path exercises the same code under TSan as N threads.
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace codesign {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 resolves to hardware_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Invoke fn(i) for every i in [0, n), partitioned into contiguous chunks
+  /// of ~grain indices spread across the workers. Blocks until all indices
+  /// ran. If any invocation throws, the first exception (in completion
+  /// order) is rethrown here after the remaining chunks finish or drain.
+  /// grain == 0 picks a chunk size targeting ~4 chunks per worker.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Chunked map: out[i] = fn(in[i]) for every element, evaluated on the pool.
+/// Output order always matches input order regardless of thread count.
+template <typename T, typename F>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& in, F&& fn)
+    -> std::vector<decltype(fn(in.front()))> {
+  std::vector<decltype(fn(in.front()))> out(in.size());
+  pool.parallel_for(in.size(),
+                    [&](std::size_t i) { out[i] = fn(in[i]); });
+  return out;
+}
+
+}  // namespace codesign

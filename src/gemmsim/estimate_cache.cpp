@@ -1,0 +1,116 @@
+#include "gemmsim/estimate_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "gemmsim/simulator.hpp"
+
+namespace codesign::gemm {
+
+std::size_t EstimateCache::Key::hash_value() const noexcept {
+  std::size_t h = problem.hash_value();
+  h ^= static_cast<std::size_t>(static_cast<int>(policy)) + 0x9e3779b97f4a7c15ull +
+       (h << 6) + (h >> 2);
+  h ^= std::hash<const gpu::GpuSpec*>{}(gpu) + 0x9e3779b97f4a7c15ull +
+       (h << 6) + (h >> 2);
+  return h;
+}
+
+EstimateCache::EstimateCache(const CacheOptions& options) : options_(options) {
+  CODESIGN_CHECK(options_.capacity > 0, "cache capacity must be positive");
+  options_.shards = std::max<std::size_t>(1, options_.shards);
+  options_.shards = std::min(options_.shards, options_.capacity);
+  per_shard_capacity_ = (options_.capacity + options_.shards - 1) / options_.shards;
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+EstimateCache::Shard& EstimateCache::shard_for(const Key& key) {
+  return *shards_[key.hash_value() % shards_.size()];
+}
+
+KernelEstimate EstimateCache::get_or_compute(
+    const Key& key, const std::function<KernelEstimate()>& compute) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->estimate;
+    }
+    ++shard.misses;
+  }
+  // Compute outside the lock: a concurrent miss on the same key duplicates
+  // the (pure) computation instead of serializing every other shape behind it.
+  const KernelEstimate estimate = compute();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.index.find(key) == shard.index.end()) {
+      insert_locked(shard, key, estimate);
+    }
+  }
+  return estimate;
+}
+
+bool EstimateCache::lookup(const Key& key, KernelEstimate* out) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (out != nullptr) *out = it->second->estimate;
+  return true;
+}
+
+void EstimateCache::insert(const Key& key, const KernelEstimate& estimate) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->estimate = estimate;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  insert_locked(shard, key, estimate);
+}
+
+void EstimateCache::insert_locked(Shard& shard, const Key& key,
+                                  const KernelEstimate& estimate) {
+  while (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{key, estimate});
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+void EstimateCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+CacheStats EstimateCache::stats() const {
+  CacheStats s;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.evictions += shard->evictions;
+    s.entries += shard->lru.size();
+  }
+  return s;
+}
+
+}  // namespace codesign::gemm

@@ -1,0 +1,118 @@
+// estimate_cache.hpp — a sharded, mutex-striped LRU memo of KernelEstimates.
+//
+// The design-space searches of the advisor evaluate thousands of candidate
+// transformer shapes, and identical GEMM problems recur constantly across
+// candidates (a head sweep never changes the QKV or projection GEMM, a
+// hidden sweep re-visits the same attention BMMs, the joint grid repeats
+// both). select_kernel() walks the whole tile catalogue per call, so
+// memoizing (problem, policy, GPU) → KernelEstimate turns the dominant cost
+// of the search hot path into a hash lookup.
+//
+// Keying and invalidation rules (see docs/search_pipeline.md):
+//   * The key is the full GemmProblem value, the tile-selection policy, and
+//     the GPU's identity. GpuSpec instances are registry-owned singletons,
+//     so pointer identity is GPU identity; a caller-owned spec may also key
+//     the cache as long as it outlives the cache and is not mutated.
+//   * The cache never observes GpuSpec mutation — mutate-and-reuse requires
+//     an explicit clear().
+//   * Entries are bit-exact copies of the uncached computation; a hit
+//     returns exactly what a miss would have computed.
+//
+// Thread safety: shards are independently mutex-protected, so concurrent
+// lookups of different shapes stripe across locks. A racing miss on the
+// same key computes twice and stores one copy — harmless, still exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gemmsim/kernel_model.hpp"
+
+namespace codesign::gemm {
+
+enum class TilePolicy;  // defined in simulator.hpp
+
+/// Opt-in switch + sizing for the estimate cache.
+struct CacheOptions {
+  /// Maximum number of cached estimates across all shards.
+  std::size_t capacity = 1 << 16;
+  /// Number of independent mutex-striped shards (min 1).
+  std::size_t shards = 8;
+};
+
+/// Aggregate counters across all shards (monotonic except entries).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class EstimateCache {
+ public:
+  struct Key {
+    GemmProblem problem;
+    TilePolicy policy;
+    const gpu::GpuSpec* gpu = nullptr;
+
+    bool operator==(const Key&) const = default;
+    std::size_t hash_value() const noexcept;
+  };
+
+  explicit EstimateCache(const CacheOptions& options = {});
+
+  /// Return the cached estimate for `key`, or invoke `compute`, store the
+  /// result (evicting the shard's least-recently-used entry when full), and
+  /// return it. `compute` runs outside the shard lock.
+  KernelEstimate get_or_compute(
+      const Key& key, const std::function<KernelEstimate()>& compute);
+
+  /// Test hooks: probe without computing / insert directly.
+  bool lookup(const Key& key, KernelEstimate* out);
+  void insert(const Key& key, const KernelEstimate& estimate);
+
+  /// Drop every entry (counters keep accumulating).
+  void clear();
+
+  CacheStats stats() const;
+  const CacheOptions& options() const { return options_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return k.hash_value();
+    }
+  };
+  struct Entry {
+    Key key;
+    KernelEstimate estimate;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< most recently used at the front
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const Key& key);
+  void insert_locked(Shard& shard, const Key& key,
+                     const KernelEstimate& estimate);
+
+  CacheOptions options_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace codesign::gemm

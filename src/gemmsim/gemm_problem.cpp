@@ -61,6 +61,23 @@ double GemmProblem::footprint_bytes() const {
           static_cast<double>(m) * static_cast<double>(n));
 }
 
+std::size_t GemmProblem::hash_value() const noexcept {
+  // FNV-1a over the distinguishing fields; good enough dispersion for the
+  // few thousand distinct shapes a design-space sweep touches.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(m));
+  mix(static_cast<std::uint64_t>(n));
+  mix(static_cast<std::uint64_t>(k));
+  mix(static_cast<std::uint64_t>(batch));
+  mix(static_cast<std::uint64_t>(dtype));
+  mix(accumulate_into_c ? 1u : 0u);
+  return static_cast<std::size_t>(h);
+}
+
 std::string GemmProblem::to_string() const {
   if (batch == 1) {
     return str_format("GEMM(%lld x %lld x %lld, %s)",

@@ -5,7 +5,9 @@
 // BMM used by attention score / attention-over-value computation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "gpuarch/dtype.hpp"
@@ -54,6 +56,11 @@ struct GemmProblem {
 
   bool operator==(const GemmProblem&) const = default;
 
+  /// Combined hash of all fields (shape, batch, dtype, accumulate flag).
+  /// Two problems hash equal iff operator== holds, so GemmProblem can key
+  /// unordered containers such as the estimate cache.
+  std::size_t hash_value() const noexcept;
+
   std::string to_string() const;
 
   /// Throws ShapeError unless all dims and batch are positive.
@@ -61,3 +68,10 @@ struct GemmProblem {
 };
 
 }  // namespace codesign::gemm
+
+template <>
+struct std::hash<codesign::gemm::GemmProblem> {
+  std::size_t operator()(const codesign::gemm::GemmProblem& p) const noexcept {
+    return p.hash_value();
+  }
+};

@@ -15,11 +15,33 @@ GemmSimulator GemmSimulator::for_gpu(const std::string& gpu_name,
   return GemmSimulator(gpu::gpu_by_name(gpu_name), policy);
 }
 
-KernelEstimate GemmSimulator::estimate(const GemmProblem& problem) const {
-  if (policy_ == TilePolicy::kFixedLargest) {
-    return estimate_with_tile(problem, gpu::largest_tile(), *gpu_);
+namespace {
+
+KernelEstimate estimate_uncached(const GemmProblem& problem, TilePolicy policy,
+                                 const gpu::GpuSpec& gpu) {
+  if (policy == TilePolicy::kFixedLargest) {
+    return estimate_with_tile(problem, gpu::largest_tile(), gpu);
   }
-  return select_kernel(problem, *gpu_);
+  return select_kernel(problem, gpu);
+}
+
+}  // namespace
+
+KernelEstimate GemmSimulator::estimate(const GemmProblem& problem) const {
+  if (cache_ != nullptr) {
+    return cache_->get_or_compute(
+        EstimateCache::Key{problem, policy_, gpu_},
+        [&] { return estimate_uncached(problem, policy_, *gpu_); });
+  }
+  return estimate_uncached(problem, policy_, *gpu_);
+}
+
+void GemmSimulator::enable_cache(const CacheOptions& options) {
+  cache_ = std::make_shared<EstimateCache>(options);
+}
+
+void GemmSimulator::set_cache(std::shared_ptr<EstimateCache> cache) {
+  cache_ = std::move(cache);
 }
 
 double GemmSimulator::latency(const GemmProblem& problem) const {

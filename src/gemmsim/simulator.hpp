@@ -6,9 +6,11 @@
 // callers can cross-check the analytical answer by simulation.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "gemmsim/estimate_cache.hpp"
 #include "gemmsim/flash_attention.hpp"
 #include "gemmsim/gemm_problem.hpp"
 #include "gemmsim/kernel_model.hpp"
@@ -55,9 +57,23 @@ class GemmSimulator {
   FlashAttentionEstimate estimate_flash(
       const FlashAttentionProblem& problem) const;
 
+  /// Opt in to memoizing estimate() results (off by default). Copies of
+  /// this simulator share the cache; results are bit-identical to the
+  /// uncached path. Thread-safe (the cache is mutex-striped).
+  void enable_cache(const CacheOptions& options = {});
+
+  /// Share an existing cache (e.g. across simulators for several GPUs —
+  /// the cache key includes the GPU identity and tile policy). nullptr
+  /// disables caching.
+  void set_cache(std::shared_ptr<EstimateCache> cache);
+
+  /// The active cache, or nullptr when caching is off.
+  const std::shared_ptr<EstimateCache>& cache() const { return cache_; }
+
  private:
   const gpu::GpuSpec* gpu_;  ///< registry-owned, never null
   TilePolicy policy_;
+  std::shared_ptr<EstimateCache> cache_;  ///< null = caching disabled
 };
 
 }  // namespace codesign::gemm

@@ -85,6 +85,28 @@ double LayerLatencyReport::gemm_share_of(LayerOp op) const {
   return t / gemm_time;
 }
 
+double layer_total_time(const TransformerConfig& config,
+                        const gemm::GemmSimulator& sim) {
+  // Must stay in lockstep with op_latency()/analyze_layer(): same estimates,
+  // summed in the same op order, so the result is bit-identical to
+  // analyze_layer().total_time. What it skips is everything reporting-only —
+  // the OpLatency records and their formatted detail strings — which
+  // dominate the cost of a search evaluating thousands of candidates.
+  config.validate();
+  double total = 0.0;
+  for (const MappedOp& op : schedule_for(config)) {
+    if (op.gemm.has_value()) {
+      total += sim.estimate(*op.gemm).time;
+    } else if (op.flash.has_value()) {
+      total += sim.estimate_flash(*op.flash).time;
+    } else {
+      total += op.elementwise_bytes / sim.gpu().achievable_bandwidth() +
+               sim.gpu().kernel_launch_overhead;
+    }
+  }
+  return total;
+}
+
 LayerLatencyReport analyze_layer(const TransformerConfig& config,
                                  const gemm::GemmSimulator& sim) {
   config.validate();

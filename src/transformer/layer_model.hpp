@@ -54,6 +54,13 @@ struct LayerLatencyReport {
 LayerLatencyReport analyze_layer(const TransformerConfig& config,
                                  const gemm::GemmSimulator& sim);
 
+/// Just the layer's total time, bit-identical to
+/// analyze_layer().total_time but without building the per-op report
+/// (no OpLatency records, no detail strings). The search hot path: a
+/// design-space sweep only ranks by this number.
+double layer_total_time(const TransformerConfig& config,
+                        const gemm::GemmSimulator& sim);
+
 struct ModelLatencyReport {
   TransformerConfig config;
   LayerLatencyReport layer;        ///< one representative layer

@@ -67,8 +67,37 @@ std::vector<WeightInfo> enumerate_weights(const TransformerConfig& config) {
 }
 
 std::int64_t exact_param_count(const TransformerConfig& config) {
-  std::int64_t total = 0;
-  for (const WeightInfo& w : enumerate_weights(config)) total += w.count;
+  // Closed form of the enumerate_weights() sum: every layer contributes the
+  // same count, so there is no need to materialize ~12 named tensors per
+  // layer just to add them up. This is the design-space search's hot path;
+  // test_params asserts it matches the enumeration tensor for tensor.
+  config.validate();
+  const std::int64_t h = config.hidden_size;
+  const std::int64_t v = config.vocab_size;
+  const std::int64_t s = config.seq_len;
+  const std::int64_t ff = config.d_ff();
+  const std::int64_t qkv = config.qkv_width();
+
+  std::int64_t per_layer = 0;
+  per_layer += 2 * h;            // ln1 gamma + beta
+  per_layer += h * qkv + qkv;    // attn w_qkv + b_qkv
+  per_layer += h * h + h;        // attn w_proj + b_proj
+  per_layer += 2 * h;            // ln2 gamma + beta
+  per_layer += h * ff + ff;      // mlp w_up + b_up
+  if (config.activation == Activation::kSwiGlu) {
+    per_layer += h * ff;         // mlp w_gate (no bias)
+  }
+  per_layer += ff * h + h;       // mlp w_down + b_down
+
+  std::int64_t total = v * h;    // embed.token
+  if (config.pos_embedding == PosEmbedding::kLearned) {
+    total += s * h;              // embed.position
+  }
+  total += config.num_layers * per_layer;
+  total += 2 * h;                // final_ln gamma + beta
+  if (!config.tied_embeddings) {
+    total += v * h;              // lm_head
+  }
   return total;
 }
 

@@ -28,7 +28,8 @@ struct WeightInfo {
 /// Llama convention) — the separate LM head.
 std::vector<WeightInfo> enumerate_weights(const TransformerConfig& config);
 
-/// Ground truth: sum of enumerate_weights counts.
+/// Ground truth: the sum of enumerate_weights counts, computed in closed
+/// form (no per-tensor enumeration — this sits on the search hot path).
 std::int64_t exact_param_count(const TransformerConfig& config);
 
 /// Paper formula P = 12h²L + 13hL + (v+s)h. Exact for the GELU/4h/learned-

@@ -21,6 +21,24 @@ TEST(LayerModel, TimesArePositiveAndDecompose) {
   EXPECT_LT(r.gemm_fraction, 1.0);
 }
 
+TEST(LayerModel, LeanTotalTimeIsBitIdenticalToTheReport) {
+  // layer_total_time skips the per-op report but must sum the exact same
+  // estimates in the exact same order — bitwise equality, across every
+  // zoo architecture (bmm and flash attention, parallel layers, GQA) and
+  // with a cached simulator.
+  for (const std::string& name : known_models()) {
+    const TransformerConfig c = model_by_name(name);
+    const auto s = sim();
+    EXPECT_EQ(layer_total_time(c, s), analyze_layer(c, s).total_time) << name;
+  }
+  auto cached = sim();
+  cached.enable_cache();
+  const TransformerConfig c = model_by_name("gpt3-2.7b");
+  const double uncached = analyze_layer(c, sim()).total_time;
+  EXPECT_EQ(layer_total_time(c, cached), uncached);  // miss path
+  EXPECT_EQ(layer_total_time(c, cached), uncached);  // hit path
+}
+
 TEST(LayerModel, SharesSumToOne) {
   const auto r = analyze_layer(model_by_name("gpt3-2.7b"), sim());
   double total = 0.0;

@@ -128,6 +128,25 @@ TEST(Params, EnumerationStructure) {
 TEST(Params, EnumerationValidatesConfig) {
   TransformerConfig c = make(100, 3, 2);  // 100 % 3 != 0
   EXPECT_THROW(enumerate_weights(c), Error);
+  EXPECT_THROW(exact_param_count(c), Error);  // closed form validates too
+}
+
+TEST(Params, ClosedFormMatchesEnumerationAcrossZoo) {
+  // exact_param_count is a closed form of the enumerate_weights sum (the
+  // search hot path skips the per-tensor enumeration); the two must agree
+  // for every architecture variant in the zoo — GELU and SwiGLU, learned
+  // and rotary positions, tied and untied embeddings, GQA, tensor parallel.
+  for (const std::string& name : known_models()) {
+    const TransformerConfig c = model_by_name(name);
+    std::int64_t enumerated = 0;
+    for (const WeightInfo& w : enumerate_weights(c)) enumerated += w.count;
+    EXPECT_EQ(exact_param_count(c), enumerated) << name;
+  }
+  const TransformerConfig tp =
+      model_by_name("gpt3-2.7b").with_tensor_parallel(4).with_vocab(50304);
+  std::int64_t enumerated = 0;
+  for (const WeightInfo& w : enumerate_weights(tp)) enumerated += w.count;
+  EXPECT_EQ(exact_param_count(tp), enumerated);
 }
 
 }  // namespace

@@ -140,6 +140,30 @@ TEST(Rules, InvalidContextRejected) {
   EXPECT_THROW(check_rules(model_by_name("gpt3-2.7b"), ctx), Error);
 }
 
+TEST(Rules, FastVerdictAgreesWithCheckRulesFold) {
+  // satisfies_performance_rules is a messageless fast path; its verdict
+  // must equal folding "every non-advisory rule passed" over check_rules
+  // for every zoo model, GPU, and pipeline-stage setting.
+  for (const std::string& name : tfm::known_models()) {
+    const auto c = model_by_name(name);
+    for (const char* gpu : {"a100", "v100", "h100"}) {
+      for (int stages : {1, 2, 3}) {
+        RuleContext ctx;
+        ctx.gpu = &gpu::gpu_by_name(gpu);
+        ctx.pipeline_stages = stages;
+        bool folded = true;
+        for (const RuleResult& r : check_rules(c, ctx)) {
+          if (!r.passed && r.severity != RuleSeverity::kAdvisory) {
+            folded = false;
+          }
+        }
+        EXPECT_EQ(satisfies_performance_rules(c, ctx), folded)
+            << name << " on " << gpu << " stages=" << stages;
+      }
+    }
+  }
+}
+
 TEST(Rules, NamesForAllRules) {
   for (const RuleResult& r : check_rules(model_by_name("gpt3-2.7b"),
                                          a100_ctx())) {

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
 #include "common/error.hpp"
 #include "transformer/model_zoo.hpp"
 
@@ -69,6 +74,37 @@ TEST(SearchHeads, MaxCandidatesHonored) {
   EXPECT_LE(search_heads(model_by_name("gpt3-2.7b"), sim(), opt).size(), 3u);
 }
 
+TEST(SearchHeads, BaselineSurvivesTrimming) {
+  // Regression: sort_and_trim used to drop the baseline config when it
+  // ranked past max_candidates, contradicting "Always keep the baseline
+  // for reference even if trimming".
+  const auto base = model_by_name("gpt3-2.7b");
+  const auto s = sim();
+
+  // Establish that the baseline (a = 32) is NOT in the top 3 of the
+  // untrimmed ranking, so trimming to 3 genuinely threatens it.
+  SearchOptions all;
+  all.max_candidates = 1000;
+  const auto untrimmed = search_heads(base, s, all);
+  std::size_t base_rank = untrimmed.size();
+  for (std::size_t i = 0; i < untrimmed.size(); ++i) {
+    if (untrimmed[i].config == base) base_rank = i;
+  }
+  ASSERT_LT(base_rank, untrimmed.size());
+  ASSERT_GE(base_rank, 3u);
+
+  SearchOptions opt;
+  opt.max_candidates = 3;
+  const auto trimmed = search_heads(base, s, opt);
+  ASSERT_EQ(trimmed.size(), 3u);
+  // The top max_candidates - 1 are the true best; the baseline takes the
+  // final slot it would otherwise have been trimmed out of.
+  EXPECT_EQ(trimmed[0].config, untrimmed[0].config);
+  EXPECT_EQ(trimmed[1].config, untrimmed[1].config);
+  EXPECT_EQ(trimmed.back().config, base);
+  EXPECT_DOUBLE_EQ(trimmed.back().speedup_vs_base, 1.0);
+}
+
 TEST(SearchHidden, BoundsParameterDelta) {
   const auto cands = search_hidden(model_by_name("gpt3-2.7b"), sim());
   ASSERT_FALSE(cands.empty());
@@ -122,6 +158,80 @@ TEST(SearchMlp, CoefficientReported) {
   const auto scan = search_mlp_intermediate(base, sim(), 11008, 11008);
   ASSERT_EQ(scan.size(), 1u);
   EXPECT_NEAR(scan.front().coefficient, 2.6875, 1e-12);
+}
+
+TEST(SearchMlp, StrideByTensorParallelMatchesFilteredScan) {
+  // Regression: the scan used to walk every integer in [lo, hi] and reject
+  // the ~ (t-1)/t of them not divisible by t; it now steps by t directly.
+  // The candidate set must be unchanged.
+  const auto base = model_by_name("gpt3-2.7b")
+                        .with_tensor_parallel(4)
+                        .with_vocab(50304);
+  const auto scan = search_mlp_intermediate(base, sim(), 10201, 10299);
+  ASSERT_FALSE(scan.empty());
+  std::vector<std::int64_t> seen;
+  for (const MlpCandidate& c : scan) {
+    EXPECT_EQ(c.d_ff % 4, 0);
+    seen.push_back(c.d_ff);
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<std::int64_t> expected;
+  for (std::int64_t ff = 10201; ff <= 10299; ++ff) {
+    if (ff % 4 == 0) expected.push_back(ff);
+  }
+  EXPECT_EQ(seen, expected);
+  // First legal value is round_up(lo, t), not lo.
+  EXPECT_EQ(expected.front(), 10204);
+}
+
+TEST(SearchMlp, PercentileOnEmptyScanThrows) {
+  EXPECT_THROW(mlp_candidate_percentile({}, 11008), Error);
+}
+
+TEST(SearchJoint, SupersetOfHeadAndHiddenSweeps) {
+  // gpt3-2.7b: one 64-step of h is a ~5% parameter delta, inside the
+  // default 6% bound, so the grid keeps both head and hidden re-shapes.
+  const auto base = model_by_name("gpt3-2.7b");
+  SearchOptions opt;
+  opt.max_candidates = 1000;
+  const auto joint = search_joint(base, sim(), 0.1, 0, opt);
+  ASSERT_FALSE(joint.empty());
+
+  // Contains the baseline, pure head re-shapes, and pure hidden re-shapes.
+  bool has_base = false, has_head_reshape = false, has_hidden_reshape = false;
+  std::set<std::string> names;
+  double prev = 0.0;
+  for (const ShapeCandidate& c : joint) {
+    EXPECT_NO_THROW(c.config.validate());
+    EXPECT_TRUE(names.insert(c.config.name).second) << "duplicate name";
+    EXPECT_GE(c.layer_time, prev);
+    prev = c.layer_time;
+    if (c.config == base) has_base = true;
+    if (c.config.hidden_size == base.hidden_size &&
+        c.config.num_heads != base.num_heads) {
+      has_head_reshape = true;
+    }
+    if (c.config.hidden_size != base.hidden_size) has_hidden_reshape = true;
+    if (!(c.config == base)) {
+      EXPECT_LE(std::abs(c.param_delta_frac), 0.06 + 1e-9);
+    }
+  }
+  EXPECT_TRUE(has_base);
+  EXPECT_TRUE(has_head_reshape);
+  EXPECT_TRUE(has_hidden_reshape);
+}
+
+TEST(SearchJoint, CachedSimulatorGetsHighHitRate) {
+  // The cache is what makes the joint grid tractable: a head sweep never
+  // changes the MLP GEMMs and a hidden sweep re-visits whole layers, so
+  // most estimates repeat.
+  auto cached = sim();
+  cached.enable_cache();
+  SearchOptions opt;
+  opt.max_candidates = 1000;
+  search_joint(model_by_name("pythia-410m"), cached, 0.1, 0, opt);
+  const gemm::CacheStats s = cached.cache()->stats();
+  EXPECT_GT(s.hits, s.misses);  // majority of estimates served from cache
 }
 
 TEST(SearchMlp, Validation) {

@@ -16,6 +16,7 @@
 #include "advisor/compare.hpp"
 #include "advisor/designer.hpp"
 #include "advisor/report.hpp"
+#include "advisor/search.hpp"
 #include "comm/cluster_spec.hpp"
 #include "comm/parallelism.hpp"
 #include "common/cli.hpp"
@@ -23,6 +24,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "gemmsim/simulator.hpp"
 #include "transformer/config_parse.hpp"
 #include "transformer/inference.hpp"
@@ -43,7 +45,10 @@ int usage() {
          "  gpus                         list known GPUs\n"
          "  clusters                     list the Table-III systems\n"
          "  models                       list the model zoo\n"
-         "  advise <model> [--gpu=]      sizing-rule report + re-shapes\n"
+         "  advise <model> [--gpu=] [--threads=N] [--cache]\n"
+         "                               sizing-rule report + re-shapes\n"
+         "  search <model> [--mode=joint|heads|hidden] [--radius=0.1]\n"
+         "         [--max=16] [--threads=N] [--cache]   ranked shape search\n"
          "  gemm --m= --n= --k= [--batch=] [--dtype=fp16] [--gpu=]\n"
          "  explain --m= --n= --k= [--batch=] [--gpu=]   factor breakdown\n"
          "  train <model> [--gpu=]       training step + memory footprint\n"
@@ -60,7 +65,16 @@ int usage() {
 }
 
 gemm::GemmSimulator sim_for(const CliArgs& args) {
-  return gemm::GemmSimulator::for_gpu(args.get_string("gpu", "a100"));
+  gemm::GemmSimulator sim =
+      gemm::GemmSimulator::for_gpu(args.get_string("gpu", "a100"));
+  if (args.get_bool("cache", false)) sim.enable_cache();
+  return sim;
+}
+
+std::size_t threads_arg(const CliArgs& args) {
+  const std::int64_t n = args.get_int("threads", 1);
+  CODESIGN_CHECK(n >= 0, "--threads must be >= 0 (0 = all hardware threads)");
+  return static_cast<std::size_t>(n);
 }
 
 /// Resolve the model from either a zoo name (positional) or a --custom=
@@ -133,7 +147,64 @@ int cmd_models() {
 }
 
 int cmd_advise(const CliArgs& args) {
-  std::cout << advisor::advise(model_arg(args), sim_for(args));
+  advisor::ReportOptions options;
+  options.search_threads = threads_arg(args);
+  std::cout << advisor::advise(model_arg(args), sim_for(args), options);
+  return 0;
+}
+
+int cmd_search(const CliArgs& args) {
+  const auto& cfg = model_arg(args);
+  const auto sim = sim_for(args);
+  advisor::SearchOptions options;
+  // Resolve 0 = all hardware threads here so the banner reports the real
+  // worker count, not the sentinel.
+  options.threads = threads_arg(args);
+  if (options.threads == 0) options.threads = ThreadPool::hardware_threads();
+  options.max_candidates =
+      static_cast<std::size_t>(args.get_int("max", 16));
+  const double radius = args.get_double("radius", 0.1);
+  const std::string mode = args.get_string("mode", "joint");
+
+  std::vector<advisor::ShapeCandidate> cands;
+  if (mode == "heads") {
+    cands = advisor::search_heads(cfg, sim, options);
+  } else if (mode == "hidden") {
+    cands = advisor::search_hidden(cfg, sim, radius, 0, options);
+  } else if (mode == "joint") {
+    cands = advisor::search_joint(cfg, sim, radius, 0, options);
+  } else {
+    throw Error("--mode must be heads, hidden, or joint; got '" + mode + "'");
+  }
+
+  std::cout << mode << " search around " << cfg.to_string() << " on "
+            << sim.gpu().id << " (" << options.threads << " thread"
+            << (options.threads == 1 ? "" : "s")
+            << (sim.cache() ? ", cached" : "") << "):\n";
+  TableWriter t({"candidate", "a", "h", "h/a", "layer time", "TFLOP/s",
+                 "speedup", "params", "rules", "note"});
+  for (const auto& c : cands) {
+    t.new_row()
+        .cell(c.config.name)
+        .cell(c.config.num_heads)
+        .cell(c.config.hidden_size)
+        .cell(c.config.head_dim())
+        .cell(human_time(c.layer_time))
+        .cell(c.layer_tflops, 1)
+        .cell(str_format("%.3fx", c.speedup_vs_base))
+        .cell(human_count(c.param_count))
+        .cell(c.rules_pass ? "PASS" : "FAIL")
+        .cell(c.note);
+  }
+  t.write(std::cout);
+  if (sim.cache()) {
+    const gemm::CacheStats s = sim.cache()->stats();
+    std::cout << str_format(
+        "cache: %llu hits / %llu misses (%.1f%% hit rate), %zu entries\n",
+        static_cast<unsigned long long>(s.hits),
+        static_cast<unsigned long long>(s.misses), 100.0 * s.hit_rate(),
+        s.entries);
+  }
   return 0;
 }
 
@@ -339,6 +410,7 @@ int dispatch(int argc, const char* const* argv) {
   if (cmd == "clusters") return cmd_clusters();
   if (cmd == "models") return cmd_models();
   if (cmd == "advise") return cmd_advise(args);
+  if (cmd == "search") return cmd_search(args);
   if (cmd == "gemm") return cmd_gemm(args);
   if (cmd == "explain") return cmd_explain(args);
   if (cmd == "train") return cmd_train(args);
