@@ -1,0 +1,89 @@
+// bench_obs_overhead — cost of the observability layer on the hot path.
+//
+// Times GemmSimulator::estimate() in three instrumentation states:
+//   off       — metrics disabled, no recorder (the default); the guard is
+//               one relaxed atomic load, so this must match the seed's cost
+//   metrics   — MetricsRegistry enabled (counters on every estimate)
+//   recorder  — metrics + an installed EventRecorder (selection trail
+//               events on every kernel selection)
+// The "off" row is the zero-overhead contract of docs/OBSERVABILITY.md.
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace codesign {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_per_estimate(const gemm::GemmSimulator& sim,
+                       const std::vector<gemm::GemmProblem>& problems,
+                       int iters) {
+  // One untimed pass to warm whatever needs warming.
+  double sink = 0.0;
+  for (const auto& p : problems) sink += sim.estimate(p).time;
+  const auto start = Clock::now();
+  for (int it = 0; it < iters; ++it) {
+    for (const auto& p : problems) sink += sim.estimate(p).time;
+  }
+  const double ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+  // Keep the estimates observable so the loop cannot be elided.
+  if (sink < 0.0) std::cerr << sink;
+  return ns / (static_cast<double>(iters) * problems.size());
+}
+
+int body(bench::BenchContext& ctx) {
+  ctx.banner("obs overhead",
+             "estimate() latency with instrumentation off / metrics / "
+             "metrics+recorder");
+
+  std::vector<gemm::GemmProblem> problems;
+  for (const std::int64_t n : {2560, 5120, 7680, 12288, 50304}) {
+    gemm::GemmProblem p;
+    p.m = 8192;
+    p.n = n;
+    p.k = 2560;
+    problems.push_back(p);
+  }
+  const int iters = static_cast<int>(ctx.args().get_int("iters", 200));
+
+  obs::MetricsRegistry::set_enabled(false);
+  const double off_ns = ns_per_estimate(ctx.sim(), problems, iters);
+
+  obs::MetricsRegistry::set_enabled(true);
+  const double metrics_ns = ns_per_estimate(ctx.sim(), problems, iters);
+
+  double recorder_ns = 0.0;
+  {
+    obs::ScopedRecorder scoped;
+    recorder_ns = ns_per_estimate(ctx.sim(), problems, iters);
+  }
+  obs::MetricsRegistry::set_enabled(false);
+  obs::MetricsRegistry::global().reset_values();
+
+  TableWriter t({"state", "ns/estimate", "overhead"});
+  const auto row = [&](const char* state, double ns) {
+    t.new_row()
+        .cell(state)
+        .cell(ns, 0)
+        .cell(str_format("%.2fx", ns / off_ns));
+  };
+  row("off", off_ns);
+  row("metrics", metrics_ns);
+  row("metrics+recorder", recorder_ns);
+  ctx.emit(t);
+  return 0;
+}
+
+}  // namespace
+}  // namespace codesign
+
+int main(int argc, char** argv) {
+  return codesign::bench::run_bench(argc, argv, codesign::body);
+}

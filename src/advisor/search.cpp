@@ -1,6 +1,7 @@
 #include "advisor/search.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <utility>
@@ -10,6 +11,8 @@
 #include "common/math_util.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "transformer/flops.hpp"
 #include "transformer/gemm_mapping.hpp"
 #include "transformer/layer_model.hpp"
@@ -99,6 +102,12 @@ std::vector<ShapeCandidate> evaluate_pipeline(
     const SearchOptions& options,
     const std::function<void(ShapeCandidate&)>& annotate,
     const std::function<bool(const ShapeCandidate&)>& keep) {
+  // Self-profiling of the pipeline stages: wall-clock, so every series here
+  // is kBestEffort — the candidate/kept counters below are the only
+  // deterministic ones. Everything is gated on the enabled flag so a
+  // metrics-off search takes no locks and reads no clocks.
+  const bool metrics_on = obs::MetricsRegistry::enabled();
+
   const BaselineContext base = make_baseline(baseline, sim);
 
   std::vector<ShapeCandidate> evaluated(configs.size());
@@ -107,19 +116,42 @@ std::vector<ShapeCandidate> evaluate_pipeline(
     annotate(c);
     evaluated[i] = std::move(c);
   };
-  if (options.threads == 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) evaluate_one(i);
-  } else {
-    ThreadPool pool(options.threads);
-    pool.parallel_for(configs.size(), evaluate_one);
+  {
+    obs::ScopedEvent span("search", "evaluate");
+    obs::ScopedTimer timer("advisor.search.evaluate_us");
+    if (options.threads == 1) {
+      for (std::size_t i = 0; i < configs.size(); ++i) evaluate_one(i);
+    } else {
+      ThreadPool pool(options.threads);
+      pool.parallel_for(configs.size(), evaluate_one);
+    }
+    if (timer.active() && !configs.empty()) {
+      const double us = timer.elapsed_us();
+      if (us > 0.0) {
+        obs::MetricsRegistry::global()
+            .gauge("advisor.search.candidates_per_sec")
+            .update_max(static_cast<double>(configs.size()) * 1e6 / us);
+      }
+    }
   }
 
   std::vector<ShapeCandidate> out;
   out.reserve(evaluated.size());
-  for (ShapeCandidate& c : evaluated) {
-    if (keep(c)) out.push_back(std::move(c));
+  {
+    obs::ScopedEvent span("search", "merge");
+    obs::ScopedTimer timer("advisor.search.merge_us");
+    for (ShapeCandidate& c : evaluated) {
+      if (keep(c)) out.push_back(std::move(c));
+    }
+    sort_and_trim(out, baseline, options);
   }
-  sort_and_trim(out, baseline, options);
+
+  if (metrics_on) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("advisor.search.runs").add();
+    reg.counter("advisor.search.candidates").add(configs.size());
+    reg.counter("advisor.search.kept").add(out.size());
+  }
   return out;
 }
 

@@ -14,16 +14,6 @@ namespace {
 std::atomic<int> g_level{-1};  // -1 = uninitialized
 std::mutex g_io_mutex;
 
-LogLevel level_from_env() {
-  const char* env = std::getenv("CODESIGN_LOG");
-  if (env == nullptr) return LogLevel::kInfo;
-  const std::string v = to_lower(env);
-  if (v == "debug") return LogLevel::kDebug;
-  if (v == "warn") return LogLevel::kWarn;
-  if (v == "error") return LogLevel::kError;
-  return LogLevel::kInfo;
-}
-
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -36,17 +26,50 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  const std::string v = to_lower(std::string(trim(name)));
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() {
   int v = g_level.load();
   if (v < 0) {
-    const LogLevel env = level_from_env();
-    g_level.store(static_cast<int>(env));
-    return env;
+    const char* env = std::getenv("CODESIGN_LOG");
+    LogLevel resolved = LogLevel::kInfo;
+    bool unknown = false;
+    if (env != nullptr) {
+      if (const auto parsed = parse_log_level(env)) {
+        resolved = *parsed;
+      } else {
+        unknown = true;
+      }
+    }
+    // First caller wins the initialization race and owns the (one-time)
+    // bad-value warning; everyone else adopts the stored level.
+    int expected = -1;
+    if (g_level.compare_exchange_strong(expected,
+                                        static_cast<int>(resolved))) {
+      if (unknown) {
+        const std::lock_guard<std::mutex> lock(g_io_mutex);
+        std::fprintf(stderr,
+                     "[WARN] unknown CODESIGN_LOG value '%s' "
+                     "(expected debug|info|warn|error); using info\n",
+                     env);
+      }
+      return resolved;
+    }
+    return static_cast<LogLevel>(g_level.load());
   }
   return static_cast<LogLevel>(v);
 }
+
+void reset_log_level_for_testing() { g_level.store(-1); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;

@@ -4,8 +4,10 @@
 // stdout stays clean for the CSV/table data the harness captures.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace codesign {
 
@@ -13,9 +15,18 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Global minimum level; messages below it are dropped. Defaults to kInfo,
 /// overridable via the CODESIGN_LOG environment variable
-/// (debug|info|warn|error) read on first use.
+/// (debug|info|warn|error) read on first use. An unrecognized CODESIGN_LOG
+/// value falls back to kInfo with a one-time warning naming the bad value.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parse a level name ("debug"/"info"/"warn"/"warning"/"error", any case);
+/// nullopt if unrecognized.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Test hook: drop the cached level so the next log_level() re-reads
+/// CODESIGN_LOG (and can re-emit the bad-value warning).
+void reset_log_level_for_testing();
 
 /// Emit one log line to stderr: "[LEVEL] message".
 void log_message(LogLevel level, const std::string& message);

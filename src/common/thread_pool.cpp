@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace codesign {
 
@@ -70,16 +72,40 @@ void ThreadPool::parallel_for(std::size_t n,
       const std::size_t begin = c * grain;
       const std::size_t end = std::min(n, begin + grain);
       queue_.emplace_back([batch, begin, end, &fn] {
+        // Task-latency instrumentation: wall clock, so kBestEffort — the
+        // deterministic metrics export never includes it. Checked per task
+        // so the disabled path costs one relaxed load.
+        const bool timed = obs::MetricsRegistry::enabled();
+        const auto t0 = timed ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
         std::exception_ptr error;
         try {
           for (std::size_t i = begin; i < end; ++i) fn(i);
         } catch (...) {
           error = std::current_exception();
         }
+        if (timed) {
+          obs::MetricsRegistry::global()
+              .histogram("threadpool.task_us", {},
+                         obs::Stability::kBestEffort)
+              .record(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+        }
         std::lock_guard<std::mutex> batch_lock(batch->mu);
         if (error && !batch->first_error) batch->first_error = error;
         if (--batch->remaining == 0) batch->done_cv.notify_all();
       });
+    }
+    if (obs::MetricsRegistry::enabled()) {
+      auto& reg = obs::MetricsRegistry::global();
+      reg.counter("threadpool.parallel_for.calls", {},
+                  obs::Stability::kBestEffort)
+          .add();
+      reg.counter("threadpool.chunks", {}, obs::Stability::kBestEffort)
+          .add(chunks);
+      reg.gauge("threadpool.queue_depth.max", {}, obs::Stability::kBestEffort)
+          .update_max(static_cast<double>(queue_.size()));
     }
   }
   work_cv_.notify_all();

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "gemmsim/simulator.hpp"
+#include "obs/metrics.hpp"
 
 namespace codesign::gemm {
 
@@ -111,6 +112,20 @@ CacheStats EstimateCache::stats() const {
     s.entries += shard->lru.size();
   }
   return s;
+}
+
+void EstimateCache::publish_metrics(obs::MetricsRegistry& registry) const {
+  const CacheStats s = stats();
+  constexpr auto kBe = obs::Stability::kBestEffort;
+  registry.gauge("gemmsim.cache.hits", {}, kBe)
+      .set(static_cast<double>(s.hits));
+  registry.gauge("gemmsim.cache.misses", {}, kBe)
+      .set(static_cast<double>(s.misses));
+  registry.gauge("gemmsim.cache.evictions", {}, kBe)
+      .set(static_cast<double>(s.evictions));
+  registry.gauge("gemmsim.cache.entries", {}, kBe)
+      .set(static_cast<double>(s.entries));
+  registry.gauge("gemmsim.cache.hit_rate", {}, kBe).set(s.hit_rate());
 }
 
 }  // namespace codesign::gemm

@@ -33,6 +33,10 @@
 
 #include "gemmsim/kernel_model.hpp"
 
+namespace codesign::obs {
+class MetricsRegistry;
+}  // namespace codesign::obs
+
 namespace codesign::gemm {
 
 enum class TilePolicy;  // defined in simulator.hpp
@@ -85,6 +89,13 @@ class EstimateCache {
   void clear();
 
   CacheStats stats() const;
+
+  /// Publish the current stats() into `registry` as kBestEffort gauges
+  /// ("gemmsim.cache.hits" etc.) — best-effort because racing misses make
+  /// the hit/miss split scheduling-dependent. Call at snapshot time; the
+  /// cache never touches the registry on its hot path.
+  void publish_metrics(obs::MetricsRegistry& registry) const;
+
   const CacheOptions& options() const { return options_; }
 
  private:

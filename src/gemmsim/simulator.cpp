@@ -1,7 +1,9 @@
 #include "gemmsim/simulator.hpp"
 
 #include "common/error.hpp"
+#include "gemmsim/roofline.hpp"
 #include "gpuarch/tile_config.hpp"
+#include "obs/metrics.hpp"
 
 namespace codesign::gemm {
 
@@ -25,15 +27,36 @@ KernelEstimate estimate_uncached(const GemmProblem& problem, TilePolicy policy,
   return select_kernel(problem, gpu);
 }
 
+/// Per-estimate counters, recorded from the *returned* estimate so the
+/// numbers are identical whether it came from the cache or a fresh compute
+/// — which makes them deterministic at any thread count and cache state
+/// (a hit returns exactly what the miss computed).
+void record_estimate_metrics(const KernelEstimate& est) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("gemmsim.estimate.calls").add();
+  reg.counter("gemmsim.estimate.tile", "tile=" + est.tile.name()).add();
+  reg.counter("gemmsim.estimate.bound",
+              std::string("bound=") + bound_name(est.bound))
+      .add();
+  reg.counter("gemmsim.estimate.waves")
+      .add(static_cast<std::uint64_t>(est.wave_q.waves));
+  reg.counter("gemmsim.estimate.blocks")
+      .add(static_cast<std::uint64_t>(est.tile_q.tiles_total));
+}
+
 }  // namespace
 
 KernelEstimate GemmSimulator::estimate(const GemmProblem& problem) const {
+  KernelEstimate est;
   if (cache_ != nullptr) {
-    return cache_->get_or_compute(
+    est = cache_->get_or_compute(
         EstimateCache::Key{problem, policy_, gpu_},
         [&] { return estimate_uncached(problem, policy_, *gpu_); });
+  } else {
+    est = estimate_uncached(problem, policy_, *gpu_);
   }
-  return estimate_uncached(problem, policy_, *gpu_);
+  if (obs::MetricsRegistry::enabled()) record_estimate_metrics(est);
+  return est;
 }
 
 void GemmSimulator::enable_cache(const CacheOptions& options) {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 
 namespace codesign::gemm {
 
@@ -46,6 +49,14 @@ DesResult simulate_kernel(const GemmProblem& problem,
     events.push(SlotEvent{0.0, static_cast<int>(s % gpu.sm_count)});
   }
 
+  // Block dispatch/retire events carry *simulated* timestamps (offset by
+  // the profiler's per-op time origin), so a recorded DES timeline is
+  // byte-deterministic: the event loop below is sequential and seeded.
+  obs::EventRecorder* recorder = obs::EventRecorder::active();
+  const double origin_us =
+      recorder != nullptr ? obs::EventRecorder::time_origin_us() : 0.0;
+  const std::string tile_name = tile.name();
+
   double makespan = 0.0;
   double total_busy = 0.0;
   for (std::int64_t b = 0; b < r.blocks; ++b) {
@@ -60,12 +71,29 @@ DesResult simulate_kernel(const GemmProblem& problem,
     makespan = std::max(makespan, finish);
     total_busy += duration;
     r.sm_busy_time[static_cast<std::size_t>(ev.sm)] += duration;
+    if (recorder != nullptr) {
+      obs::TraceEvent block;
+      block.name = tile_name;
+      block.category = "des";
+      block.tid = obs::kTidDesBase + ev.sm;
+      block.ts_us = origin_us + ev.time * 1e6;
+      block.dur_us = duration * 1e6;
+      block.clock = obs::EventClock::kSimulated;
+      block.args.emplace_back("block", std::to_string(b));
+      recorder->record(std::move(block));
+    }
     events.push(SlotEvent{finish, ev.sm});
   }
 
   r.makespan = makespan;
   r.busy_fraction =
       total_busy / (static_cast<double>(r.slots) * std::max(makespan, 1e-30));
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("gemmsim.des.runs").add();
+    reg.counter("gemmsim.des.blocks")
+        .add(static_cast<std::uint64_t>(r.blocks));
+  }
   return r;
 }
 

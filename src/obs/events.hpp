@@ -1,0 +1,141 @@
+// events.hpp — structured event recording and chrome-trace export.
+//
+// The EventRecorder captures the simulator's decision trail — which tiles a
+// kernel selection considered and why they lost, when each DES thread block
+// dispatched and retired per SM, which operators the layer schedule ran —
+// as typed events that export to Chrome Trace Event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Clock discipline (the determinism contract, docs/OBSERVABILITY.md):
+//   * Simulator events are stamped with *simulated* time (EventClock::
+//     kSimulated), so a trace of the same workload is byte-deterministic at
+//     any thread count and on any machine.
+//   * Wall-clock events (EventClock::kWall) exist only for self-profiling
+//     the search pipeline; the exporter can exclude them
+//     (ChromeTraceOptions::include_wall_clock = false) to keep a trace
+//     comparable across runs.
+//
+// Zero overhead when disabled: EventRecorder::active() is one relaxed
+// atomic load; while no recorder is installed, instrumentation sites take
+// no locks and build no event objects.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace codesign::obs {
+
+/// Which clock an event's timestamp belongs to. Mixed-clock traces export
+/// as two chrome-trace "processes" so the timelines never interleave.
+enum class EventClock { kSimulated, kWall };
+
+/// Fixed track (tid) assignments inside the simulated-clock process.
+inline constexpr std::int32_t kTidGemmOps = 1;     ///< GEMM operators
+inline constexpr std::int32_t kTidOtherOps = 2;    ///< non-GEMM operators
+inline constexpr std::int32_t kTidSelection = 3;   ///< kernel-selection trail
+inline constexpr std::int32_t kTidDesBase = 100;   ///< per-SM DES tracks: 100+sm
+
+struct TraceEvent {
+  std::string name;
+  std::string category;  ///< "op" | "select" | "des" | "search"
+  char phase = 'X';      ///< 'X' = complete span, 'i' = instant
+  std::int32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  EventClock clock = EventClock::kSimulated;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+struct ChromeTraceOptions {
+  bool include_wall_clock = true;
+  /// Extra "otherData" metadata, e.g. {{"model", ...}, {"gpu", ...}}.
+  std::vector<std::pair<std::string, std::string>> other_data;
+};
+
+class EventRecorder {
+ public:
+  EventRecorder();
+
+  void record(TraceEvent event);
+
+  std::size_t size() const;
+  /// Number of recorded events in one category.
+  std::size_t count(std::string_view category) const;
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// Microseconds of wall time since this recorder was constructed (the
+  /// epoch of every kWall event it holds).
+  double wall_now_us() const;
+
+  /// Chrome Trace Event JSON. Events are sorted on a total key
+  /// (clock, ts, tid, category, name, dur, args) so the document is
+  /// byte-deterministic for a given event set regardless of the order
+  /// threads recorded them in.
+  std::string chrome_trace_json(const ChromeTraceOptions& options = {}) const;
+
+  /// The installed recorder, or nullptr when event recording is off. One
+  /// relaxed-ish (acquire) atomic load — the disabled fast path.
+  static EventRecorder* active() {
+    return g_active.load(std::memory_order_acquire);
+  }
+  /// Install `recorder` process-wide (nullptr uninstalls). Install before
+  /// spawning workers that record; not designed for nesting.
+  static void install(EventRecorder* recorder) {
+    g_active.store(recorder, std::memory_order_release);
+  }
+
+  /// Simulated-time origin (µs) for events recorded by code with no
+  /// schedule context of its own (kernel selection, the DES). Thread-local:
+  /// the profiler sets it to the current op's start time before invoking
+  /// the simulator. Defaults to 0.
+  static void set_time_origin_us(double us);
+  static double time_origin_us();
+
+ private:
+  static std::atomic<EventRecorder*> g_active;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII: construct a recorder and install it for the current scope.
+class ScopedRecorder {
+ public:
+  ScopedRecorder() { EventRecorder::install(&recorder_); }
+  ~ScopedRecorder() { EventRecorder::install(nullptr); }
+
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+  EventRecorder& recorder() { return recorder_; }
+
+ private:
+  EventRecorder recorder_;
+};
+
+/// RAII wall-clock span for self-profiling (category "search" etc.).
+/// Inert — no clock read, no allocation — when no recorder is installed at
+/// construction.
+class ScopedEvent {
+ public:
+  ScopedEvent(std::string_view category, std::string_view name,
+              std::int32_t tid = 0);
+  ~ScopedEvent();
+
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+ private:
+  EventRecorder* recorder_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace codesign::obs

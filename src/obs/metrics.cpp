@@ -1,0 +1,279 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace codesign::obs {
+
+std::atomic<bool> MetricsRegistry::g_enabled{false};
+
+const char* stability_name(Stability s) {
+  return s == Stability::kDeterministic ? "deterministic" : "best_effort";
+}
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void Gauge::update_max(double v) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;
+  const int exp = static_cast<int>(std::floor(std::log2(v)));
+  return std::clamp(exp + 32, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_lower_bound(int index) {
+  if (index <= 0) return 0.0;
+  return std::ldexp(1.0, index - 32);
+}
+
+void Histogram::record(double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (data_.count == 0) {
+    data_.min = v;
+    data_.max = v;
+  } else {
+    data_.min = std::min(data_.min, v);
+    data_.max = std::max(data_.max, v);
+  }
+  ++data_.count;
+  data_.sum += v;
+  ++data_.buckets[static_cast<std::size_t>(bucket_index(v))];
+}
+
+Histogram::Data Histogram::data() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  data_ = Data{};
+}
+
+template <typename T>
+T& MetricsRegistry::find_or_create(SeriesMap<T>& map, std::string_view name,
+                                   std::string_view labels,
+                                   Stability stability) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(std::string(name), std::string(labels));
+  auto it = map.find(key);
+  if (it == map.end()) {
+    auto entry = std::make_unique<Entry<T>>();
+    entry->stability = stability;
+    it = map.emplace(std::move(key), std::move(entry)).first;
+  }
+  return it->second->metric;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view labels,
+                                  Stability stability) {
+  return find_or_create(counters_, name, labels, stability);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view labels,
+                              Stability stability) {
+  return find_or_create(gauges_, name, labels, stability);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view labels,
+                                      Stability stability) {
+  return find_or_create(histograms_, name, labels, stability);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(
+    const SnapshotOptions& options) const {
+  MetricsSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, entry] : counters_) {
+      if (!options.include_best_effort &&
+          entry->stability == Stability::kBestEffort) {
+        continue;
+      }
+      MetricsSnapshot::Series s;
+      s.name = key.first;
+      s.labels = key.second;
+      s.kind = MetricKind::kCounter;
+      s.stability = entry->stability;
+      s.count = entry->metric.value();
+      snap.series.push_back(std::move(s));
+    }
+    for (const auto& [key, entry] : gauges_) {
+      if (!options.include_best_effort &&
+          entry->stability == Stability::kBestEffort) {
+        continue;
+      }
+      MetricsSnapshot::Series s;
+      s.name = key.first;
+      s.labels = key.second;
+      s.kind = MetricKind::kGauge;
+      s.stability = entry->stability;
+      s.value = entry->metric.value();
+      snap.series.push_back(std::move(s));
+    }
+    for (const auto& [key, entry] : histograms_) {
+      if (!options.include_best_effort &&
+          entry->stability == Stability::kBestEffort) {
+        continue;
+      }
+      const Histogram::Data d = entry->metric.data();
+      MetricsSnapshot::Series s;
+      s.name = key.first;
+      s.labels = key.second;
+      s.kind = MetricKind::kHistogram;
+      s.stability = entry->stability;
+      s.count = d.count;
+      s.sum = d.sum;
+      s.min = d.min;
+      s.max = d.max;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const std::uint64_t n = d.buckets[static_cast<std::size_t>(b)];
+        if (n > 0) s.buckets.emplace_back(Histogram::bucket_lower_bound(b), n);
+      }
+      snap.series.push_back(std::move(s));
+    }
+  }
+  std::sort(snap.series.begin(), snap.series.end(),
+            [](const MetricsSnapshot::Series& a,
+               const MetricsSnapshot::Series& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.labels != b.labels) return a.labels < b.labels;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : counters_) entry->metric.reset();
+  for (auto& [key, entry] : gauges_) entry->metric.reset();
+  for (auto& [key, entry] : histograms_) entry->metric.reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Shortest round-trip double formatting (%.17g is exact but noisy; try
+/// %.15g first). Deterministic for identical values.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const Series& s : series) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"labels\":\""
+       << json_escape(s.labels) << "\",\"kind\":\"" << metric_kind_name(s.kind)
+       << "\",\"stability\":\"" << stability_name(s.stability) << "\"";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << ",\"value\":" << s.count;
+        break;
+      case MetricKind::kGauge:
+        os << ",\"value\":" << format_double(s.value);
+        break;
+      case MetricKind::kHistogram:
+        os << ",\"count\":" << s.count << ",\"sum\":" << format_double(s.sum)
+           << ",\"min\":" << format_double(s.min)
+           << ",\"max\":" << format_double(s.max) << ",\"buckets\":[";
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+          if (b > 0) os << ",";
+          os << "[" << format_double(s.buckets[b].first) << ","
+             << s.buckets[b].second << "]";
+        }
+        os << "]";
+        break;
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream os;
+  os << "name,labels,kind,stability,value,count,sum,min,max\n";
+  for (const Series& s : series) {
+    os << s.name << "," << s.labels << "," << metric_kind_name(s.kind) << ","
+       << stability_name(s.stability) << ",";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << s.count << "," << s.count << ",,,";
+        break;
+      case MetricKind::kGauge:
+        os << format_double(s.value) << ",,,,";
+        break;
+      case MetricKind::kHistogram:
+        os << "," << s.count << "," << format_double(s.sum) << ","
+           << format_double(s.min) << "," << format_double(s.max);
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ScopedTimer::ScopedTimer(Histogram* hist) : hist_(hist) {
+  if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::ScopedTimer(std::string_view name, std::string_view labels) {
+  if (!MetricsRegistry::enabled()) return;
+  hist_ = &MetricsRegistry::global().histogram(name, labels,
+                                               Stability::kBestEffort);
+  start_ = std::chrono::steady_clock::now();
+}
+
+double ScopedTimer::elapsed_us() const {
+  if (hist_ == nullptr) return 0.0;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (hist_ != nullptr) hist_->record(elapsed_us());
+}
+
+}  // namespace codesign::obs

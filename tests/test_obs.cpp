@@ -1,0 +1,458 @@
+// Tests for the observability layer (src/obs): metric semantics, snapshot
+// export, event recording, and — most importantly — the two contracts the
+// rest of the repo relies on: instrumentation never changes simulator
+// results (lockstep), and deterministic series / simulated-clock traces are
+// byte-identical at any thread count.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "advisor/search.hpp"
+#include "gemmsim/kernel_model.hpp"
+#include "gemmsim/simulator.hpp"
+#include "gemmsim/sm_scheduler.hpp"
+#include "gpuarch/gpu_spec.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "transformer/gemm_mapping.hpp"
+#include "transformer/model_zoo.hpp"
+#include "transformer/profile.hpp"
+
+namespace codesign {
+namespace {
+
+using obs::EventRecorder;
+using obs::MetricsRegistry;
+using obs::Stability;
+using obs::TraceEvent;
+
+/// Leaves the global observability state the way it found it: disabled,
+/// no recorder, zeroed values, origin at 0.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetGlobals(); }
+  void TearDown() override { ResetGlobals(); }
+
+  static void ResetGlobals() {
+    MetricsRegistry::set_enabled(false);
+    EventRecorder::install(nullptr);
+    EventRecorder::set_time_origin_us(0.0);
+    MetricsRegistry::global().reset_values();
+  }
+};
+
+TEST_F(ObsTest, CounterAddValueReset) {
+  MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameSeriesForSameKey) {
+  MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x", "tile=256x128");
+  obs::Counter& b = reg.counter("x", "tile=256x128");
+  obs::Counter& other = reg.counter("x", "tile=128x128");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST_F(ObsTest, StabilityFixedAtCreation) {
+  MetricsRegistry reg;
+  reg.counter("first", "", Stability::kBestEffort).add(1);
+  // A second lookup with a different stability keeps the original tag.
+  reg.counter("first", "", Stability::kDeterministic).add(1);
+  const auto deterministic = reg.snapshot({.include_best_effort = false});
+  EXPECT_TRUE(deterministic.series.empty());
+}
+
+TEST_F(ObsTest, GaugeSetAndUpdateMax) {
+  obs::Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.update_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.update_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramAggregatesAndBuckets) {
+  obs::Histogram h;
+  h.record(1.0);   // bucket 32: [1, 2)
+  h.record(1.5);   // bucket 32
+  h.record(4.0);   // bucket 34: [4, 8)
+  h.record(-3.0);  // non-positive values land in bucket 0
+  const obs::Histogram::Data d = h.data();
+  EXPECT_EQ(d.count, 4u);
+  EXPECT_DOUBLE_EQ(d.sum, 3.5);
+  EXPECT_DOUBLE_EQ(d.min, -3.0);
+  EXPECT_DOUBLE_EQ(d.max, 4.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.5 / 4.0);
+  EXPECT_EQ(d.buckets[32], 2u);
+  EXPECT_EQ(d.buckets[34], 1u);
+  EXPECT_EQ(d.buckets[0], 1u);
+
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(1.0), 32);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower_bound(32), 1.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower_bound(33), 2.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower_bound(0), 0.0);
+
+  h.reset();
+  EXPECT_EQ(h.data().count, 0u);
+}
+
+TEST_F(ObsTest, SnapshotSortedAndBestEffortFiltered) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha", "k=2").add(2);
+  reg.counter("alpha", "k=1").add(3);
+  reg.gauge("beta", "", Stability::kBestEffort).set(1.5);
+  reg.histogram("beta.hist", "", Stability::kBestEffort).record(1.0);
+
+  const auto all = reg.snapshot();
+  ASSERT_EQ(all.series.size(), 5u);
+  EXPECT_EQ(all.series[0].name, "alpha");
+  EXPECT_EQ(all.series[0].labels, "k=1");
+  EXPECT_EQ(all.series[1].labels, "k=2");
+  EXPECT_EQ(all.series[4].name, "zeta");
+
+  const auto det = reg.snapshot({.include_best_effort = false});
+  ASSERT_EQ(det.series.size(), 3u);
+  for (const auto& s : det.series) {
+    EXPECT_EQ(s.stability, Stability::kDeterministic);
+  }
+}
+
+TEST_F(ObsTest, SnapshotJsonAndCsv) {
+  MetricsRegistry reg;
+  reg.counter("runs").add(7);
+  reg.gauge("rate", "", Stability::kBestEffort).set(0.5);
+  reg.histogram("lat_us", "", Stability::kBestEffort).record(3.0);
+  const auto snap = reg.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"name\":\"runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"stability\":\"best_effort\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[2,1]]"), std::string::npos);
+
+  const std::string csv = snap.to_csv();
+  EXPECT_EQ(csv.rfind("name,labels,kind,stability,value,count,sum,min,max\n",
+                      0),
+            0u);
+  EXPECT_NE(csv.find("runs,,counter,deterministic,7"), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetValuesKeepsSeriesAndReferences) {
+  MetricsRegistry reg;
+  obs::Counter& c = reg.counter("kept");
+  c.add(9);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.snapshot().series.size(), 1u);
+  c.add(1);
+  EXPECT_EQ(reg.counter("kept").value(), 1u);
+}
+
+TEST_F(ObsTest, ScopedTimerInertWhenDisabled) {
+  ASSERT_FALSE(MetricsRegistry::enabled());
+  {
+    obs::ScopedTimer t("obs_test.timer_us");
+    EXPECT_FALSE(t.active());
+  }
+  const auto snap = MetricsRegistry::global().snapshot();
+  for (const auto& s : snap.series) {
+    if (s.name == "obs_test.timer_us") EXPECT_EQ(s.count, 0u);
+  }
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsWhenEnabled) {
+  MetricsRegistry::set_enabled(true);
+  {
+    obs::ScopedTimer t("obs_test.timer_us");
+    EXPECT_TRUE(t.active());
+    EXPECT_GE(t.elapsed_us(), 0.0);
+  }
+  const obs::Histogram::Data d =
+      MetricsRegistry::global().histogram("obs_test.timer_us").data();
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_GE(d.sum, 0.0);
+}
+
+TEST_F(ObsTest, EventRecorderRecordCountClear) {
+  EventRecorder rec;
+  EXPECT_EQ(EventRecorder::active(), nullptr);
+  TraceEvent e;
+  e.name = "tick";
+  e.category = "des";
+  rec.record(e);
+  e.category = "select";
+  rec.record(e);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.count("des"), 1u);
+  EXPECT_EQ(rec.count("select"), 1u);
+  EXPECT_EQ(rec.count("op"), 0u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST_F(ObsTest, ScopedRecorderInstallsAndUninstalls) {
+  {
+    obs::ScopedRecorder scoped;
+    EXPECT_EQ(EventRecorder::active(), &scoped.recorder());
+    obs::ScopedEvent span("search", "stage");
+    (void)span;
+  }
+  EXPECT_EQ(EventRecorder::active(), nullptr);
+}
+
+TEST_F(ObsTest, TimeOriginIsThreadLocal) {
+  EventRecorder::set_time_origin_us(123.5);
+  EXPECT_DOUBLE_EQ(EventRecorder::time_origin_us(), 123.5);
+  double seen_on_worker = -1.0;
+  std::thread worker(
+      [&seen_on_worker] { seen_on_worker = EventRecorder::time_origin_us(); });
+  worker.join();
+  EXPECT_DOUBLE_EQ(seen_on_worker, 0.0);
+  EventRecorder::set_time_origin_us(0.0);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonStructure) {
+  EventRecorder rec;
+  TraceEvent span;
+  span.name = "L0.qkv";
+  span.category = "op";
+  span.phase = 'X';
+  span.tid = obs::kTidGemmOps;
+  span.ts_us = 10.0;
+  span.dur_us = 5.0;
+  span.args.emplace_back("detail", "b=1");
+  rec.record(span);
+  TraceEvent instant;
+  instant.name = "tile 256x128";
+  instant.category = "select";
+  instant.phase = 'i';
+  instant.tid = obs::kTidSelection;
+  instant.ts_us = 10.0;
+  rec.record(instant);
+  TraceEvent wall;
+  wall.name = "evaluate";
+  wall.category = "search";
+  wall.clock = obs::EventClock::kWall;
+  rec.record(wall);
+
+  obs::ChromeTraceOptions opt;
+  opt.other_data.emplace_back("model", "m");
+  const std::string json = rec.chrome_trace_json(opt);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("simulated time"), std::string::npos);
+  EXPECT_NE(json.find("wall clock"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"gemm ops\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"kernel selection\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5.000"), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\":{\"model\":\"m\"}"), std::string::npos);
+
+  // Excluding wall-clock events drops the "search" span and its process.
+  opt.include_wall_clock = false;
+  const std::string sim_only = rec.chrome_trace_json(opt);
+  EXPECT_EQ(sim_only.find("evaluate"), std::string::npos);
+  EXPECT_EQ(sim_only.find("wall clock"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonIndependentOfRecordingOrder) {
+  auto make_event = [](int i) {
+    TraceEvent e;
+    e.name = "block";
+    e.category = "des";
+    e.tid = obs::kTidDesBase + (i % 4);
+    e.ts_us = static_cast<double>(i % 7);
+    e.dur_us = 1.0;
+    e.args.emplace_back("block", std::to_string(i));
+    return e;
+  };
+  EventRecorder forward;
+  EventRecorder backward;
+  for (int i = 0; i < 32; ++i) forward.record(make_event(i));
+  for (int i = 31; i >= 0; --i) backward.record(make_event(i));
+  EXPECT_EQ(forward.chrome_trace_json(), backward.chrome_trace_json());
+}
+
+// --- The contracts -------------------------------------------------------
+
+// Instrumentation must never change what the simulator computes: a
+// metrics-and-recorder-on run returns bit-identical estimates.
+TEST_F(ObsTest, LockstepInstrumentationDoesNotChangeEstimates) {
+  const auto sim = gemm::GemmSimulator::for_gpu("a100");
+  std::vector<gemm::GemmProblem> problems;
+  for (const auto [m, n, k] : {std::array<std::int64_t, 3>{8192, 7680, 2560},
+                               std::array<std::int64_t, 3>{512, 512, 512},
+                               std::array<std::int64_t, 3>{4096, 50304, 1024},
+                               std::array<std::int64_t, 3>{1, 12288, 4096}}) {
+    gemm::GemmProblem p;
+    p.m = m;
+    p.n = n;
+    p.k = k;
+    problems.push_back(p);
+  }
+
+  std::vector<gemm::KernelEstimate> plain;
+  for (const auto& p : problems) plain.push_back(sim.estimate(p));
+
+  MetricsRegistry::set_enabled(true);
+  obs::ScopedRecorder scoped;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const gemm::KernelEstimate instrumented = sim.estimate(problems[i]);
+    EXPECT_EQ(instrumented.time, plain[i].time);
+    EXPECT_EQ(instrumented.compute_time, plain[i].compute_time);
+    EXPECT_EQ(instrumented.memory_time, plain[i].memory_time);
+    EXPECT_EQ(instrumented.bound, plain[i].bound);
+    EXPECT_EQ(instrumented.tile.name(), plain[i].tile.name());
+    EXPECT_EQ(instrumented.wave_q.waves, plain[i].wave_q.waves);
+    EXPECT_EQ(instrumented.alignment.combined, plain[i].alignment.combined);
+  }
+  // And the instrumentation did fire: one selection trail per estimate.
+  EXPECT_GT(scoped.recorder().count("select"), 0u);
+}
+
+// The deterministic snapshot of a search must be byte-identical at any
+// thread count (PR 1's determinism contract extended to metrics).
+TEST_F(ObsTest, DeterministicSeriesByteIdenticalAcrossThreadCounts) {
+  const auto& base = tfm::model_by_name("gpt3-125m");
+  MetricsRegistry::set_enabled(true);
+
+  auto run = [&base](std::size_t threads) {
+    MetricsRegistry::global().reset_values();
+    auto sim = gemm::GemmSimulator::for_gpu("a100");
+    sim.enable_cache();
+    advisor::SearchOptions options;
+    options.threads = threads;
+    advisor::search_joint(base, sim, 0.05, 0, options);
+    return MetricsRegistry::global()
+        .snapshot({.include_best_effort = false})
+        .to_json();
+  };
+
+  const std::string one = run(1);
+  const std::string four = run(4);
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one.find("gemmsim.estimate.calls"), std::string::npos);
+  EXPECT_NE(one.find("advisor.search.runs"), std::string::npos);
+}
+
+// Simulated-clock traces are byte-identical at any thread count: the
+// export sorts on a total key, and selection events carry simulated time.
+TEST_F(ObsTest, SelectionTraceByteIdenticalAcrossThreadCounts) {
+  const auto& base = tfm::model_by_name("gpt3-125m");
+
+  auto run = [&base](std::size_t threads) {
+    obs::ScopedRecorder scoped;
+    // No cache: every estimate computes, so the recorded selection trails
+    // are the same multiset regardless of scheduling.
+    const auto sim = gemm::GemmSimulator::for_gpu("a100");
+    advisor::SearchOptions options;
+    options.threads = threads;
+    advisor::search_heads(base, sim, options);
+    obs::ChromeTraceOptions opt;
+    opt.include_wall_clock = false;  // drop the wall-clock pipeline spans
+    return scoped.recorder().chrome_trace_json(opt);
+  };
+
+  const std::string one = run(1);
+  const std::string four = run(4);
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one.find("\"cat\":\"select\""), std::string::npos);
+}
+
+// Satellite: the DES emits exactly one event per executed thread block.
+TEST_F(ObsTest, DesEventCountMatchesBlocks) {
+  gemm::GemmProblem p;
+  p.m = 4096;
+  p.n = 4096;
+  p.k = 1024;
+  const gpu::GpuSpec& gpu = gpu::gpu_by_name("a100");
+  const gemm::KernelEstimate est = gemm::select_kernel(p, gpu);
+
+  obs::ScopedRecorder scoped;
+  const gemm::DesResult r = gemm::simulate_kernel(p, est.tile, gpu);
+  EXPECT_GT(r.blocks, 0);
+  EXPECT_EQ(scoped.recorder().count("des"),
+            static_cast<std::size_t>(r.blocks));
+}
+
+TEST_F(ObsTest, ProfileModelCountsAndDeterminism) {
+  const auto& cfg = tfm::model_by_name("gpt3-125m");
+  const auto sim = gemm::GemmSimulator::for_gpu("a100");
+  tfm::ProfileOptions options;
+  options.layers = 2;
+
+  const tfm::ProfileResult a = tfm::profile_model(cfg, sim, options);
+  EXPECT_EQ(a.op_events,
+            tfm::layer_ops(cfg).size() * static_cast<std::size_t>(2));
+  EXPECT_GT(a.select_events, 0u);
+  EXPECT_GT(a.des_events, 0u);
+  EXPECT_GT(a.total_time, 0.0);
+  EXPECT_NE(a.trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"cat\":\"des\""), std::string::npos);
+
+  // profile_model restores the master switch it flipped.
+  EXPECT_FALSE(MetricsRegistry::enabled());
+  EXPECT_EQ(EventRecorder::active(), nullptr);
+
+  const tfm::ProfileResult b = tfm::profile_model(cfg, sim, options);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+// Exercised under CODESIGN_SANITIZE=thread by tools/check.sh.
+TEST_F(ObsTest, ConcurrentRecordingIsSafe) {
+  MetricsRegistry reg;
+  obs::Counter& c = reg.counter("concurrent");
+  obs::Histogram& h = reg.histogram("concurrent.hist");
+  EventRecorder rec;
+  MetricsRegistry::set_enabled(true);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &h, &rec, &reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        h.record(static_cast<double>(i + 1));
+        reg.counter("per_thread", "t=" + std::to_string(t)).add();
+        TraceEvent e;
+        e.name = "tick";
+        e.category = "des";
+        e.ts_us = static_cast<double>(i);
+        rec.record(e);
+        (void)MetricsRegistry::enabled();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(h.data().count, static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(rec.size(), static_cast<std::size_t>(kThreads * kIters));
+}
+
+}  // namespace
+}  // namespace codesign

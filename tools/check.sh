@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# check.sh — the full local gate: tier-1 build + tests, then a
+# ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
+# estimate cache, observability layer, logging).
+#
+# Usage: tools/check.sh [source-dir]
+# Also wired as `cmake --build <build> --target check`.
+set -euo pipefail
+
+SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+BUILD_DIR="${CODESIGN_CHECK_BUILD_DIR:-${SRC_DIR}/build}"
+TSAN_DIR="${CODESIGN_CHECK_TSAN_DIR:-${SRC_DIR}/build-tsan}"
+JOBS="${CODESIGN_CHECK_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== tier 1: build + ctest (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S "${SRC_DIR}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+TSAN_TESTS=(test_thread_pool test_estimate_cache test_obs test_logging)
+
+echo "== tier 2: ThreadSanitizer (${TSAN_DIR}) =="
+cmake -B "${TSAN_DIR}" -S "${SRC_DIR}" -DCODESIGN_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
+for t in "${TSAN_TESTS[@]}"; do
+  echo "-- tsan: ${t}"
+  "${TSAN_DIR}/tests/${t}"
+done
+
+echo "== check OK =="

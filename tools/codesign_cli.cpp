@@ -26,11 +26,14 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "gemmsim/simulator.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "transformer/config_parse.hpp"
 #include "transformer/inference.hpp"
 #include "transformer/model_zoo.hpp"
 #include "transformer/params.hpp"
 #include "transformer/pipeline.hpp"
+#include "transformer/profile.hpp"
 #include "transformer/trace.hpp"
 #include "transformer/training.hpp"
 
@@ -45,12 +48,17 @@ int usage() {
          "  gpus                         list known GPUs\n"
          "  clusters                     list the Table-III systems\n"
          "  models                       list the model zoo\n"
-         "  advise <model> [--gpu=] [--threads=N] [--cache]\n"
+         "  advise <model> [--gpu=] [--threads=N] [--cache] [--metrics=<f>]\n"
          "                               sizing-rule report + re-shapes\n"
          "  search <model> [--mode=joint|heads|hidden] [--radius=0.1]\n"
-         "         [--max=16] [--threads=N] [--cache]   ranked shape search\n"
+         "         [--max=16] [--threads=N] [--cache] [--metrics=<f>]\n"
+         "                               ranked shape search\n"
          "  gemm --m= --n= --k= [--batch=] [--dtype=fp16] [--gpu=]\n"
-         "  explain --m= --n= --k= [--batch=] [--gpu=]   factor breakdown\n"
+         "  explain --m= --n= --k= [--batch=] [--gpu=] [--trace=<f>]\n"
+         "                               factor breakdown (+DES timeline)\n"
+         "  profile <model> [--gpu=] [--layers=1] [--out=profile.json]\n"
+         "          [--metrics=<f>]      chrome-trace of ops + kernel\n"
+         "                               selection + per-SM DES blocks\n"
          "  train <model> [--gpu=]       training step + memory footprint\n"
          "  infer <model> [--gpu=] [--prompt=128] [--gen=128] [--batch=1]\n"
          "  pipeline <model> --stages=N [--microbatches=32] [--gpu=]\n"
@@ -75,6 +83,40 @@ std::size_t threads_arg(const CliArgs& args) {
   const std::int64_t n = args.get_int("threads", 1);
   CODESIGN_CHECK(n >= 0, "--threads must be >= 0 (0 = all hardware threads)");
   return static_cast<std::size_t>(n);
+}
+
+/// Write a file or die with a clean error.
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream f(path);
+  CODESIGN_CHECK(f.good(), "cannot open '" + path + "' for writing");
+  f << contents;
+  CODESIGN_CHECK(f.good(), "failed writing '" + path + "'");
+}
+
+/// --metrics=<file>: enable the registry up front; returns true if set.
+bool metrics_arg(const CliArgs& args) {
+  if (!args.has("metrics")) return false;
+  obs::MetricsRegistry::set_enabled(true);
+  return true;
+}
+
+/// Serialize a snapshot as JSON (or CSV when the filename ends in .csv).
+void write_metrics_file(const std::string& path,
+                        const obs::MetricsSnapshot& snapshot) {
+  write_file(path, std::string(path).ends_with(".csv") ? snapshot.to_csv()
+                                                       : snapshot.to_json());
+  std::cout << "wrote metrics to " << path << "\n";
+}
+
+void print_cache_summary(const gemm::GemmSimulator& sim) {
+  if (!sim.cache()) return;
+  const gemm::CacheStats s = sim.cache()->stats();
+  std::cout << str_format(
+      "cache: %llu hits / %llu misses (%.1f%% hit rate), %llu evictions, "
+      "%zu entries\n",
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.misses), 100.0 * s.hit_rate(),
+      static_cast<unsigned long long>(s.evictions), s.entries);
 }
 
 /// Resolve the model from either a zoo name (positional) or a --custom=
@@ -147,13 +189,26 @@ int cmd_models() {
 }
 
 int cmd_advise(const CliArgs& args) {
+  const bool metrics = metrics_arg(args);
   advisor::ReportOptions options;
   options.search_threads = threads_arg(args);
-  std::cout << advisor::advise(model_arg(args), sim_for(args), options);
+  const auto sim = sim_for(args);
+  std::cout << advisor::advise(model_arg(args), sim, options);
+  if (metrics) {
+    if (sim.cache()) {
+      sim.cache()->publish_metrics(obs::MetricsRegistry::global());
+    }
+    // Deterministic series only: the file is byte-identical across
+    // --threads values (see docs/OBSERVABILITY.md).
+    write_metrics_file(
+        args.get_string("metrics", ""),
+        obs::MetricsRegistry::global().snapshot({.include_best_effort = false}));
+  }
   return 0;
 }
 
 int cmd_search(const CliArgs& args) {
+  const bool metrics = metrics_arg(args);
   const auto& cfg = model_arg(args);
   const auto sim = sim_for(args);
   advisor::SearchOptions options;
@@ -197,13 +252,16 @@ int cmd_search(const CliArgs& args) {
         .cell(c.note);
   }
   t.write(std::cout);
-  if (sim.cache()) {
-    const gemm::CacheStats s = sim.cache()->stats();
-    std::cout << str_format(
-        "cache: %llu hits / %llu misses (%.1f%% hit rate), %zu entries\n",
-        static_cast<unsigned long long>(s.hits),
-        static_cast<unsigned long long>(s.misses), 100.0 * s.hit_rate(),
-        s.entries);
+  print_cache_summary(sim);
+  if (metrics) {
+    if (sim.cache()) {
+      sim.cache()->publish_metrics(obs::MetricsRegistry::global());
+    }
+    // Deterministic series only: the file is byte-identical across
+    // --threads values (see docs/OBSERVABILITY.md).
+    write_metrics_file(
+        args.get_string("metrics", ""),
+        obs::MetricsRegistry::global().snapshot({.include_best_effort = false}));
   }
   return 0;
 }
@@ -244,7 +302,49 @@ int cmd_explain(const CliArgs& args) {
   p.dtype = gpu::dtype_from_name(args.get_string("dtype", "fp16"));
   p.validate();
   const auto sim = sim_for(args);
+  if (args.has("trace")) {
+    // Capture one simulate() pass: the kernel-selection trail plus the
+    // per-SM DES block timeline, all on the simulated clock.
+    obs::ScopedRecorder scoped;
+    const auto des = sim.simulate(p);
+    obs::ChromeTraceOptions trace_options;
+    trace_options.other_data.emplace_back("gemm", p.to_string());
+    trace_options.other_data.emplace_back("gpu", sim.gpu().id);
+    const std::string out = args.get_string("trace", "explain_trace.json");
+    write_file(out, scoped.recorder().chrome_trace_json(trace_options));
+    std::cout << str_format(
+        "wrote DES timeline (%lld blocks over %zu SMs) to %s\n",
+        static_cast<long long>(des.blocks), des.sm_busy_time.size(),
+        out.c_str());
+  }
   std::cout << gemm::explain_gemm(p, sim.gpu()).to_string();
+  return 0;
+}
+
+int cmd_profile(const CliArgs& args) {
+  const bool metrics = metrics_arg(args);
+  const auto& cfg = model_arg(args);
+  const auto sim = sim_for(args);
+  tfm::ProfileOptions options;
+  options.layers = args.get_int("layers", 1);
+  options.include_des = args.get_bool("des", true);
+  const tfm::ProfileResult r = tfm::profile_model(cfg, sim, options);
+  const std::string out = args.get_string("out", "profile.json");
+  write_file(out, r.trace_json);
+  std::cout << cfg.to_string() << " on " << sim.gpu().id << ":\n"
+            << str_format(
+                   "  %lld layer%s, %s simulated: %zu op spans, %zu "
+                   "kernel-selection events, %zu DES block events\n",
+                   static_cast<long long>(options.layers),
+                   options.layers == 1 ? "" : "s",
+                   human_time(r.total_time).c_str(), r.op_events,
+                   r.select_events, r.des_events)
+            << "  wrote " << r.trace_json.size() << " bytes to " << out
+            << " — open with chrome://tracing or https://ui.perfetto.dev\n";
+  print_cache_summary(sim);
+  if (metrics) {
+    write_metrics_file(args.get_string("metrics", ""), r.metrics);
+  }
   return 0;
 }
 
@@ -413,6 +513,7 @@ int dispatch(int argc, const char* const* argv) {
   if (cmd == "search") return cmd_search(args);
   if (cmd == "gemm") return cmd_gemm(args);
   if (cmd == "explain") return cmd_explain(args);
+  if (cmd == "profile") return cmd_profile(args);
   if (cmd == "train") return cmd_train(args);
   if (cmd == "infer") return cmd_infer(args);
   if (cmd == "pipeline") return cmd_pipeline(args);
