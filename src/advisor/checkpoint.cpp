@@ -1,0 +1,224 @@
+#include "advisor/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace codesign::advisor {
+
+namespace {
+
+constexpr const char* kMagic = "codesign-checkpoint";
+constexpr const char* kVersion = "v1";
+
+/// Bit-exact double serialization: C99 hexfloat, parsed back by strtod.
+std::string hex_double(double v) { return str_format("%a", v); }
+
+double parse_hex_double(const std::string& s, const std::string& context) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size()) {
+    throw ConfigError("checkpoint: bad number '" + s + "' in " + context);
+  }
+  return v;
+}
+
+std::int64_t parse_key_int(const std::string& s, const std::string& context) {
+  try {
+    return parse_int(s);
+  } catch (const Error& e) {
+    throw ConfigError("checkpoint: " + std::string(e.what()) + " in " +
+                      context);
+  }
+}
+
+/// Keys and reasons live in a tab-separated format: collapse the
+/// separators out of free-form text before writing.
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+SearchCheckpoint SearchCheckpoint::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    throw ConfigError("checkpoint: cannot open '" + path +
+                      "' (nothing to resume from?)");
+  }
+  SearchCheckpoint cp;
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string context =
+        path + ":" + std::to_string(lineno);
+    const std::vector<std::string> fields = split(line, '\t');
+    if (!saw_header) {
+      if (fields.size() != 2 || fields[0] != kMagic || fields[1] != kVersion) {
+        throw ConfigError("checkpoint: '" + path +
+                          "' is not a codesign-checkpoint v1 file");
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::string& kind = fields[0];
+    if (kind == "F" && fields.size() == 2) {
+      cp.fingerprint_ = fields[1];
+    } else if (kind == "C" && fields.size() == 8) {
+      CheckpointShapeEntry e;
+      e.layer_time = parse_hex_double(fields[2], context);
+      e.layer_tflops = parse_hex_double(fields[3], context);
+      e.speedup_vs_base = parse_hex_double(fields[4], context);
+      e.param_count = parse_hex_double(fields[5], context);
+      e.param_delta_frac = parse_hex_double(fields[6], context);
+      e.rules_pass = fields[7] == "1";
+      cp.shapes_[fields[1]] = e;
+    } else if (kind == "M" && fields.size() == 5) {
+      CheckpointMlpEntry e;
+      e.mlp_time = parse_hex_double(fields[2], context);
+      e.mlp_tflops = parse_hex_double(fields[3], context);
+      e.coefficient = parse_hex_double(fields[4], context);
+      cp.mlps_[parse_key_int(fields[1], context)] = e;
+    } else if (kind == "S" && fields.size() == 4) {
+      CheckpointSkipEntry e;
+      e.attempts = static_cast<int>(parse_key_int(fields[2], context));
+      e.reason = fields[3];
+      cp.skips_[fields[1]] = e;
+    } else {
+      throw ConfigError("checkpoint: malformed record at " + context);
+    }
+  }
+  if (!saw_header) {
+    throw ConfigError("checkpoint: '" + path + "' is empty");
+  }
+  return cp;
+}
+
+const CheckpointShapeEntry* SearchCheckpoint::shape(
+    const std::string& name) const {
+  const auto it = shapes_.find(name);
+  return it == shapes_.end() ? nullptr : &it->second;
+}
+
+const CheckpointMlpEntry* SearchCheckpoint::mlp(std::int64_t d_ff) const {
+  const auto it = mlps_.find(d_ff);
+  return it == mlps_.end() ? nullptr : &it->second;
+}
+
+const CheckpointSkipEntry* SearchCheckpoint::skip(
+    const std::string& key) const {
+  const auto it = skips_.find(key);
+  return it == skips_.end() ? nullptr : &it->second;
+}
+
+CheckpointWriter::CheckpointWriter(std::string path, std::string fingerprint,
+                                   std::size_t flush_every)
+    : path_(std::move(path)),
+      fingerprint_(sanitize(std::move(fingerprint))),
+      flush_every_(flush_every == 0 ? 1 : flush_every) {
+  CODESIGN_CHECK(!path_.empty(), "checkpoint path must not be empty");
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor flush is best effort; the sweep outcome already left.
+  }
+}
+
+void CheckpointWriter::seed_from(const SearchCheckpoint& resumed) {
+  if (resumed.fingerprint() != fingerprint_) {
+    throw ConfigError(
+        "checkpoint fingerprint mismatch: file was written by a different "
+        "search (file: '" +
+        resumed.fingerprint() + "', this run: '" + fingerprint_ + "')");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shapes_.insert(resumed.shapes_.begin(), resumed.shapes_.end());
+  mlps_.insert(resumed.mlps_.begin(), resumed.mlps_.end());
+  skips_.insert(resumed.skips_.begin(), resumed.skips_.end());
+}
+
+void CheckpointWriter::record_shape(const std::string& name,
+                                    const CheckpointShapeEntry& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shapes_[sanitize(name)] = e;
+  ++unflushed_;
+  maybe_flush_locked();
+}
+
+void CheckpointWriter::record_mlp(std::int64_t d_ff,
+                                  const CheckpointMlpEntry& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mlps_[d_ff] = e;
+  ++unflushed_;
+  maybe_flush_locked();
+}
+
+void CheckpointWriter::record_skip(const std::string& key,
+                                   const CheckpointSkipEntry& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckpointSkipEntry clean = e;
+  clean.reason = sanitize(clean.reason);
+  skips_[sanitize(key)] = clean;
+  ++unflushed_;
+  maybe_flush_locked();
+}
+
+void CheckpointWriter::maybe_flush_locked() {
+  if (unflushed_ < flush_every_) return;
+  const std::string doc = render_locked();
+  unflushed_ = 0;
+  // Hold the lock through the write: flushes are rare (every flush_every
+  // completions) and an interleaved rename could persist a stale set.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    CODESIGN_CHECK(f.good(), "cannot open '" + tmp + "' for writing");
+    f << doc;
+    f.flush();
+    CODESIGN_CHECK(f.good(), "failed writing '" + tmp + "'");
+  }
+  CODESIGN_CHECK(std::rename(tmp.c_str(), path_.c_str()) == 0,
+                 "cannot rename '" + tmp + "' to '" + path_ + "'");
+}
+
+std::string CheckpointWriter::render_locked() const {
+  std::ostringstream os;
+  os << kMagic << '\t' << kVersion << '\n';
+  os << "F\t" << fingerprint_ << '\n';
+  for (const auto& [name, e] : shapes_) {
+    os << "C\t" << name << '\t' << hex_double(e.layer_time) << '\t'
+       << hex_double(e.layer_tflops) << '\t' << hex_double(e.speedup_vs_base)
+       << '\t' << hex_double(e.param_count) << '\t'
+       << hex_double(e.param_delta_frac) << '\t' << (e.rules_pass ? 1 : 0)
+       << '\n';
+  }
+  for (const auto& [d_ff, e] : mlps_) {
+    os << "M\t" << d_ff << '\t' << hex_double(e.mlp_time) << '\t'
+       << hex_double(e.mlp_tflops) << '\t' << hex_double(e.coefficient)
+       << '\n';
+  }
+  for (const auto& [key, e] : skips_) {
+    os << "S\t" << key << '\t' << e.attempts << '\t' << e.reason << '\n';
+  }
+  return os.str();
+}
+
+void CheckpointWriter::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  unflushed_ = flush_every_;  // force
+  maybe_flush_locked();
+}
+
+}  // namespace codesign::advisor

@@ -1,6 +1,7 @@
 #include "advisor/search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <functional>
@@ -8,6 +9,7 @@
 
 #include "advisor/rules.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/math_util.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
@@ -91,30 +93,149 @@ void sort_and_trim(std::vector<ShapeCandidate>& cands,
   }
 }
 
+/// Per-slot evaluation state: every generated candidate ends the sweep in
+/// exactly one of Done / Skipped / Unreached.
+enum class SlotState : std::uint8_t {
+  kPending,
+  kDone,
+  kSkipped,
+  kUnreached  ///< never started: the sweep was cancelled first
+};
+
+struct SkipInfo {
+  std::string reason;
+  int attempts = 1;
+};
+
+/// Deterministic fault-handling counters, shared across workers.
+struct GuardCounters {
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> backoff{0};
+};
+
+/// Run one candidate body under the sweep's fault policy:
+///   * a tripped CancelToken marks the slot Unreached without running it;
+///   * transient faults (fail::InjectedFault::transient()) retry up to
+///     FaultPolicy::max_retries times, with deterministic 2^attempt
+///     backoff *accounting* (no sleeping — the evaluation is pure);
+///   * any remaining exception becomes a typed skip, unless strict mode
+///     restores the rethrow (which the ThreadPool fast-fails on).
+template <typename Body>
+SlotState run_guarded(const SearchOptions& options, GuardCounters& counters,
+                      SkipInfo* skip, Body&& body) {
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return SlotState::kUnreached;
+  }
+  const int max_retries =
+      options.faults.strict ? 0 : std::max(0, options.faults.max_retries);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      body();
+      return SlotState::kDone;
+    } catch (const fail::InjectedFault& e) {
+      if (e.transient() && attempt < max_retries &&
+          !(options.cancel != nullptr && options.cancel->cancelled())) {
+        counters.retries.fetch_add(1, std::memory_order_relaxed);
+        counters.backoff.fetch_add(1ULL << attempt,
+                                   std::memory_order_relaxed);
+        continue;
+      }
+      if (options.faults.strict) throw;
+      skip->reason = e.what();
+      skip->attempts = attempt + 1;
+      return SlotState::kSkipped;
+    } catch (const std::exception& e) {
+      if (options.faults.strict) throw;
+      skip->reason = e.what();
+      skip->attempts = attempt + 1;
+      return SlotState::kSkipped;
+    }
+  }
+}
+
 /// The shared "generate → evaluate in parallel → deterministically merge"
-/// pipeline. `annotate` fills the human-readable note from the evaluated
-/// candidate; `keep` filters (e.g. the hidden sweep's parameter-delta
-/// bound). Candidates are evaluated into slots indexed by generation order,
-/// so the merged ranking is byte-identical at any thread count.
-std::vector<ShapeCandidate> evaluate_pipeline(
+/// pipeline, now with per-candidate fault isolation, cancellation, and
+/// checkpoint/resume. `annotate` fills the human-readable note from the
+/// evaluated candidate; `keep` filters (e.g. the hidden sweep's
+/// parameter-delta bound). Candidates are evaluated into slots indexed by
+/// generation order, so the merged ranking — and the skip record — is
+/// byte-identical at any thread count.
+SearchOutcome evaluate_pipeline(
     const std::vector<TransformerConfig>& configs,
     const TransformerConfig& baseline, const gemm::GemmSimulator& sim,
     const SearchOptions& options,
     const std::function<void(ShapeCandidate&)>& annotate,
     const std::function<bool(const ShapeCandidate&)>& keep) {
   // Self-profiling of the pipeline stages: wall-clock, so every series here
-  // is kBestEffort — the candidate/kept counters below are the only
+  // is kBestEffort — the candidate/kept/skip counters below are the only
   // deterministic ones. Everything is gated on the enabled flag so a
   // metrics-off search takes no locks and reads no clocks.
   const bool metrics_on = obs::MetricsRegistry::enabled();
 
+  // The baseline context is evaluated unguarded: without it no candidate
+  // can be scored, so a fault here aborts the sweep in any policy.
   const BaselineContext base = make_baseline(baseline, sim);
 
+  SearchOutcome outcome;
+  outcome.total_candidates = configs.size();
+
   std::vector<ShapeCandidate> evaluated(configs.size());
+  std::vector<SlotState> state(configs.size(), SlotState::kPending);
+  std::vector<SkipInfo> skips(configs.size());
+  GuardCounters counters;
+
+  // Resume prefill (sequential, cheap): slots completed by a previous run
+  // are filled from the checkpoint — bit-exact, so downstream ranking
+  // cannot tell a resumed slot from a fresh one.
+  if (options.resume != nullptr) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (const CheckpointShapeEntry* e =
+              options.resume->shape(configs[i].name)) {
+        ShapeCandidate c;
+        c.config = configs[i];
+        c.layer_time = e->layer_time;
+        c.layer_tflops = e->layer_tflops;
+        c.speedup_vs_base = e->speedup_vs_base;
+        c.param_count = e->param_count;
+        c.param_delta_frac = e->param_delta_frac;
+        c.rules_pass = e->rules_pass;
+        annotate(c);
+        evaluated[i] = std::move(c);
+        state[i] = SlotState::kDone;
+        ++outcome.resumed;
+      } else if (const CheckpointSkipEntry* s =
+                     options.resume->skip(configs[i].name)) {
+        state[i] = SlotState::kSkipped;
+        skips[i] = {s->reason, s->attempts};
+        ++outcome.resumed;
+      }
+    }
+  }
+
   const auto evaluate_one = [&](std::size_t i) {
-    ShapeCandidate c = evaluate_against(configs[i], base, sim);
-    annotate(c);
-    evaluated[i] = std::move(c);
+    if (state[i] != SlotState::kPending) return;
+    SkipInfo skip;
+    const SlotState s = run_guarded(options, counters, &skip, [&] {
+      CODESIGN_FAILPOINT_T("advisor.search.evaluate",
+                           fail::token(configs[i].name));
+      ShapeCandidate c = evaluate_against(configs[i], base, sim);
+      annotate(c);
+      evaluated[i] = std::move(c);
+    });
+    state[i] = s;
+    if (s == SlotState::kSkipped) {
+      skips[i] = std::move(skip);
+      if (options.checkpoint != nullptr) {
+        options.checkpoint->record_skip(
+            configs[i].name, {skips[i].attempts, skips[i].reason});
+      }
+    } else if (s == SlotState::kDone && options.checkpoint != nullptr) {
+      const ShapeCandidate& c = evaluated[i];
+      options.checkpoint->record_shape(
+          configs[i].name,
+          {c.layer_time, c.layer_tflops, c.speedup_vs_base, c.param_count,
+           c.param_delta_frac, c.rules_pass});
+    }
   };
   {
     obs::ScopedEvent span("search", "evaluate");
@@ -140,19 +261,53 @@ std::vector<ShapeCandidate> evaluate_pipeline(
   {
     obs::ScopedEvent span("search", "merge");
     obs::ScopedTimer timer("advisor.search.merge_us");
-    for (ShapeCandidate& c : evaluated) {
-      if (keep(c)) out.push_back(std::move(c));
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      switch (state[i]) {
+        case SlotState::kDone:
+          ++outcome.evaluated;
+          if (keep(evaluated[i])) out.push_back(std::move(evaluated[i]));
+          break;
+        case SlotState::kSkipped:
+          outcome.skipped.push_back(
+              {configs[i], skips[i].reason, skips[i].attempts});
+          break;
+        case SlotState::kPending:  // cancelled before its chunk ran
+        case SlotState::kUnreached:
+          break;
+      }
     }
     sort_and_trim(out, baseline, options);
   }
+  outcome.retries =
+      static_cast<std::size_t>(counters.retries.load(std::memory_order_relaxed));
+  outcome.backoff_units = counters.backoff.load(std::memory_order_relaxed);
+  outcome.truncated = outcome.unreached() > 0 ||
+                      (options.cancel != nullptr && options.cancel->cancelled());
+  if (options.cancel != nullptr) {
+    outcome.cancel_reason = options.cancel->reason();
+  }
+  if (options.checkpoint != nullptr) options.checkpoint->flush();
 
   if (metrics_on) {
     auto& reg = obs::MetricsRegistry::global();
     reg.counter("advisor.search.runs").add();
     reg.counter("advisor.search.candidates").add(configs.size());
     reg.counter("advisor.search.kept").add(out.size());
+    reg.counter("advisor.search.skipped").add(outcome.skipped.size());
+    reg.counter("advisor.search.retries").add(outcome.retries);
+    reg.counter("advisor.search.retry_backoff_units").add(outcome.backoff_units);
+    reg.counter("advisor.search.resumed").add(outcome.resumed);
+    if (outcome.truncated) {
+      // Where the cut lands is wall-clock dependent, so the truncation
+      // counters can never be part of the deterministic export.
+      reg.counter("advisor.search.truncated", {}, obs::Stability::kBestEffort)
+          .add();
+      reg.counter("advisor.search.unreached", {}, obs::Stability::kBestEffort)
+          .add(outcome.unreached());
+    }
   }
-  return out;
+  outcome.ranked = std::move(out);
+  return outcome;
 }
 
 /// Legal head counts for a given hidden size: a | h, t | a, and a practical
@@ -190,35 +345,128 @@ std::vector<std::int64_t> hidden_grid(const TransformerConfig& base,
 
 }  // namespace
 
+const char* search_mode_name(SearchMode mode) {
+  switch (mode) {
+    case SearchMode::kHeads: return "heads";
+    case SearchMode::kHidden: return "hidden";
+    case SearchMode::kJoint: return "joint";
+  }
+  return "unknown";
+}
+
 ShapeCandidate evaluate_candidate(const TransformerConfig& config,
                                   const TransformerConfig& baseline,
                                   const gemm::GemmSimulator& sim) {
   return evaluate_against(config, make_baseline(baseline, sim), sim);
 }
 
-std::vector<ShapeCandidate> search_heads(const TransformerConfig& base,
-                                         const gemm::GemmSimulator& sim,
-                                         const SearchOptions& options) {
-  base.validate();
-  std::vector<TransformerConfig> configs;
-  for (std::int64_t a : legal_head_counts(base.hidden_size,
-                                          base.tensor_parallel)) {
-    TransformerConfig cfg = base.with_heads(a);
-    if (a != base.num_heads) {
-      cfg.name = base.name + "-a" + std::to_string(a);
-    }
-    configs.push_back(std::move(cfg));
+std::string shape_search_fingerprint(SearchMode mode,
+                                     const TransformerConfig& base,
+                                     const gemm::GemmSimulator& sim,
+                                     double radius_frac, std::int64_t step) {
+  if (mode == SearchMode::kHeads) {
+    radius_frac = 0.0;  // the heads sweep has no grid parameters
+    step = 0;
   }
-  return evaluate_pipeline(
-      configs, base, sim, options,
-      [](ShapeCandidate& c) {
+  return str_format("shape mode=%s base=%s gpu=%s policy=%d radius=%a step=%lld",
+                    search_mode_name(mode), base.to_string().c_str(),
+                    sim.gpu().id.c_str(), static_cast<int>(sim.policy()),
+                    radius_frac, static_cast<long long>(step));
+}
+
+SearchOutcome run_shape_search(SearchMode mode, const TransformerConfig& base,
+                               const gemm::GemmSimulator& sim,
+                               double radius_frac, std::int64_t step,
+                               const SearchOptions& options) {
+  base.validate();
+  const std::string fingerprint =
+      shape_search_fingerprint(mode, base, sim, radius_frac, step);
+  if (options.resume != nullptr &&
+      options.resume->fingerprint() != fingerprint) {
+    throw ConfigError(
+        "cannot resume: checkpoint belongs to a different search (file: '" +
+        options.resume->fingerprint() + "', this run: '" + fingerprint + "')");
+  }
+  if (options.checkpoint != nullptr && options.resume != nullptr) {
+    options.checkpoint->seed_from(*options.resume);
+  }
+
+  std::vector<TransformerConfig> configs;
+  std::function<void(ShapeCandidate&)> annotate;
+  std::function<bool(const ShapeCandidate&)> keep =
+      [](const ShapeCandidate&) { return true; };
+  const std::int64_t h0 = base.hidden_size;
+
+  switch (mode) {
+    case SearchMode::kHeads:
+      for (std::int64_t a :
+           legal_head_counts(base.hidden_size, base.tensor_parallel)) {
+        TransformerConfig cfg = base.with_heads(a);
+        if (a != base.num_heads) {
+          cfg.name = base.name + "-a" + std::to_string(a);
+        }
+        configs.push_back(std::move(cfg));
+      }
+      annotate = [](ShapeCandidate& c) {
         const std::int64_t head_dim = c.config.head_dim();
         c.note = str_format("h/a = %lld (pow2 granule %lld)",
                             static_cast<long long>(head_dim),
                             static_cast<long long>(largest_pow2_dividing(
                                 static_cast<std::uint64_t>(head_dim))));
-      },
-      [](const ShapeCandidate&) { return true; });
+      };
+      break;
+    case SearchMode::kHidden:
+      for (std::int64_t h : hidden_grid(base, radius_frac, step)) {
+        if (h % base.num_heads != 0) continue;  // keep a, integral h/a
+        TransformerConfig cfg = base.with_hidden(h);
+        if (h != base.hidden_size) {
+          cfg.name = base.name + "-h" + std::to_string(h);
+        }
+        configs.push_back(std::move(cfg));
+      }
+      annotate = [](ShapeCandidate& c) {
+        c.note = str_format("h = %lld (params %+0.2f%%)",
+                            static_cast<long long>(c.config.hidden_size),
+                            100.0 * c.param_delta_frac);
+      };
+      keep = [&options, h0](const ShapeCandidate& c) {
+        return c.config.hidden_size == h0 ||
+               std::fabs(c.param_delta_frac) <= options.max_param_delta_frac;
+      };
+      break;
+    case SearchMode::kJoint:
+      for (std::int64_t h : hidden_grid(base, radius_frac, step)) {
+        for (std::int64_t a : legal_head_counts(h, base.tensor_parallel)) {
+          TransformerConfig cfg = base.with_hidden(h).with_heads(a);
+          if (h != base.hidden_size || a != base.num_heads) {
+            cfg.name = base.name + "-a" + std::to_string(a) + "-h" +
+                       std::to_string(h);
+          }
+          configs.push_back(std::move(cfg));
+        }
+      }
+      annotate = [](ShapeCandidate& c) {
+        c.note = str_format("a = %lld, h = %lld, h/a = %lld (params %+0.2f%%)",
+                            static_cast<long long>(c.config.num_heads),
+                            static_cast<long long>(c.config.hidden_size),
+                            static_cast<long long>(c.config.head_dim()),
+                            100.0 * c.param_delta_frac);
+      };
+      keep = [&options, h0](const ShapeCandidate& c) {
+        return c.config.hidden_size == h0 ||
+               std::fabs(c.param_delta_frac) <= options.max_param_delta_frac;
+      };
+      break;
+  }
+
+  return evaluate_pipeline(configs, base, sim, options, annotate, keep);
+}
+
+std::vector<ShapeCandidate> search_heads(const TransformerConfig& base,
+                                         const gemm::GemmSimulator& sim,
+                                         const SearchOptions& options) {
+  return run_shape_search(SearchMode::kHeads, base, sim, 0.1, 0, options)
+      .ranked;
 }
 
 std::vector<ShapeCandidate> search_hidden(const TransformerConfig& base,
@@ -226,26 +474,9 @@ std::vector<ShapeCandidate> search_hidden(const TransformerConfig& base,
                                           double radius_frac,
                                           std::int64_t step,
                                           const SearchOptions& options) {
-  base.validate();
-  std::vector<TransformerConfig> configs;
-  for (std::int64_t h : hidden_grid(base, radius_frac, step)) {
-    if (h % base.num_heads != 0) continue;  // keep a, require integral h/a
-    TransformerConfig cfg = base.with_hidden(h);
-    if (h != base.hidden_size) cfg.name = base.name + "-h" + std::to_string(h);
-    configs.push_back(std::move(cfg));
-  }
-  const std::int64_t h0 = base.hidden_size;
-  return evaluate_pipeline(
-      configs, base, sim, options,
-      [](ShapeCandidate& c) {
-        c.note = str_format("h = %lld (params %+0.2f%%)",
-                            static_cast<long long>(c.config.hidden_size),
-                            100.0 * c.param_delta_frac);
-      },
-      [&options, h0](const ShapeCandidate& c) {
-        return c.config.hidden_size == h0 ||
-               std::fabs(c.param_delta_frac) <= options.max_param_delta_frac;
-      });
+  return run_shape_search(SearchMode::kHidden, base, sim, radius_frac, step,
+                          options)
+      .ranked;
 }
 
 std::vector<ShapeCandidate> search_joint(const TransformerConfig& base,
@@ -253,39 +484,36 @@ std::vector<ShapeCandidate> search_joint(const TransformerConfig& base,
                                          double radius_frac,
                                          std::int64_t step,
                                          const SearchOptions& options) {
-  base.validate();
-  std::vector<TransformerConfig> configs;
-  for (std::int64_t h : hidden_grid(base, radius_frac, step)) {
-    for (std::int64_t a : legal_head_counts(h, base.tensor_parallel)) {
-      TransformerConfig cfg = base.with_hidden(h).with_heads(a);
-      if (h != base.hidden_size || a != base.num_heads) {
-        cfg.name = base.name + "-a" + std::to_string(a) + "-h" +
-                   std::to_string(h);
-      }
-      configs.push_back(std::move(cfg));
-    }
-  }
-  const std::int64_t h0 = base.hidden_size;
-  return evaluate_pipeline(
-      configs, base, sim, options,
-      [](ShapeCandidate& c) {
-        c.note = str_format("a = %lld, h = %lld, h/a = %lld (params %+0.2f%%)",
-                            static_cast<long long>(c.config.num_heads),
-                            static_cast<long long>(c.config.hidden_size),
-                            static_cast<long long>(c.config.head_dim()),
-                            100.0 * c.param_delta_frac);
-      },
-      [&options, h0](const ShapeCandidate& c) {
-        return c.config.hidden_size == h0 ||
-               std::fabs(c.param_delta_frac) <= options.max_param_delta_frac;
-      });
+  return run_shape_search(SearchMode::kJoint, base, sim, radius_frac, step,
+                          options)
+      .ranked;
 }
 
-std::vector<MlpCandidate> search_mlp_intermediate(
-    const TransformerConfig& base, const gemm::GemmSimulator& sim,
-    std::int64_t lo, std::int64_t hi, const SearchOptions& options) {
+std::string mlp_search_fingerprint(const TransformerConfig& base,
+                                   const gemm::GemmSimulator& sim,
+                                   std::int64_t lo, std::int64_t hi) {
+  return str_format("mlp base=%s gpu=%s policy=%d lo=%lld hi=%lld",
+                    base.to_string().c_str(), sim.gpu().id.c_str(),
+                    static_cast<int>(sim.policy()), static_cast<long long>(lo),
+                    static_cast<long long>(hi));
+}
+
+MlpSearchOutcome run_mlp_search(const TransformerConfig& base,
+                                const gemm::GemmSimulator& sim,
+                                std::int64_t lo, std::int64_t hi,
+                                const SearchOptions& options) {
   base.validate();
   CODESIGN_CHECK(lo > 0 && hi >= lo, "bad d_ff search range");
+  const std::string fingerprint = mlp_search_fingerprint(base, sim, lo, hi);
+  if (options.resume != nullptr &&
+      options.resume->fingerprint() != fingerprint) {
+    throw ConfigError(
+        "cannot resume: checkpoint belongs to a different search (file: '" +
+        options.resume->fingerprint() + "', this run: '" + fingerprint + "')");
+  }
+  if (options.checkpoint != nullptr && options.resume != nullptr) {
+    options.checkpoint->seed_from(*options.resume);
+  }
 
   // Only multiples of t are legal, so step by t from the first one instead
   // of testing divisibility value by value.
@@ -295,6 +523,19 @@ std::vector<MlpCandidate> search_mlp_intermediate(
     widths.push_back(ff);
   }
   CODESIGN_CHECK(!widths.empty(), "d_ff search range produced no candidates");
+
+  MlpSearchOutcome outcome;
+  outcome.total_candidates = widths.size();
+
+  const auto skip_key = [](std::int64_t ff) {
+    return "dff:" + std::to_string(ff);
+  };
+  const auto config_for = [&base](std::int64_t ff) {
+    TransformerConfig cfg = base;
+    cfg.mlp_intermediate = ff;
+    cfg.name = base.name + "-dff" + std::to_string(ff);
+    return cfg;
+  };
 
   const auto evaluate_width = [&base, &sim](std::int64_t ff) {
     TransformerConfig cfg = base;
@@ -316,15 +557,75 @@ std::vector<MlpCandidate> search_mlp_intermediate(
     return c;
   };
 
-  std::vector<MlpCandidate> out(widths.size());
-  if (options.threads == 1) {
+  std::vector<MlpCandidate> slots(widths.size());
+  std::vector<SlotState> state(widths.size(), SlotState::kPending);
+  std::vector<SkipInfo> skips(widths.size());
+  GuardCounters counters;
+
+  if (options.resume != nullptr) {
     for (std::size_t i = 0; i < widths.size(); ++i) {
-      out[i] = evaluate_width(widths[i]);
+      if (const CheckpointMlpEntry* e = options.resume->mlp(widths[i])) {
+        MlpCandidate c;
+        c.d_ff = widths[i];
+        c.mlp_time = e->mlp_time;
+        c.mlp_tflops = e->mlp_tflops;
+        c.coefficient = e->coefficient;
+        slots[i] = c;
+        state[i] = SlotState::kDone;
+        ++outcome.resumed;
+      } else if (const CheckpointSkipEntry* s =
+                     options.resume->skip(skip_key(widths[i]))) {
+        state[i] = SlotState::kSkipped;
+        skips[i] = {s->reason, s->attempts};
+        ++outcome.resumed;
+      }
     }
+  }
+
+  const auto evaluate_one = [&](std::size_t i) {
+    if (state[i] != SlotState::kPending) return;
+    SkipInfo skip;
+    const SlotState s = run_guarded(options, counters, &skip, [&] {
+      CODESIGN_FAILPOINT_T("advisor.search.evaluate",
+                           fail::token(skip_key(widths[i])));
+      slots[i] = evaluate_width(widths[i]);
+    });
+    state[i] = s;
+    if (s == SlotState::kSkipped) {
+      skips[i] = std::move(skip);
+      if (options.checkpoint != nullptr) {
+        options.checkpoint->record_skip(skip_key(widths[i]),
+                                        {skips[i].attempts, skips[i].reason});
+      }
+    } else if (s == SlotState::kDone && options.checkpoint != nullptr) {
+      options.checkpoint->record_mlp(
+          widths[i],
+          {slots[i].mlp_time, slots[i].mlp_tflops, slots[i].coefficient});
+    }
+  };
+  if (options.threads == 1) {
+    for (std::size_t i = 0; i < widths.size(); ++i) evaluate_one(i);
   } else {
     ThreadPool pool(options.threads);
-    pool.parallel_for(widths.size(),
-                      [&](std::size_t i) { out[i] = evaluate_width(widths[i]); });
+    pool.parallel_for(widths.size(), evaluate_one);
+  }
+
+  std::vector<MlpCandidate> out;
+  out.reserve(widths.size());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    switch (state[i]) {
+      case SlotState::kDone:
+        ++outcome.evaluated;
+        out.push_back(slots[i]);
+        break;
+      case SlotState::kSkipped:
+        outcome.skipped.push_back(
+            {config_for(widths[i]), skips[i].reason, skips[i].attempts});
+        break;
+      case SlotState::kPending:
+      case SlotState::kUnreached:
+        break;
+    }
   }
 
   // Deterministic merge: d_ff is unique per candidate, so it is the total
@@ -340,7 +641,33 @@ std::vector<MlpCandidate> search_mlp_intermediate(
                                                          ? 1
                                                          : out.size() - 1);
   }
-  return out;
+  outcome.retries =
+      static_cast<std::size_t>(counters.retries.load(std::memory_order_relaxed));
+  outcome.backoff_units = counters.backoff.load(std::memory_order_relaxed);
+  outcome.truncated = outcome.unreached() > 0 ||
+                      (options.cancel != nullptr && options.cancel->cancelled());
+  if (options.cancel != nullptr) {
+    outcome.cancel_reason = options.cancel->reason();
+  }
+  if (options.checkpoint != nullptr) options.checkpoint->flush();
+
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("advisor.mlp_scan.runs").add();
+    reg.counter("advisor.mlp_scan.candidates").add(widths.size());
+    reg.counter("advisor.mlp_scan.kept").add(out.size());
+    reg.counter("advisor.mlp_scan.skipped").add(outcome.skipped.size());
+    reg.counter("advisor.mlp_scan.retries").add(outcome.retries);
+    reg.counter("advisor.mlp_scan.resumed").add(outcome.resumed);
+  }
+  outcome.ranked = std::move(out);
+  return outcome;
+}
+
+std::vector<MlpCandidate> search_mlp_intermediate(
+    const TransformerConfig& base, const gemm::GemmSimulator& sim,
+    std::int64_t lo, std::int64_t hi, const SearchOptions& options) {
+  return run_mlp_search(base, sim, lo, hi, options).ranked;
 }
 
 double mlp_candidate_percentile(const std::vector<MlpCandidate>& scan,

@@ -20,12 +20,22 @@
 // evaluate them (in parallel when SearchOptions::threads > 1) →
 // deterministically merge (stable sort with a total tie-break on the config
 // name). Results are byte-identical at any thread count.
+//
+// Robustness (docs/ROBUSTNESS.md): the pipeline isolates per-candidate
+// failures — a throwing candidate is recorded as a SkippedCandidate (after
+// bounded retry for transient faults) instead of aborting the sweep, unless
+// FaultPolicy::strict restores the rethrow. A CancelToken (SIGINT /
+// --deadline-ms) stops the sweep between candidates with an explicit
+// truncation marker, and a CheckpointWriter/SearchCheckpoint pair persists
+// completed candidates so a killed sweep resumes byte-identically.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "advisor/checkpoint.hpp"
+#include "common/cancel.hpp"
 #include "gemmsim/simulator.hpp"
 #include "transformer/config.hpp"
 
@@ -49,6 +59,18 @@ struct ShapeCandidate {
   bool operator==(const ShapeCandidate&) const = default;
 };
 
+/// How the pipeline treats a candidate whose evaluation throws.
+struct FaultPolicy {
+  /// Restore the pre-robustness behaviour: rethrow the first error and
+  /// abort the sweep (remaining chunks fast-fail, see ThreadPool).
+  bool strict = false;
+  /// Retry budget for *transient* faults (fail::InjectedFault with
+  /// transient() == true). Permanent errors are never retried. Retries are
+  /// immediate — the evaluation is a pure computation — and accounted
+  /// deterministically in the outcome/metrics (no wall clock).
+  int max_retries = 2;
+};
+
 struct SearchOptions {
   /// Maximum |param delta| tolerated for a candidate (fraction of base).
   /// One 64-element step of h changes the count by ~2·64/h, so ~6% admits
@@ -62,12 +84,77 @@ struct SearchOptions {
   /// thread, N > 1 = a pool of N workers, 0 = one worker per hardware
   /// thread. The ranking is identical for every value.
   std::size_t threads = 1;
+
+  /// Per-candidate failure handling (skip vs strict rethrow, retry budget).
+  FaultPolicy faults;
+  /// Optional cooperative cancellation, polled between candidates. A
+  /// tripped token truncates the sweep (SearchOutcome::truncated) — never
+  /// a silent cap.
+  const CancelToken* cancel = nullptr;
+  /// Optional checkpointing: completed candidates are recorded here as the
+  /// sweep runs (not owned).
+  CheckpointWriter* checkpoint = nullptr;
+  /// Optional resume source: candidates present in this checkpoint are
+  /// filled from it instead of re-evaluated (not owned). The caller must
+  /// have validated the fingerprint (the run_* entry points do).
+  const SearchCheckpoint* resume = nullptr;
 };
+
+/// A candidate the sweep could not evaluate: the typed record graceful
+/// degradation emits instead of aborting.
+struct SkippedCandidate {
+  TransformerConfig config;
+  std::string reason;
+  int attempts = 1;  ///< evaluation attempts spent (1 + retries)
+
+  bool operator==(const SkippedCandidate&) const = default;
+};
+
+/// Everything a sweep produced, including its failure/truncation record.
+/// `ranked`/`skipped` are byte-identical at any thread count for a given
+/// fault configuration (token-seeded failpoints fire per-candidate, not
+/// per-schedule).
+struct SearchOutcome {
+  std::vector<ShapeCandidate> ranked;     ///< sorted, trimmed (as before)
+  std::vector<SkippedCandidate> skipped;  ///< generation order
+  std::size_t total_candidates = 0;  ///< generated for evaluation
+  std::size_t evaluated = 0;         ///< completed (incl. resumed)
+  std::size_t resumed = 0;           ///< filled from the checkpoint
+  std::size_t retries = 0;           ///< transient-fault retry attempts
+  std::uint64_t backoff_units = 0;   ///< deterministic 2^attempt accounting
+  bool truncated = false;            ///< cancel/deadline stopped the sweep
+  CancelReason cancel_reason = CancelReason::kNone;
+
+  /// Candidates never started because the sweep was cancelled.
+  std::size_t unreached() const {
+    return total_candidates - evaluated - skipped.size();
+  }
+};
+
+enum class SearchMode { kHeads, kHidden, kJoint };
+const char* search_mode_name(SearchMode mode);
 
 /// Evaluate a config's single-layer time/throughput (shared helper).
 ShapeCandidate evaluate_candidate(const TransformerConfig& config,
                                   const TransformerConfig& baseline,
                                   const gemm::GemmSimulator& sim);
+
+/// The full-outcome entry point behind search_heads/search_hidden/
+/// search_joint: same candidate generation and ranking, plus the skip/
+/// truncation/resume record. `radius_frac`/`step` are ignored for kHeads.
+/// Validates options.resume against shape_search_fingerprint() (throws
+/// ConfigError on mismatch).
+SearchOutcome run_shape_search(SearchMode mode, const TransformerConfig& base,
+                               const gemm::GemmSimulator& sim,
+                               double radius_frac = 0.1, std::int64_t step = 0,
+                               const SearchOptions& options = {});
+
+/// Identity string a checkpoint must match to resume this search: mode,
+/// base config, GPU, tile policy, and the sweep grid parameters.
+std::string shape_search_fingerprint(SearchMode mode,
+                                     const TransformerConfig& base,
+                                     const gemm::GemmSimulator& sim,
+                                     double radius_frac, std::int64_t step);
 
 /// Alternative head counts for the same h (a must divide h). Candidates are
 /// ranked by predicted layer throughput; parameter count is unchanged by
@@ -113,6 +200,34 @@ struct MlpCandidate {
 std::vector<MlpCandidate> search_mlp_intermediate(
     const TransformerConfig& base, const gemm::GemmSimulator& sim,
     std::int64_t lo, std::int64_t hi, const SearchOptions& options = {});
+
+/// Full outcome of the MLP scan (skips, truncation, resume — the shape
+/// analogue of run_shape_search).
+struct MlpSearchOutcome {
+  std::vector<MlpCandidate> ranked;       ///< sorted by time, best first
+  std::vector<SkippedCandidate> skipped;  ///< config carries the failing d_ff
+  std::size_t total_candidates = 0;
+  std::size_t evaluated = 0;
+  std::size_t resumed = 0;
+  std::size_t retries = 0;
+  std::uint64_t backoff_units = 0;
+  bool truncated = false;
+  CancelReason cancel_reason = CancelReason::kNone;
+
+  std::size_t unreached() const {
+    return total_candidates - evaluated - skipped.size();
+  }
+};
+
+MlpSearchOutcome run_mlp_search(const TransformerConfig& base,
+                                const gemm::GemmSimulator& sim,
+                                std::int64_t lo, std::int64_t hi,
+                                const SearchOptions& options = {});
+
+/// Checkpoint identity for the MLP scan.
+std::string mlp_search_fingerprint(const TransformerConfig& base,
+                                   const gemm::GemmSimulator& sim,
+                                   std::int64_t lo, std::int64_t hi);
 
 /// Look up a specific d_ff in a scan result (e.g. Llama-2's 11008) and
 /// return its percentile rank (0 = best in range). Throws if absent (a

@@ -1,0 +1,85 @@
+#include "common/cancel.hpp"
+
+#include <csignal>
+
+namespace codesign {
+
+namespace {
+
+std::atomic<bool> g_sigint{false};
+std::atomic<int> g_guard_depth{0};
+
+void (*g_previous_handler)(int) = SIG_DFL;
+
+void sigint_handler(int signum) {
+  // Async-signal-safe: one lock-free atomic store. A second SIGINT restores
+  // the default disposition and re-raises so the user can always kill a
+  // sweep that stopped polling.
+  if (g_sigint.exchange(true, std::memory_order_relaxed)) {
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+  }
+}
+
+}  // namespace
+
+const char* cancel_reason_name(CancelReason r) {
+  switch (r) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kUser: return "interrupt";
+    case CancelReason::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+void CancelToken::cancel(CancelReason reason) {
+  int expected = static_cast<int>(CancelReason::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_acq_rel);
+}
+
+void CancelToken::set_deadline(std::chrono::steady_clock::time_point deadline) {
+  deadline_ = deadline;
+  deadline_armed_.store(true, std::memory_order_release);
+}
+
+void CancelToken::deadline_after(std::chrono::milliseconds budget) {
+  set_deadline(std::chrono::steady_clock::now() + budget);
+}
+
+bool CancelToken::cancelled() const {
+  if (reason_.load(std::memory_order_acquire) !=
+      static_cast<int>(CancelReason::kNone)) {
+    return true;
+  }
+  if (linked_to_sigint_ && g_sigint.load(std::memory_order_relaxed)) {
+    const_cast<CancelToken*>(this)->cancel(CancelReason::kUser);
+    return true;
+  }
+  if (deadline_armed_.load(std::memory_order_acquire) &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    const_cast<CancelToken*>(this)->cancel(CancelReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+SigintGuard::SigintGuard() {
+  if (g_guard_depth.fetch_add(1, std::memory_order_relaxed) == 0) {
+    g_previous_handler = std::signal(SIGINT, sigint_handler);
+  }
+}
+
+SigintGuard::~SigintGuard() {
+  if (g_guard_depth.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    std::signal(SIGINT, g_previous_handler);
+  }
+}
+
+bool SigintGuard::interrupted() {
+  return g_sigint.load(std::memory_order_relaxed);
+}
+
+void SigintGuard::reset() { g_sigint.store(false, std::memory_order_relaxed); }
+
+}  // namespace codesign

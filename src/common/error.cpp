@@ -1,6 +1,31 @@
 #include "common/error.hpp"
 
+#include <exception>
 #include <sstream>
+
+namespace codesign {
+
+int exit_code_for_current_exception() noexcept {
+  if (!std::current_exception()) return kExitInternal;
+  // Ordered most-derived first — every class here derives from Error.
+  try {
+    throw;
+  } catch (const ConfigError&) {
+    return kExitConfig;
+  } catch (const ShapeError&) {
+    return kExitShape;
+  } catch (const LookupError&) {
+    return kExitLookup;
+  } catch (const CancelledError&) {
+    return kExitCancelled;
+  } catch (const Error&) {
+    return kExitError;
+  } catch (...) {
+    return kExitInternal;
+  }
+}
+
+}  // namespace codesign
 
 namespace codesign::detail {
 

@@ -37,6 +37,33 @@ class LookupError : public Error {
   explicit LookupError(std::string what) : Error(std::move(what)) {}
 };
 
+/// Raised when a cooperative cancellation (SIGINT, --deadline-ms) stops an
+/// operation before it completed. Carries no partial results — pipelines
+/// that can return partial work report it in their outcome type instead of
+/// throwing this.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(std::string what) : Error(std::move(what)) {}
+};
+
+/// The CLI's documented exit-code taxonomy (docs/ROBUSTNESS.md). Scripts
+/// and CI match on these instead of parsing stderr.
+enum ExitCode : int {
+  kExitOk = 0,        ///< success
+  kExitError = 1,     ///< generic codesign::Error
+  kExitUsage = 2,     ///< bad command line (also what usage() returns)
+  kExitConfig = 3,    ///< ConfigError: invalid user-supplied configuration
+  kExitShape = 4,     ///< ShapeError: dimension out of range / inconsistent
+  kExitLookup = 5,    ///< LookupError: unknown GPU / model / figure id
+  kExitCancelled = 6, ///< CancelledError: SIGINT or deadline
+  kExitInternal = 70, ///< non-codesign exception (EX_SOFTWARE)
+};
+
+/// Map an in-flight exception to its ExitCode. Call from a catch block;
+/// returns kExitInternal for unknown exception types (or when no exception
+/// is active).
+int exit_code_for_current_exception() noexcept;
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);

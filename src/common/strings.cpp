@@ -1,6 +1,7 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -122,9 +123,13 @@ std::int64_t parse_int(std::string_view s) {
   const std::string str{trim(s)};
   if (str.empty()) throw Error("parse_int: empty string");
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(str.c_str(), &end, 10);
   if (end != str.c_str() + str.size()) {
     throw Error("parse_int: not an integer: '" + str + "'");
+  }
+  if (errno == ERANGE) {
+    throw Error("parse_int: out of range for int64: '" + str + "'");
   }
   return static_cast<std::int64_t>(v);
 }
@@ -133,9 +138,16 @@ double parse_double(std::string_view s) {
   const std::string str{trim(s)};
   if (str.empty()) throw Error("parse_double: empty string");
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(str.c_str(), &end);
   if (end != str.c_str() + str.size()) {
     throw Error("parse_double: not a number: '" + str + "'");
+  }
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    throw Error("parse_double: out of range: '" + str + "'");
+  }
+  if (!std::isfinite(v)) {
+    throw Error("parse_double: non-finite value: '" + str + "'");
   }
   return v;
 }

@@ -42,10 +42,12 @@ std::string human_count(double count);
 /// Join a vector of strings with a separator.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
-/// Parse a non-negative integer; throws codesign::Error on failure.
+/// Parse a base-10 integer; throws codesign::Error on malformed input or
+/// int64 overflow.
 std::int64_t parse_int(std::string_view s);
 
-/// Parse a double; throws codesign::Error on failure.
+/// Parse a finite double; throws codesign::Error on malformed input,
+/// overflow, or non-finite values (nan/inf are rejected).
 double parse_double(std::string_view s);
 
 }  // namespace codesign

@@ -61,6 +61,10 @@ void ThreadPool::parallel_for(std::size_t n,
     std::condition_variable done_cv;
     std::size_t remaining;
     std::exception_ptr first_error;
+    /// Fast-fail: set (relaxed) the moment any chunk throws; chunks that
+    /// have not started yet observe it and skip their bodies, so a failing
+    /// strict-mode sweep does not burn the remaining candidate budget.
+    std::atomic<bool> failed{false};
     explicit Batch(std::size_t r) : remaining(r) {}
   };
   auto batch = std::make_shared<Batch>(chunks);
@@ -79,10 +83,13 @@ void ThreadPool::parallel_for(std::size_t n,
         const auto t0 = timed ? std::chrono::steady_clock::now()
                               : std::chrono::steady_clock::time_point{};
         std::exception_ptr error;
-        try {
-          for (std::size_t i = begin; i < end; ++i) fn(i);
-        } catch (...) {
-          error = std::current_exception();
+        if (!batch->failed.load(std::memory_order_relaxed)) {
+          try {
+            for (std::size_t i = begin; i < end; ++i) fn(i);
+          } catch (...) {
+            error = std::current_exception();
+            batch->failed.store(true, std::memory_order_relaxed);
+          }
         }
         if (timed) {
           obs::MetricsRegistry::global()

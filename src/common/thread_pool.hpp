@@ -34,9 +34,11 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Invoke fn(i) for every i in [0, n), partitioned into contiguous chunks
-  /// of ~grain indices spread across the workers. Blocks until all indices
-  /// ran. If any invocation throws, the first exception (in completion
-  /// order) is rethrown here after the remaining chunks finish or drain.
+  /// of ~grain indices spread across the workers. Blocks until all chunks
+  /// drained. If any invocation throws, the first exception (in completion
+  /// order) is rethrown here; chunks that have not started when the failure
+  /// is recorded observe a fast-fail flag and skip their bodies, so a
+  /// failing call does not execute the full remaining index range.
   /// grain == 0 picks a chunk size targeting ~4 chunks per worker.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 0);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "gemmsim/simulator.hpp"
 #include "obs/metrics.hpp"
 
@@ -34,6 +35,7 @@ EstimateCache::Shard& EstimateCache::shard_for(const Key& key) {
 
 KernelEstimate EstimateCache::get_or_compute(
     const Key& key, const std::function<KernelEstimate()>& compute) {
+  CODESIGN_FAILPOINT_T("gemmsim.cache.lookup", key.hash_value());
   Shard& shard = shard_for(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 
@@ -143,6 +144,7 @@ std::vector<KernelEstimate> estimate_all_tiles(
 KernelEstimate select_kernel(const GemmProblem& problem,
                              const gpu::GpuSpec& gpu,
                              const std::vector<gpu::TileConfig>& catalogue) {
+  CODESIGN_FAILPOINT_T("gemmsim.select_kernel", problem.hash_value());
   const std::vector<KernelEstimate> all =
       estimate_all_tiles(problem, gpu, catalogue);
   const auto best = std::min_element(

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -26,6 +27,7 @@ DesResult simulate_kernel(const GemmProblem& problem,
                           const gpu::TileConfig& tile,
                           const gpu::GpuSpec& gpu,
                           const DesOptions& options) {
+  CODESIGN_FAILPOINT_T("gemmsim.des.simulate", problem.hash_value());
   // Reuse the analytical per-kernel quantities so block duration is
   // consistent with the closed-form model.
   const KernelEstimate est = estimate_with_tile(problem, tile, gpu);

@@ -1,5 +1,7 @@
 #include "transformer/config_parse.hpp"
 
+#include <set>
+
 #include "common/error.hpp"
 #include "common/strings.hpp"
 
@@ -39,6 +41,17 @@ bool parse_flag(const std::string& key, const std::string& v) {
   throw ConfigError("key '" + key + "' expects 0/1, got '" + v + "'");
 }
 
+/// parse_int with the offending key in the error: malformed, overflowing,
+/// or non-integral values become a typed ConfigError naming the key
+/// instead of a bare Error (or a silently clamped number).
+std::int64_t parse_config_int(const std::string& key, const std::string& v) {
+  try {
+    return parse_int(v);
+  } catch (const Error& e) {
+    throw ConfigError("key '" + key + "': " + e.what());
+  }
+}
+
 }  // namespace
 
 TransformerConfig parse_config_string(const std::string& spec) {
@@ -48,6 +61,7 @@ TransformerConfig parse_config_string(const std::string& spec) {
   c.num_heads = 0;
   c.num_layers = 0;
 
+  std::set<std::string> seen;
   for (const std::string& part : split(spec, ',')) {
     const std::string item{trim(part)};
     if (item.empty()) continue;
@@ -59,24 +73,35 @@ TransformerConfig parse_config_string(const std::string& spec) {
     const std::string key = to_lower(item.substr(0, eq));
     const std::string value = item.substr(eq + 1);
 
+    // Canonicalize aliases so "L=24,layers=32" is caught as a duplicate.
+    std::string canonical = key;
+    if (canonical == "layers") canonical = "l";
+    if (canonical == "seq") canonical = "s";
+    if (canonical == "vocab") canonical = "v";
+    if (canonical == "tp") canonical = "t";
+    if (!seen.insert(canonical).second) {
+      throw ConfigError("duplicate config key '" + key + "' in '" + spec +
+                        "'");
+    }
+
     if (key == "h") {
-      c.hidden_size = parse_int(value);
+      c.hidden_size = parse_config_int(key, value);
     } else if (key == "a") {
-      c.num_heads = parse_int(value);
+      c.num_heads = parse_config_int(key, value);
     } else if (key == "l" || key == "layers") {
-      c.num_layers = parse_int(value);
+      c.num_layers = parse_config_int(key, value);
     } else if (key == "s" || key == "seq") {
-      c.seq_len = parse_int(value);
+      c.seq_len = parse_config_int(key, value);
     } else if (key == "b") {
-      c.microbatch = parse_int(value);
+      c.microbatch = parse_config_int(key, value);
     } else if (key == "v" || key == "vocab") {
-      c.vocab_size = parse_int(value);
+      c.vocab_size = parse_config_int(key, value);
     } else if (key == "t" || key == "tp") {
-      c.tensor_parallel = parse_int(value);
+      c.tensor_parallel = parse_config_int(key, value);
     } else if (key == "kv") {
-      c.num_kv_heads = parse_int(value);
+      c.num_kv_heads = parse_config_int(key, value);
     } else if (key == "dff") {
-      c.mlp_intermediate = parse_int(value);
+      c.mlp_intermediate = parse_config_int(key, value);
     } else if (key == "act") {
       c.activation = parse_activation(value);
     } else if (key == "pos") {

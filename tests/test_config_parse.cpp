@@ -78,5 +78,32 @@ TEST(ConfigParse, EmptySegmentsIgnored) {
   EXPECT_EQ(c.hidden_size, 768);
 }
 
+TEST(ConfigParse, RejectsOverflowingAndNonFiniteNumerics) {
+  // Overflow out of int64 must be a typed ConfigError naming the key, not
+  // a silently clamped value.
+  try {
+    parse_config_string("h=99999999999999999999999,a=32,L=32");
+    FAIL() << "overflowing h accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("'h'"), std::string::npos);
+  }
+  EXPECT_THROW(parse_config_string("h=2560,a=32,L=nan"), ConfigError);
+  EXPECT_THROW(parse_config_string("h=inf,a=32,L=32"), ConfigError);
+  EXPECT_THROW(parse_config_string("h=2560,a=32,L=32,s=1e99"), ConfigError);
+}
+
+TEST(ConfigParse, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_config_string("h=2560,a=32,L=32,h=5120"), ConfigError);
+  try {
+    parse_config_string("h=2560,a=32,a=40,L=32");
+    FAIL() << "duplicate a accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'a'"), std::string::npos);
+  }
+  // Aliases collide with their canonical key: "layers" IS "L".
+  EXPECT_THROW(parse_config_string("h=2560,a=32,L=32,layers=48"), ConfigError);
+}
+
 }  // namespace
 }  // namespace codesign::tfm

@@ -44,11 +44,12 @@ TEST(ThreadPool, ExplicitGrainCoversTail) {
   for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(counts[i].load(), 1);
 }
 
-TEST(ThreadPool, PropagatesTheFirstException) {
-  ThreadPool pool(4);
+TEST(ThreadPool, PropagatesTheFirstExceptionAndFastFails) {
+  // One worker drains the chunk queue in submission order, which makes the
+  // fast-fail cutoff exact: every index before the throwing one ran, and
+  // none after it (their chunks observe the failed flag and skip).
+  ThreadPool pool(1);
   std::atomic<int> completed{0};
-  // grain = 1: every index is its own chunk, so the one throwing index
-  // cannot take neighbours in its chunk down with it.
   EXPECT_THROW(
       pool.parallel_for(
           100,
@@ -58,8 +59,25 @@ TEST(ThreadPool, PropagatesTheFirstException) {
           },
           /*grain=*/1),
       Error);
-  // Every other chunk still ran — one failing chunk doesn't strand work.
-  EXPECT_EQ(completed.load(), 99);
+  EXPECT_EQ(completed.load(), 37);
+}
+
+TEST(ThreadPool, FastFailNeverRunsMoreThanTheNonThrowingIndices) {
+  // Concurrent version: how many chunks start before the flag is observed
+  // is scheduling-dependent, but the failing index's own chunk must not
+  // count and the call still reports the first error.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(
+          100,
+          [&](std::size_t i) {
+            if (i == 0) throw Error("boom at 0");
+            ++completed;
+          },
+          /*grain=*/1),
+      Error);
+  EXPECT_LE(completed.load(), 99);
 }
 
 TEST(ThreadPool, UsableAfterAnException) {

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# check.sh — the full local gate: tier-1 build + tests, then a
-# ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
-# estimate cache, observability layer, logging).
+# check.sh — the full local gate:
+#   tier 1  build + full ctest suite
+#   tier 2  ThreadSanitizer build of the concurrency-sensitive tests
+#           (thread pool, estimate cache, observability, failpoints, the
+#           fault-injected search)
+#   tier 3  ASan+UBSan build of the same set (every report fatal)
+#   smoke   a fault-injected CLI sweep: 5% of candidates fail, the run
+#           must still exit 0 and print the skipped-candidate report
 #
 # Usage: tools/check.sh [source-dir]
 # Also wired as `cmake --build <build> --target check`.
@@ -10,6 +15,7 @@ set -euo pipefail
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD_DIR="${CODESIGN_CHECK_BUILD_DIR:-${SRC_DIR}/build}"
 TSAN_DIR="${CODESIGN_CHECK_TSAN_DIR:-${SRC_DIR}/build-tsan}"
+ASAN_DIR="${CODESIGN_CHECK_ASAN_DIR:-${SRC_DIR}/build-asan}"
 JOBS="${CODESIGN_CHECK_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
 echo "== tier 1: build + ctest (${BUILD_DIR}) =="
@@ -17,14 +23,32 @@ cmake -B "${BUILD_DIR}" -S "${SRC_DIR}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-TSAN_TESTS=(test_thread_pool test_estimate_cache test_obs test_logging)
+SAN_TESTS=(test_thread_pool test_estimate_cache test_obs test_logging
+           test_failpoint test_search_faults)
 
 echo "== tier 2: ThreadSanitizer (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S "${SRC_DIR}" -DCODESIGN_SANITIZE=thread
-cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
-for t in "${TSAN_TESTS[@]}"; do
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
+for t in "${SAN_TESTS[@]}"; do
   echo "-- tsan: ${t}"
   "${TSAN_DIR}/tests/${t}"
 done
+
+echo "== tier 3: ASan+UBSan (${ASAN_DIR}) =="
+cmake -B "${ASAN_DIR}" -S "${SRC_DIR}" -DCODESIGN_SANITIZE=address+undefined
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
+for t in "${SAN_TESTS[@]}"; do
+  echo "-- asan+ubsan: ${t}"
+  "${ASAN_DIR}/tests/${t}"
+done
+
+echo "== smoke: fault-injected search degrades gracefully =="
+SMOKE_OUT="$("${BUILD_DIR}/tools/codesign" search gpt3-2.7b --mode=joint \
+    --threads=8 --cache \
+    --failpoints='gemmsim.cache.lookup=prob:0.05:7,advisor.search.evaluate=prob:0.05:42')"
+echo "${SMOKE_OUT}" | grep -q "skipped .* candidate" || {
+  echo "FAIL: fault-injected search printed no skipped-candidate report"
+  exit 1
+}
 
 echo "== check OK =="

@@ -19,9 +19,11 @@
 #include "advisor/search.hpp"
 #include "comm/cluster_spec.hpp"
 #include "comm/parallelism.hpp"
+#include "common/cancel.hpp"
 #include "common/cli.hpp"
 #include "gemmsim/explain.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -38,6 +40,7 @@
 #include "transformer/training.hpp"
 
 #include <fstream>
+#include <optional>
 
 namespace codesign {
 namespace {
@@ -50,9 +53,14 @@ int usage() {
          "  models                       list the model zoo\n"
          "  advise <model> [--gpu=] [--threads=N] [--cache] [--metrics=<f>]\n"
          "                               sizing-rule report + re-shapes\n"
-         "  search <model> [--mode=joint|heads|hidden] [--radius=0.1]\n"
+         "  search <model> [--mode=joint|heads|hidden|mlp] [--radius=0.1]\n"
          "         [--max=16] [--threads=N] [--cache] [--metrics=<f>]\n"
-         "                               ranked shape search\n"
+         "         [--lo=|--hi=]         (mlp d_ff range; default (8/3)h±25%)\n"
+         "         [--strict] [--retries=2] [--failpoints=<spec>]\n"
+         "         [--deadline-ms=N] [--checkpoint=<f>] [--resume]\n"
+         "         [--checkpoint-every=64]\n"
+         "                               ranked shape search (resumable;\n"
+         "                               see docs/ROBUSTNESS.md)\n"
          "  gemm --m= --n= --k= [--batch=] [--dtype=fp16] [--gpu=]\n"
          "  explain --m= --n= --k= [--batch=] [--gpu=] [--trace=<f>]\n"
          "                               factor breakdown (+DES timeline)\n"
@@ -68,8 +76,11 @@ int usage() {
          "  plan <model> --gpus=N [--cluster=aws-p4d] [--microbatches=32]\n"
          "                               rank (t, p, d) parallel layouts\n"
          "\n"
-         "Model-taking commands also accept --custom=h=...,a=...,L=...\n";
-  return 2;
+         "Model-taking commands also accept --custom=h=...,a=...,L=...\n"
+         "Exit codes: 0 ok, 1 error, 2 usage, 3 config, 4 shape, 5 lookup,\n"
+         "6 cancelled/partial, 70 internal. CODESIGN_FAILPOINTS=<spec> arms\n"
+         "deterministic fault injection (docs/ROBUSTNESS.md).\n";
+  return kExitUsage;
 }
 
 gemm::GemmSimulator sim_for(const CliArgs& args) {
@@ -207,8 +218,49 @@ int cmd_advise(const CliArgs& args) {
   return 0;
 }
 
+/// The skip / retry / resume / truncation epilogue shared by the shape and
+/// MLP sweeps. Returns the process exit code: kExitCancelled when the sweep
+/// was truncated (partial results are printed, never silently capped).
+int report_sweep_outcome(const std::vector<advisor::SkippedCandidate>& skipped,
+                         std::size_t total, std::size_t evaluated,
+                         std::size_t resumed, std::size_t retries,
+                         std::size_t unreached, bool truncated,
+                         CancelReason reason) {
+  if (!skipped.empty()) {
+    std::cout << "\nskipped " << skipped.size() << " of " << total
+              << " candidate(s):\n";
+    TableWriter t({"candidate", "attempts", "reason"});
+    for (const auto& s : skipped) {
+      t.new_row()
+          .cell(s.config.name)
+          .cell(static_cast<std::int64_t>(s.attempts))
+          .cell(s.reason);
+    }
+    t.write(std::cout);
+  }
+  if (retries > 0) {
+    std::cout << "retried " << retries << " transient fault(s)\n";
+  }
+  if (resumed > 0) {
+    std::cout << "resumed " << resumed
+              << " candidate(s) from the checkpoint\n";
+  }
+  if (truncated) {
+    std::cout << "*** PARTIAL RESULTS: sweep cancelled ("
+              << cancel_reason_name(reason) << ") after " << evaluated
+              << " of " << total << " candidates; " << unreached
+              << " never evaluated ***\n"
+              << "*** re-run with --checkpoint=<file> --resume to finish ***\n";
+    return kExitCancelled;
+  }
+  return kExitOk;
+}
+
 int cmd_search(const CliArgs& args) {
   const bool metrics = metrics_arg(args);
+  if (args.has("failpoints")) {
+    fail::configure(args.get_string("failpoints", ""));
+  }
   const auto& cfg = model_arg(args);
   const auto sim = sim_for(args);
   advisor::SearchOptions options;
@@ -218,40 +270,114 @@ int cmd_search(const CliArgs& args) {
   if (options.threads == 0) options.threads = ThreadPool::hardware_threads();
   options.max_candidates =
       static_cast<std::size_t>(args.get_int("max", 16));
+  options.faults.strict = args.get_bool("strict", false);
+  options.faults.max_retries = static_cast<int>(args.get_int("retries", 2));
   const double radius = args.get_double("radius", 0.1);
   const std::string mode = args.get_string("mode", "joint");
 
-  std::vector<advisor::ShapeCandidate> cands;
+  // Cooperative cancellation: ^C and/or --deadline-ms truncate the sweep
+  // between candidates; partial results come back with an explicit banner.
+  SigintGuard sigint;
+  CancelToken cancel;
+  cancel.link_to_sigint();
+  if (args.has("deadline-ms")) {
+    const std::int64_t ms = args.get_int("deadline-ms", 0);
+    CODESIGN_CHECK(ms > 0, "--deadline-ms must be positive");
+    cancel.deadline_after(std::chrono::milliseconds(ms));
+  }
+  options.cancel = &cancel;
+
+  const bool is_mlp = mode == "mlp";
+  advisor::SearchMode shape_mode = advisor::SearchMode::kJoint;
   if (mode == "heads") {
-    cands = advisor::search_heads(cfg, sim, options);
+    shape_mode = advisor::SearchMode::kHeads;
   } else if (mode == "hidden") {
-    cands = advisor::search_hidden(cfg, sim, radius, 0, options);
-  } else if (mode == "joint") {
-    cands = advisor::search_joint(cfg, sim, radius, 0, options);
+    shape_mode = advisor::SearchMode::kHidden;
+  } else if (mode != "joint" && !is_mlp) {
+    throw Error("--mode must be heads, hidden, joint, or mlp; got '" + mode +
+                "'");
+  }
+  // MLP scan range: (8/3)h ± 25% unless --lo/--hi override (§VII-B).
+  const auto dff_center = static_cast<std::int64_t>(8 * cfg.hidden_size / 3);
+  const std::int64_t dff_lo = args.get_int("lo", (dff_center * 3) / 4);
+  const std::int64_t dff_hi = args.get_int("hi", (dff_center * 5) / 4);
+
+  const std::string fingerprint =
+      is_mlp ? advisor::mlp_search_fingerprint(cfg, sim, dff_lo, dff_hi)
+             : advisor::shape_search_fingerprint(shape_mode, cfg, sim, radius,
+                                                 0);
+  std::optional<advisor::SearchCheckpoint> resumed;
+  std::optional<advisor::CheckpointWriter> writer;
+  if (args.has("checkpoint")) {
+    // Load before constructing the writer: the writer's first flush
+    // overwrites the file (carrying the loaded entries forward via
+    // seed_from in the run_* entry points).
+    if (args.get_bool("resume", false)) {
+      resumed = advisor::SearchCheckpoint::load(
+          args.get_string("checkpoint", ""));
+      options.resume = &*resumed;
+    }
+    writer.emplace(args.get_string("checkpoint", ""), fingerprint,
+                   static_cast<std::size_t>(
+                       args.get_int("checkpoint-every", 64)));
+    options.checkpoint = &*writer;
   } else {
-    throw Error("--mode must be heads, hidden, or joint; got '" + mode + "'");
+    CODESIGN_CHECK(!args.get_bool("resume", false),
+                   "--resume requires --checkpoint=<file>");
   }
 
-  std::cout << mode << " search around " << cfg.to_string() << " on "
-            << sim.gpu().id << " (" << options.threads << " thread"
-            << (options.threads == 1 ? "" : "s")
-            << (sim.cache() ? ", cached" : "") << "):\n";
-  TableWriter t({"candidate", "a", "h", "h/a", "layer time", "TFLOP/s",
-                 "speedup", "params", "rules", "note"});
-  for (const auto& c : cands) {
-    t.new_row()
-        .cell(c.config.name)
-        .cell(c.config.num_heads)
-        .cell(c.config.hidden_size)
-        .cell(c.config.head_dim())
-        .cell(human_time(c.layer_time))
-        .cell(c.layer_tflops, 1)
-        .cell(str_format("%.3fx", c.speedup_vs_base))
-        .cell(human_count(c.param_count))
-        .cell(c.rules_pass ? "PASS" : "FAIL")
-        .cell(c.note);
+  const auto banner = [&] {
+    std::cout << mode << " search around " << cfg.to_string() << " on "
+              << sim.gpu().id << " (" << options.threads << " thread"
+              << (options.threads == 1 ? "" : "s")
+              << (sim.cache() ? ", cached" : "")
+              << (options.faults.strict ? ", strict" : "") << "):\n";
+  };
+
+  int rc = kExitOk;
+  if (is_mlp) {
+    const advisor::MlpSearchOutcome outcome =
+        advisor::run_mlp_search(cfg, sim, dff_lo, dff_hi, options);
+    banner();
+    TableWriter t({"d_ff", "d_ff/h", "MLP time", "TFLOP/s", "percentile"});
+    for (const auto& c : outcome.ranked) {
+      t.new_row()
+          .cell(c.d_ff)
+          .cell(c.coefficient, 3)
+          .cell(human_time(c.mlp_time))
+          .cell(c.mlp_tflops, 1)
+          .cell(str_format("%.2f", c.rank_in_range));
+    }
+    t.write(std::cout);
+    rc = report_sweep_outcome(outcome.skipped, outcome.total_candidates,
+                              outcome.evaluated, outcome.resumed,
+                              outcome.retries, outcome.unreached(),
+                              outcome.truncated, outcome.cancel_reason);
+  } else {
+    const advisor::SearchOutcome outcome = advisor::run_shape_search(
+        shape_mode, cfg, sim, radius, 0, options);
+    banner();
+    TableWriter t({"candidate", "a", "h", "h/a", "layer time", "TFLOP/s",
+                   "speedup", "params", "rules", "note"});
+    for (const auto& c : outcome.ranked) {
+      t.new_row()
+          .cell(c.config.name)
+          .cell(c.config.num_heads)
+          .cell(c.config.hidden_size)
+          .cell(c.config.head_dim())
+          .cell(human_time(c.layer_time))
+          .cell(c.layer_tflops, 1)
+          .cell(str_format("%.3fx", c.speedup_vs_base))
+          .cell(human_count(c.param_count))
+          .cell(c.rules_pass ? "PASS" : "FAIL")
+          .cell(c.note);
+    }
+    t.write(std::cout);
+    rc = report_sweep_outcome(outcome.skipped, outcome.total_candidates,
+                              outcome.evaluated, outcome.resumed,
+                              outcome.retries, outcome.unreached(),
+                              outcome.truncated, outcome.cancel_reason);
   }
-  t.write(std::cout);
   print_cache_summary(sim);
   if (metrics) {
     if (sim.cache()) {
@@ -263,7 +389,7 @@ int cmd_search(const CliArgs& args) {
         args.get_string("metrics", ""),
         obs::MetricsRegistry::global().snapshot({.include_best_effort = false}));
   }
-  return 0;
+  return rc;
 }
 
 int cmd_gemm(const CliArgs& args) {
@@ -529,10 +655,21 @@ int dispatch(int argc, const char* const* argv) {
 }  // namespace codesign
 
 int main(int argc, char** argv) {
+  // Every failure leaves through the documented exit-code taxonomy (see
+  // `codesign help` / docs/ROBUSTNESS.md): typed codesign errors map to
+  // their own codes, anything else is an internal error (70, EX_SOFTWARE)
+  // rather than an unhandled-exception abort.
   try {
+    codesign::fail::configure_from_env();
     return codesign::dispatch(argc, argv);
   } catch (const codesign::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return codesign::exit_code_for_current_exception();
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return codesign::kExitInternal;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return codesign::kExitInternal;
   }
 }
