@@ -18,6 +18,11 @@ namespace {
 
 using gemm::GemmProblem;
 
+const bench::BenchSpec kSpec{
+    "bench_ablation_simulator",
+    "Ablation: what each modelled mechanism contributes",
+    {}};
+
 /// A GPU spec with the alignment ladder flattened to 1.0 everywhere.
 gpu::GpuSpec no_alignment(const gpu::GpuSpec& base) {
   gpu::GpuSpec g = base;
@@ -117,6 +122,34 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(ablation_simulator) {
+  using namespace codesign;
+  reg.add({"ablation.mechanisms", "bench_ablation_simulator",
+           "alignment/wave/tile ablations plus the DES cross-check",
+           {benchlib::kSuiteExt},
+           [](benchlib::CaseContext& c) {
+             const gpu::GpuSpec flat = no_alignment(c.gpu());
+             const gemm::GemmSimulator sim_flat(flat);
+             for (const char* name :
+                  {"gpt3-2.7b", "gpt3-2.7b-c1", "gpt3-2.7b-c2"}) {
+               const auto cfg = tfm::model_by_name(name);
+               c.consume(tfm::analyze_layer(cfg, c.sim()).throughput_tflops);
+               c.consume(tfm::analyze_layer(cfg, sim_flat).throughput_tflops);
+             }
+             for (std::int64_t n : {1792, 1920, 2048, 2304, 2432}) {
+               c.consume(gemm::estimate_with_tile(GemmProblem::gemm(n, n, n),
+                                                  gpu::largest_tile(), c.gpu())
+                             .tflops());
+             }
+             for (const GemmProblem& p :
+                  {GemmProblem::gemm(4096, 4096, 4096),
+                   GemmProblem::gemm(1920, 1920, 1920),
+                   GemmProblem::bmm(128, 2048, 2048, 64)}) {
+               const auto est = gemm::select_kernel(p, c.gpu());
+               c.consume(est.tflops());
+               c.consume(gemm::simulate_kernel(p, est.tile, c.gpu()).makespan);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -12,6 +12,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_case_6gpu_nodes",
+    "Case study: TP feasibility/efficiency across node sizes (Summit)",
+    {}};
+
 void tp_table(const bench::BenchContext& ctx,
               const tfm::TransformerConfig& cfg,
               const std::vector<std::int64_t>& degrees) {
@@ -72,6 +77,34 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(case_6gpu_nodes) {
+  using namespace codesign;
+  reg.add({"case.six_gpu_nodes", "bench_case_6gpu_nodes",
+           "TP option analysis for the three §VII-A configurations",
+           {benchlib::kSuiteExt},
+           [](benchlib::CaseContext& c) {
+             const std::vector<std::int64_t> degrees = {1, 2, 4, 6, 8};
+             tfm::TransformerConfig summit = tfm::model_by_name("gpt-neox-20b")
+                                                 .with_heads(48)
+                                                 .with_vocab(50688);
+             summit.name = "neox-20b-summit";
+             tfm::TransformerConfig sixonly =
+                 summit.with_heads(42).with_hidden(5376).with_vocab(50688);
+             sixonly.name = "six-only-20b";
+             for (const auto& cfg :
+                  {tfm::model_by_name("gpt3-2.7b").with_vocab(50304), summit,
+                   sixonly}) {
+               for (const auto& o :
+                    advisor::analyze_tp_options(cfg, c.sim(), degrees)) {
+                 c.consume(static_cast<std::int64_t>(o.feasibility.feasible));
+                 if (o.feasibility.feasible) c.consume(o.layer_tflops);
+               }
+             }
+             for (const std::int64_t h :
+                  advisor::portable_hidden_sizes(summit, {2, 4, 6, 8}, 4)) {
+               c.consume(h);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -12,6 +12,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_case_bert",
+    "Case study: BERT/MLPerf encoder serving across devices",
+    {"batch"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Case study: BERT / MLPerf",
              "encoder serving throughput across devices");
@@ -64,6 +69,24 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(case_bert) {
+  using namespace codesign;
+  reg.add({"case.bert_serving", "bench_case_bert",
+           "encoder serving estimates on four devices + the vocab flaw",
+           {benchlib::kSuiteExt, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const auto& bert = tfm::model_by_name("bert-large");
+             for (const char* id :
+                  {"v100-16gb", "a100-40gb", "h100-sxm", "mi250x-gcd"}) {
+               const auto sim = gemm::GemmSimulator::for_gpu(id);
+               c.consume(tfm::estimate_encoder_serving(bert, sim, 32)
+                             .sequences_per_second);
+             }
+             c.consume(c.sim().throughput_tflops(
+                 tfm::logit_gemm(bert.with_microbatch(32))));
+             c.consume(c.sim().throughput_tflops(
+                 tfm::logit_gemm(bert.with_microbatch(32).with_vocab(30528))));
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -14,6 +14,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_case_gpt3_27b",
+    "Case study: the GPT-3 2.7B re-shape (a: 32 -> 40)",
+    {}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Case study: GPT-3 2.7B re-shape",
              "the ~1.18x fix the paper derives (a: 32 -> 40)");
@@ -71,6 +76,27 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(case_gpt3_27b) {
+  using namespace codesign;
+  reg.add({"case.gpt3_27b_reshape", "bench_case_gpt3_27b",
+           "full-model + inference impact of the C2 re-shape and its clones",
+           {benchlib::kSuiteExt},
+           [](benchlib::CaseContext& c) {
+             const auto& base = tfm::model_by_name("gpt3-2.7b");
+             const auto& c2 = tfm::model_by_name("gpt3-2.7b-c2");
+             c.consume(tfm::analyze_model(base, c.sim()).total_time);
+             c.consume(tfm::analyze_model(c2, c.sim()).total_time);
+             c.consume(tfm::estimate_inference(base, c.sim()).prefill_time);
+             c.consume(tfm::estimate_inference(c2, c.sim()).prefill_time);
+             for (const char* name :
+                  {"gpt3-2.7b", "gpt-neo-2.7b", "opt-2.7b",
+                   "redpajama-incite-3b", "pythia-2.8b"}) {
+               const auto cfg = tfm::model_by_name(name);
+               c.consume(tfm::analyze_layer(cfg, c.sim()).total_time);
+               c.consume(
+                   tfm::analyze_layer(cfg.with_heads(40), c.sim()).total_time);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -13,28 +13,35 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_case_hw_ratio",
+    "Case study: kernel-level hardware comparison (§VIII)",
+    {}};
+
+std::vector<gemm::GemmProblem> representative_kernels() {
+  std::vector<gemm::GemmProblem> kernels;
+  tfm::TransformerConfig bert;
+  bert.name = "bert-large";
+  bert.hidden_size = 1024;
+  bert.num_heads = 16;
+  bert.num_layers = 24;
+  bert.seq_len = 512;
+  bert.microbatch = 32;
+  bert.vocab_size = 30528;
+  for (const auto& g : tfm::layer_gemms(bert)) kernels.push_back(g);
+  for (const auto& g : tfm::layer_gemms(tfm::model_by_name("gpt3-2.7b-c2"))) {
+    kernels.push_back(g);
+  }
+  return kernels;
+}
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Case study: kernel-level hardware comparison",
              "representative transformer GEMMs across devices (§VIII)");
 
   // Representative kernel set: the Table-II GEMMs of a BERT-large-scale
   // and a GPT-3-2.7B-scale layer.
-  std::vector<gemm::GemmProblem> kernels;
-  {
-    tfm::TransformerConfig bert;  // BERT-large-ish encoder shape
-    bert.name = "bert-large";
-    bert.hidden_size = 1024;
-    bert.num_heads = 16;
-    bert.num_layers = 24;
-    bert.seq_len = 512;
-    bert.microbatch = 32;
-    bert.vocab_size = 30528;
-    for (const auto& g : tfm::layer_gemms(bert)) kernels.push_back(g);
-    for (const auto& g :
-         tfm::layer_gemms(tfm::model_by_name("gpt3-2.7b-c2"))) {
-      kernels.push_back(g);
-    }
-  }
+  const std::vector<gemm::GemmProblem> kernels = representative_kernels();
 
   const std::vector<std::string> gpus = {"v100-16gb", "a100-40gb",
                                          "a100-80gb", "h100-sxm",
@@ -83,6 +90,23 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(case_hw_ratio) {
+  using namespace codesign;
+  reg.add({"case.hw_ratio", "bench_case_hw_ratio",
+           "geomean kernel throughput of the representative set per device",
+           {benchlib::kSuiteExt, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const auto kernels = representative_kernels();
+             for (const char* id : {"v100-16gb", "a100-40gb", "a100-80gb",
+                                    "h100-sxm", "mi250x-gcd"}) {
+               const gemm::GemmSimulator sim = gemm::GemmSimulator::for_gpu(id);
+               std::vector<double> tfs;
+               for (const auto& k : kernels) {
+                 tfs.push_back(sim.throughput_tflops(k));
+               }
+               c.consume(geomean(tfs));
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

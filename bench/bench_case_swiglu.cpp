@@ -13,6 +13,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_case_swiglu",
+    "Case study: SwiGLU 8h/3 MLP sizing for Llama-2-7B",
+    {"lo", "hi"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Case study: SwiGLU 8h/3 MLP sizing",
              "brute-force d_ff search around (8/3)h for Llama-2-7B");
@@ -73,6 +78,25 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(case_swiglu) {
+  using namespace codesign;
+  reg.add({"case.swiglu_dff", "bench_case_swiglu",
+           "brute-force d_ff scan around (8/3)h on Llama-2-7B",
+           {benchlib::kSuiteExt},
+           [](benchlib::CaseContext& c) {
+             const auto base = tfm::model_by_name("llama2-7b");
+             const auto suggested = static_cast<std::int64_t>(
+                 std::llround(8.0 * base.hidden_size / 3.0));
+             const auto scan = advisor::search_mlp_intermediate(
+                 base, c.sim(), suggested - 256, suggested + 512);
+             c.consume(static_cast<std::int64_t>(scan.size()));
+             std::size_t listed = 0;
+             for (const auto& cand : scan) {
+               if (listed++ >= 10) break;
+               c.consume(cand.d_ff);
+               c.consume(cand.mlp_time);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

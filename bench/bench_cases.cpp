@@ -1,0 +1,79 @@
+#include "bench_cases.hpp"
+
+// The registration hooks live in the bench_*.cpp files, compiled into the
+// codesign_bench_cases library with CODESIGN_BENCH_NO_MAIN. Their names
+// follow the CODESIGN_BENCH_CASES macro (bench/bench_common.hpp).
+#define CODESIGN_DECLARE_BENCH(id) \
+  void codesign_bench_register_##id(::codesign::benchlib::BenchRegistry&)
+
+CODESIGN_DECLARE_BENCH(ablation_simulator);
+CODESIGN_DECLARE_BENCH(case_6gpu_nodes);
+CODESIGN_DECLARE_BENCH(case_bert);
+CODESIGN_DECLARE_BENCH(case_gpt3_27b);
+CODESIGN_DECLARE_BENCH(case_hw_ratio);
+CODESIGN_DECLARE_BENCH(case_swiglu);
+CODESIGN_DECLARE_BENCH(ext_3d_parallel);
+CODESIGN_DECLARE_BENCH(ext_gqa);
+CODESIGN_DECLARE_BENCH(ext_pipeline);
+CODESIGN_DECLARE_BENCH(ext_seqlen);
+CODESIGN_DECLARE_BENCH(ext_tp_comm);
+CODESIGN_DECLARE_BENCH(ext_training_step);
+CODESIGN_DECLARE_BENCH(ext_volta_vs_ampere);
+CODESIGN_DECLARE_BENCH(fig01_layer_family);
+CODESIGN_DECLARE_BENCH(fig02_latency_breakdown);
+CODESIGN_DECLARE_BENCH(fig05_gemm_sweep);
+CODESIGN_DECLARE_BENCH(fig06_bmm_sweep);
+CODESIGN_DECLARE_BENCH(fig07_attention_alignment);
+CODESIGN_DECLARE_BENCH(fig08_09_fixed_ratio);
+CODESIGN_DECLARE_BENCH(fig10_mlp);
+CODESIGN_DECLARE_BENCH(fig11_gemm_proportions);
+CODESIGN_DECLARE_BENCH(fig12_flashattention);
+CODESIGN_DECLARE_BENCH(fig13_inference);
+CODESIGN_DECLARE_BENCH(fig14_dim_order);
+CODESIGN_DECLARE_BENCH(fig15_16_qkv);
+CODESIGN_DECLARE_BENCH(fig17_18_attention_appendix);
+CODESIGN_DECLARE_BENCH(fig19_projection);
+CODESIGN_DECLARE_BENCH(fig20_vocab);
+CODESIGN_DECLARE_BENCH(fig21_47_head_sweep);
+CODESIGN_DECLARE_BENCH(obs_overhead);
+CODESIGN_DECLARE_BENCH(search_parallel);
+
+namespace codesign::bench {
+
+void register_all_cases(benchlib::BenchRegistry& reg) {
+#define CODESIGN_CALL_BENCH(id) codesign_bench_register_##id(reg)
+  CODESIGN_CALL_BENCH(ablation_simulator);
+  CODESIGN_CALL_BENCH(case_6gpu_nodes);
+  CODESIGN_CALL_BENCH(case_bert);
+  CODESIGN_CALL_BENCH(case_gpt3_27b);
+  CODESIGN_CALL_BENCH(case_hw_ratio);
+  CODESIGN_CALL_BENCH(case_swiglu);
+  CODESIGN_CALL_BENCH(ext_3d_parallel);
+  CODESIGN_CALL_BENCH(ext_gqa);
+  CODESIGN_CALL_BENCH(ext_pipeline);
+  CODESIGN_CALL_BENCH(ext_seqlen);
+  CODESIGN_CALL_BENCH(ext_tp_comm);
+  CODESIGN_CALL_BENCH(ext_training_step);
+  CODESIGN_CALL_BENCH(ext_volta_vs_ampere);
+  CODESIGN_CALL_BENCH(fig01_layer_family);
+  CODESIGN_CALL_BENCH(fig02_latency_breakdown);
+  CODESIGN_CALL_BENCH(fig05_gemm_sweep);
+  CODESIGN_CALL_BENCH(fig06_bmm_sweep);
+  CODESIGN_CALL_BENCH(fig07_attention_alignment);
+  CODESIGN_CALL_BENCH(fig08_09_fixed_ratio);
+  CODESIGN_CALL_BENCH(fig10_mlp);
+  CODESIGN_CALL_BENCH(fig11_gemm_proportions);
+  CODESIGN_CALL_BENCH(fig12_flashattention);
+  CODESIGN_CALL_BENCH(fig13_inference);
+  CODESIGN_CALL_BENCH(fig14_dim_order);
+  CODESIGN_CALL_BENCH(fig15_16_qkv);
+  CODESIGN_CALL_BENCH(fig17_18_attention_appendix);
+  CODESIGN_CALL_BENCH(fig19_projection);
+  CODESIGN_CALL_BENCH(fig20_vocab);
+  CODESIGN_CALL_BENCH(fig21_47_head_sweep);
+  CODESIGN_CALL_BENCH(obs_overhead);
+  CODESIGN_CALL_BENCH(search_parallel);
+#undef CODESIGN_CALL_BENCH
+}
+
+}  // namespace codesign::bench

@@ -1,0 +1,19 @@
+// bench_cases.hpp — the roster of per-binary case registration hooks.
+//
+// Every bench_*.cpp defines one CODESIGN_BENCH_CASES(id) function; this
+// header declares them all and register_all_cases() calls each exactly
+// once. The roster is explicit (no static-initializer registration) so
+// the case set is deterministic, link-order independent, and survives
+// static-library dead-stripping. Adding a bench = one CODESIGN_BENCH_CASES
+// block there plus one line in each list here.
+#pragma once
+
+#include "benchlib/registry.hpp"
+
+namespace codesign::bench {
+
+/// Populate `reg` with every case of every bench binary. Throws
+/// codesign::Error on duplicate case names (i.e. a roster bug).
+void register_all_cases(benchlib::BenchRegistry& reg);
+
+}  // namespace codesign::bench

@@ -1,15 +1,55 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
 
 namespace codesign::bench {
 
+namespace {
+
+// Flags every bench binary accepts, independent of its BenchSpec.
+const char* const kStandardFlags[] = {"gpu", "policy", "format", "help"};
+
+std::string usage_text(const BenchSpec& spec) {
+  std::string name = spec.name.empty() ? "bench" : spec.name;
+  std::string out = "usage: " + name + " [--gpu=<id>] [--policy=auto|fixed]"
+                    " [--format=ascii|csv|markdown]";
+  for (const auto& f : spec.flags) out += " [--" + f + "=<v>]";
+  if (!spec.summary.empty()) out += "\n  " + spec.summary;
+  return out;
+}
+
+void reject_unknown_flags(const CliArgs& args, const BenchSpec& spec) {
+  std::vector<std::string> unknown;
+  for (const auto& name : args.flag_names()) {
+    const bool standard =
+        std::find(std::begin(kStandardFlags), std::end(kStandardFlags), name) !=
+        std::end(kStandardFlags);
+    const bool declared =
+        std::find(spec.flags.begin(), spec.flags.end(), name) !=
+        spec.flags.end();
+    if (!standard && !declared) unknown.push_back(name);
+  }
+  if (unknown.empty()) return;
+  throw UsageError("unknown flag" + std::string(unknown.size() > 1 ? "s" : "") +
+                   " --" + join(unknown, ", --") + "\n" + usage_text(spec));
+}
+
+}  // namespace
+
 BenchContext BenchContext::from_args(int argc, const char* const* argv,
-                                     const std::string& default_gpu) {
+                                     const BenchSpec& spec) {
   CliArgs args = CliArgs::parse(argc, argv);
-  const gpu::GpuSpec& g = gpu::gpu_by_name(args.get_string("gpu", default_gpu));
+  reject_unknown_flags(args, spec);
+  if (args.get_bool("help", false)) throw UsageError(usage_text(spec));
+
+  const gpu::GpuSpec& g =
+      gpu::gpu_by_name(args.get_string("gpu", spec.default_gpu.empty()
+                                                  ? "a100"
+                                                  : spec.default_gpu));
 
   const std::string policy_name = to_lower(args.get_string("policy", "auto"));
   gemm::TilePolicy policy;
@@ -18,20 +58,12 @@ BenchContext BenchContext::from_args(int argc, const char* const* argv,
   } else if (policy_name == "fixed") {
     policy = gemm::TilePolicy::kFixedLargest;
   } else {
-    throw Error("--policy must be 'auto' or 'fixed', got '" + policy_name + "'");
+    throw UsageError("--policy must be 'auto' or 'fixed', got '" +
+                     policy_name + "'");
   }
 
-  const std::string fmt = to_lower(args.get_string("format", "ascii"));
-  TableFormat format;
-  if (fmt == "ascii") {
-    format = TableFormat::kAscii;
-  } else if (fmt == "csv") {
-    format = TableFormat::kCsv;
-  } else if (fmt == "markdown" || fmt == "md") {
-    format = TableFormat::kMarkdown;
-  } else {
-    throw Error("--format must be ascii, csv, or markdown; got '" + fmt + "'");
-  }
+  const TableFormat format =
+      parse_table_format(args.get_string("format", "ascii"));
 
   return BenchContext(std::move(args), g, policy, format);
 }
@@ -60,13 +92,13 @@ void BenchContext::emit(const TableWriter& table) const {
 }
 
 int run_bench(int argc, const char* const* argv, int (*body)(BenchContext&),
-              const std::string& default_gpu) {
+              const BenchSpec& spec) {
   try {
-    BenchContext ctx = BenchContext::from_args(argc, argv, default_gpu);
+    BenchContext ctx = BenchContext::from_args(argc, argv, spec);
     return body(ctx);
   } catch (const Error& e) {
     std::cerr << "bench error: " << e.what() << '\n';
-    return 1;
+    return exit_code_for_current_exception();
   }
 }
 

@@ -7,12 +7,23 @@
 //   * --gpu=<id> selects the simulated device (default a100; the registry
 //     ids/aliases of gpuarch are accepted).
 //   * --policy=auto|fixed selects the tile-selection policy.
+//   * Unknown flags are rejected with the documented usage exit code 2
+//     (common/error.hpp); each binary declares its extra flags in a
+//     BenchSpec so typos fail loudly instead of silently running the
+//     defaults.
 //   * Each binary prints a header naming the paper figure it reproduces.
+//
+// Beyond the standalone figure output, every bench registers named timing
+// cases with the benchlib registry (CODESIGN_BENCH_CASES below); the
+// `codesign-bench` runner lists/filters/times those cases and writes the
+// machine-readable perf trajectory (docs/BENCHMARKS.md).
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "benchlib/registry.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "gemmsim/simulator.hpp"
@@ -20,10 +31,21 @@
 
 namespace codesign::bench {
 
+/// Identity + command-line contract of one bench binary. `flags` lists
+/// the extra --name flags the body reads beyond the standard
+/// gpu/policy/format trio; anything else on the command line is a
+/// UsageError (exit 2).
+struct BenchSpec {
+  std::string name;                 ///< binary name, e.g. "fig05_gemm_sweep"
+  std::string summary;              ///< one line for the usage message
+  std::vector<std::string> flags;   ///< extra accepted flag names
+  std::string default_gpu = "a100";
+};
+
 class BenchContext {
  public:
   static BenchContext from_args(int argc, const char* const* argv,
-                                const std::string& default_gpu = "a100");
+                                const BenchSpec& spec = {});
 
   const CliArgs& args() const { return args_; }
   const gpu::GpuSpec& gpu() const { return *gpu_; }
@@ -52,8 +74,32 @@ class BenchContext {
 };
 
 /// Standard main() wrapper: parses flags, catches codesign::Error with a
-/// clean message and non-zero exit.
+/// clean message, and exits with the documented taxonomy of
+/// common/error.hpp (unknown flag -> 2, unknown GPU -> 5, ...).
 int run_bench(int argc, const char* const* argv,
-              int (*body)(BenchContext&), const std::string& default_gpu = "a100");
+              int (*body)(BenchContext&), const BenchSpec& spec = {});
 
 }  // namespace codesign::bench
+
+/// Defines this binary's registration hook: a uniquely named extern
+/// function the codesign-bench runner collects via
+/// bench/bench_cases.{hpp,cpp}. Use at namespace scope:
+///   CODESIGN_BENCH_CASES(fig05_gemm_sweep) { reg.add({...}); }
+#define CODESIGN_BENCH_CASES(id) \
+  void codesign_bench_register_##id(::codesign::benchlib::BenchRegistry& reg)
+
+/// Expands to the standalone main() — elided when the same source file is
+/// compiled into the codesign_bench_cases library for the runner.
+#if defined(CODESIGN_BENCH_NO_MAIN)
+// Keep spec/body referenced so the cases build stays warning-clean.
+#define CODESIGN_BENCH_MAIN(spec, body)                              \
+  [[maybe_unused]] static int codesign_bench_standalone_(            \
+      int argc, char** argv) {                                       \
+    return ::codesign::bench::run_bench(argc, argv, (body), (spec)); \
+  }
+#else
+#define CODESIGN_BENCH_MAIN(spec, body)                          \
+  int main(int argc, char** argv) {                              \
+    return ::codesign::bench::run_bench(argc, argv, (body), (spec)); \
+  }
+#endif

@@ -11,6 +11,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_ext_3d_parallel",
+    "Extension: (t, p, d) factorizations ranked with communication",
+    {"model", "gpus", "microbatches"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Extension: 3D-parallel planning",
              "(t, p, d) factorizations ranked with communication charged");
@@ -62,6 +67,26 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(ext_3d_parallel) {
+  using namespace codesign;
+  reg.add({"ext.plan_ranking", "bench_ext_3d_parallel",
+           "3D-parallel plan ranking on both Table-III clusters",
+           {benchlib::kSuiteExt},
+           [](benchlib::CaseContext& c) {
+             tfm::TransformerConfig model = tfm::model_by_name("gpt3-2.7b");
+             if (model.vocab_size % 64 != 0) {
+               model = model.with_vocab(((model.vocab_size + 63) / 64) * 64);
+             }
+             for (const char* cluster_id : {"aws-p4d", "ornl-summit"}) {
+               const comm::ClusterSpec& cluster =
+                   comm::cluster_by_name(cluster_id);
+               for (const auto& r :
+                    comm::rank_plans(model, cluster, 32, 32)) {
+                 c.consume(static_cast<std::int64_t>(r.feasible));
+                 if (r.feasible) c.consume(r.step_time);
+               }
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

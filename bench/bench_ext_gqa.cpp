@@ -13,6 +13,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_ext_gqa",
+    "Extension: GQA KV-head sweep on the Llama-2-70B shape",
+    {}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Extension: grouped-query attention",
              "KV head sweep on the Llama-2-70B shape");
@@ -49,6 +54,23 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(ext_gqa) {
+  using namespace codesign;
+  reg.add({"ext.gqa_kv_sweep", "bench_ext_gqa",
+           "QKV shape + inference estimates across KV head counts",
+           {benchlib::kSuiteExt},
+           [](benchlib::CaseContext& c) {
+             const auto base = tfm::model_by_name("llama2-70b");
+             for (const std::int64_t kv : {64, 32, 16, 8, 4, 2, 1}) {
+               tfm::TransformerConfig cfg = base;
+               cfg.num_kv_heads = kv;
+               cfg.validate();
+               c.consume(c.sim().estimate(tfm::qkv_gemm(cfg)).tflops());
+               const auto inf = tfm::estimate_inference(cfg, c.sim());
+               c.consume(inf.kv_bytes_avg);
+               c.consume(inf.tokens_per_second);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

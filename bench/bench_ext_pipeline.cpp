@@ -11,6 +11,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_ext_pipeline",
+    "Extension: pipeline bubble + imbalance across stage counts",
+    {"model", "microbatches"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Extension: pipeline stages",
              "bubble + imbalance across stage counts (L % p rule)");
@@ -58,6 +63,22 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(ext_pipeline) {
+  using namespace codesign;
+  reg.add({"ext.pipeline_stages", "bench_ext_pipeline",
+           "1F1B analysis over p = 1..16 for gpt3-2.7b",
+           {benchlib::kSuiteExt, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const auto cfg = tfm::model_by_name("gpt3-2.7b");
+             for (std::int64_t p = 1; p <= 16; ++p) {
+               tfm::PipelineSchedule s;
+               s.stages = p;
+               s.microbatches = 32;
+               const auto r = tfm::analyze_pipeline(cfg, c.sim(), s);
+               c.consume(r.step_time);
+               c.consume(r.bubble_fraction);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

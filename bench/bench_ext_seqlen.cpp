@@ -13,6 +13,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_ext_seqlen",
+    "Extension: attention share of layer FLOPs and time vs s",
+    {"model"}};
+
 double attention_time_share(const tfm::LayerLatencyReport& r) {
   double t = 0.0;
   for (const auto& o : r.ops) {
@@ -69,6 +74,25 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(ext_seqlen) {
+  using namespace codesign;
+  reg.add({"ext.seqlen_scaling", "bench_ext_seqlen",
+           "layer analysis over s with BMM and flash attention",
+           {benchlib::kSuiteExt},
+           [](benchlib::CaseContext& c) {
+             const auto base = tfm::model_by_name("gpt3-2.7b");
+             for (std::int64_t s = 512; s <= 32768; s *= 2) {
+               tfm::TransformerConfig bmm_cfg = base.with_seq_len(s);
+               tfm::TransformerConfig flash_cfg = bmm_cfg;
+               flash_cfg.attention = tfm::AttentionImpl::kFlash;
+               const auto rb = tfm::analyze_layer(bmm_cfg, c.sim());
+               const auto rf = tfm::analyze_layer(flash_cfg, c.sim());
+               c.consume(attention_time_share(rb));
+               c.consume(attention_time_share(rf));
+               c.consume(rb.throughput_tflops);
+               c.consume(rf.throughput_tflops);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

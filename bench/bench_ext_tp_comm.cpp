@@ -11,6 +11,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_ext_tp_comm",
+    "Extension: layer time vs t on the paper's Table-III systems",
+    {"model"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Extension: TP + communication",
              "layer time vs t on the paper's Table-III systems");
@@ -53,6 +58,30 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(ext_tp_comm) {
+  using namespace codesign;
+  reg.add({"ext.tp_comm", "bench_ext_tp_comm",
+           "TP compute + all-reduce time across clusters and degrees",
+           {benchlib::kSuiteExt},
+           [](benchlib::CaseContext& c) {
+             const auto base =
+                 tfm::model_by_name("gpt3-2.7b").with_vocab(50304);
+             for (const std::string& cluster_id : comm::known_clusters()) {
+               const comm::ClusterSpec& cluster =
+                   comm::cluster_by_name(cluster_id);
+               for (std::int64_t tp = 1; tp <= cluster.gpus_per_node;
+                    tp *= 2) {
+                 if (base.num_heads % tp != 0 || base.hidden_size % tp != 0 ||
+                     base.vocab_size % tp != 0) {
+                   continue;
+                 }
+                 const auto r = comm::tp_total_layer_time(
+                     base.with_tensor_parallel(tp), cluster);
+                 c.consume(r.compute_time);
+                 c.consume(r.comm_time);
+               }
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

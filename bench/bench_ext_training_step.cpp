@@ -11,6 +11,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_ext_training_step",
+    "Extension: forward + backward + optimizer training step",
+    {}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Extension: training step",
              "forward + backward + optimizer, with backward GEMM shapes");
@@ -74,6 +79,24 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(ext_training_step) {
+  using namespace codesign;
+  reg.add({"ext.training_step", "bench_ext_training_step",
+           "backward GEMMs + training-step analysis of the Fig-1 trio",
+           {benchlib::kSuiteExt, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const auto cfg = tfm::model_by_name("gpt3-2.7b");
+             for (const auto& p : tfm::layer_backward_gemms(cfg)) {
+               c.consume(c.sim().estimate(p).tflops());
+             }
+             for (const char* name :
+                  {"gpt3-2.7b", "gpt3-2.7b-c1", "gpt3-2.7b-c2"}) {
+               const auto r = tfm::analyze_training_step(
+                   tfm::model_by_name(name), c.sim());
+               c.consume(r.total_time);
+               c.consume(r.mfu);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

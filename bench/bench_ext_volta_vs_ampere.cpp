@@ -12,6 +12,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_ext_volta_vs_ampere",
+    "Extension: the 2.7B shape trio on both alignment regimes",
+    {}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Extension: Volta vs Ampere",
              "the 2.7B shape trio on both alignment regimes");
@@ -52,6 +57,23 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(ext_volta_vs_ampere) {
+  using namespace codesign;
+  reg.add({"ext.volta_vs_ampere", "bench_ext_volta_vs_ampere",
+           "the 2.7B trio analyzed on V100 and A100",
+           {benchlib::kSuiteExt},
+           [](benchlib::CaseContext& c) {
+             const gemm::GemmSimulator v100 =
+                 gemm::GemmSimulator::for_gpu("v100");
+             const gemm::GemmSimulator a100 =
+                 gemm::GemmSimulator::for_gpu("a100");
+             for (const char* name :
+                  {"gpt3-2.7b", "gpt3-2.7b-c1", "gpt3-2.7b-c2"}) {
+               const auto& cfg = tfm::model_by_name(name);
+               c.consume(tfm::analyze_layer(cfg, v100).throughput_tflops);
+               c.consume(tfm::analyze_layer(cfg, a100).throughput_tflops);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

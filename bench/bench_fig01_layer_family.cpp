@@ -11,6 +11,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig01_layer_family",
+    "Fig 1: single-layer throughput of the 2.7B-parameter shape family",
+    {"b", "s"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 1",
              "single-layer throughput of 2.7B-parameter shape variants");
@@ -56,6 +61,22 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig01_layer_family) {
+  using namespace codesign;
+  reg.add({"fig01.layer_family", "bench_fig01_layer_family",
+           "analyze_layer over the 2.7B shape family + the 6.7B point",
+           {benchlib::kSuiteFig, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             std::vector<tfm::TransformerConfig> family =
+                 tfm::gpt3_27b_family();
+             family.push_back(tfm::model_by_name("gpt3-6.7b"));
+             for (tfm::TransformerConfig cfg : family) {
+               cfg = cfg.with_microbatch(4).with_seq_len(2048);
+               const auto r = tfm::analyze_layer(cfg, c.sim());
+               c.consume(r.total_time);
+               c.consume(r.throughput_tflops);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -10,6 +10,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig02_latency_breakdown",
+    "Fig 2: latency share per transformer component",
+    {"model"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 2", "latency share per transformer component");
 
@@ -62,6 +67,22 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig02_latency_breakdown) {
+  using namespace codesign;
+  reg.add({"fig02.gemm_share", "bench_fig02_latency_breakdown",
+           "per-component latency and GEMM share across model sizes",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (const char* name :
+                  {"gpt3-125m", "gpt3-760m", "gpt3-2.7b", "gpt3-6.7b",
+                   "gpt3-13b", "gpt3-175b"}) {
+               const auto r =
+                   tfm::analyze_layer(tfm::model_by_name(name), c.sim());
+               c.consume(r.total_time);
+               c.consume(r.gemm_fraction);
+               for (const auto& o : r.ops) c.consume(o.time);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -14,6 +14,11 @@ namespace {
 
 using gemm::GemmProblem;
 
+const bench::BenchSpec kSpec{
+    "bench_fig05_gemm_sweep",
+    "Fig 5: GEMM throughput vs matrix size (broad + fine sweeps)",
+    {"lo", "hi", "step"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 5", "GEMM throughput vs matrix size");
 
@@ -69,6 +74,31 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig05_gemm_sweep) {
+  using namespace codesign;
+  reg.add({"fig05.square_sweep", "bench_fig05_gemm_sweep",
+           "broad square GEMM sweep on V100 and A100",
+           {benchlib::kSuiteFig, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const auto v100 = gemm::GemmSimulator::for_gpu("v100");
+             for (std::int64_t n = 256; n <= 16384; n *= 2) {
+               const auto p = GemmProblem::gemm(n, n, n);
+               c.consume(v100.estimate(p).tflops());
+               c.consume(c.sim().estimate(p).tflops());
+             }
+           }});
+  reg.add({"fig05.fine_sweep", "bench_fig05_gemm_sweep",
+           "fine-grained fixed-tile vs auto-tile sweep (wave quantization)",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (std::int64_t n = 1280; n <= 4096; n += 128) {
+               const auto p = GemmProblem::gemm(n, n, n);
+               c.consume(gemm::estimate_with_tile(p, gpu::largest_tile(),
+                                                  c.gpu())
+                             .tflops());
+               c.consume(gemm::select_kernel(p, c.gpu()).tflops());
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -10,6 +10,23 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig06_bmm_sweep",
+    "Fig 6: BMM throughput for attention-shaped batches",
+    {"b", "s", "heads"}};
+
+tfm::TransformerConfig bmm_cfg(std::int64_t h, std::int64_t a) {
+  tfm::TransformerConfig cfg;
+  cfg.name = "sweep";
+  cfg.hidden_size = h;
+  cfg.num_heads = a;
+  cfg.num_layers = 1;
+  cfg.seq_len = 2048;
+  cfg.microbatch = 4;
+  cfg.vocab_size = 50304;
+  return cfg;
+}
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 6", "BMM throughput for attention-shaped batches");
 
@@ -53,6 +70,23 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig06_bmm_sweep) {
+  using namespace codesign;
+  reg.add({"fig06.bmm_sweep", "bench_fig06_bmm_sweep",
+           "score and attention-over-value BMMs over h for a in {16,32,64}",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (const std::int64_t a : {16, 32, 64}) {
+               for (std::int64_t h = a * 16; h <= a * 192; h += a * 16) {
+                 const auto cfg = bmm_cfg(h, a);
+                 c.consume(
+                     c.sim().estimate(tfm::attention_score_bmm(cfg)).tflops());
+                 c.consume(c.sim()
+                               .estimate(tfm::attention_over_value_bmm(cfg))
+                               .tflops());
+               }
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -13,6 +13,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig07_attention_alignment",
+    "Fig 7: attention GEMM throughput split by pow2(h/a)",
+    {"a", "b", "s"}};
+
 tfm::TransformerConfig sweep_cfg(std::int64_t h, std::int64_t a,
                                  std::int64_t b, std::int64_t s) {
   tfm::TransformerConfig cfg;
@@ -68,6 +73,21 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig07_attention_alignment) {
+  using namespace codesign;
+  reg.add({"fig07.alignment", "bench_fig07_attention_alignment",
+           "score + AOV BMM estimates across head_dim at a = 32",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (const bool aov : {false, true}) {
+               for (std::int64_t hd = 8; hd <= 160; hd += 8) {
+                 const auto cfg = sweep_cfg(hd * 32, 32, 4, 2048);
+                 const auto problem = aov ? tfm::attention_over_value_bmm(cfg)
+                                          : tfm::attention_score_bmm(cfg);
+                 c.consume(c.sim().estimate(problem).tflops());
+               }
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -10,6 +10,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig08_09_fixed_ratio",
+    "Figs 8/9/34: attention GEMMs at fixed h/a = 64",
+    {"b", "s", "head_dim", "heads"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figures 8/9/34",
              "attention GEMMs at fixed h/a = 64, one series per head count");
@@ -56,6 +61,28 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig08_09_fixed_ratio) {
+  using namespace codesign;
+  reg.add({"fig08_09.fixed_ratio", "bench_fig08_09_fixed_ratio",
+           "score + AOV BMMs at h/a = 64 across head counts",
+           {benchlib::kSuiteFig, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             for (const bool aov : {false, true}) {
+               for (const std::int64_t a : {8, 16, 32, 64, 128, 256, 512}) {
+                 tfm::TransformerConfig cfg;
+                 cfg.name = "sweep";
+                 cfg.hidden_size = 64 * a;
+                 cfg.num_heads = a;
+                 cfg.num_layers = 1;
+                 cfg.seq_len = 2048;
+                 cfg.microbatch = 4;
+                 cfg.vocab_size = 50304;
+                 const auto problem = aov ? tfm::attention_over_value_bmm(cfg)
+                                          : tfm::attention_score_bmm(cfg);
+                 c.consume(c.sim().estimate(problem).tflops());
+               }
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

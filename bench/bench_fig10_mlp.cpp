@@ -10,6 +10,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig10_mlp",
+    "Fig 10: MLP h->4h and 4h->h GEMM throughput vs h",
+    {"b", "s", "lo", "hi", "step"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 10", "MLP h->4h and 4h->h GEMM throughput vs h");
 
@@ -68,6 +73,25 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig10_mlp) {
+  using namespace codesign;
+  reg.add({"fig10.mlp_sweep", "bench_fig10_mlp",
+           "MLP up/down GEMM estimates over the hidden-size sweep",
+           {benchlib::kSuiteFig, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             for (std::int64_t h = 1024; h <= 12288; h += 512) {
+               tfm::TransformerConfig cfg;
+               cfg.name = "sweep";
+               cfg.hidden_size = h;
+               cfg.num_heads = 1;
+               cfg.num_layers = 1;
+               cfg.seq_len = 2048;
+               cfg.microbatch = 4;
+               cfg.vocab_size = 50304;
+               c.consume(c.sim().estimate(tfm::mlp_up_gemm(cfg)).tflops());
+               c.consume(c.sim().estimate(tfm::mlp_down_gemm(cfg)).tflops());
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

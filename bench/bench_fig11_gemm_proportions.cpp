@@ -9,6 +9,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig11_gemm_proportions",
+    "Fig 11: share of GEMM latency per GEMM module",
+    {}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 11", "share of GEMM latency per GEMM module");
 
@@ -39,6 +44,26 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig11_gemm_proportions) {
+  using namespace codesign;
+  reg.add({"fig11.gemm_proportions", "bench_fig11_gemm_proportions",
+           "per-GEMM-module latency share across model sizes",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (const char* name :
+                  {"gpt3-125m", "gpt3-760m", "gpt3-2.7b", "gpt3-6.7b",
+                   "gpt3-13b", "gpt3-175b"}) {
+               const auto r =
+                   tfm::analyze_layer(tfm::model_by_name(name), c.sim());
+               for (const auto op :
+                    {tfm::LayerOp::kQkvTransform, tfm::LayerOp::kAttentionScore,
+                     tfm::LayerOp::kAttentionOverValue,
+                     tfm::LayerOp::kPostAttnProjection, tfm::LayerOp::kMlpUp,
+                     tfm::LayerOp::kMlpDown}) {
+                 c.consume(r.gemm_share_of(op));
+               }
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -9,6 +9,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig12_flashattention",
+    "Fig 12: FlashAttention-2 sweep over hidden dimension",
+    {"a", "b", "s"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 12", "FlashAttention-2 sweep over hidden dimension");
 
@@ -65,6 +70,32 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig12_flashattention) {
+  using namespace codesign;
+  reg.add({"fig12.flash_sweep", "bench_fig12_flashattention",
+           "fused flash vs unfused attention estimates over head_dim",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (std::int64_t hd = 8; hd <= 128; hd += 8) {
+               tfm::TransformerConfig cfg;
+               cfg.name = "sweep";
+               cfg.hidden_size = hd * 128;
+               cfg.num_heads = 128;
+               cfg.num_layers = 1;
+               cfg.seq_len = 2048;
+               cfg.microbatch = 4;
+               cfg.vocab_size = 50304;
+               cfg.attention = tfm::AttentionImpl::kFlash;
+               gemm::FlashAttentionProblem fp =
+                   tfm::flash_attention_problem(cfg);
+               fp.causal = false;
+               c.consume(c.sim().estimate_flash(fp).tflops());
+               c.consume(
+                   c.sim().estimate(tfm::attention_score_bmm(cfg)).time);
+               c.consume(
+                   c.sim().estimate(tfm::attention_over_value_bmm(cfg)).time);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -12,6 +12,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig13_inference",
+    "Fig 13: Pythia-suite inference latency vs parameters",
+    {"prompt", "gen", "batch"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 13", "Pythia-suite inference latency vs parameters");
 
@@ -58,6 +63,30 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig13_inference) {
+  using namespace codesign;
+  reg.add({"fig13.pythia_inference", "bench_fig13_inference",
+           "inference estimates + power-law fit over the Pythia suite",
+           {benchlib::kSuiteFig, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             tfm::InferenceWorkload w;
+             w.prompt_len = 128;
+             w.generate_tokens = 128;
+             w.batch = 1;
+             std::vector<double> params, latencies;
+             for (const auto& cfg : tfm::pythia_suite()) {
+               const auto e = tfm::estimate_inference(cfg, c.sim(), w);
+               params.push_back(
+                   static_cast<double>(tfm::exact_param_count(cfg)));
+               latencies.push_back(e.per_token_time);
+               c.consume(e.per_token_time);
+               c.consume(e.prefill_time);
+             }
+             const PowerLawFit fit = power_law_fit(params, latencies);
+             c.consume(fit.coefficient);
+             c.consume(fit.exponent);
+             c.consume(fit.r2);
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

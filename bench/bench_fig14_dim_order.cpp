@@ -13,6 +13,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig14_dim_order",
+    "Fig 14: batched-dimension ordering does not matter",
+    {}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 14", "batched-dimension ordering does not matter");
 
@@ -49,6 +54,30 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig14_dim_order) {
+  using namespace codesign;
+  reg.add({"fig14.dim_order", "bench_fig14_dim_order",
+           "3-D vs folded 2-D GEMM estimates plus the CPU-substrate check",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (std::int64_t n = 512; n <= 8192; n *= 2) {
+               c.consume(c.sim().throughput_tflops(
+                   gemm::GemmProblem::folded_3d(2048, 4, n, 3 * n)));
+               c.consume(c.sim().throughput_tflops(
+                   gemm::GemmProblem::folded_3d(4, 2048, n, 3 * n)));
+               c.consume(c.sim().throughput_tflops(
+                   gemm::GemmProblem::gemm(8192, 3 * n, n)));
+             }
+             Rng rng(7);
+             const std::int64_t n = 64;
+             const kern::Tensor x3a = kern::Tensor::randn({16, 4, n}, rng);
+             const kern::Tensor w = kern::Tensor::randn({3 * n, n}, rng);
+             const kern::Tensor y_a = kern::linear(x3a, w);
+             const kern::Tensor y_flat = kern::linear(x3a.reshape({64, n}), w);
+             c.consume(static_cast<double>(
+                 kern::max_abs_diff(y_a.reshape({64, 3 * n}), y_flat)));
+           },
+           /*threshold_frac=*/0.25});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -9,6 +9,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig15_16_qkv",
+    "Figs 15/16: QKV transform GEMM vs h, across TP degrees",
+    {"b", "s", "tp"}};
+
 tfm::TransformerConfig cfg_for(std::int64_t h, std::int64_t t, std::int64_t b,
                                std::int64_t s) {
   tfm::TransformerConfig cfg;
@@ -70,6 +75,26 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig15_16_qkv) {
+  using namespace codesign;
+  reg.add({"fig15_16.qkv", "bench_fig15_16_qkv",
+           "QKV GEMM estimates vs h and tensor-parallel degree",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (std::int64_t h = 1024; h <= 12288; h += 512) {
+               c.consume(
+                   c.sim().estimate(tfm::qkv_gemm(cfg_for(h, 1, 4, 2048)))
+                       .tflops());
+             }
+             for (std::int64_t h = 2048; h <= 8192; h += 2048) {
+               for (const std::int64_t t : {1, 2, 4, 8}) {
+                 if (h % t != 0) continue;
+                 c.consume(
+                     c.sim().estimate(tfm::qkv_gemm(cfg_for(h, t, 4, 2048)))
+                         .tflops());
+               }
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -10,6 +10,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig17_18_attention_appendix",
+    "Figs 17/18: KQ^T and score-times-values GEMMs vs h at a = 128",
+    {"a", "b", "s"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figures 17/18",
              "KQ^T and score-times-values GEMMs vs h at a = 128");
@@ -46,6 +51,28 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig17_18_attention_appendix) {
+  using namespace codesign;
+  reg.add({"fig17_18.appendix_attention", "bench_fig17_18_attention_appendix",
+           "score + AOV BMM estimates vs h at a = 128",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (std::int64_t h = 128 * 8; h <= 128 * 104; h += 128 * 8) {
+               tfm::TransformerConfig cfg;
+               cfg.name = "sweep";
+               cfg.hidden_size = h;
+               cfg.num_heads = 128;
+               cfg.num_layers = 1;
+               cfg.seq_len = 2048;
+               cfg.microbatch = 4;
+               cfg.vocab_size = 50304;
+               c.consume(
+                   c.sim().estimate(tfm::attention_score_bmm(cfg)).tflops());
+               c.consume(c.sim()
+                             .estimate(tfm::attention_over_value_bmm(cfg))
+                             .tflops());
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -8,6 +8,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig19_projection",
+    "Fig 19: post-attention linear projection vs h",
+    {"b", "s", "tp"}};
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("Figure 19", "post-attention linear projection vs h");
 
@@ -47,6 +52,31 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig19_projection) {
+  using namespace codesign;
+  reg.add({"fig19.projection", "bench_fig19_projection",
+           "post-attention projection GEMM estimates vs h and t",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (std::int64_t h = 1024; h <= 12288; h += 1024) {
+               for (const std::int64_t t : {1, 2, 4, 8}) {
+                 if (h % t != 0) continue;
+                 tfm::TransformerConfig cfg;
+                 cfg.name = "sweep";
+                 cfg.hidden_size = h;
+                 cfg.num_heads = t;
+                 cfg.num_layers = 1;
+                 cfg.seq_len = 2048;
+                 cfg.microbatch = 4;
+                 cfg.vocab_size = 150912;
+                 cfg.tensor_parallel = t;
+                 c.consume(
+                     c.sim()
+                         .estimate(tfm::post_attn_projection_gemm(cfg))
+                         .tflops());
+               }
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -11,6 +11,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig20_vocab",
+    "Fig 20: vocabulary embedding transformation GEMM",
+    {"b", "s"}};
+
 gemm::GemmProblem logit(std::int64_t bs, std::int64_t v, std::int64_t h) {
   return gemm::GemmProblem::gemm(bs, v, h);
 }
@@ -71,6 +76,22 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig20_vocab) {
+  using namespace codesign;
+  reg.add({"fig20.vocab", "bench_fig20_vocab",
+           "logit GEMM estimates over vocab and hidden sweeps",
+           {benchlib::kSuiteFig, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const std::int64_t bs = 4 * 2048;
+             for (std::int64_t v = 8192; v <= 65536; v += 8192) {
+               c.consume(c.sim().throughput_tflops(logit(bs, v, 2560)));
+             }
+             for (std::int64_t h = 768; h <= 12288; h += 768) {
+               c.consume(c.sim().throughput_tflops(logit(bs, 50304, h)));
+             }
+             c.consume(c.sim().throughput_tflops(logit(bs, 50257, 2560)));
+             c.consume(c.sim().throughput_tflops(logit(bs, 50304, 2560)));
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

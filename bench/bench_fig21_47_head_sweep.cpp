@@ -12,6 +12,11 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_fig21_47_head_sweep",
+    "Figs 21-33/35-47: attention GEMM throughput per head count",
+    {"b", "s", "op", "heads"}};
+
 void sweep(const bench::BenchContext& ctx, std::int64_t a, bool aov,
            std::int64_t b, std::int64_t s) {
   TableWriter t({"h", "h/a", "pow2(h/a)", "TFLOP/s", "bound", "tile"});
@@ -77,6 +82,32 @@ int body(bench::BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(fig21_47_head_sweep) {
+  using namespace codesign;
+  reg.add({"fig21_47.head_sweep", "bench_fig21_47_head_sweep",
+           "the full per-head-count appendix grid (both attention BMMs)",
+           {benchlib::kSuiteFig},
+           [](benchlib::CaseContext& c) {
+             for (const std::int64_t a :
+                  {8, 12, 16, 20, 24, 32, 40, 64, 80, 96, 128, 256, 512}) {
+               for (const bool aov : {false, true}) {
+                 for (std::int64_t hd = 8; hd <= 128; hd += 8) {
+                   tfm::TransformerConfig cfg;
+                   cfg.name = "sweep";
+                   cfg.hidden_size = hd * a;
+                   cfg.num_heads = a;
+                   cfg.num_layers = 1;
+                   cfg.seq_len = 2048;
+                   cfg.microbatch = 4;
+                   cfg.vocab_size = 50304;
+                   const auto problem =
+                       aov ? tfm::attention_over_value_bmm(cfg)
+                           : tfm::attention_score_bmm(cfg);
+                   c.consume(c.sim().estimate(problem).tflops());
+                 }
+               }
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

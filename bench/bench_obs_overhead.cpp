@@ -7,11 +7,15 @@
 //   recorder  — metrics + an installed EventRecorder (selection trail
 //               events on every kernel selection)
 // The "off" row is the zero-overhead contract of docs/OBSERVABILITY.md.
+// Writes the measurements as a schema-versioned BenchReport
+// (--out=BENCH_obs.json) so the overhead trajectory is machine-readable.
 #include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "benchlib/bench_report.hpp"
+#include "benchlib/runner.hpp"
 #include "common/strings.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -19,7 +23,24 @@
 namespace codesign {
 namespace {
 
+const bench::BenchSpec kSpec{
+    "bench_obs_overhead",
+    "obs overhead: estimate() latency off / metrics / metrics+recorder",
+    {"iters", "out"}};
+
 using Clock = std::chrono::steady_clock;
+
+std::vector<gemm::GemmProblem> hot_problems() {
+  std::vector<gemm::GemmProblem> problems;
+  for (const std::int64_t n : {2560, 5120, 7680, 12288, 50304}) {
+    gemm::GemmProblem p;
+    p.m = 8192;
+    p.n = n;
+    p.k = 2560;
+    problems.push_back(p);
+  }
+  return problems;
+}
 
 double ns_per_estimate(const gemm::GemmSimulator& sim,
                        const std::vector<gemm::GemmProblem>& problems,
@@ -43,15 +64,9 @@ int body(bench::BenchContext& ctx) {
              "estimate() latency with instrumentation off / metrics / "
              "metrics+recorder");
 
-  std::vector<gemm::GemmProblem> problems;
-  for (const std::int64_t n : {2560, 5120, 7680, 12288, 50304}) {
-    gemm::GemmProblem p;
-    p.m = 8192;
-    p.n = n;
-    p.k = 2560;
-    problems.push_back(p);
-  }
+  const std::vector<gemm::GemmProblem> problems = hot_problems();
   const int iters = static_cast<int>(ctx.args().get_int("iters", 200));
+  const std::string out_path = ctx.args().get_string("out", "BENCH_obs.json");
 
   obs::MetricsRegistry::set_enabled(false);
   const double off_ns = ns_per_estimate(ctx.sim(), problems, iters);
@@ -78,12 +93,64 @@ int body(bench::BenchContext& ctx) {
   row("metrics", metrics_ns);
   row("metrics+recorder", recorder_ns);
   ctx.emit(t);
+
+  // Machine-readable trajectory record (schema: codesign.bench_report).
+  // The estimate results themselves are the data checksum: identical in
+  // every instrumentation state or the states are not comparable.
+  std::uint64_t checksum = benchlib::kChecksumSeed;
+  for (const auto& p : problems) {
+    checksum = benchlib::checksum_fold(checksum, ctx.sim().estimate(p).time);
+  }
+
+  benchlib::BenchReport report;
+  report.run.suite = "trajectory";
+  report.run.filter = "obs_overhead";
+  report.run.gpu = ctx.gpu().id;
+  report.run.policy = benchlib::tile_policy_name(ctx.sim().policy());
+  report.run.warmup = 1;
+  report.run.repeats = iters;
+  report.run.threads = 1;
+  report.host = benchlib::HostFingerprint::current();
+  report.context["bench"] = "obs_overhead";
+  report.context["overhead_metrics_vs_off"] =
+      str_format("%.3f", metrics_ns / off_ns);
+  report.context["overhead_recorder_vs_off"] =
+      str_format("%.3f", recorder_ns / off_ns);
+  const auto add_case = [&](const std::string& name, double ns) {
+    benchlib::CaseStats s;
+    s.name = name;
+    s.bench = "bench_obs_overhead";
+    s.suites = {benchlib::kSuitePerf};
+    s.samples_ms = {ns * 1e-6};
+    s.checksum = checksum;
+    benchlib::summarize(s);
+    report.cases.push_back(std::move(s));
+  };
+  add_case("obs.estimate_off", off_ns);
+  add_case("obs.estimate_metrics", metrics_ns);
+  add_case("obs.estimate_metrics_recorder", recorder_ns);
+  report.write_file(out_path);
+  std::cout << "wrote " << out_path << "\n";
   return 0;
 }
 
 }  // namespace
 }  // namespace codesign
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::body);
+CODESIGN_BENCH_CASES(obs_overhead) {
+  using namespace codesign;
+  reg.add({"obs.estimate_hot_loop", "bench_obs_overhead",
+           "GemmSimulator::estimate() hot loop on the logit-shaped set",
+           {benchlib::kSuitePerf, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const auto problems = hot_problems();
+             double sink = 0.0;
+             for (int it = 0; it < 40; ++it) {
+               for (const auto& p : problems) sink += c.sim().estimate(p).time;
+             }
+             c.consume(sink);
+           },
+           /*threshold_frac=*/0.30});
 }
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -20,13 +20,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "advisor/rules.hpp"
 #include "advisor/search.hpp"
 #include "bench_common.hpp"
+#include "benchlib/bench_report.hpp"
+#include "benchlib/runner.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "transformer/layer_model.hpp"
@@ -38,6 +39,11 @@ namespace {
 
 using advisor::SearchOptions;
 using advisor::ShapeCandidate;
+
+const BenchSpec kSpec{
+    "bench_search_parallel",
+    "search throughput: seed path vs parallel pipeline with estimate cache",
+    {"model", "radius", "threads", "repeat", "out", "smoke"}};
 
 double now_seconds() {
   return std::chrono::duration<double>(
@@ -241,40 +247,60 @@ int body(BenchContext& ctx) {
       static_cast<unsigned long long>(cache_stats.misses),
       100.0 * cache_stats.hit_rate());
 
-  // --- JSON trajectory record ------------------------------------------
-  std::ofstream json(out_path);
-  CODESIGN_CHECK(json.good(), "cannot open '" + out_path + "' for writing");
-  json << str_format(
-      "{\n"
-      "  \"bench\": \"search_parallel\",\n"
-      "  \"model\": \"%s\",\n"
-      "  \"gpu\": \"%s\",\n"
-      "  \"radius_frac\": %g,\n"
-      "  \"candidates\": %zu,\n"
-      "  \"threads\": %zu,\n"
-      "  \"deterministic\": %s,\n"
-      "  \"seconds\": {\n"
-      "    \"seed_1t_nocache\": %.6g,\n"
-      "    \"pipeline_1t_nocache\": %.6g,\n"
-      "    \"pipeline_Nt_nocache\": %.6g,\n"
-      "    \"pipeline_1t_coldcache\": %.6g,\n"
-      "    \"pipeline_1t_warmcache\": %.6g,\n"
-      "    \"pipeline_Nt_warmcache\": %.6g\n"
-      "  },\n"
-      "  \"speedup_warm_Nt_vs_seed\": %.3f,\n"
-      "  \"speedup_warm_1t_vs_seed\": %.3f,\n"
-      "  \"cache\": {\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.4f,\n"
-      "            \"entries\": %zu, \"evictions\": %llu}\n"
-      "}\n",
-      model_name.c_str(), ctx.gpu().id.c_str(), radius, reference.size(),
-      threads, deterministic ? "true" : "false", seed.seconds, pipe1.seconds,
-      pipeN.seconds, cold.seconds, warm1.seconds, warmN.seconds,
-      speedup_warmN, speedup_warm1,
-      static_cast<unsigned long long>(cache_stats.hits),
-      static_cast<unsigned long long>(cache_stats.misses),
-      cache_stats.hit_rate(), cache_stats.entries,
-      static_cast<unsigned long long>(cache_stats.evictions));
-  json.close();
+  // --- JSON trajectory record (schema: codesign.bench_report) -----------
+  // The reference ranking is the data checksum: every configuration must
+  // reproduce it bit-for-bit, so all cases share one checksum and
+  // checksum_stable mirrors the determinism assertion above.
+  std::uint64_t ranking_checksum = benchlib::kChecksumSeed;
+  ranking_checksum = benchlib::checksum_fold(
+      ranking_checksum, static_cast<double>(reference.size()));
+  for (const ShapeCandidate& cand : reference) {
+    ranking_checksum = benchlib::checksum_fold(ranking_checksum,
+                                               cand.layer_time);
+  }
+
+  benchlib::BenchReport report;
+  report.run.suite = "trajectory";
+  report.run.filter = "search_parallel";
+  report.run.gpu = ctx.gpu().id;
+  report.run.policy = benchlib::tile_policy_name(ctx.sim().policy());
+  report.run.warmup = 0;
+  report.run.repeats = repeat;
+  report.run.threads = threads;
+  report.host = benchlib::HostFingerprint::current();
+  report.context["bench"] = "search_parallel";
+  report.context["model"] = model_name;
+  report.context["radius_frac"] = str_format("%g", radius);
+  report.context["candidates"] = std::to_string(reference.size());
+  report.context["deterministic"] = deterministic ? "true" : "false";
+  report.context["speedup_warm_1t_vs_seed"] =
+      str_format("%.3f", speedup_warm1);
+  report.context["speedup_warm_Nt_vs_seed"] =
+      str_format("%.3f", speedup_warmN);
+  report.context["cache_hits"] = std::to_string(cache_stats.hits);
+  report.context["cache_misses"] = std::to_string(cache_stats.misses);
+  report.context["cache_hit_rate"] = str_format("%.4f",
+                                                cache_stats.hit_rate());
+  report.context["cache_entries"] = std::to_string(cache_stats.entries);
+  report.context["cache_evictions"] = std::to_string(cache_stats.evictions);
+  const auto add_case = [&](const std::string& name, const Timing& timing) {
+    benchlib::CaseStats s;
+    s.name = name;
+    s.bench = "bench_search_parallel";
+    s.suites = {benchlib::kSuitePerf};
+    s.samples_ms = {timing.seconds * 1e3};
+    s.checksum = ranking_checksum;
+    s.checksum_stable = deterministic;
+    benchlib::summarize(s);
+    report.cases.push_back(std::move(s));
+  };
+  add_case("search.seed_1t_nocache", seed);
+  add_case("search.pipeline_1t_nocache", pipe1);
+  add_case("search.pipeline_Nt_nocache", pipeN);
+  add_case("search.pipeline_1t_coldcache", cold);
+  add_case("search.pipeline_1t_warmcache", warm1);
+  add_case("search.pipeline_Nt_warmcache", warmN);
+  report.write_file(out_path);
   std::cout << "wrote " << out_path << "\n";
 
   if (!deterministic) {
@@ -287,6 +313,24 @@ int body(BenchContext& ctx) {
 }  // namespace
 }  // namespace codesign::bench
 
-int main(int argc, char** argv) {
-  return codesign::bench::run_bench(argc, argv, codesign::bench::body);
+CODESIGN_BENCH_CASES(search_parallel) {
+  using namespace codesign;
+  reg.add({"search.joint_pipeline", "bench_search_parallel",
+           "joint heads x hidden search on pythia-160m, cold + warm cache",
+           {benchlib::kSuitePerf, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const auto base = tfm::model_by_name("pythia-160m");
+             advisor::SearchOptions options;
+             options.max_candidates = 1 << 20;
+             gemm::GemmSimulator cached = c.sim();
+             cached.enable_cache();
+             for (int round = 0; round < 2; ++round) {  // cold, then warm
+               const auto cands =
+                   advisor::search_joint(base, cached, 0.05, 0, options);
+               c.consume(static_cast<std::int64_t>(cands.size()));
+               for (const auto& cand : cands) c.consume(cand.layer_time);
+             }
+           }});
 }
+
+CODESIGN_BENCH_MAIN(codesign::bench::kSpec, codesign::bench::body);

@@ -1,0 +1,247 @@
+#include "benchlib/bench_report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+
+namespace codesign::benchlib {
+
+HostFingerprint HostFingerprint::current() {
+  HostFingerprint h;
+#if defined(__clang__)
+  h.compiler = str_format("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                          __clang_patchlevel__);
+#elif defined(__GNUC__)
+  h.compiler = str_format("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                          __GNUC_PATCHLEVEL__);
+#else
+  h.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  h.build_type = "optimized";
+#else
+  h.build_type = "debug-assertions";
+#endif
+#if defined(__linux__)
+  h.platform = "linux";
+#elif defined(__APPLE__)
+  h.platform = "macos";
+#else
+  h.platform = "other";
+#endif
+  h.pointer_bits = static_cast<int>(8 * sizeof(void*));
+  return h;
+}
+
+namespace {
+
+void append_case(std::ostringstream& os, const CaseStats& c) {
+  os << "    {\"name\":\"" << json::escape(c.name) << "\",\"bench\":\""
+     << json::escape(c.bench) << "\",\"suites\":[";
+  for (std::size_t i = 0; i < c.suites.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json::escape(c.suites[i]) << "\"";
+  }
+  os << "],\"threshold_frac\":" << json::format_double(c.threshold_frac)
+     << ",\"samples_ms\":[";
+  for (std::size_t i = 0; i < c.samples_ms.size(); ++i) {
+    if (i > 0) os << ",";
+    os << json::format_double(c.samples_ms[i]);
+  }
+  os << "],\"mean_ms\":" << json::format_double(c.mean_ms)
+     << ",\"median_ms\":" << json::format_double(c.median_ms)
+     << ",\"mad_ms\":" << json::format_double(c.mad_ms)
+     << ",\"min_ms\":" << json::format_double(c.min_ms)
+     << ",\"max_ms\":" << json::format_double(c.max_ms)
+     << ",\"p50_ms\":" << json::format_double(c.p50_ms)
+     << ",\"p95_ms\":" << json::format_double(c.p95_ms)
+     << ",\"outliers\":" << c.outliers << ",\"checksum\":\""
+     << str_format("%016llx", static_cast<unsigned long long>(c.checksum))
+     << "\",\"checksum_stable\":" << (c.checksum_stable ? "true" : "false")
+     << "}";
+}
+
+CaseStats parse_case(const json::Value& v) {
+  CaseStats c;
+  c.name = v.at("name").as_string();
+  c.bench = v.string_or("bench", "");
+  for (const json::Value& s : v.at("suites").as_array()) {
+    c.suites.push_back(s.as_string());
+  }
+  c.threshold_frac = v.number_or("threshold_frac", 0.0);
+  for (const json::Value& s : v.at("samples_ms").as_array()) {
+    c.samples_ms.push_back(s.as_number());
+  }
+  c.mean_ms = v.number_or("mean_ms", 0.0);
+  c.median_ms = v.at("median_ms").as_number();
+  c.mad_ms = v.at("mad_ms").as_number();
+  c.min_ms = v.number_or("min_ms", 0.0);
+  c.max_ms = v.number_or("max_ms", 0.0);
+  c.p50_ms = v.number_or("p50_ms", 0.0);
+  c.p95_ms = v.number_or("p95_ms", 0.0);
+  c.outliers = static_cast<int>(v.number_or("outliers", 0.0));
+  const std::string hex = v.at("checksum").as_string();
+  c.checksum = std::stoull(hex, nullptr, 16);
+  c.checksum_stable = v.bool_or("checksum_stable", true);
+  return c;
+}
+
+obs::MetricsSnapshot parse_metrics(const json::Value& v) {
+  obs::MetricsSnapshot snap;
+  for (const json::Value& m : v.at("metrics").as_array()) {
+    obs::MetricsSnapshot::Series s;
+    s.name = m.at("name").as_string();
+    s.labels = m.string_or("labels", "");
+    const std::string kind = m.at("kind").as_string();
+    if (kind == "counter") {
+      s.kind = obs::MetricKind::kCounter;
+      s.count = static_cast<std::uint64_t>(m.at("value").as_number());
+    } else if (kind == "gauge") {
+      s.kind = obs::MetricKind::kGauge;
+      s.value = m.at("value").as_number();
+    } else if (kind == "histogram") {
+      s.kind = obs::MetricKind::kHistogram;
+      s.count = static_cast<std::uint64_t>(m.at("count").as_number());
+      s.sum = m.number_or("sum", 0.0);
+      s.min = m.number_or("min", 0.0);
+      s.max = m.number_or("max", 0.0);
+      s.p50 = m.number_or("p50", 0.0);
+      s.p95 = m.number_or("p95", 0.0);
+      s.p99 = m.number_or("p99", 0.0);
+      if (const json::Value* buckets = m.get("buckets")) {
+        for (const json::Value& b : buckets->as_array()) {
+          const auto& pair = b.as_array();
+          CODESIGN_CHECK(pair.size() == 2, "metrics bucket is not a pair");
+          s.buckets.emplace_back(
+              pair[0].as_number(),
+              static_cast<std::uint64_t>(pair[1].as_number()));
+        }
+      }
+    } else {
+      throw Error("bench report: unknown metric kind '" + kind + "'");
+    }
+    s.stability = m.string_or("stability", "deterministic") == "best_effort"
+                      ? obs::Stability::kBestEffort
+                      : obs::Stability::kDeterministic;
+    snap.series.push_back(std::move(s));
+  }
+  return snap;
+}
+
+}  // namespace
+
+std::string BenchReport::to_json() const {
+  std::vector<const CaseStats*> ordered;
+  ordered.reserve(cases.size());
+  for (const CaseStats& c : cases) ordered.push_back(&c);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CaseStats* a, const CaseStats* b) {
+              return a->name < b->name;
+            });
+
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << kReportSchemaId << "\",\n  \"version\": "
+     << kReportSchemaVersion << ",\n";
+  os << "  \"run\": {\"suite\":\"" << json::escape(run.suite)
+     << "\",\"filter\":\"" << json::escape(run.filter) << "\",\"gpu\":\""
+     << json::escape(run.gpu) << "\",\"policy\":\"" << json::escape(run.policy)
+     << "\",\"warmup\":" << run.warmup << ",\"repeats\":" << run.repeats
+     << ",\"threads\":" << run.threads << "},\n";
+  os << "  \"host\": {\"compiler\":\"" << json::escape(host.compiler)
+     << "\",\"build_type\":\"" << json::escape(host.build_type)
+     << "\",\"platform\":\"" << json::escape(host.platform)
+     << "\",\"pointer_bits\":" << host.pointer_bits << "},\n";
+  os << "  \"context\": {";
+  bool first = true;
+  for (const auto& [k, v] : context) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json::escape(k) << "\":\"" << json::escape(v) << "\"";
+  }
+  os << "},\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    append_case(os, *ordered[i]);
+    if (i + 1 < ordered.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ],\n  \"metrics\": " << metrics.to_json() << "\n}\n";
+  return os.str();
+}
+
+BenchReport BenchReport::from_json(std::string_view text) {
+  const json::Value doc = json::Value::parse(text);
+  const std::string schema = doc.at("schema").as_string();
+  if (schema != kReportSchemaId) {
+    throw Error("bench report: schema id '" + schema + "' is not '" +
+                kReportSchemaId + "'");
+  }
+  const int version = static_cast<int>(doc.at("version").as_number());
+  if (version > kReportSchemaVersion) {
+    throw Error(str_format(
+        "bench report: version %d is newer than this binary understands (%d)",
+        version, kReportSchemaVersion));
+  }
+
+  BenchReport r;
+  const json::Value& run = doc.at("run");
+  r.run.suite = run.string_or("suite", "");
+  r.run.filter = run.string_or("filter", "");
+  r.run.gpu = run.string_or("gpu", "");
+  r.run.policy = run.string_or("policy", "");
+  r.run.warmup = static_cast<int>(run.number_or("warmup", 0.0));
+  r.run.repeats = static_cast<int>(run.number_or("repeats", 0.0));
+  r.run.threads = static_cast<std::size_t>(run.number_or("threads", 1.0));
+
+  if (const json::Value* host = doc.get("host")) {
+    r.host.compiler = host->string_or("compiler", "");
+    r.host.build_type = host->string_or("build_type", "");
+    r.host.platform = host->string_or("platform", "");
+    r.host.pointer_bits = static_cast<int>(host->number_or("pointer_bits", 0));
+  }
+  if (const json::Value* context = doc.get("context")) {
+    for (const auto& [k, v] : context->as_object()) {
+      r.context[k] = v.as_string();
+    }
+  }
+  for (const json::Value& c : doc.at("cases").as_array()) {
+    r.cases.push_back(parse_case(c));
+  }
+  if (const json::Value* metrics = doc.get("metrics")) {
+    r.metrics = parse_metrics(*metrics);
+  }
+  return r;
+}
+
+void BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  CODESIGN_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << to_json();
+  CODESIGN_CHECK(out.good(), "failed writing '" + path + "'");
+}
+
+BenchReport BenchReport::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw Error("cannot read bench report '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return from_json(buf.str());
+  } catch (const Error& e) {
+    throw Error("while reading '" + path + "': " + e.what());
+  }
+}
+
+const CaseStats* BenchReport::find_case(std::string_view name) const {
+  for (const CaseStats& c : cases) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace codesign::benchlib

@@ -1,0 +1,79 @@
+// bench_report.hpp — the versioned, machine-readable perf-trajectory
+// record every `codesign-bench run` (and the migrated trajectory benches)
+// writes as BENCH_<suite>.json.
+//
+// Schema id "codesign.bench_report", version 1 (docs/BENCHMARKS.md):
+//   {
+//     "schema": "codesign.bench_report", "version": 1,
+//     "run":  { suite, filter, gpu, policy, warmup, repeats, threads },
+//     "host": { compiler, build_type, platform, pointer_bits },
+//     "context": { free-form string pairs from the producing bench },
+//     "cases": [ { name, bench, suites, threshold_frac, samples_ms,
+//                  mean/median/mad/min/max/p50/p95 (ms), outliers,
+//                  checksum (hex string), checksum_stable } ],
+//     "metrics": <obs::MetricsSnapshot deterministic-only export>
+//   }
+// Readers must accept unknown keys (forward compatibility) and reject a
+// different schema id or a newer major version. All doubles are written
+// with shortest-round-trip formatting so identical runs produce
+// byte-identical files.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "benchlib/timing.hpp"
+#include "obs/metrics.hpp"
+
+namespace codesign::benchlib {
+
+inline constexpr const char* kReportSchemaId = "codesign.bench_report";
+inline constexpr int kReportSchemaVersion = 1;
+
+/// What produced the numbers: enough to refuse an apples-to-oranges
+/// compare (different GPU/policy) and to annotate the trajectory.
+struct RunMeta {
+  std::string suite;   ///< suite filter the run used ("" = all cases)
+  std::string filter;  ///< substring filter ("" = none)
+  std::string gpu;     ///< simulated device id, e.g. "a100-40gb"
+  std::string policy;  ///< "auto" or "fixed"
+  int warmup = 1;
+  int repeats = 5;
+  std::size_t threads = 1;  ///< cases timed concurrently on this many workers
+};
+
+/// Build fingerprint of the producing binary. Wall-clock timings are only
+/// comparable within one (host, build) pair; compare warns on mismatch.
+struct HostFingerprint {
+  std::string compiler;    ///< e.g. "gcc 12.2.0"
+  std::string build_type;  ///< "optimized" or "debug-assertions"
+  std::string platform;    ///< e.g. "linux"
+  int pointer_bits = 64;
+
+  static HostFingerprint current();
+  bool operator==(const HostFingerprint&) const = default;
+};
+
+struct BenchReport {
+  RunMeta run;
+  HostFingerprint host;
+  /// Free-form annotations from the producing bench (model name, cache
+  /// hit rates, headline speedups). Keys sorted on write.
+  std::map<std::string, std::string> context;
+  std::vector<CaseStats> cases;  ///< sorted by case name on write
+  obs::MetricsSnapshot metrics;  ///< deterministic-only snapshot
+
+  std::string to_json() const;
+  /// Parse + validate schema id/version; throws codesign::Error with the
+  /// offending key on malformed input.
+  static BenchReport from_json(std::string_view text);
+
+  void write_file(const std::string& path) const;
+  static BenchReport load_file(const std::string& path);
+
+  const CaseStats* find_case(std::string_view name) const;
+};
+
+}  // namespace codesign::benchlib

@@ -1,0 +1,134 @@
+#include "benchlib/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace codesign::benchlib {
+
+const char* verdict_name(CaseVerdict v) {
+  switch (v) {
+    case CaseVerdict::kPass: return "ok";
+    case CaseVerdict::kFaster: return "FASTER";
+    case CaseVerdict::kRegression: return "REGRESSION";
+    case CaseVerdict::kDataMismatch: return "DATA MISMATCH";
+    case CaseVerdict::kMissingCase: return "MISSING";
+    case CaseVerdict::kNewCase: return "new";
+  }
+  return "?";
+}
+
+namespace {
+
+double resolved_threshold(const CaseStats& base, const CaseStats& cand,
+                          const CompareOptions& opt) {
+  double thr = std::max(opt.min_frac,
+                        std::max(base.threshold_frac, cand.threshold_frac));
+  if (base.median_ms > 0.0) {
+    const double noise = opt.mad_factor *
+                         std::max(base.mad_ms, cand.mad_ms) / base.median_ms;
+    thr = std::max(thr, noise);
+  }
+  return thr;
+}
+
+}  // namespace
+
+CompareResult compare_reports(const BenchReport& baseline,
+                              const BenchReport& candidate,
+                              const CompareOptions& options) {
+  CompareResult result;
+
+  if (!baseline.run.gpu.empty() && baseline.run.gpu != candidate.run.gpu) {
+    result.warnings.push_back("simulated GPU differs (baseline " +
+                              baseline.run.gpu + ", candidate " +
+                              candidate.run.gpu + ")");
+  }
+  if (!baseline.run.policy.empty() &&
+      baseline.run.policy != candidate.run.policy) {
+    result.warnings.push_back("tile policy differs (baseline " +
+                              baseline.run.policy + ", candidate " +
+                              candidate.run.policy + ")");
+  }
+  if (!(baseline.host == candidate.host)) {
+    result.warnings.push_back(
+        "host/build fingerprint differs — wall-clock deltas are only "
+        "indicative (baseline " + baseline.host.compiler + "/" +
+        baseline.host.build_type + ", candidate " + candidate.host.compiler +
+        "/" + candidate.host.build_type + ")");
+  }
+
+  for (const CaseStats& base : baseline.cases) {
+    CaseDelta d;
+    d.name = base.name;
+    d.base_median_ms = base.median_ms;
+    const CaseStats* cand = candidate.find_case(base.name);
+    if (cand == nullptr) {
+      d.verdict = CaseVerdict::kMissingCase;
+      ++result.missing;
+      result.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.cand_median_ms = cand->median_ms;
+    d.threshold_frac = resolved_threshold(base, *cand, options);
+    d.delta_frac = base.median_ms > 0.0
+                       ? (cand->median_ms - base.median_ms) / base.median_ms
+                       : 0.0;
+    const bool data_bad =
+        options.check_data &&
+        (base.checksum != cand->checksum || !base.checksum_stable ||
+         !cand->checksum_stable);
+    if (data_bad) {
+      d.verdict = CaseVerdict::kDataMismatch;
+      ++result.data_mismatches;
+    } else if (d.delta_frac > d.threshold_frac) {
+      d.verdict = CaseVerdict::kRegression;
+      ++result.regressions;
+    } else if (d.delta_frac < -d.threshold_frac) {
+      d.verdict = CaseVerdict::kFaster;
+      ++result.faster;
+    }
+    result.deltas.push_back(std::move(d));
+  }
+
+  for (const CaseStats& cand : candidate.cases) {
+    if (baseline.find_case(cand.name) != nullptr) continue;
+    CaseDelta d;
+    d.name = cand.name;
+    d.cand_median_ms = cand.median_ms;
+    d.verdict = CaseVerdict::kNewCase;
+    result.deltas.push_back(std::move(d));
+  }
+
+  std::sort(result.deltas.begin(), result.deltas.end(),
+            [](const CaseDelta& a, const CaseDelta& b) {
+              return a.name < b.name;
+            });
+  return result;
+}
+
+TableWriter delta_table(const CompareResult& result) {
+  TableWriter t({"case", "baseline", "candidate", "delta", "threshold",
+                 "verdict"});
+  for (const CaseDelta& d : result.deltas) {
+    const bool compared = d.verdict != CaseVerdict::kMissingCase &&
+                          d.verdict != CaseVerdict::kNewCase;
+    t.new_row()
+        .cell(d.name)
+        .cell(d.verdict == CaseVerdict::kNewCase
+                  ? "-"
+                  : human_time(d.base_median_ms / 1e3))
+        .cell(d.verdict == CaseVerdict::kMissingCase
+                  ? "-"
+                  : human_time(d.cand_median_ms / 1e3))
+        .cell(compared ? str_format("%+.1f%%", 100.0 * d.delta_frac)
+                       : std::string("-"))
+        .cell(compared ? str_format("±%.1f%%", 100.0 * d.threshold_frac)
+                       : std::string("-"))
+        .cell(verdict_name(d.verdict));
+  }
+  return t;
+}
+
+}  // namespace codesign::benchlib

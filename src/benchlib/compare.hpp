@@ -1,0 +1,71 @@
+// compare.hpp — regression gating between two bench reports.
+//
+// `codesign-bench compare <baseline> <candidate>` decides, per case,
+// whether the candidate got slower than noise can explain. The threshold
+// is noise-aware: a case must regress by more than
+//   max(min_frac, per-case threshold_frac,
+//       mad_factor * max(baseline MAD, candidate MAD) / baseline median)
+// of the baseline median before it fails the gate, so a jittery 0.2 ms
+// case cannot flap CI while a genuine 2x slowdown on any case fails it.
+// Data checksums gate separately from wall time: a mismatch means the
+// candidate computes different numbers, which is a correctness signal no
+// timing threshold should be able to absorb.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "benchlib/bench_report.hpp"
+#include "common/table.hpp"
+
+namespace codesign::benchlib {
+
+struct CompareOptions {
+  double min_frac = 0.05;   ///< floor on the regression threshold
+  double mad_factor = 3.0;  ///< noise band width in MADs
+  bool check_data = true;   ///< fail on checksum mismatch / instability
+};
+
+enum class CaseVerdict {
+  kPass,          ///< within the noise band
+  kFaster,        ///< improved beyond the noise band
+  kRegression,    ///< slower beyond the noise band
+  kDataMismatch,  ///< checksums differ or a run was unstable
+  kMissingCase,   ///< present in baseline, absent in candidate
+  kNewCase,       ///< absent in baseline (informational)
+};
+
+const char* verdict_name(CaseVerdict v);
+
+struct CaseDelta {
+  std::string name;
+  double base_median_ms = 0.0;
+  double cand_median_ms = 0.0;
+  double delta_frac = 0.0;      ///< (cand - base) / base
+  double threshold_frac = 0.0;  ///< the resolved noise-aware threshold
+  CaseVerdict verdict = CaseVerdict::kPass;
+};
+
+struct CompareResult {
+  std::vector<CaseDelta> deltas;  ///< sorted by case name
+  int regressions = 0;
+  int data_mismatches = 0;
+  int missing = 0;
+  int faster = 0;
+  /// Wall-clock comparability warnings (host/gpu/policy mismatch); these
+  /// do not fail the gate but are printed alongside the table.
+  std::vector<std::string> warnings;
+
+  bool ok() const {
+    return regressions == 0 && data_mismatches == 0 && missing == 0;
+  }
+};
+
+CompareResult compare_reports(const BenchReport& baseline,
+                              const BenchReport& candidate,
+                              const CompareOptions& options = {});
+
+/// Render the per-case delta table `codesign-bench compare` prints.
+TableWriter delta_table(const CompareResult& result);
+
+}  // namespace codesign::benchlib

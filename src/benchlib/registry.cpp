@@ -1,0 +1,80 @@
+#include "benchlib/registry.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace codesign::benchlib {
+
+bool is_known_suite(const std::string& tag) {
+  return tag == kSuiteSmoke || tag == kSuiteFig || tag == kSuiteExt ||
+         tag == kSuitePerf;
+}
+
+std::uint64_t checksum_fold(std::uint64_t acc, double v) {
+  if (v == 0.0) v = 0.0;  // -0.0 == 0.0, so this canonicalizes the sign bit
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int byte = 0; byte < 8; ++byte) {
+    acc ^= (bits >> (8 * byte)) & 0xffu;
+    acc *= 0x100000001b3ull;  // FNV-1a prime
+  }
+  return acc;
+}
+
+void BenchRegistry::add(BenchCase c) {
+  CODESIGN_CHECK(!c.name.empty(), "bench case has no name");
+  const std::size_t dot = c.name.find('.');
+  CODESIGN_CHECK(dot != std::string::npos && dot > 0 && dot + 1 < c.name.size(),
+                 "bench case name '" + c.name +
+                     "' must look like '<group>.<case>'");
+  CODESIGN_CHECK(static_cast<bool>(c.fn),
+                 "bench case '" + c.name + "' has no body");
+  CODESIGN_CHECK(!c.suites.empty(),
+                 "bench case '" + c.name + "' has no suite tags");
+  for (const std::string& s : c.suites) {
+    CODESIGN_CHECK(is_known_suite(s), "bench case '" + c.name +
+                                          "' has unknown suite tag '" + s +
+                                          "'");
+  }
+  CODESIGN_CHECK(find(c.name) == nullptr,
+                 "duplicate bench case name '" + c.name + "'");
+  cases_.push_back(std::move(c));
+}
+
+std::vector<const BenchCase*> BenchRegistry::select(
+    const std::string& suite, const std::string& filter) const {
+  std::vector<const BenchCase*> out;
+  for (const BenchCase& c : cases_) {
+    if (!suite.empty() &&
+        std::find(c.suites.begin(), c.suites.end(), suite) == c.suites.end()) {
+      continue;
+    }
+    if (!filter.empty() && c.name.find(filter) == std::string::npos &&
+        c.bench.find(filter) == std::string::npos) {
+      continue;
+    }
+    out.push_back(&c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BenchCase* a, const BenchCase* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+const BenchCase* BenchRegistry::find(std::string_view name) const {
+  for (const BenchCase& c : cases_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+BenchRegistry& BenchRegistry::global() {
+  static BenchRegistry registry;
+  return registry;
+}
+
+}  // namespace codesign::benchlib

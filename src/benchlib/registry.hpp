@@ -1,0 +1,45 @@
+// registry.hpp — the process-wide table of benchmark cases.
+//
+// Bench binaries define their cases in a registration function (the
+// CODESIGN_BENCH_CASES macro in bench/bench_common.hpp names it); the
+// `codesign-bench` runner calls bench::register_all_cases() once and then
+// lists/filters/runs out of this registry. Registration is explicit —
+// no static-initializer tricks — so the case set is deterministic and
+// survives static-library dead-stripping.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "benchlib/bench_case.hpp"
+
+namespace codesign::benchlib {
+
+class BenchRegistry {
+ public:
+  /// Register a case. Throws codesign::Error on a duplicate name, an
+  /// empty/unknown suite tag, a missing body, or a name without the
+  /// "<group>.<case>" shape.
+  void add(BenchCase c);
+
+  std::size_t size() const { return cases_.size(); }
+  const std::vector<BenchCase>& cases() const { return cases_; }
+
+  /// Cases whose suite list contains `suite` (empty = all) and whose name
+  /// or bench contains `filter` (empty = all), sorted by name so every
+  /// run/list/report order is deterministic.
+  std::vector<const BenchCase*> select(const std::string& suite,
+                                       const std::string& filter = "") const;
+
+  /// Exact-name lookup; nullptr when absent.
+  const BenchCase* find(std::string_view name) const;
+
+  /// The registry `codesign-bench` runs from.
+  static BenchRegistry& global();
+
+ private:
+  std::vector<BenchCase> cases_;
+};
+
+}  // namespace codesign::benchlib

@@ -10,6 +10,8 @@ int exit_code_for_current_exception() noexcept {
   // Ordered most-derived first — every class here derives from Error.
   try {
     throw;
+  } catch (const UsageError&) {
+    return kExitUsage;
   } catch (const ConfigError&) {
     return kExitConfig;
   } catch (const ShapeError&) {

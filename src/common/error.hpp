@@ -37,6 +37,14 @@ class LookupError : public Error {
   explicit LookupError(std::string what) : Error(std::move(what)) {}
 };
 
+/// Raised for a malformed command line (unknown flag, bad subcommand).
+/// Maps to kExitUsage so scripts can distinguish "you called it wrong"
+/// from a failing run.
+class UsageError : public Error {
+ public:
+  explicit UsageError(std::string what) : Error(std::move(what)) {}
+};
+
 /// Raised when a cooperative cancellation (SIGINT, --deadline-ms) stops an
 /// operation before it completed. Carries no partial results — pipelines
 /// that can return partial work report it in their outcome type instead of

@@ -1,0 +1,85 @@
+// json.hpp — a minimal JSON document model and recursive-descent parser.
+//
+// The bench harness writes machine-readable perf reports (BENCH_*.json)
+// and `codesign-bench compare` must read them back; this is the reading
+// half. It supports exactly the JSON the project emits: objects, arrays,
+// strings, finite numbers, booleans and null — no comments, no trailing
+// commas. Parse errors throw codesign::Error with a line/column prefix.
+//
+// Writers in this codebase emit JSON by hand (deterministic field order,
+// shortest-round-trip doubles); json::escape and json::format_double are
+// the shared helpers for that path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace codesign::json {
+
+/// One JSON value. Objects preserve insertion order; lookup is linear
+/// (documents here are small and determinism matters more than speed).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  static Value parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Checked accessors; throw codesign::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::vector<std::pair<std::string, Value>>& as_object() const;
+
+  /// Object member lookup: get() returns nullptr when absent, at() throws.
+  const Value* get(std::string_view key) const;
+  const Value& at(std::string_view key) const;
+  bool has(std::string_view key) const { return get(key) != nullptr; }
+
+  /// Convenience typed member reads with defaults (absent => default;
+  /// present with the wrong kind => throw).
+  double number_or(std::string_view key, double def) const;
+  std::string string_or(std::string_view key, std::string def) const;
+  bool bool_or(std::string_view key, bool def) const;
+
+  /// Mutators for building documents programmatically (tests).
+  void push_back(Value v);                       // array only
+  void set(std::string key, Value v);            // object only
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Escape a string for embedding inside JSON double quotes.
+std::string escape(std::string_view s);
+
+/// Shortest decimal form of `v` that round-trips to the same double
+/// (%.15g when exact, %.17g otherwise). Deterministic for equal values.
+std::string format_double(double v);
+
+}  // namespace codesign::json

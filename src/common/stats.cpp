@@ -36,6 +36,14 @@ double geomean(const std::vector<double>& xs) {
 
 double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
 
+double median_abs_deviation(const std::vector<double>& xs) {
+  const double m = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (const double x : xs) dev.push_back(std::fabs(x - m));
+  return median(std::move(dev));
+}
+
 double percentile(std::vector<double> xs, double p) {
   CODESIGN_CHECK(!xs.empty(), "percentile of empty vector");
   CODESIGN_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");

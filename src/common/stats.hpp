@@ -16,6 +16,10 @@ double stddev(const std::vector<double>& xs);
 double geomean(const std::vector<double>& xs);    // requires all xs > 0
 double median(std::vector<double> xs);            // by-value: sorts a copy
 double percentile(std::vector<double> xs, double p);  // p in [0,100]
+/// Median absolute deviation: median(|x - median(xs)|). A robust noise
+/// scale for benchmark timings (the bench harness gates regressions on
+/// MAD-scaled thresholds so one outlier repeat cannot fail or pass a run).
+double median_abs_deviation(const std::vector<double>& xs);
 double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);
 

@@ -9,6 +9,14 @@
 
 namespace codesign {
 
+TableFormat parse_table_format(const std::string& name) {
+  const std::string fmt = to_lower(name);
+  if (fmt == "ascii") return TableFormat::kAscii;
+  if (fmt == "csv") return TableFormat::kCsv;
+  if (fmt == "markdown" || fmt == "md") return TableFormat::kMarkdown;
+  throw Error("--format must be ascii, csv, or markdown; got '" + fmt + "'");
+}
+
 TableWriter::TableWriter(std::vector<std::string> header)
     : header_(std::move(header)) {
   CODESIGN_CHECK(!header_.empty(), "table must have at least one column");

@@ -15,6 +15,10 @@ namespace codesign {
 
 enum class TableFormat { kAscii, kCsv, kMarkdown };
 
+/// Parse "ascii" / "csv" / "markdown" (alias "md"); throws codesign::Error
+/// naming the bad value. Shared by the bench harness and codesign-bench.
+TableFormat parse_table_format(const std::string& name);
+
 /// A simple row/column table with typed cell helpers. Column count is fixed
 /// by the header; add_row enforces it.
 class TableWriter {

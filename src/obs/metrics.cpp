@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/stats.hpp"
+
 namespace codesign::obs {
 
 std::atomic<bool> MetricsRegistry::g_enabled{false};
@@ -52,6 +54,26 @@ void Histogram::record(double v) {
   ++data_.count;
   data_.sum += v;
   ++data_.buckets[static_cast<std::size_t>(bucket_index(v))];
+  if (data_.samples.size() < kMaxSamples) data_.samples.push_back(v);
+}
+
+double Histogram::Data::percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (count <= samples.size()) {
+    return codesign::percentile(samples, p);
+  }
+  // Sample cap exceeded: walk the log2 buckets to the one holding the
+  // rank and report its lower bound (clamped into [min, max]).
+  const auto rank = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count - 1));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[static_cast<std::size_t>(b)];
+    if (cumulative > rank) {
+      return std::clamp(bucket_lower_bound(b), min, max);
+    }
+  }
+  return max;
 }
 
 Histogram::Data Histogram::data() const {
@@ -142,6 +164,9 @@ MetricsSnapshot MetricsRegistry::snapshot(
       s.sum = d.sum;
       s.min = d.min;
       s.max = d.max;
+      s.p50 = d.percentile(50.0);
+      s.p95 = d.percentile(95.0);
+      s.p99 = d.percentile(99.0);
       for (int b = 0; b < Histogram::kBuckets; ++b) {
         const std::uint64_t n = d.buckets[static_cast<std::size_t>(b)];
         if (n > 0) s.buckets.emplace_back(Histogram::bucket_lower_bound(b), n);
@@ -216,7 +241,10 @@ std::string MetricsSnapshot::to_json() const {
       case MetricKind::kHistogram:
         os << ",\"count\":" << s.count << ",\"sum\":" << format_double(s.sum)
            << ",\"min\":" << format_double(s.min)
-           << ",\"max\":" << format_double(s.max) << ",\"buckets\":[";
+           << ",\"max\":" << format_double(s.max)
+           << ",\"p50\":" << format_double(s.p50)
+           << ",\"p95\":" << format_double(s.p95)
+           << ",\"p99\":" << format_double(s.p99) << ",\"buckets\":[";
         for (std::size_t b = 0; b < s.buckets.size(); ++b) {
           if (b > 0) os << ",";
           os << "[" << format_double(s.buckets[b].first) << ","
@@ -233,20 +261,22 @@ std::string MetricsSnapshot::to_json() const {
 
 std::string MetricsSnapshot::to_csv() const {
   std::ostringstream os;
-  os << "name,labels,kind,stability,value,count,sum,min,max\n";
+  os << "name,labels,kind,stability,value,count,sum,min,max,p50,p95,p99\n";
   for (const Series& s : series) {
     os << s.name << "," << s.labels << "," << metric_kind_name(s.kind) << ","
        << stability_name(s.stability) << ",";
     switch (s.kind) {
       case MetricKind::kCounter:
-        os << s.count << "," << s.count << ",,,";
+        os << s.count << "," << s.count << ",,,,,,";
         break;
       case MetricKind::kGauge:
-        os << format_double(s.value) << ",,,,";
+        os << format_double(s.value) << ",,,,,,,";
         break;
       case MetricKind::kHistogram:
         os << "," << s.count << "," << format_double(s.sum) << ","
-           << format_double(s.min) << "," << format_double(s.max);
+           << format_double(s.min) << "," << format_double(s.max) << ","
+           << format_double(s.p50) << "," << format_double(s.p95) << ","
+           << format_double(s.p99);
         break;
     }
     os << "\n";

@@ -71,9 +71,15 @@ class Gauge {
 /// Count/sum/min/max plus log2 buckets. Mutex-protected: histograms are
 /// recorded per task / per pipeline stage, not per GEMM estimate, so a
 /// short critical section is fine.
+///
+/// The first kMaxSamples recorded values are retained verbatim so
+/// snapshots can report exact p50/p95/p99 tail latencies (via
+/// common/stats percentile); past the cap, percentiles degrade to a
+/// bucket-boundary approximation rather than growing memory unboundedly.
 class Histogram {
  public:
   static constexpr int kBuckets = 64;
+  static constexpr std::size_t kMaxSamples = 4096;
 
   struct Data {
     std::uint64_t count = 0;
@@ -81,10 +87,17 @@ class Histogram {
     double min = 0.0;
     double max = 0.0;
     std::array<std::uint64_t, kBuckets> buckets{};
+    /// Up to the first kMaxSamples recorded values (for exact percentiles).
+    std::vector<double> samples;
 
     double mean() const {
       return count > 0 ? sum / static_cast<double>(count) : 0.0;
     }
+
+    /// p in [0, 100]. Exact (sorted-sample interpolation) while count <=
+    /// kMaxSamples; afterwards approximated from the log2 bucket whose
+    /// cumulative count crosses the rank. Returns 0 for an empty histogram.
+    double percentile(double p) const;
   };
 
   void record(double v);
@@ -111,6 +124,7 @@ struct MetricsSnapshot {
     std::uint64_t count = 0;  ///< counter value or histogram count
     double value = 0.0;       ///< gauge value
     double sum = 0.0, min = 0.0, max = 0.0;  ///< histogram aggregates
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;  ///< histogram tail latencies
     /// Non-empty histogram buckets as (lower bound, count).
     std::vector<std::pair<double, std::uint64_t>> buckets;
   };

@@ -1,5 +1,6 @@
 // Tests for bench/bench_common.hpp — the shared harness every figure
-// binary is built on (flag parsing, banner/section/table emission).
+// binary is built on (flag parsing, unknown-flag rejection, banner/
+// section/table emission, exit-code taxonomy).
 #include "bench_common.hpp"
 
 #include <gtest/gtest.h>
@@ -11,10 +12,12 @@
 namespace codesign::bench {
 namespace {
 
-BenchContext make(std::initializer_list<const char*> flags) {
+BenchContext make(std::initializer_list<const char*> flags,
+                  const BenchSpec& spec = {}) {
   std::vector<const char*> argv = {"bench"};
   argv.insert(argv.end(), flags.begin(), flags.end());
-  return BenchContext::from_args(static_cast<int>(argv.size()), argv.data());
+  return BenchContext::from_args(static_cast<int>(argv.size()), argv.data(),
+                                 spec);
 }
 
 TEST(BenchContext, Defaults) {
@@ -28,6 +31,13 @@ TEST(BenchContext, GpuFlag) {
   EXPECT_EQ(make({"--gpu=v100"}).gpu().id, "v100-16gb");
   EXPECT_EQ(make({"--gpu=h100"}).gpu().id, "h100-sxm");
   EXPECT_THROW(make({"--gpu=tpu"}), LookupError);
+}
+
+TEST(BenchContext, SpecDefaultGpu) {
+  BenchSpec spec;
+  spec.default_gpu = "v100";
+  EXPECT_EQ(make({}, spec).gpu().id, "v100-16gb");
+  EXPECT_EQ(make({"--gpu=h100"}, spec).gpu().id, "h100-sxm");
 }
 
 TEST(BenchContext, PolicyFlag) {
@@ -44,11 +54,32 @@ TEST(BenchContext, FormatFlag) {
   EXPECT_THROW(make({"--format=xml"}), Error);
 }
 
-TEST(BenchContext, ExtraFlagsReachableViaArgs) {
-  const BenchContext ctx = make({"--heads=8,16", "--b=2"});
+TEST(BenchContext, DeclaredFlagsReachableViaArgs) {
+  BenchSpec spec;
+  spec.flags = {"heads", "b"};
+  const BenchContext ctx = make({"--heads=8,16", "--b=2"}, spec);
   const auto heads = ctx.args().get_int_list("heads", {});
   ASSERT_EQ(heads.size(), 2u);
   EXPECT_EQ(ctx.args().get_int("b", 0), 2);
+}
+
+TEST(BenchContext, UndeclaredFlagIsUsageError) {
+  // Flags the spec does not declare are rejected, naming every offender
+  // and carrying the usage text.
+  EXPECT_THROW(make({"--heads=8"}), UsageError);
+  try {
+    make({"--zzz=1", "--aaa=2"});
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--aaa"), std::string::npos);
+    EXPECT_NE(what.find("--zzz"), std::string::npos);
+    EXPECT_NE(what.find("usage:"), std::string::npos);
+  }
+}
+
+TEST(BenchContext, HelpIsUsageError) {
+  EXPECT_THROW(make({"--help"}), UsageError);
 }
 
 TEST(BenchContext, BannerAndEmit) {
@@ -68,10 +99,16 @@ TEST(BenchContext, BannerAndEmit) {
 }
 
 TEST(RunBench, CleanErrorPath) {
+  // Errors are caught, reported, and mapped through the exit taxonomy:
+  // unknown GPU is a lookup failure, not a generic error.
   const char* argv[] = {"bench", "--gpu=bogus"};
-  const int rc = run_bench(
-      2, argv, [](BenchContext&) { return 0; });
-  EXPECT_EQ(rc, 1);  // caught and reported, not thrown
+  const int rc = run_bench(2, argv, [](BenchContext&) { return 0; });
+  EXPECT_EQ(rc, kExitLookup);
+}
+
+TEST(RunBench, UnknownFlagExitsUsage) {
+  const char* argv[] = {"bench", "--not-a-flag=1"};
+  EXPECT_EQ(run_bench(2, argv, [](BenchContext&) { return 0; }), kExitUsage);
 }
 
 TEST(RunBench, BodyReturnCodePropagates) {

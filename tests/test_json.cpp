@@ -1,0 +1,96 @@
+// Tests for common/json.hpp — the parser behind `codesign-bench compare`
+// (BENCH_*.json reading) plus the shared writer helpers.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace codesign {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::Value::parse("null").is_null());
+  EXPECT_TRUE(json::Value::parse("true").as_bool());
+  EXPECT_FALSE(json::Value::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json::Value::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json::Value::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(json::Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto v = json::Value::parse(R"("a\"b\\c\n\tA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonParse, NestedDocument) {
+  const auto v = json::Value::parse(
+      R"({"run":{"repeats":5},"cases":[{"name":"x","samples":[1,2.5]}]})");
+  EXPECT_DOUBLE_EQ(v.at("run").at("repeats").as_number(), 5.0);
+  const auto& cases = v.at("cases").as_array();
+  ASSERT_EQ(cases.size(), 1u);
+  EXPECT_EQ(cases[0].at("name").as_string(), "x");
+  EXPECT_DOUBLE_EQ(cases[0].at("samples").as_array()[1].as_number(), 2.5);
+}
+
+TEST(JsonParse, ObjectPreservesOrderAndLookups) {
+  const auto v = json::Value::parse(R"({"b":1,"a":2})");
+  const auto& members = v.as_object();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].first, "b");
+  EXPECT_EQ(v.get("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), Error);
+  EXPECT_DOUBLE_EQ(v.number_or("a", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(v.number_or("zz", -1.0), -1.0);
+  EXPECT_EQ(v.string_or("zz", "d"), "d");
+}
+
+TEST(JsonParse, ErrorsCarryPosition) {
+  EXPECT_THROW(json::Value::parse("{"), Error);
+  EXPECT_THROW(json::Value::parse("[1,]"), Error);
+  EXPECT_THROW(json::Value::parse("{\"a\":1} x"), Error);  // trailing junk
+  EXPECT_THROW(json::Value::parse("{'a':1}"), Error);      // single quotes
+  try {
+    json::Value::parse("[1,\n  oops]");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, KindMismatchThrows) {
+  const auto v = json::Value::parse("[1]");
+  EXPECT_THROW(v.as_object(), Error);
+  EXPECT_THROW(v.as_string(), Error);
+  EXPECT_THROW(v.at("k"), Error);
+}
+
+TEST(JsonWrite, Escape) {
+  EXPECT_EQ(json::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWrite, FormatDoubleRoundTrips) {
+  for (const double v : {0.0, 1.0, -2.5, 0.1, 1.0 / 3.0, 21.433,
+                         std::numeric_limits<double>::min()}) {
+    const std::string s = json::format_double(v);
+    EXPECT_DOUBLE_EQ(json::Value::parse(s).as_number(), v) << s;
+  }
+  // Identical values format identically (byte-stable reports).
+  EXPECT_EQ(json::format_double(0.1 + 0.2), json::format_double(0.1 + 0.2));
+}
+
+TEST(JsonBuild, Mutators) {
+  auto arr = json::Value::array();
+  arr.push_back(json::Value::number(1));
+  auto obj = json::Value::object();
+  obj.set("xs", std::move(arr));
+  EXPECT_DOUBLE_EQ(obj.at("xs").as_array()[0].as_number(), 1.0);
+  EXPECT_THROW(obj.push_back(json::Value()), Error);
+}
+
+}  // namespace
+}  // namespace codesign

@@ -152,10 +152,35 @@ TEST_F(ObsTest, SnapshotJsonAndCsv) {
   EXPECT_NE(json.find("\"buckets\":[[2,1]]"), std::string::npos);
 
   const std::string csv = snap.to_csv();
-  EXPECT_EQ(csv.rfind("name,labels,kind,stability,value,count,sum,min,max\n",
-                      0),
-            0u);
+  EXPECT_EQ(
+      csv.rfind(
+          "name,labels,kind,stability,value,count,sum,min,max,p50,p95,p99\n",
+          0),
+      0u);
   EXPECT_NE(csv.find("runs,,counter,deterministic,7"), std::string::npos);
+
+  // A single-sample histogram has every percentile equal to that sample.
+  for (const auto& s : snap.series) {
+    if (s.name != "lat_us") continue;
+    EXPECT_DOUBLE_EQ(s.p50, 3.0);
+    EXPECT_DOUBLE_EQ(s.p95, 3.0);
+    EXPECT_DOUBLE_EQ(s.p99, 3.0);
+  }
+}
+
+TEST_F(ObsTest, HistogramPercentilesFromSamples) {
+  MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("p_us", "", Stability::kBestEffort);
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const auto snap = reg.snapshot();
+  for (const auto& s : snap.series) {
+    if (s.name != "p_us") continue;
+    EXPECT_NEAR(s.p50, 50.5, 1.0);
+    EXPECT_NEAR(s.p95, 95.0, 1.5);
+    EXPECT_NEAR(s.p99, 99.0, 1.5);
+    const std::string json = snap.to_json();
+    EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  }
 }
 
 TEST_F(ObsTest, ResetValuesKeepsSeriesAndReferences) {

@@ -46,6 +46,16 @@ TEST(Percentile, Basic) {
   EXPECT_THROW(percentile({}, 50), Error);
 }
 
+TEST(MedianAbsDeviation, Basic) {
+  // median = 3, |x - 3| = {2,1,0,1,2} -> MAD = 1.
+  EXPECT_DOUBLE_EQ(median_abs_deviation({1, 2, 3, 4, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(median_abs_deviation({7, 7, 7}), 0.0);
+  EXPECT_DOUBLE_EQ(median_abs_deviation({5}), 0.0);
+  // Robust to a wild outlier where stddev is not.
+  EXPECT_DOUBLE_EQ(median_abs_deviation({1, 2, 3, 4, 1000}), 1.0);
+  EXPECT_THROW(median_abs_deviation({}), Error);
+}
+
 TEST(MinMax, Basic) {
   EXPECT_DOUBLE_EQ(min_of({3, 1, 2}), 1.0);
   EXPECT_DOUBLE_EQ(max_of({3, 1, 2}), 3.0);

@@ -7,6 +7,11 @@
 #   tier 3  ASan+UBSan build of the same set (every report fatal)
 #   smoke   a fault-injected CLI sweep: 5% of candidates fail, the run
 #           must still exit 0 and print the skipped-candidate report
+#   perf    codesign-bench smoke suite gated against the committed
+#           baseline (bench/baselines/). Thresholds are deliberately
+#           loose (CODESIGN_PERF_MIN_FRAC, default 0.75 = fail only on a
+#           >75% slowdown) because the baseline was produced on a
+#           different machine; checksum mismatches fail at any speed.
 #
 # Usage: tools/check.sh [source-dir]
 # Also wired as `cmake --build <build> --target check`.
@@ -50,5 +55,13 @@ echo "${SMOKE_OUT}" | grep -q "skipped .* candidate" || {
   echo "FAIL: fault-injected search printed no skipped-candidate report"
   exit 1
 }
+
+echo "== perf: bench smoke suite vs committed baseline =="
+PERF_MIN_FRAC="${CODESIGN_PERF_MIN_FRAC:-0.75}"
+PERF_BASELINE="${SRC_DIR}/bench/baselines/BENCH_smoke_baseline.json"
+"${BUILD_DIR}/tools/codesign-bench" run --suite=smoke --repeats=5 \
+    --out="${BUILD_DIR}/BENCH_smoke.json"
+"${BUILD_DIR}/tools/codesign-bench" compare "${PERF_BASELINE}" \
+    "${BUILD_DIR}/BENCH_smoke.json" --min-frac="${PERF_MIN_FRAC}"
 
 echo "== check OK =="
