@@ -37,6 +37,7 @@ CODESIGN_DECLARE_BENCH(fig20_vocab);
 CODESIGN_DECLARE_BENCH(fig21_47_head_sweep);
 CODESIGN_DECLARE_BENCH(obs_overhead);
 CODESIGN_DECLARE_BENCH(search_parallel);
+CODESIGN_DECLARE_BENCH(serve_throughput);
 
 namespace codesign::bench {
 
@@ -73,6 +74,7 @@ void register_all_cases(benchlib::BenchRegistry& reg) {
   CODESIGN_CALL_BENCH(fig21_47_head_sweep);
   CODESIGN_CALL_BENCH(obs_overhead);
   CODESIGN_CALL_BENCH(search_parallel);
+  CODESIGN_CALL_BENCH(serve_throughput);
 #undef CODESIGN_CALL_BENCH
 }
 

@@ -1,0 +1,322 @@
+// bench_serve_throughput — closed-loop load generator for `codesign serve`.
+//
+// Starts an in-process Server on an ephemeral port, then drives it with K
+// concurrent blocking clients (src/serve/client.hpp), each walking the
+// same deterministic request mix: mostly GEMM estimates over a fixed shape
+// grid (the shared EstimateCache path), plus explain and advise requests.
+// Two timed phases over the identical mix:
+//   * cold — fresh server, empty process-wide cache;
+//   * warm — same requests again, estimates now all cache hits.
+// Reported per phase: throughput (requests/s) and client-observed p50/p95
+// latency. The per-client FNV checksum over response payload bytes is the
+// determinism control: every client must observe byte-identical payloads
+// (the serving contract — the same bytes the one-shot CLI prints), so all
+// client checksums must agree across phases, repeats, and thread counts.
+//
+// Flags: --clients= --shapes= --threads= --repeat= --out= --smoke, plus
+// the standard --gpu/--policy/--format (the simulated GPU is the request
+// field; server-side simulators are built per request).
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "benchlib/bench_report.hpp"
+#include "benchlib/runner.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace codesign::bench {
+namespace {
+
+const BenchSpec kSpec{
+    "bench_serve_throughput",
+    "codesign serve under closed-loop load: cold vs warm shared cache",
+    {"clients", "shapes", "threads", "repeat", "out", "smoke"}};
+
+/// FNV-1a over the raw payload bytes (the byte-identity control).
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// The deterministic request mix: one line per index, same for every
+/// client. Estimates dominate (the cache-heavy path); every 8th slot is
+/// an explain, every 16th an advise.
+std::vector<std::string> build_mix(std::size_t shapes,
+                                   const std::string& gpu) {
+  std::vector<std::string> mix;
+  mix.reserve(shapes);
+  for (std::size_t i = 0; i < shapes; ++i) {
+    // A fixed tile of tensor-core-relevant shapes: mixed alignment, a few
+    // skinny and a few square problems, cycled deterministically.
+    const long long m = 256 + 128 * static_cast<long long>(i % 7);
+    const long long n = 512 + 256 * static_cast<long long>(i % 5);
+    const long long k = 768 + 64 * static_cast<long long>(i % 11);
+    if (i % 16 == 15) {
+      mix.push_back(str_format(
+          "{\"op\":\"advise\",\"model\":\"pythia-70m\",\"gpu\":\"%s\"}",
+          gpu.c_str()));
+    } else if (i % 8 == 7) {
+      mix.push_back(str_format(
+          "{\"op\":\"explain\",\"m\":%lld,\"n\":%lld,\"k\":%lld,"
+          "\"gpu\":\"%s\"}",
+          m, n, k, gpu.c_str()));
+    } else {
+      mix.push_back(str_format(
+          "{\"op\":\"estimate\",\"m\":%lld,\"n\":%lld,\"k\":%lld,"
+          "\"gpu\":\"%s\"}",
+          m, n, k, gpu.c_str()));
+    }
+  }
+  return mix;
+}
+
+struct ClientResult {
+  std::vector<double> latencies_ms;  ///< one per request, issue order
+  std::uint64_t checksum = benchlib::kChecksumSeed;
+  std::string error;  ///< non-empty on any non-ok response
+};
+
+struct PhaseResult {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  double p50_ms = 0.0, p95_ms = 0.0;
+  std::uint64_t checksum = 0;  ///< every client's (they must agree)
+  bool checksums_agree = true;
+};
+
+/// One closed-loop phase: `clients` threads, each sending the full mix
+/// (rotated by client index so the wire order differs while the request
+/// set does not), blocking on each response before sending the next.
+PhaseResult run_phase(int port, std::size_t clients,
+                      const std::vector<std::string>& mix) {
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientResult& out = results[c];
+      try {
+        serve::ServeClient client("127.0.0.1", port);
+        // Rotate the walk so clients do not move in lockstep, but fold
+        // checksums in mix order so every client's accumulator matches.
+        std::vector<std::uint64_t> folds(mix.size(),
+                                         benchlib::kChecksumSeed);
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+          const std::size_t slot = (i + c) % mix.size();
+          const auto r0 = std::chrono::steady_clock::now();
+          const serve::Response r = client.call(mix[slot]);
+          out.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - r0)
+                  .count());
+          if (!r.ok() || r.code != 0) {
+            out.error = str_format("slot %zu: status code %d",
+                                   slot, r.code);
+            return;
+          }
+          folds[slot] = fnv1a(benchlib::kChecksumSeed, r.payload);
+        }
+        for (const std::uint64_t f : folds) out.checksum ^= f;
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  PhaseResult phase;
+  phase.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::vector<double> all;
+  for (const ClientResult& r : results) {
+    CODESIGN_CHECK(r.error.empty(), "serve bench client failed: " + r.error);
+    all.insert(all.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  phase.requests = all.size();
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    phase.p50_ms = all[all.size() / 2];
+    phase.p95_ms = all[(all.size() * 95) / 100];
+  }
+  phase.checksum = results.front().checksum;
+  for (const ClientResult& r : results) {
+    phase.checksums_agree =
+        phase.checksums_agree && r.checksum == phase.checksum;
+  }
+  return phase;
+}
+
+int body(BenchContext& ctx) {
+  const bool smoke = ctx.args().get_bool("smoke", false);
+  const auto clients = static_cast<std::size_t>(
+      ctx.args().get_int("clients", smoke ? 2 : 8));
+  const auto shapes = static_cast<std::size_t>(
+      ctx.args().get_int("shapes", smoke ? 16 : 64));
+  const auto threads = static_cast<std::size_t>(
+      ctx.args().get_int("threads", smoke ? 2 : 4));
+  const int repeat =
+      static_cast<int>(ctx.args().get_int("repeat", smoke ? 1 : 3));
+  const std::string out_path =
+      ctx.args().get_string("out", "BENCH_serve.json");
+
+  ctx.banner("serve throughput",
+             "closed-loop clients against an in-process codesign serve: "
+             "admission-controlled worker pool + shared estimate cache");
+
+  const std::vector<std::string> mix = build_mix(shapes, ctx.gpu().id);
+
+  serve::ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.threads = threads;
+  options.queue_capacity = clients * 2;  // closed-loop: never overloads
+  serve::Server server(options);
+  server.start();
+
+  // Phase 1 (cold): empty process-wide cache. Phase 2 (warm): the same
+  // mix again — every estimate is now a shared-cache hit. Extra repeats
+  // re-run the warm phase; the best wall time is reported.
+  const PhaseResult cold = run_phase(server.port(), clients, mix);
+  PhaseResult warm = run_phase(server.port(), clients, mix);
+  for (int r = 1; r < repeat; ++r) {
+    const PhaseResult again = run_phase(server.port(), clients, mix);
+    warm.checksums_agree =
+        warm.checksums_agree && again.checksums_agree &&
+        again.checksum == warm.checksum;
+    if (again.seconds < warm.seconds) {
+      const bool agree = warm.checksums_agree;
+      warm = again;
+      warm.checksums_agree = agree;
+    }
+  }
+  const gemm::CacheStats cache_stats = server.cache()->stats();
+
+  const bool deterministic =
+      cold.checksums_agree && warm.checksums_agree &&
+      cold.checksum == warm.checksum;
+  const double cold_rps = static_cast<double>(cold.requests) / cold.seconds;
+  const double warm_rps = static_cast<double>(warm.requests) / warm.seconds;
+
+  TableWriter t({"phase", "clients", "requests", "time", "req/s", "p50",
+                 "p95"});
+  const auto row = [&](const std::string& name, const PhaseResult& p) {
+    t.new_row()
+        .cell(name)
+        .cell(static_cast<std::int64_t>(clients))
+        .cell(static_cast<std::int64_t>(p.requests))
+        .cell(human_time(p.seconds))
+        .cell(static_cast<double>(p.requests) / p.seconds, 0)
+        .cell(human_time(p.p50_ms / 1e3))
+        .cell(human_time(p.p95_ms / 1e3));
+  };
+  row("cold cache", cold);
+  row("warm cache", warm);
+  ctx.emit(t);
+
+  std::cout << str_format(
+      "payloads byte-identical across clients/phases: %s | warm/cold "
+      "throughput %.2fx | cache: %llu hits / %llu misses (%.1f%% hit "
+      "rate)\n",
+      deterministic ? "yes" : "NO", warm_rps / cold_rps,
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      100.0 * cache_stats.hit_rate());
+
+  // JSON trajectory record (schema: codesign.bench_report).
+  benchlib::BenchReport report;
+  report.run.suite = "trajectory";
+  report.run.filter = "serve_throughput";
+  report.run.gpu = ctx.gpu().id;
+  report.run.policy = benchlib::tile_policy_name(ctx.sim().policy());
+  report.run.warmup = 0;
+  report.run.repeats = repeat;
+  report.run.threads = threads;
+  report.host = benchlib::HostFingerprint::current();
+  report.context["bench"] = "serve_throughput";
+  report.context["clients"] = std::to_string(clients);
+  report.context["requests_per_client"] = std::to_string(shapes);
+  report.context["server_threads"] = std::to_string(threads);
+  report.context["deterministic"] = deterministic ? "true" : "false";
+  report.context["cold_rps"] = str_format("%.1f", cold_rps);
+  report.context["warm_rps"] = str_format("%.1f", warm_rps);
+  report.context["warm_vs_cold_speedup"] =
+      str_format("%.3f", warm_rps / cold_rps);
+  report.context["cold_p95_ms"] = str_format("%.3f", cold.p95_ms);
+  report.context["warm_p95_ms"] = str_format("%.3f", warm.p95_ms);
+  report.context["cache_hits"] = std::to_string(cache_stats.hits);
+  report.context["cache_misses"] = std::to_string(cache_stats.misses);
+  report.context["cache_hit_rate"] =
+      str_format("%.4f", cache_stats.hit_rate());
+  const auto add_case = [&](const std::string& name, const PhaseResult& p) {
+    benchlib::CaseStats s;
+    s.name = name;
+    s.bench = "bench_serve_throughput";
+    s.suites = {benchlib::kSuitePerf};
+    s.samples_ms = {p.seconds * 1e3};
+    s.checksum = p.checksum;
+    s.checksum_stable = deterministic;
+    benchlib::summarize(s);
+    report.cases.push_back(std::move(s));
+  };
+  add_case("serve.coldcache_burst", cold);
+  add_case("serve.warmcache_burst", warm);
+  report.write_file(out_path);
+  std::cout << "wrote " << out_path << "\n";
+
+  server.request_drain();
+  server.join();
+
+  if (!deterministic) {
+    std::cerr << "FAIL: response payloads differ across clients/phases\n";
+    return 1;
+  }
+  if (warm_rps < cold_rps) {
+    // Not fatal for the figure output, but worth a loud line: the shared
+    // cache should make the second pass at least as fast as the first.
+    std::cerr << "WARNING: warm throughput below cold ("
+              << str_format("%.1f < %.1f req/s", warm_rps, cold_rps)
+              << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace codesign::bench
+
+CODESIGN_BENCH_CASES(serve_throughput) {
+  using namespace codesign;
+  reg.add({"serve.request_roundtrip", "bench_serve_throughput",
+           "in-process serve: 2 clients x estimate/explain mix, cold + warm "
+           "shared cache",
+           {benchlib::kSuitePerf},
+           [](benchlib::CaseContext& c) {
+             serve::ServerOptions options;
+             options.port = 0;
+             options.threads = 2;
+             options.queue_capacity = 8;
+             serve::Server server(options);
+             server.start();
+             const std::vector<std::string> mix =
+                 bench::build_mix(12, c.gpu().id);
+             for (int round = 0; round < 2; ++round) {  // cold, then warm
+               const bench::PhaseResult p =
+                   bench::run_phase(server.port(), 2, mix);
+               c.consume(static_cast<double>(p.checksum));
+               c.consume(static_cast<std::int64_t>(p.requests));
+             }
+             server.request_drain();
+             server.join();
+           }});
+}
+
+CODESIGN_BENCH_MAIN(codesign::bench::kSpec, codesign::bench::body);

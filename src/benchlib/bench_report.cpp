@@ -39,30 +39,29 @@ HostFingerprint HostFingerprint::current() {
 
 namespace {
 
-void append_case(std::ostringstream& os, const CaseStats& c) {
-  os << "    {\"name\":\"" << json::escape(c.name) << "\",\"bench\":\""
-     << json::escape(c.bench) << "\",\"suites\":[";
-  for (std::size_t i = 0; i < c.suites.size(); ++i) {
-    if (i > 0) os << ",";
-    os << "\"" << json::escape(c.suites[i]) << "\"";
-  }
-  os << "],\"threshold_frac\":" << json::format_double(c.threshold_frac)
-     << ",\"samples_ms\":[";
-  for (std::size_t i = 0; i < c.samples_ms.size(); ++i) {
-    if (i > 0) os << ",";
-    os << json::format_double(c.samples_ms[i]);
-  }
-  os << "],\"mean_ms\":" << json::format_double(c.mean_ms)
-     << ",\"median_ms\":" << json::format_double(c.median_ms)
-     << ",\"mad_ms\":" << json::format_double(c.mad_ms)
-     << ",\"min_ms\":" << json::format_double(c.min_ms)
-     << ",\"max_ms\":" << json::format_double(c.max_ms)
-     << ",\"p50_ms\":" << json::format_double(c.p50_ms)
-     << ",\"p95_ms\":" << json::format_double(c.p95_ms)
-     << ",\"outliers\":" << c.outliers << ",\"checksum\":\""
-     << str_format("%016llx", static_cast<unsigned long long>(c.checksum))
-     << "\",\"checksum_stable\":" << (c.checksum_stable ? "true" : "false")
-     << "}";
+void append_case(json::Writer& w, const CaseStats& c) {
+  w.begin_object();
+  w.member("name", c.name);
+  w.member("bench", c.bench);
+  w.key("suites").begin_array();
+  for (const std::string& s : c.suites) w.value(s);
+  w.end_array();
+  w.member("threshold_frac", c.threshold_frac);
+  w.key("samples_ms").begin_array();
+  for (const double s : c.samples_ms) w.value(s);
+  w.end_array();
+  w.member("mean_ms", c.mean_ms);
+  w.member("median_ms", c.median_ms);
+  w.member("mad_ms", c.mad_ms);
+  w.member("min_ms", c.min_ms);
+  w.member("max_ms", c.max_ms);
+  w.member("p50_ms", c.p50_ms);
+  w.member("p95_ms", c.p95_ms);
+  w.member("outliers", c.outliers);
+  w.member("checksum", str_format("%016llx",
+                                  static_cast<unsigned long long>(c.checksum)));
+  w.member("checksum_stable", c.checksum_stable);
+  w.end_object();
 }
 
 CaseStats parse_case(const json::Value& v) {
@@ -144,31 +143,35 @@ std::string BenchReport::to_json() const {
             });
 
   std::ostringstream os;
-  os << "{\n  \"schema\": \"" << kReportSchemaId << "\",\n  \"version\": "
-     << kReportSchemaVersion << ",\n";
-  os << "  \"run\": {\"suite\":\"" << json::escape(run.suite)
-     << "\",\"filter\":\"" << json::escape(run.filter) << "\",\"gpu\":\""
-     << json::escape(run.gpu) << "\",\"policy\":\"" << json::escape(run.policy)
-     << "\",\"warmup\":" << run.warmup << ",\"repeats\":" << run.repeats
-     << ",\"threads\":" << run.threads << "},\n";
-  os << "  \"host\": {\"compiler\":\"" << json::escape(host.compiler)
-     << "\",\"build_type\":\"" << json::escape(host.build_type)
-     << "\",\"platform\":\"" << json::escape(host.platform)
-     << "\",\"pointer_bits\":" << host.pointer_bits << "},\n";
-  os << "  \"context\": {";
-  bool first = true;
-  for (const auto& [k, v] : context) {
-    if (!first) os << ",";
-    first = false;
-    os << "\"" << json::escape(k) << "\":\"" << json::escape(v) << "\"";
-  }
-  os << "},\n  \"cases\": [\n";
-  for (std::size_t i = 0; i < ordered.size(); ++i) {
-    append_case(os, *ordered[i]);
-    if (i + 1 < ordered.size()) os << ",";
-    os << "\n";
-  }
-  os << "  ],\n  \"metrics\": " << metrics.to_json() << "\n}\n";
+  json::Writer w(os);
+  // Pretty spine, compact leaves — the layout documented in the header.
+  w.begin_object(json::Writer::Style::kPretty);
+  w.member("schema", kReportSchemaId);
+  w.member("version", kReportSchemaVersion);
+  w.key("run").begin_object();
+  w.member("suite", run.suite);
+  w.member("filter", run.filter);
+  w.member("gpu", run.gpu);
+  w.member("policy", run.policy);
+  w.member("warmup", run.warmup);
+  w.member("repeats", run.repeats);
+  w.member("threads", run.threads);
+  w.end_object();
+  w.key("host").begin_object();
+  w.member("compiler", host.compiler);
+  w.member("build_type", host.build_type);
+  w.member("platform", host.platform);
+  w.member("pointer_bits", host.pointer_bits);
+  w.end_object();
+  w.key("context").begin_object();
+  for (const auto& [k, v] : context) w.member(k, v);
+  w.end_object();
+  w.key("cases").begin_array(json::Writer::Style::kPretty);
+  for (const CaseStats* c : ordered) append_case(w, *c);
+  w.end_array();
+  w.key("metrics").raw(metrics.to_json());
+  w.end_object();
+  os << "\n";
   return os.str();
 }
 

@@ -20,6 +20,8 @@ int exit_code_for_current_exception() noexcept {
     return kExitLookup;
   } catch (const CancelledError&) {
     return kExitCancelled;
+  } catch (const IoError&) {
+    return kExitIo;
   } catch (const Error&) {
     return kExitError;
   } catch (...) {

@@ -54,6 +54,15 @@ class CancelledError : public Error {
   explicit CancelledError(std::string what) : Error(std::move(what)) {}
 };
 
+/// Raised for network/OS I/O failures: socket bind/listen/connect (port in
+/// use, connection refused), reads/writes on a live connection. Distinct
+/// from ConfigError — the request was well-formed; the environment failed.
+/// Maps to kExitIo.
+class IoError : public Error {
+ public:
+  explicit IoError(std::string what) : Error(std::move(what)) {}
+};
+
 /// The CLI's documented exit-code taxonomy (docs/ROBUSTNESS.md). Scripts
 /// and CI match on these instead of parsing stderr.
 enum ExitCode : int {
@@ -64,7 +73,12 @@ enum ExitCode : int {
   kExitShape = 4,     ///< ShapeError: dimension out of range / inconsistent
   kExitLookup = 5,    ///< LookupError: unknown GPU / model / figure id
   kExitCancelled = 6, ///< CancelledError: SIGINT or deadline
+  kExitIo = 7,        ///< IoError: socket/file I/O failure (bind, connect…)
   kExitInternal = 70, ///< non-codesign exception (EX_SOFTWARE)
+  /// Not exception-mapped: a serve admission-control rejection (server
+  /// overloaded or draining). Chosen to match sysexits EX_TEMPFAIL —
+  /// "temporary failure; the caller is invited to retry".
+  kExitUnavailable = 75,
 };
 
 /// Map an in-flight exception to its ExitCode. Call from a catch block;

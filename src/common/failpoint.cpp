@@ -52,6 +52,9 @@ constexpr const char* kBuiltinSites[] = {
     "gemmsim.select_kernel",
     "gemmsim.des.simulate",
     "advisor.search.evaluate",
+    "serve.accept",
+    "serve.parse",
+    "serve.dispatch",
 };
 
 bool is_known_site_locked(Registry& r, std::string_view name) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -345,6 +347,154 @@ std::string format_double(double v) {
   std::sscanf(buf, "%lf", &back);
   if (back != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+void Writer::indent(std::size_t depth) {
+  os_ << '\n';
+  for (std::size_t i = 0; i < depth; ++i) os_ << "  ";
+}
+
+void Writer::before_value() {
+  if (stack_.empty()) {
+    CODESIGN_CHECK(!done_, "json::Writer: document is already complete");
+    done_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    CODESIGN_CHECK(have_key_, "json::Writer: object member written without key()");
+    have_key_ = false;
+    return;  // separator was emitted by key()
+  }
+  if (top.count > 0) os_ << ',';
+  if (top.pretty) indent(stack_.size());
+  ++top.count;
+}
+
+Writer& Writer::key(std::string_view k) {
+  CODESIGN_CHECK(!stack_.empty() && stack_.back().is_object,
+                 "json::Writer: key() outside an object");
+  CODESIGN_CHECK(!have_key_, "json::Writer: key() twice without a value");
+  Frame& top = stack_.back();
+  if (top.count > 0) os_ << ',';
+  if (top.pretty) indent(stack_.size());
+  os_ << '"' << escape(k) << "\":";
+  if (top.pretty) os_ << ' ';
+  ++top.count;
+  have_key_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_object(Style style) {
+  before_value();
+  stack_.push_back(Frame{true, style == Style::kPretty});
+  os_ << '{';
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  CODESIGN_CHECK(!stack_.empty() && stack_.back().is_object,
+                 "json::Writer: end_object() without begin_object()");
+  CODESIGN_CHECK(!have_key_, "json::Writer: end_object() with a dangling key");
+  const Frame top = stack_.back();
+  stack_.pop_back();
+  if (top.pretty && top.count > 0) indent(stack_.size());
+  os_ << '}';
+  return *this;
+}
+
+Writer& Writer::begin_array(Style style) {
+  before_value();
+  stack_.push_back(Frame{false, style == Style::kPretty});
+  os_ << '[';
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  CODESIGN_CHECK(!stack_.empty() && !stack_.back().is_object,
+                 "json::Writer: end_array() without begin_array()");
+  const Frame top = stack_.back();
+  stack_.pop_back();
+  if (top.pretty && top.count > 0) indent(stack_.size());
+  os_ << ']';
+  return *this;
+}
+
+Writer& Writer::value(std::string_view s) {
+  before_value();
+  os_ << '"' << escape(s) << '"';
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  CODESIGN_CHECK(std::isfinite(v),
+                 "json::Writer: JSON cannot represent a non-finite number");
+  before_value();
+  os_ << format_double(v);
+  return *this;
+}
+
+Writer& Writer::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::value(long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(unsigned long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view text) {
+  before_value();
+  os_ << text;
+  return *this;
+}
+
+namespace {
+
+void dump_value(Writer& w, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull: w.null(); return;
+    case Value::Kind::kBool: w.value(v.as_bool()); return;
+    case Value::Kind::kNumber: w.value(v.as_number()); return;
+    case Value::Kind::kString: w.value(v.as_string()); return;
+    case Value::Kind::kArray:
+      w.begin_array();
+      for (const Value& e : v.as_array()) dump_value(w, e);
+      w.end_array();
+      return;
+    case Value::Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.as_object()) {
+        w.key(k);
+        dump_value(w, e);
+      }
+      w.end_object();
+      return;
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& v) {
+  std::ostringstream os;
+  Writer w(os);
+  dump_value(w, v);
+  return os.str();
 }
 
 }  // namespace codesign::json

@@ -6,12 +6,17 @@
 // strings, finite numbers, booleans and null — no comments, no trailing
 // commas. Parse errors throw codesign::Error with a line/column prefix.
 //
-// Writers in this codebase emit JSON by hand (deterministic field order,
-// shortest-round-trip doubles); json::escape and json::format_double are
-// the shared helpers for that path.
+// The writing half is json::Writer: a streaming emitter with automatic
+// comma/key management, per-container compact/pretty styles, and the same
+// escaping + shortest-round-trip number rules the parser accepts — bench
+// reports and serve responses share it so "emits JSON" means one code
+// path. json::escape and json::format_double remain exposed for callers
+// that splice fragments by hand.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -81,5 +86,87 @@ std::string escape(std::string_view s);
 /// Shortest decimal form of `v` that round-trips to the same double
 /// (%.15g when exact, %.17g otherwise). Deterministic for equal values.
 std::string format_double(double v);
+
+/// Streaming JSON emitter with automatic separator management. Misuse
+/// (value without key inside an object, mismatched end_*, writing past a
+/// complete document) throws codesign::Error via CODESIGN_CHECK rather
+/// than emitting malformed output.
+///
+/// Every container picks its own style at begin_*:
+///   * kCompact: no whitespace at all — `{"a":1,"b":[2,3]}`
+///   * kPretty:  each member/element on its own line, two-space indent per
+///               depth, `": "` after pretty object keys
+/// so a document can mix a pretty spine with compact leaves (the bench
+/// report layout). Doubles go through format_double and must be finite
+/// (JSON has no Inf/NaN); strings through escape.
+class Writer {
+ public:
+  enum class Style { kCompact, kPretty };
+
+  explicit Writer(std::ostream& os) : os_(os) {}
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Writer& begin_object(Style style = Style::kCompact);
+  Writer& end_object();
+  Writer& begin_array(Style style = Style::kCompact);
+  Writer& end_array();
+
+  /// Member key (objects only; exactly one value must follow).
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view s);
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(const std::string& s) { return value(std::string_view(s)); }
+  Writer& value(double v);
+  Writer& value(bool b);
+  Writer& value(int v) { return value(static_cast<long long>(v)); }
+  Writer& value(long v) { return value(static_cast<long long>(v)); }
+  Writer& value(long long v);
+  Writer& value(unsigned v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  Writer& value(unsigned long v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  Writer& value(unsigned long long v);
+  Writer& null();
+
+  /// Splice pre-rendered JSON (e.g. a nested document produced elsewhere)
+  /// as one value. The text is emitted verbatim — caller guarantees it is
+  /// well-formed.
+  Writer& raw(std::string_view text);
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  Writer& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once a single complete top-level value has been written and
+  /// every container is closed.
+  bool complete() const { return done_ && stack_.empty(); }
+
+ private:
+  struct Frame {
+    bool is_object;
+    bool pretty;
+    std::size_t count = 0;  ///< members (objects) / elements (arrays) so far
+  };
+
+  void before_value();  ///< separator bookkeeping shared by all value forms
+  void indent(std::size_t depth);
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool have_key_ = false;  ///< key() written, its value still pending
+  bool done_ = false;      ///< a top-level value has been started
+};
+
+/// Serialize a parsed Value back to text (compact style, object members in
+/// insertion order). parse(dump(v)) reproduces v — the round-trip the
+/// escaping tests pin down.
+std::string dump(const Value& v);
 
 }  // namespace codesign::json

@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "obs/metrics.hpp"
 
 namespace codesign {
@@ -44,6 +45,43 @@ void ThreadPool::worker_loop() {
     }
     task();  // chunk bodies catch their own exceptions
   }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  CODESIGN_CHECK(task != nullptr, "submit of an empty task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CODESIGN_CHECK(!stop_, "submit on a stopped thread pool");
+    queue_.emplace_back([t = std::move(task)] {
+      try {
+        t();
+      } catch (const std::exception& e) {
+        // worker_loop requires non-throwing tasks; contain the escape so
+        // the worker thread (and every task queued behind it) survives.
+        LOG_ERROR << "thread pool task threw: " << e.what();
+        if (obs::MetricsRegistry::enabled()) {
+          obs::MetricsRegistry::global()
+              .counter("threadpool.task_errors", {},
+                       obs::Stability::kBestEffort)
+              .add();
+        }
+      } catch (...) {
+        LOG_ERROR << "thread pool task threw a non-std exception";
+        if (obs::MetricsRegistry::enabled()) {
+          obs::MetricsRegistry::global()
+              .counter("threadpool.task_errors", {},
+                       obs::Stability::kBestEffort)
+              .add();
+        }
+      }
+    });
+    if (obs::MetricsRegistry::enabled()) {
+      obs::MetricsRegistry::global()
+          .gauge("threadpool.queue_depth.max", {}, obs::Stability::kBestEffort)
+          .update_max(static_cast<double>(queue_.size()));
+    }
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::parallel_for(std::size_t n,

@@ -43,6 +43,14 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 0);
 
+  /// Enqueue one independent task and return immediately (the serve worker
+  /// pool's entry point, vs parallel_for's blocking fan-out). Tasks are
+  /// expected to handle their own errors; an exception that does escape is
+  /// swallowed — logged and counted in threadpool.task_errors — so one bad
+  /// task cannot take down the pool's worker thread. The destructor drains
+  /// every queued task before joining, so submitted work always runs.
+  void submit(std::function<void()> task);
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static std::size_t hardware_threads();
 

@@ -1,0 +1,101 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace codesign::serve {
+
+ServeClient::ServeClient(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw IoError(std::string("client: socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("client: bad host address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string what = str_format("client: cannot connect to %s:%d: %s",
+                                        host.c_str(), port,
+                                        std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError(what);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Response ServeClient::call(std::string_view request_line) {
+  CODESIGN_CHECK(fd_ >= 0, "call() on a closed client");
+  std::string line(request_line);
+  if (line.empty() || line.back() != '\n') line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("client: send(): ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return parse_response(read_line());
+}
+
+Response ServeClient::call_op(std::string_view op,
+                              std::string_view extra_members) {
+  std::string request = "{\"op\":\"" + json::escape(op) + "\"";
+  if (!extra_members.empty()) {
+    request += ',';
+    request += extra_members;
+  }
+  request += '}';
+  return call(request);
+}
+
+std::string ServeClient::read_line() {
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = rx_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = rx_.substr(0, nl);
+      rx_.erase(0, nl + 1);
+      return line;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("client: recv(): ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      throw IoError("client: connection closed by server");
+    }
+    rx_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace codesign::serve

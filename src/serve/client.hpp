@@ -1,0 +1,47 @@
+// client.hpp — a small blocking client for the codesign serve protocol.
+//
+// One connection, synchronous request/response: call() writes a request
+// line and blocks for the matching response line. Used by the
+// codesign-client CLI, the bench_serve_throughput load generator, and the
+// serve tests. Connection-level failures (refused, reset, EOF mid-read)
+// throw IoError; protocol-level failures come back as parsed Response
+// envelopes with status "error"/"overloaded".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace codesign::serve {
+
+class ServeClient {
+ public:
+  /// Connect (IPv4 dotted host). Throws IoError when the server is not
+  /// there — exit code 7 at the CLI.
+  ServeClient(const std::string& host, int port);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Send one request line (a '\n' is appended when missing) and block for
+  /// its response. Throws IoError if the connection dies first.
+  Response call(std::string_view request_line);
+
+  /// Build-and-call convenience: op plus already-rendered JSON members
+  /// ("\"model\":\"gpt3-2.7b\",\"deadline_ms\":50"). Empty extra sends
+  /// {"op":...} alone.
+  Response call_op(std::string_view op, std::string_view extra_members = {});
+
+  void close();
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string rx_;
+};
+
+}  // namespace codesign::serve

@@ -1,0 +1,311 @@
+#include "serve/ops.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "gemmsim/explain.hpp"
+#include "gpuarch/dtype.hpp"
+#include "obs/metrics.hpp"
+#include "transformer/config_parse.hpp"
+#include "transformer/model_zoo.hpp"
+
+namespace codesign::serve {
+
+SearchModeSpec parse_search_mode(const std::string& mode) {
+  SearchModeSpec spec;
+  if (mode == "mlp") {
+    spec.is_mlp = true;
+  } else if (mode == "heads") {
+    spec.shape_mode = advisor::SearchMode::kHeads;
+  } else if (mode == "hidden") {
+    spec.shape_mode = advisor::SearchMode::kHidden;
+  } else if (mode == "joint") {
+    spec.shape_mode = advisor::SearchMode::kJoint;
+  } else {
+    throw Error("--mode must be heads, hidden, joint, or mlp; got '" + mode +
+                "'");
+  }
+  return spec;
+}
+
+void default_dff_range(const tfm::TransformerConfig& config, std::int64_t* lo,
+                       std::int64_t* hi) {
+  const auto center = static_cast<std::int64_t>(8 * config.hidden_size / 3);
+  *lo = (center * 3) / 4;
+  *hi = (center * 5) / 4;
+}
+
+void render_advise(std::ostream& os, const tfm::TransformerConfig& config,
+                   const gemm::GemmSimulator& sim,
+                   const advisor::ReportOptions& options) {
+  os << advisor::advise(config, sim, options);
+}
+
+void render_estimate(std::ostream& os, const gemm::GemmProblem& problem,
+                     const gemm::GemmSimulator& sim) {
+  const auto est = sim.estimate(problem);
+  os << problem.to_string() << " on " << sim.gpu().id << ":\n"
+     << str_format(
+            "  time %s  |  %.1f TFLOP/s  |  %s-bound  |  tile %s  |  "
+            "%lld tiles in %lld waves\n",
+            human_time(est.time).c_str(), est.tflops(),
+            gemm::bound_name(est.bound), est.tile.name().c_str(),
+            static_cast<long long>(est.tile_q.tiles_total),
+            static_cast<long long>(est.wave_q.waves))
+     << str_format(
+            "  alignment: m %.2f, n %.2f, k %.2f (combined %.2f, "
+            "tensor cores %s)\n",
+            est.alignment.m, est.alignment.n, est.alignment.k,
+            est.alignment.combined,
+            est.alignment.tensor_cores ? "ON" : "OFF");
+}
+
+void render_explain(std::ostream& os, const gemm::GemmProblem& problem,
+                    const gemm::GemmSimulator& sim) {
+  os << gemm::explain_gemm(problem, sim.gpu()).to_string();
+}
+
+int report_sweep_outcome(std::ostream& os,
+                         const std::vector<advisor::SkippedCandidate>& skipped,
+                         std::size_t total, std::size_t evaluated,
+                         std::size_t resumed, std::size_t retries,
+                         std::size_t unreached, bool truncated,
+                         CancelReason reason) {
+  if (!skipped.empty()) {
+    os << "\nskipped " << skipped.size() << " of " << total
+       << " candidate(s):\n";
+    TableWriter t({"candidate", "attempts", "reason"});
+    for (const auto& s : skipped) {
+      t.new_row()
+          .cell(s.config.name)
+          .cell(static_cast<std::int64_t>(s.attempts))
+          .cell(s.reason);
+    }
+    t.write(os);
+  }
+  if (retries > 0) {
+    os << "retried " << retries << " transient fault(s)\n";
+  }
+  if (resumed > 0) {
+    os << "resumed " << resumed << " candidate(s) from the checkpoint\n";
+  }
+  if (truncated) {
+    os << "*** PARTIAL RESULTS: sweep cancelled (" << cancel_reason_name(reason)
+       << ") after " << evaluated << " of " << total << " candidates; "
+       << unreached << " never evaluated ***\n"
+       << "*** re-run with --checkpoint=<file> --resume to finish ***\n";
+    return kExitCancelled;
+  }
+  return kExitOk;
+}
+
+int render_search(std::ostream& os, const SearchRequest& request,
+                  const gemm::GemmSimulator& sim) {
+  const SearchModeSpec mode = parse_search_mode(request.mode);
+  const advisor::SearchOptions& options = request.options;
+  const tfm::TransformerConfig& cfg = request.config;
+
+  const auto banner = [&] {
+    os << request.mode << " search around " << cfg.to_string() << " on "
+       << sim.gpu().id << " (" << options.threads << " thread"
+       << (options.threads == 1 ? "" : "s") << (sim.cache() ? ", cached" : "")
+       << (options.faults.strict ? ", strict" : "") << "):\n";
+  };
+
+  if (mode.is_mlp) {
+    const advisor::MlpSearchOutcome outcome = advisor::run_mlp_search(
+        cfg, sim, request.dff_lo, request.dff_hi, options);
+    banner();
+    TableWriter t({"d_ff", "d_ff/h", "MLP time", "TFLOP/s", "percentile"});
+    for (const auto& c : outcome.ranked) {
+      t.new_row()
+          .cell(c.d_ff)
+          .cell(c.coefficient, 3)
+          .cell(human_time(c.mlp_time))
+          .cell(c.mlp_tflops, 1)
+          .cell(str_format("%.2f", c.rank_in_range));
+    }
+    t.write(os);
+    return report_sweep_outcome(os, outcome.skipped, outcome.total_candidates,
+                                outcome.evaluated, outcome.resumed,
+                                outcome.retries, outcome.unreached(),
+                                outcome.truncated, outcome.cancel_reason);
+  }
+
+  const advisor::SearchOutcome outcome = advisor::run_shape_search(
+      mode.shape_mode, cfg, sim, request.radius, 0, options);
+  banner();
+  TableWriter t({"candidate", "a", "h", "h/a", "layer time", "TFLOP/s",
+                 "speedup", "params", "rules", "note"});
+  for (const auto& c : outcome.ranked) {
+    t.new_row()
+        .cell(c.config.name)
+        .cell(c.config.num_heads)
+        .cell(c.config.hidden_size)
+        .cell(c.config.head_dim())
+        .cell(human_time(c.layer_time))
+        .cell(c.layer_tflops, 1)
+        .cell(str_format("%.3fx", c.speedup_vs_base))
+        .cell(human_count(c.param_count))
+        .cell(c.rules_pass ? "PASS" : "FAIL")
+        .cell(c.note);
+  }
+  t.write(os);
+  return report_sweep_outcome(os, outcome.skipped, outcome.total_candidates,
+                              outcome.evaluated, outcome.resumed,
+                              outcome.retries, outcome.unreached(),
+                              outcome.truncated, outcome.cancel_reason);
+}
+
+namespace {
+
+std::int64_t int_field(const json::Value& body, std::string_view key,
+                       std::int64_t def) {
+  return static_cast<std::int64_t>(body.number_or(key,
+                                                  static_cast<double>(def)));
+}
+
+/// "model" (zoo name) or "custom" (config spec string) — the request-field
+/// twin of the CLI's model_arg().
+tfm::TransformerConfig model_from_body(const json::Value& body) {
+  if (body.has("custom")) {
+    return tfm::parse_config_string(body.at("custom").as_string());
+  }
+  const json::Value* model = body.get("model");
+  if (model == nullptr || !model->is_string()) {
+    throw UsageError(
+        "request needs \"model\" (a zoo name) or \"custom\" "
+        "(h=...,a=...,L=...)");
+  }
+  return tfm::model_by_name(model->as_string());
+}
+
+gemm::GemmProblem problem_from_body(const json::Value& body) {
+  gemm::GemmProblem p;
+  p.m = int_field(body, "m", 0);
+  p.n = int_field(body, "n", 0);
+  p.k = int_field(body, "k", 0);
+  p.batch = int_field(body, "batch", 1);
+  p.dtype = gpu::dtype_from_name(body.string_or("dtype", "fp16"));
+  p.validate();
+  return p;
+}
+
+gemm::GemmSimulator sim_from_body(const json::Value& body,
+                                  const OpContext& context) {
+  gemm::GemmSimulator sim =
+      gemm::GemmSimulator::for_gpu(body.string_or("gpu", "a100"));
+  if (context.cache != nullptr) sim.set_cache(context.cache);
+  return sim;
+}
+
+/// Non-search ops have no partial-result story: a tripped deadline turns
+/// into CancelledError (code 6), checked before the expensive render.
+void check_deadline(const OpContext& context, const char* what) {
+  if (context.cancel != nullptr && context.cancel->cancelled()) {
+    throw CancelledError(
+        str_format("request cancelled (%s) before %s",
+                   cancel_reason_name(context.cancel->reason()), what));
+  }
+}
+
+OpResult op_advise(const Request& request, const OpContext& context) {
+  check_deadline(context, "advise");
+  const tfm::TransformerConfig cfg = model_from_body(request.body);
+  const gemm::GemmSimulator sim = sim_from_body(request.body, context);
+  advisor::ReportOptions options;  // threads = 1: concurrency is per-request
+  std::ostringstream os;
+  render_advise(os, cfg, sim, options);
+  return {kExitOk, os.str()};
+}
+
+OpResult op_search(const Request& request, const OpContext& context) {
+  check_deadline(context, "search");
+  SearchRequest sr;
+  sr.config = model_from_body(request.body);
+  sr.mode = request.body.string_or("mode", "joint");
+  parse_search_mode(sr.mode);  // reject unknown modes before the sweep
+  sr.radius = request.body.number_or("radius", 0.1);
+  sr.options.max_candidates =
+      static_cast<std::size_t>(int_field(request.body, "max", 16));
+  sr.options.faults.strict = request.body.bool_or("strict", false);
+  sr.options.faults.max_retries =
+      static_cast<int>(int_field(request.body, "retries", 2));
+  sr.options.threads = 1;  // the worker pool parallelizes across requests
+  sr.options.cancel = context.cancel;
+  std::int64_t lo = 0, hi = 0;
+  default_dff_range(sr.config, &lo, &hi);
+  sr.dff_lo = int_field(request.body, "lo", lo);
+  sr.dff_hi = int_field(request.body, "hi", hi);
+  const gemm::GemmSimulator sim = sim_from_body(request.body, context);
+  std::ostringstream os;
+  const int code = render_search(os, sr, sim);
+  return {code, os.str()};
+}
+
+OpResult op_estimate(const Request& request, const OpContext& context) {
+  check_deadline(context, "estimate");
+  const gemm::GemmProblem p = problem_from_body(request.body);
+  const gemm::GemmSimulator sim = sim_from_body(request.body, context);
+  std::ostringstream os;
+  render_estimate(os, p, sim);
+  return {kExitOk, os.str()};
+}
+
+OpResult op_explain(const Request& request, const OpContext& context) {
+  check_deadline(context, "explain");
+  const gemm::GemmProblem p = problem_from_body(request.body);
+  const gemm::GemmSimulator sim = sim_from_body(request.body, context);
+  std::ostringstream os;
+  render_explain(os, p, sim);
+  return {kExitOk, os.str()};
+}
+
+OpResult op_stats(const OpContext& context) {
+  if (context.cache != nullptr) {
+    context.cache->publish_metrics(obs::MetricsRegistry::global());
+  }
+  // Full snapshot: serve metrics are wall-clock (kBestEffort) by nature.
+  return {kExitOk, obs::MetricsRegistry::global()
+                       .snapshot({.include_best_effort = true})
+                       .to_json()};
+}
+
+/// Diagnostic op: hold a worker for "ms" (capped at 10 s), polling the
+/// request deadline. The overload and drain tests use it to pin workers
+/// deterministically; it is not part of the advisory surface.
+OpResult op_sleep(const Request& request, const OpContext& context) {
+  const std::int64_t ms =
+      std::min<std::int64_t>(int_field(request.body, "ms", 10), 10000);
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < until) {
+    check_deadline(context, "sleep completed");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return {kExitOk, str_format("slept %lld ms\n", static_cast<long long>(ms))};
+}
+
+}  // namespace
+
+OpResult execute_op(const Request& request, const OpContext& context) {
+  if (request.op == "advise") return op_advise(request, context);
+  if (request.op == "search") return op_search(request, context);
+  if (request.op == "estimate") return op_estimate(request, context);
+  if (request.op == "explain") return op_explain(request, context);
+  if (request.op == "stats") return op_stats(context);
+  if (request.op == "sleep") return op_sleep(request, context);
+  if (request.op == "ping") return {kExitOk, "pong\n"};
+  throw UsageError(
+      "unknown op '" + request.op +
+      "' (advise|search|estimate|explain|stats|ping|sleep)");
+}
+
+}  // namespace codesign::serve

@@ -1,0 +1,386 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/strings.hpp"
+#include "obs/metrics.hpp"
+
+namespace codesign::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::~Server() {
+  if (!started_) return;
+  request_drain();
+  join();
+}
+
+void Server::start() {
+  CODESIGN_CHECK(!started_, "server already started");
+  if (opt_.threads == 0) opt_.threads = ThreadPool::hardware_threads();
+  if (opt_.queue_capacity == 0) opt_.queue_capacity = 4 * opt_.threads;
+  cache_ = std::make_shared<gemm::EstimateCache>(opt_.cache);
+  pool_ = std::make_unique<ThreadPool>(opt_.threads);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("serve: socket()");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("serve: bad listen address '" + opt_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string what = str_format("serve: cannot bind %s:%d",
+                                        opt_.host.c_str(), opt_.port);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno(what);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("serve: listen()");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("serve: getsockname()");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    if (draining()) break;
+    if (opt_.watch_sigint && SigintGuard::interrupted()) {
+      request_drain();
+      break;
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 50);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket failed; drain whatever is in flight
+    }
+    if (pr == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) continue;
+      break;
+    }
+    n_connections_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      CODESIGN_FAILPOINT("serve.accept");
+    } catch (const fail::InjectedFault&) {
+      // Fault drill: the connection is dropped before a reader exists —
+      // clients observe a reset, exactly like an accept-path crash.
+      ::close(fd);
+      n_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.push_back(conn);
+    ++live_readers_;
+    readers_.emplace_back([this, conn] { reader_loop(std::move(conn)); });
+  }
+  // Stop accepting: refuse new connections for the rest of the drain.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client EOF, or our SHUT_RD during drain
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(conn, std::move(line));
+    }
+    if (buf.size() > opt_.max_line_bytes) {
+      n_parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      n_errors_.fetch_add(1, std::memory_order_relaxed);
+      write_line(*conn, error_response(
+                            "", kExitUsage,
+                            str_format("request line exceeds %zu bytes",
+                                       opt_.max_line_bytes)));
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --live_readers_;
+  }
+  idle_cv_.notify_all();
+}
+
+bool Server::try_admit() {
+  std::size_t cur = pending_.load(std::memory_order_relaxed);
+  while (cur < opt_.queue_capacity) {
+    if (pending_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acq_rel)) {
+      publish_queue_depth();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Server::finish_one() {
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  publish_queue_depth();
+  idle_cv_.notify_all();
+}
+
+void Server::publish_queue_depth() const {
+  if (!obs::MetricsRegistry::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  const auto depth =
+      static_cast<double>(pending_.load(std::memory_order_relaxed));
+  reg.gauge("serve.queue_depth", {}, obs::Stability::kBestEffort).set(depth);
+  reg.gauge("serve.queue_depth.max", {}, obs::Stability::kBestEffort)
+      .update_max(depth);
+}
+
+std::int64_t Server::retry_hint_ms() const {
+  // Expected time for the backlog to clear: pending × average service time
+  // (10 ms prior before any request completed). Best-effort — a hint, not
+  // a promise.
+  const std::uint64_t done = service_count_.load(std::memory_order_relaxed);
+  const double avg_ms =
+      done == 0 ? 10.0
+                : static_cast<double>(
+                      service_us_total_.load(std::memory_order_relaxed)) /
+                      (1000.0 * static_cast<double>(done));
+  const double backlog =
+      static_cast<double>(pending_.load(std::memory_order_relaxed));
+  const double hint = avg_ms * backlog / static_cast<double>(opt_.threads);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(hint));
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         std::string line) {
+  n_requests_.fetch_add(1, std::memory_order_relaxed);
+  Request request;
+  try {
+    CODESIGN_FAILPOINT("serve.parse");
+    request = parse_request(line);
+  } catch (const std::exception& e) {
+    const int code = exit_code_for_current_exception();
+    n_parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_line(*conn, error_response("", code, e.what()));
+    return;
+  }
+
+  // Introspection ops bypass admission control: stats must answer even
+  // when the queue is full, and ping is the liveness probe.
+  if (request.op == "stats" || request.op == "ping") {
+    publish_queue_depth();
+    const OpResult r = execute_op(request, OpContext{cache_, nullptr});
+    n_ok_.fetch_add(1, std::memory_order_relaxed);
+    write_line(*conn, ok_response(request.id, r.code, r.payload));
+    return;
+  }
+
+  if (draining()) {
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_line(*conn,
+               error_response(request.id, kExitUnavailable,
+                              "server is draining; connection will close"));
+    return;
+  }
+  if (!try_admit()) {
+    n_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsRegistry::enabled()) {
+      obs::MetricsRegistry::global()
+          .counter("serve.rejected.overload", {}, obs::Stability::kBestEffort)
+          .add();
+    }
+    write_line(*conn,
+               overloaded_response(
+                   request.id, retry_hint_ms(),
+                   str_format("server overloaded: %zu requests in flight "
+                              "(capacity %zu)",
+                              pending_.load(std::memory_order_relaxed),
+                              opt_.queue_capacity)));
+    return;
+  }
+  dispatch(conn, std::move(request));
+}
+
+void Server::dispatch(const std::shared_ptr<Connection>& conn,
+                      Request request) {
+  // The token outlives the lambda via shared_ptr; the deadline starts at
+  // admission so queueing time counts against the budget.
+  auto cancel = std::make_shared<CancelToken>();
+  const std::int64_t deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms : opt_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    cancel->deadline_after(std::chrono::milliseconds(deadline_ms));
+  }
+  pool_->submit([this, conn, request = std::move(request), cancel] {
+    const auto t0 = Clock::now();
+    std::string response;
+    try {
+      CODESIGN_FAILPOINT("serve.dispatch");
+      const OpResult r = execute_op(request, OpContext{cache_, cancel.get()});
+      n_ok_.fetch_add(1, std::memory_order_relaxed);
+      response = ok_response(request.id, r.code, r.payload);
+    } catch (const std::exception& e) {
+      const int code = exit_code_for_current_exception();
+      n_errors_.fetch_add(1, std::memory_order_relaxed);
+      response = error_response(request.id, code, e.what());
+    } catch (...) {
+      n_errors_.fetch_add(1, std::memory_order_relaxed);
+      response = error_response(request.id, kExitInternal,
+                                "internal error: unknown exception");
+    }
+    write_line(*conn, response);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - t0)
+                        .count();
+    service_us_total_.fetch_add(static_cast<std::uint64_t>(us),
+                                std::memory_order_relaxed);
+    service_count_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsRegistry::enabled()) {
+      auto& reg = obs::MetricsRegistry::global();
+      const std::string labels = "op=" + request.op;
+      reg.counter("serve.requests", labels, obs::Stability::kBestEffort).add();
+      reg.histogram("serve.request_us", labels, obs::Stability::kBestEffort)
+          .record(static_cast<double>(us));
+    }
+    finish_one();
+  });
+}
+
+void Server::write_line(Connection& conn, std::string_view line) {
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(conn.fd, line.data() + off, line.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Client went away mid-response; the request still completed.
+      n_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::join() {
+  CODESIGN_CHECK(started_, "join() before start()");
+  // Phase 1: the accept thread exits once drain is requested (SIGINT under
+  // watch_sigint, or request_drain()) and closes the listening socket.
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Phase 2: half-close every connection for reading. Readers wake with
+  // recv() == 0 and stop feeding new requests; in-flight responses still
+  // go out over the intact write side.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : conns_) ::shutdown(c->fd, SHUT_RD);
+  }
+
+  // Phase 3: wait for every admitted request to finish and every reader
+  // to exit (wait_for: finish_one notifies without holding mu_).
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(10), [this] {
+      return pending_.load(std::memory_order_acquire) == 0 &&
+             live_readers_ == 0;
+    });
+    while (pending_.load(std::memory_order_acquire) != 0 ||
+           live_readers_ != 0) {
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+
+  // Phase 4: join workers and readers, then close the connections.
+  pool_.reset();
+  std::vector<std::thread> readers;
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    readers.swap(readers_);
+    conns.swap(conns_);
+  }
+  for (std::thread& t : readers) t.join();
+  conns.clear();  // destructors close the fds
+
+  // Phase 5: flush the final metrics state.
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.gauge("serve.queue_depth", {}, obs::Stability::kBestEffort).set(0.0);
+    reg.counter("serve.drained", {}, obs::Stability::kBestEffort).add();
+    if (cache_) cache_->publish_metrics(reg);
+  }
+  started_ = false;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections = n_connections_.load(std::memory_order_relaxed);
+  s.requests = n_requests_.load(std::memory_order_relaxed);
+  s.ok = n_ok_.load(std::memory_order_relaxed);
+  s.errors = n_errors_.load(std::memory_order_relaxed);
+  s.overloaded = n_overloaded_.load(std::memory_order_relaxed);
+  s.parse_errors = n_parse_errors_.load(std::memory_order_relaxed);
+  s.dropped = n_dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace codesign::serve

@@ -1,0 +1,156 @@
+// server.hpp — the concurrent advisory server behind `codesign serve`.
+//
+// A small, carefully-bounded TCP server for the newline-delimited JSON
+// protocol in protocol.hpp:
+//
+//   * one accept thread (poll with a 50 ms tick so drain/SIGINT are
+//     observed promptly), one reader thread per connection, and a fixed
+//     ThreadPool of workers executing requests;
+//   * admission control: at most `queue_capacity` requests admitted but
+//     unfinished. Excess requests are rejected immediately on the reader
+//     thread with a typed `overloaded` response carrying a retry_after_ms
+//     hint — the server never queues unboundedly;
+//   * one process-wide sharded EstimateCache shared by every request, so
+//     repeat shape queries are warm-cache hits;
+//   * per-request deadlines through CancelToken (request deadline_ms, or
+//     the server default), with search truncation-banner semantics;
+//   * failpoint drill sites serve.accept / serve.parse / serve.dispatch;
+//   * per-op latency histograms and queue-depth gauges in the obs
+//     MetricsRegistry, exposed over the wire via {"op":"stats"};
+//   * graceful drain (request_drain(), or SIGINT when watch_sigint): stop
+//     accepting, half-close connections, finish every in-flight request,
+//     flush responses, then join() returns. In-flight work is never
+//     cancelled by drain — admitted requests always get their response.
+//
+// docs/SERVING.md documents the protocol and the knobs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gemmsim/estimate_cache.hpp"
+#include "serve/ops.hpp"
+#include "serve/protocol.hpp"
+
+namespace codesign::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port, read back via Server::port().
+  int port = 0;
+  /// Worker threads executing requests (0 = one per hardware thread).
+  std::size_t threads = 4;
+  /// Admission cap: admitted-but-unfinished requests. 0 = 4 × threads.
+  std::size_t queue_capacity = 0;
+  /// Deadline applied to requests that do not carry deadline_ms (0 = none).
+  std::int64_t default_deadline_ms = 0;
+  /// Poll SigintGuard from the accept loop and drain on ^C (the CLI sets
+  /// this; tests drive request_drain() directly or raise SIGINT).
+  bool watch_sigint = false;
+  /// A request line larger than this is answered with a usage error and
+  /// the connection is closed (memory bound per connection).
+  std::size_t max_line_bytes = 1 << 20;
+  /// Shared estimate-cache geometry.
+  gemm::CacheOptions cache;
+};
+
+/// Monotonic totals since start() (drain summary + tests).
+struct ServerStats {
+  std::uint64_t connections = 0;     ///< accepted
+  std::uint64_t requests = 0;        ///< request lines seen
+  std::uint64_t ok = 0;              ///< status "ok" responses
+  std::uint64_t errors = 0;          ///< status "error" responses
+  std::uint64_t overloaded = 0;      ///< typed admission rejections
+  std::uint64_t parse_errors = 0;    ///< lines that failed parse_request
+  std::uint64_t dropped = 0;         ///< connections lost mid-response / drills
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options) : opt_(std::move(options)) {}
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the accept thread. Throws IoError when the
+  /// address cannot be bound (port in use) — exit code 7 at the CLI.
+  void start();
+
+  /// The bound port (after start(); resolves port 0 to the real one).
+  int port() const { return port_; }
+
+  /// Begin graceful drain: stop accepting, finish in-flight, then join()
+  /// returns. Idempotent and callable from any thread.
+  void request_drain() { draining_.store(true, std::memory_order_release); }
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Block until the server has fully drained and every thread is joined.
+  /// (Drain begins via request_drain() or SIGINT under watch_sigint.)
+  void join();
+
+  ServerStats stats() const;
+
+  /// The process-wide estimate cache (valid after start()).
+  const std::shared_ptr<gemm::EstimateCache>& cache() const { return cache_; }
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    const int fd;
+    std::mutex write_mu;  ///< responses are single complete lines
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void handle_line(const std::shared_ptr<Connection>& conn, std::string line);
+  void dispatch(const std::shared_ptr<Connection>& conn, Request request);
+  bool try_admit();
+  void finish_one();
+  void write_line(Connection& conn, std::string_view line);
+  std::int64_t retry_hint_ms() const;
+  void publish_queue_depth() const;
+
+  ServerOptions opt_;
+  std::shared_ptr<gemm::EstimateCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+
+  /// Admission state: requests admitted but not yet responded-to.
+  std::atomic<std::size_t> pending_{0};
+  /// Service-time accounting for the retry_after_ms hint.
+  std::atomic<std::uint64_t> service_us_total_{0};
+  std::atomic<std::uint64_t> service_count_{0};
+
+  mutable std::mutex mu_;  ///< guards conns_, readers_, live_readers_
+  std::condition_variable idle_cv_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+  std::size_t live_readers_ = 0;
+
+  std::atomic<std::uint64_t> n_connections_{0};
+  std::atomic<std::uint64_t> n_requests_{0};
+  std::atomic<std::uint64_t> n_ok_{0};
+  std::atomic<std::uint64_t> n_errors_{0};
+  std::atomic<std::uint64_t> n_overloaded_{0};
+  std::atomic<std::uint64_t> n_parse_errors_{0};
+  std::atomic<std::uint64_t> n_dropped_{0};
+};
+
+}  // namespace codesign::serve

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -90,6 +91,112 @@ TEST(JsonBuild, Mutators) {
   obj.set("xs", std::move(arr));
   EXPECT_DOUBLE_EQ(obj.at("xs").as_array()[0].as_number(), 1.0);
   EXPECT_THROW(obj.push_back(json::Value()), Error);
+}
+
+// ---------------------------------------------------------------------------
+// json::Writer — the streaming emitter behind bench reports and serve
+// responses.
+
+TEST(JsonWriter, CompactObjectAndArray) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object()
+      .member("name", "x")
+      .member("n", 3)
+      .member("ok", true)
+      .key("xs")
+      .begin_array()
+      .value(1)
+      .value(2.5)
+      .null()
+      .end_array()
+      .end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"({"name":"x","n":3,"ok":true,"xs":[1,2.5,null]})");
+}
+
+TEST(JsonWriter, PrettyStyleIndentsPerContainer) {
+  std::ostringstream os;
+  json::Writer w(os);
+  // Pretty outer object, compact inner object — the BenchReport layout.
+  w.begin_object(json::Writer::Style::kPretty)
+      .key("run")
+      .begin_object()
+      .member("suite", "smoke")
+      .end_object()
+      .key("cases")
+      .begin_array(json::Writer::Style::kPretty)
+      .begin_object()
+      .member("name", "a")
+      .end_object()
+      .end_array()
+      .end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(),
+            "{\n  \"run\": {\"suite\":\"smoke\"},\n  \"cases\": [\n"
+            "    {\"name\":\"a\"}\n  ]\n}");
+}
+
+TEST(JsonWriter, EscapingRoundTripsThroughTheParser) {
+  // Everything the escaper must handle: quotes, backslashes, control
+  // characters, tabs/newlines, and multi-byte UTF-8 passthrough.
+  const std::string nasty = "a\"b\\c\n\td\r\x01 \xE2\x82\xAC end";
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object().member("s", nasty).end_object();
+  const auto parsed = json::Value::parse(os.str());
+  EXPECT_EQ(parsed.at("s").as_string(), nasty);
+}
+
+TEST(JsonWriter, NumbersRoundTripThroughTheParser) {
+  const double values[] = {0.0,    -0.0,   1.0,        2.5,
+                           1e-300, 1e300,  1.0 / 3.0,  -123456.789,
+                           3e8,    0.1,    1234567890123456.0};
+  for (const double v : values) {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.begin_array().value(v).end_array();
+    const auto parsed = json::Value::parse(os.str());
+    EXPECT_DOUBLE_EQ(parsed.as_array()[0].as_number(), v) << os.str();
+  }
+}
+
+TEST(JsonWriter, RawSplicesPreRenderedJson) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object().key("metrics").raw(R"({"metrics":[]})").end_object();
+  EXPECT_EQ(os.str(), R"({"metrics":{"metrics":[]}})");
+}
+
+TEST(JsonWriter, MisuseIsCaught) {
+  {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.begin_object();
+    // A value directly inside an object (no key first) is a bug.
+    EXPECT_THROW(w.value(1), Error);
+  }
+  {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), Error);  // keys only exist in objects
+  }
+  {
+    std::ostringstream os;
+    json::Writer w(os);
+    // Non-finite numbers have no JSON representation.
+    w.begin_array();
+    EXPECT_THROW(w.value(std::nan("")), Error);
+    EXPECT_THROW(w.value(std::numeric_limits<double>::infinity()), Error);
+  }
+  {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.begin_object().end_object();
+    EXPECT_TRUE(w.complete());
+    EXPECT_THROW(w.value(1), Error);  // document already finished
+  }
 }
 
 }  // namespace

@@ -239,6 +239,35 @@ TEST_F(SearchFaultsTest, SigintLinkedTokenObservesTheRaisedSignal) {
   EXPECT_EQ(o.cancel_reason, CancelReason::kUser);
 }
 
+TEST_F(SearchFaultsTest, DeadlineExpiryRacingSigintDrainsOnce) {
+  // Both trip sources fire before the sweep starts: an already-expired
+  // deadline and a delivered SIGINT. The token must latch exactly one
+  // reason (first poll wins, later trips are no-ops) and the sweep must
+  // drain through a single truncation path — one banner's worth of
+  // accounting, evaluated + unreached == total, no double-counting.
+  SigintGuard guard;
+  CancelToken cancel;
+  cancel.link_to_sigint();
+  cancel.deadline_after(std::chrono::milliseconds(0));  // expired at poll
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(SigintGuard::interrupted());
+
+  EXPECT_TRUE(cancel.cancelled());
+  const CancelReason first = cancel.reason();
+  EXPECT_NE(first, CancelReason::kNone);
+  // Whichever source won the race, the latched reason never flips.
+  EXPECT_TRUE(cancel.cancelled());
+  EXPECT_EQ(cancel.reason(), first);
+
+  SearchOptions options;
+  options.cancel = &cancel;
+  const SearchOutcome o = run_shape_search(
+      SearchMode::kJoint, model_by_name("gpt3-2.7b"), sim(), 0.1, 0, options);
+  EXPECT_TRUE(o.truncated);
+  EXPECT_EQ(o.cancel_reason, first);
+  EXPECT_EQ(o.evaluated + o.unreached(), o.total_candidates);
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint / resume
 
@@ -462,6 +491,7 @@ TEST_F(SearchFaultsTest, EveryErrorSubclassMapsToItsExitCode) {
   EXPECT_EQ(code_for([] { throw ShapeError("s"); }), kExitShape);
   EXPECT_EQ(code_for([] { throw LookupError("l"); }), kExitLookup);
   EXPECT_EQ(code_for([] { throw CancelledError("x"); }), kExitCancelled);
+  EXPECT_EQ(code_for([] { throw IoError("bind: address in use"); }), kExitIo);
   EXPECT_EQ(code_for([] { throw fail::InjectedFault("f", true); }),
             kExitError);  // plain Error subclass without its own code
   EXPECT_EQ(code_for([] { throw Error("e"); }), kExitError);

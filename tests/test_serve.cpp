@@ -1,0 +1,575 @@
+// Tests for the serve subsystem: protocol round trips, byte-identity of
+// server payloads against the shared CLI renderers (including under eight
+// concurrent clients), typed overload rejection, deadline semantics,
+// failpoint drills, and graceful drain. The end-to-end binary-vs-binary
+// byte diff (codesign-client output against one-shot `codesign` stdout)
+// lives in tools/check.sh's serve smoke tier.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "advisor/report.hpp"
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/json.hpp"
+#include "gemmsim/estimate_cache.hpp"
+#include "gemmsim/simulator.hpp"
+#include "gpuarch/dtype.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/ops.hpp"
+#include "serve/protocol.hpp"
+#include "transformer/model_zoo.hpp"
+
+namespace codesign {
+namespace {
+
+using serve::ServeClient;
+
+// ---------------------------------------------------------------------------
+// Protocol: request parsing and response envelopes.
+
+TEST(ServeProtocol, ParseRequestExtractsEnvelopeFields) {
+  const serve::Request r = serve::parse_request(
+      R"({"op":"estimate","id":"q-1","deadline_ms":250,"m":64,"n":64,"k":64})");
+  EXPECT_EQ(r.op, "estimate");
+  EXPECT_EQ(r.id, "q-1");
+  EXPECT_EQ(r.deadline_ms, 250);
+  EXPECT_DOUBLE_EQ(r.body.at("m").as_number(), 64.0);
+}
+
+TEST(ServeProtocol, ParseRequestRejectsMalformedLines) {
+  EXPECT_THROW(serve::parse_request("this is not json"), UsageError);
+  EXPECT_THROW(serve::parse_request("[1,2,3]"), UsageError);
+  EXPECT_THROW(serve::parse_request(R"({"id":"no-op-field"})"), UsageError);
+  EXPECT_THROW(serve::parse_request(R"({"op":42})"), UsageError);
+  EXPECT_THROW(serve::parse_request(R"({"op":"ping","deadline_ms":-5})"),
+               UsageError);
+}
+
+TEST(ServeProtocol, ResponseBuildersRoundTripThroughTheParser) {
+  const std::string ok = serve::ok_response("id-1", 0, "hello\nworld\n");
+  ASSERT_FALSE(ok.empty());
+  EXPECT_EQ(ok.back(), '\n');
+  const serve::Response r1 = serve::parse_response(ok);
+  EXPECT_TRUE(r1.ok());
+  EXPECT_EQ(r1.code, 0);
+  EXPECT_EQ(r1.id, "id-1");
+  EXPECT_EQ(r1.payload, "hello\nworld\n");
+
+  const serve::Response r2 =
+      serve::parse_response(serve::error_response("", kExitShape, "m must be"));
+  EXPECT_EQ(r2.status, "error");
+  EXPECT_EQ(r2.code, kExitShape);
+  EXPECT_TRUE(r2.id.empty());
+  EXPECT_EQ(r2.error, "m must be");
+
+  const serve::Response r3 =
+      serve::parse_response(serve::overloaded_response("q", 25, "busy"));
+  EXPECT_TRUE(r3.overloaded());
+  EXPECT_EQ(r3.code, kExitUnavailable);
+  EXPECT_EQ(r3.retry_after_ms, 25);
+}
+
+TEST(ServeProtocol, NastyIdsSurviveTheEnvelope) {
+  const std::string nasty = "a\"b\\c\n\x01 \xE2\x82\xAC";
+  const serve::Response r =
+      serve::parse_response(serve::ok_response(nasty, 0, nasty));
+  EXPECT_EQ(r.id, nasty);
+  EXPECT_EQ(r.payload, nasty);
+}
+
+TEST(ServeProtocol, ParseResponseRejectsUnknownStatus) {
+  EXPECT_THROW(serve::parse_response("not json"), Error);
+  EXPECT_THROW(serve::parse_response(R"({"status":"weird","code":0})"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Server fixture: ephemeral-port in-process server + blocking clients.
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fail::clear();
+    SigintGuard::reset();
+  }
+  void TearDown() override { fail::clear(); }
+
+  static serve::ServerOptions options(std::size_t threads,
+                                      std::size_t queue_capacity = 0) {
+    serve::ServerOptions o;
+    o.port = 0;  // ephemeral; read back via Server::port()
+    o.threads = threads;
+    o.queue_capacity = queue_capacity;
+    return o;
+  }
+
+  /// Drain + join, asserting the server shuts down cleanly.
+  static void shut_down(serve::Server& server) {
+    server.request_drain();
+    server.join();
+  }
+};
+
+/// The bytes `codesign gemm --m=M --n=N --k=K` prints for the default GPU.
+std::string expected_estimate(std::int64_t m, std::int64_t n, std::int64_t k) {
+  gemm::GemmProblem p;
+  p.m = m;
+  p.n = n;
+  p.k = k;
+  p.batch = 1;
+  p.dtype = gpu::dtype_from_name("fp16");
+  p.validate();
+  const auto sim = gemm::GemmSimulator::for_gpu("a100");
+  std::ostringstream os;
+  serve::render_estimate(os, p, sim);
+  return os.str();
+}
+
+/// The bytes `codesign explain --m=M --n=N --k=K` prints (sans --trace).
+std::string expected_explain(std::int64_t m, std::int64_t n, std::int64_t k) {
+  gemm::GemmProblem p;
+  p.m = m;
+  p.n = n;
+  p.k = k;
+  p.batch = 1;
+  p.dtype = gpu::dtype_from_name("fp16");
+  p.validate();
+  const auto sim = gemm::GemmSimulator::for_gpu("a100");
+  std::ostringstream os;
+  serve::render_explain(os, p, sim);
+  return os.str();
+}
+
+/// The bytes `codesign advise <model>` prints with default flags.
+std::string expected_advise(const std::string& model) {
+  const auto sim = gemm::GemmSimulator::for_gpu("a100");
+  std::ostringstream os;
+  serve::render_advise(os, tfm::model_by_name(model), sim,
+                       advisor::ReportOptions{});
+  return os.str();
+}
+
+/// The bytes `codesign search <model> --mode=<mode> --cache` prints with
+/// the server's per-request settings (one thread, shared cache attached).
+std::string expected_search(const std::string& model, const std::string& mode) {
+  serve::SearchRequest sr;
+  sr.config = tfm::model_by_name(model);
+  sr.mode = mode;
+  sr.radius = 0.1;
+  sr.options.max_candidates = 16;
+  sr.options.faults.max_retries = 2;
+  sr.options.threads = 1;
+  serve::default_dff_range(sr.config, &sr.dff_lo, &sr.dff_hi);
+  gemm::GemmSimulator sim = gemm::GemmSimulator::for_gpu("a100");
+  sim.set_cache(std::make_shared<gemm::EstimateCache>());
+  std::ostringstream os;
+  serve::render_search(os, sr, sim);
+  return os.str();
+}
+
+TEST_F(ServeTest, EstimatePayloadMatchesTheCliBytes) {
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+  const std::string expected = expected_estimate(4096, 4096, 4096);
+
+  const serve::Response r1 =
+      client.call_op("estimate", R"("m":4096,"n":4096,"k":4096)");
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  EXPECT_EQ(r1.code, kExitOk);
+  EXPECT_EQ(r1.payload, expected);
+
+  // A repeat of the same shape is a warm hit in the process-wide cache —
+  // and still byte-identical.
+  const serve::Response r2 =
+      client.call_op("estimate", R"("m":4096,"n":4096,"k":4096)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.payload, expected);
+  EXPECT_GT(server.cache()->stats().hits, 0u);
+
+  client.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, AdviseAndExplainPayloadsMatchTheCliBytes) {
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+
+  const serve::Response advise =
+      client.call_op("advise", R"("model":"gpt3-2.7b")");
+  ASSERT_TRUE(advise.ok()) << advise.error;
+  EXPECT_EQ(advise.payload, expected_advise("gpt3-2.7b"));
+
+  const serve::Response explain =
+      client.call_op("explain", R"("m":8192,"n":50257,"k":2560)");
+  ASSERT_TRUE(explain.ok()) << explain.error;
+  EXPECT_EQ(explain.payload, expected_explain(8192, 50257, 2560));
+
+  client.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, SearchPayloadMatchesTheCliBytesWithTheCachedBanner) {
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+
+  const serve::Response r =
+      client.call_op("search", R"("model":"gpt3-125m","mode":"heads")");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.code, kExitOk);
+  // Per-request searches run single-threaded against the shared cache, and
+  // the banner says so — exactly like `codesign search --threads=1 --cache`.
+  EXPECT_NE(r.payload.find("(1 thread, cached)"), std::string::npos);
+  EXPECT_EQ(r.payload, expected_search("gpt3-125m", "heads"));
+
+  client.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, ByteIdentityHoldsAcrossEightConcurrentClients) {
+  serve::Server server(options(8));
+  server.start();
+  const int port = server.port();
+
+  const std::string want_estimate = expected_estimate(2048, 2048, 2048);
+  const std::string want_advise = expected_advise("pythia-70m");
+  const std::string want_explain = expected_explain(1024, 4096, 1024);
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        ServeClient client("127.0.0.1", port);
+        for (int i = 0; i < kRounds; ++i) {
+          // Each client rotates through the mix from a different offset so
+          // every op is in flight concurrently with every other.
+          switch ((c + i) % 3) {
+            case 0: {
+              const auto r =
+                  client.call_op("estimate", R"("m":2048,"n":2048,"k":2048)");
+              if (!r.ok() || r.payload != want_estimate) ++mismatches;
+              break;
+            }
+            case 1: {
+              const auto r = client.call_op("advise", R"("model":"pythia-70m")");
+              if (!r.ok() || r.payload != want_advise) ++mismatches;
+              break;
+            }
+            default: {
+              const auto r =
+                  client.call_op("explain", R"("m":1024,"n":4096,"k":1024)");
+              if (!r.ok() || r.payload != want_explain) ++mismatches;
+              break;
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[static_cast<std::size_t>(c)] = e.what();
+        ++mismatches;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::string errors;
+  for (const auto& f : failures) {
+    if (!f.empty()) errors += f + "; ";
+  }
+  EXPECT_EQ(mismatches.load(), 0) << errors;
+  shut_down(server);
+  const serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.ok, static_cast<std::uint64_t>(kClients * kRounds));
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.overloaded, 0u);
+}
+
+TEST_F(ServeTest, OverloadRejectionIsTypedAndCarriesARetryHint) {
+  // One worker, admission cap one: a pinned worker makes the very next
+  // request an immediate typed rejection, never an unbounded queue.
+  serve::Server server(options(/*threads=*/1, /*queue_capacity=*/1));
+  server.start();
+
+  serve::Response pinned;
+  std::thread pin([&] {
+    ServeClient a("127.0.0.1", server.port());
+    pinned = a.call_op("sleep", R"("ms":300)");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  ServeClient b("127.0.0.1", server.port());
+  const serve::Response rejected =
+      b.call_op("estimate", R"("id":"r-1","m":512,"n":512,"k":512)");
+  EXPECT_TRUE(rejected.overloaded());
+  EXPECT_EQ(rejected.code, kExitUnavailable);
+  EXPECT_GE(rejected.retry_after_ms, 1);
+  EXPECT_NE(rejected.error.find("overloaded"), std::string::npos);
+
+  pin.join();
+  ASSERT_TRUE(pinned.ok()) << pinned.error;
+  EXPECT_EQ(pinned.payload, "slept 300 ms\n");
+
+  // Backoff-and-retry per the hint eventually succeeds.
+  serve::Response retried;
+  for (int i = 0; i < 100; ++i) {
+    retried = b.call_op("estimate", R"("m":512,"n":512,"k":512)");
+    if (retried.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(retried.ok()) << retried.error;
+  EXPECT_EQ(retried.payload, expected_estimate(512, 512, 512));
+
+  b.close();
+  shut_down(server);
+  EXPECT_GE(server.stats().overloaded, 1u);
+}
+
+TEST_F(ServeTest, StatsAndPingBypassAdmissionControl) {
+  obs::MetricsRegistry::set_enabled(true);
+  serve::Server server(options(/*threads=*/1, /*queue_capacity=*/1));
+  server.start();
+
+  std::thread pin([&] {
+    ServeClient a("127.0.0.1", server.port());
+    (void)a.call_op("sleep", R"("ms":300)");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  // Both diagnostic ops answer inline on the reader thread even when the
+  // worker pool is saturated and admission would reject.
+  ServeClient b("127.0.0.1", server.port());
+  const serve::Response ping = b.call_op("ping");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping.payload, "pong\n");
+
+  const serve::Response stats = b.call_op("stats");
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  const json::Value doc = json::Value::parse(stats.payload);
+  EXPECT_TRUE(doc.is_object());
+  // The sleep is still in flight: its latency sample lands only on
+  // completion, but the queue-depth gauge already reflects the admission.
+  EXPECT_NE(stats.payload.find("serve.queue_depth"), std::string::npos);
+
+  pin.join();
+  const serve::Response after = b.call_op("stats");
+  ASSERT_TRUE(after.ok()) << after.error;
+  EXPECT_NE(after.payload.find("serve.requests"), std::string::npos);
+  EXPECT_NE(after.payload.find("serve.request_us"), std::string::npos);
+
+  b.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, DeadlineExpiryAnswersCancelledCodeSix) {
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+
+  const serve::Response r =
+      client.call_op("sleep", R"("ms":5000,"deadline_ms":40)");
+  EXPECT_EQ(r.status, "error");
+  EXPECT_EQ(r.code, kExitCancelled);
+  EXPECT_NE(r.error.find("deadline"), std::string::npos);
+
+  client.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, SearchDeadlineKeepsTruncationSemantics) {
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+
+  // A joint sweep over a GPT-3-sized grid cannot finish in 1 ms: either the
+  // deadline trips mid-sweep (ok + partial banner, like the CLI) or it
+  // trips before the sweep starts (CancelledError). Both are code 6.
+  const serve::Response r = client.call_op(
+      "search",
+      R"("custom":"h=12288,a=96,L=96,v=50257","mode":"joint","radius":0.25,)"
+      R"("deadline_ms":1)");
+  EXPECT_EQ(r.code, kExitCancelled);
+  if (r.ok()) {
+    EXPECT_NE(r.payload.find("*** PARTIAL RESULTS: sweep cancelled (deadline)"),
+              std::string::npos);
+    EXPECT_NE(r.payload.find("--resume to finish"), std::string::npos);
+  } else {
+    EXPECT_NE(r.error.find("cancelled"), std::string::npos);
+  }
+
+  client.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, UsageAndDomainErrorsKeepTheExitTaxonomy) {
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+
+  const serve::Response bad_json = client.call("this is not json");
+  EXPECT_EQ(bad_json.status, "error");
+  EXPECT_EQ(bad_json.code, kExitUsage);
+
+  const serve::Response bad_op = client.call_op("frobnicate");
+  EXPECT_EQ(bad_op.code, kExitUsage);
+  EXPECT_NE(bad_op.error.find("unknown op"), std::string::npos);
+
+  const serve::Response bad_shape =
+      client.call_op("estimate", R"("m":0,"n":64,"k":64)");
+  EXPECT_EQ(bad_shape.code, kExitShape);
+
+  const serve::Response bad_model =
+      client.call_op("advise", R"("model":"no-such-model")");
+  EXPECT_EQ(bad_model.code, kExitLookup);
+
+  // The connection survives every rejected request.
+  EXPECT_TRUE(client.call_op("ping").ok());
+
+  client.close();
+  shut_down(server);
+  EXPECT_GE(server.stats().parse_errors, 1u);
+}
+
+TEST_F(ServeTest, ParseAndDispatchFailpointsAnswerTypedErrors) {
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+
+  fail::configure("serve.parse=always");
+  const serve::Response parse_fault = client.call_op("ping");
+  EXPECT_EQ(parse_fault.status, "error");
+  EXPECT_EQ(parse_fault.code, kExitError);
+
+  fail::configure("serve.parse=off");
+  fail::configure("serve.dispatch=always");
+  const serve::Response dispatch_fault =
+      client.call_op("estimate", R"("m":64,"n":64,"k":64)");
+  EXPECT_EQ(dispatch_fault.status, "error");
+  EXPECT_EQ(dispatch_fault.code, kExitError);
+
+  // Disarmed, the same connection serves normally again.
+  fail::clear();
+  EXPECT_TRUE(client.call_op("ping").ok());
+
+  client.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, AcceptFailpointDropsTheConnection) {
+  serve::Server server(options(2));
+  server.start();
+
+  fail::configure("serve.accept=always");
+  EXPECT_THROW(
+      {
+        ServeClient doomed("127.0.0.1", server.port());
+        (void)doomed.call_op("ping");
+      },
+      IoError);
+  fail::clear();
+
+  // The accept loop survives the drill and serves the next connection.
+  ServeClient client("127.0.0.1", server.port());
+  EXPECT_TRUE(client.call_op("ping").ok());
+
+  client.close();
+  shut_down(server);
+  EXPECT_GE(server.stats().dropped, 1u);
+}
+
+TEST_F(ServeTest, BindConflictThrowsIoError) {
+  serve::Server first(options(1));
+  first.start();
+
+  serve::ServerOptions clash = options(1);
+  clash.port = first.port();
+  serve::Server second(clash);
+  EXPECT_THROW(second.start(), IoError);
+
+  shut_down(first);
+}
+
+TEST_F(ServeTest, DrainFinishesInFlightWorkThenRefusesNewConnections) {
+  serve::Server server(options(/*threads=*/2, /*queue_capacity=*/4));
+  server.start();
+  const int port = server.port();
+
+  serve::Response r1, r2;
+  std::thread c1([&] {
+    ServeClient c("127.0.0.1", port);
+    r1 = c.call_op("sleep", R"("ms":200)");
+  });
+  std::thread c2([&] {
+    ServeClient c("127.0.0.1", port);
+    r2 = c.call_op("sleep", R"("ms":200)");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  // Drain must finish the admitted sleeps (never cancel them) and deliver
+  // their responses before join() returns.
+  server.request_drain();
+  server.join();
+  c1.join();
+  c2.join();
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(r1.payload, "slept 200 ms\n");
+  EXPECT_EQ(r2.payload, "slept 200 ms\n");
+
+  // The listening socket is gone: new connections are refused.
+  EXPECT_THROW(ServeClient("127.0.0.1", port), IoError);
+}
+
+TEST_F(ServeTest, SigintDuringABurstDrainsOnceAndCleanly) {
+  SigintGuard guard;
+  serve::ServerOptions opts = options(/*threads=*/2, /*queue_capacity=*/4);
+  opts.watch_sigint = true;
+  serve::Server server(opts);
+  server.start();
+  const int port = server.port();
+
+  serve::Response r1, r2;
+  std::thread c1([&] {
+    ServeClient c("127.0.0.1", port);
+    r1 = c.call_op("sleep", R"("ms":150)");
+  });
+  std::thread c2([&] {
+    ServeClient c("127.0.0.1", port);
+    r2 = c.call_op("sleep", R"("ms":150)");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // ^C mid-burst: the accept loop notices within its 50 ms tick, drains,
+  // and join() returns with every admitted request answered.
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  server.join();
+  EXPECT_TRUE(SigintGuard::interrupted());
+
+  c1.join();
+  c2.join();
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_TRUE(r2.ok()) << r2.error;
+
+  const serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.connections, 2u);
+  EXPECT_EQ(s.ok, 2u);
+}
+
+}  // namespace
+}  // namespace codesign

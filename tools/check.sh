@@ -7,6 +7,10 @@
 #   tier 3  ASan+UBSan build of the same set (every report fatal)
 #   smoke   a fault-injected CLI sweep: 5% of candidates fail, the run
 #           must still exit 0 and print the skipped-candidate report
+#   serve   a TSan-built `codesign serve` under a mixed request burst
+#           (5% dispatch-failpoint drill + one over-deadline request):
+#           client payloads must byte-match the one-shot CLI, and SIGINT
+#           mid-flight must drain cleanly and exit 0
 #   perf    codesign-bench smoke suite gated against the committed
 #           baseline (bench/baselines/). Thresholds are deliberately
 #           loose (CODESIGN_PERF_MIN_FRAC, default 0.75 = fail only on a
@@ -29,7 +33,7 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 SAN_TESTS=(test_thread_pool test_estimate_cache test_obs test_logging
-           test_failpoint test_search_faults)
+           test_failpoint test_search_faults test_serve)
 
 echo "== tier 2: ThreadSanitizer (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S "${SRC_DIR}" -DCODESIGN_SANITIZE=thread
@@ -54,6 +58,96 @@ SMOKE_OUT="$("${BUILD_DIR}/tools/codesign" search gpt3-2.7b --mode=joint \
 echo "${SMOKE_OUT}" | grep -q "skipped .* candidate" || {
   echo "FAIL: fault-injected search printed no skipped-candidate report"
   exit 1
+}
+
+echo "== serve: mixed burst + graceful drain under tsan =="
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target codesign codesign-client
+SERVE_PORT="${CODESIGN_CHECK_SERVE_PORT:-8391}"
+SERVE_BIN="${TSAN_DIR}/tools/codesign"
+CLIENT_BIN="${TSAN_DIR}/tools/codesign-client"
+SERVE_LOG="${TSAN_DIR}/serve_smoke.log"
+CODESIGN_FAILPOINTS='serve.dispatch=prob:0.05:7' \
+    "${SERVE_BIN}" serve --port="${SERVE_PORT}" --threads=4 \
+    >"${SERVE_LOG}" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 100); do
+  if "${CLIENT_BIN}" ping --port="${SERVE_PORT}" >/dev/null 2>&1; then break; fi
+  if [ "${i}" -eq 100 ]; then
+    echo "FAIL: codesign serve never became ready"; cat "${SERVE_LOG}"; exit 1
+  fi
+  sleep 0.1
+done
+
+# Byte identity: a served payload is the one-shot CLI's stdout, byte for
+# byte. The 5% dispatch drill may fault any single request, so retry.
+fetch() {  # fetch <out-file> <op> [flags...]
+  local out="$1"; shift
+  for _ in $(seq 1 20); do
+    if "${CLIENT_BIN}" "$@" --port="${SERVE_PORT}" >"${out}" 2>/dev/null; then
+      return 0
+    fi
+  done
+  echo "FAIL: serve request kept failing: $*"; exit 1
+}
+fetch "${TSAN_DIR}/serve_est.txt" estimate --m=4096 --n=4096 --k=4096
+"${SERVE_BIN}" gemm --m=4096 --n=4096 --k=4096 >"${TSAN_DIR}/cli_est.txt"
+diff -u "${TSAN_DIR}/cli_est.txt" "${TSAN_DIR}/serve_est.txt" || {
+  echo "FAIL: served estimate payload is not byte-identical to the CLI"
+  exit 1
+}
+fetch "${TSAN_DIR}/serve_adv.txt" advise --model=gpt3-2.7b
+"${SERVE_BIN}" advise gpt3-2.7b >"${TSAN_DIR}/cli_adv.txt"
+diff -u "${TSAN_DIR}/cli_adv.txt" "${TSAN_DIR}/serve_adv.txt" || {
+  echo "FAIL: served advise payload is not byte-identical to the CLI"
+  exit 1
+}
+
+# Mixed burst: estimates, explains, advises in flight concurrently (the
+# drill faults ~5% of them; any response is acceptable, no hang is not).
+BURST_PIDS=()
+for i in $(seq 1 12); do
+  case $((i % 3)) in
+    0) "${CLIENT_BIN}" estimate --m=$((512 * i)) --n=2048 --k=2048 \
+           --port="${SERVE_PORT}" >/dev/null 2>&1 & ;;
+    1) "${CLIENT_BIN}" explain --m=1024 --n=$((1024 + 256 * i)) --k=1024 \
+           --port="${SERVE_PORT}" >/dev/null 2>&1 & ;;
+    *) "${CLIENT_BIN}" advise --model=pythia-70m \
+           --port="${SERVE_PORT}" >/dev/null 2>&1 & ;;
+  esac
+  BURST_PIDS+=($!)
+done
+for pid in "${BURST_PIDS[@]}"; do wait "${pid}" || true; done
+
+# One over-deadline request must come back as code 6 (cancelled), not a
+# hang (retry past the occasional injected dispatch fault).
+DL_RC=-1
+for _ in $(seq 1 10); do
+  set +e
+  "${CLIENT_BIN}" sleep --ms=500 --deadline-ms=20 --port="${SERVE_PORT}" \
+      >/dev/null 2>&1
+  DL_RC=$?
+  set -e
+  if [ "${DL_RC}" -eq 6 ]; then break; fi
+done
+if [ "${DL_RC}" -ne 6 ]; then
+  echo "FAIL: over-deadline request exited ${DL_RC}, want 6"; exit 1
+fi
+
+# SIGINT with a request still in flight: the admitted sleep finishes, the
+# server drains and exits 0.
+"${CLIENT_BIN}" sleep --ms=400 --port="${SERVE_PORT}" >/dev/null 2>&1 &
+INFLIGHT_PID=$!
+sleep 0.1
+kill -INT "${SERVE_PID}"
+SERVE_RC=0
+wait "${SERVE_PID}" || SERVE_RC=$?
+wait "${INFLIGHT_PID}" || true
+if [ "${SERVE_RC}" -ne 0 ]; then
+  echo "FAIL: codesign serve exited ${SERVE_RC} after SIGINT, want 0"
+  cat "${SERVE_LOG}"; exit 1
+fi
+grep -q "drained:" "${SERVE_LOG}" || {
+  echo "FAIL: serve printed no drain summary"; cat "${SERVE_LOG}"; exit 1
 }
 
 echo "== perf: bench smoke suite vs committed baseline =="

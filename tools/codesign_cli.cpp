@@ -30,6 +30,8 @@
 #include "gemmsim/simulator.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "serve/ops.hpp"
+#include "serve/server.hpp"
 #include "transformer/config_parse.hpp"
 #include "transformer/inference.hpp"
 #include "transformer/model_zoo.hpp"
@@ -75,11 +77,17 @@ int usage() {
          "  compare <modelA> <modelB> [--gpu=]    side-by-side what-if\n"
          "  plan <model> --gpus=N [--cluster=aws-p4d] [--microbatches=32]\n"
          "                               rank (t, p, d) parallel layouts\n"
+         "  serve [--port=8377] [--host=127.0.0.1] [--threads=4] [--queue=N]\n"
+         "        [--deadline-ms=N] [--metrics=<f>]\n"
+         "                               advisory server over newline-\n"
+         "                               delimited JSON (docs/SERVING.md);\n"
+         "                               ^C drains in-flight work, exits 0\n"
          "\n"
          "Model-taking commands also accept --custom=h=...,a=...,L=...\n"
          "Exit codes: 0 ok, 1 error, 2 usage, 3 config, 4 shape, 5 lookup,\n"
-         "6 cancelled/partial, 70 internal. CODESIGN_FAILPOINTS=<spec> arms\n"
-         "deterministic fault injection (docs/ROBUSTNESS.md).\n";
+         "6 cancelled/partial, 7 io, 70 internal, 75 overloaded/draining.\n"
+         "CODESIGN_FAILPOINTS=<spec> arms deterministic fault injection\n"
+         "(docs/ROBUSTNESS.md).\n";
   return kExitUsage;
 }
 
@@ -204,7 +212,7 @@ int cmd_advise(const CliArgs& args) {
   advisor::ReportOptions options;
   options.search_threads = threads_arg(args);
   const auto sim = sim_for(args);
-  std::cout << advisor::advise(model_arg(args), sim, options);
+  serve::render_advise(std::cout, model_arg(args), sim, options);
   if (metrics) {
     if (sim.cache()) {
       sim.cache()->publish_metrics(obs::MetricsRegistry::global());
@@ -218,52 +226,18 @@ int cmd_advise(const CliArgs& args) {
   return 0;
 }
 
-/// The skip / retry / resume / truncation epilogue shared by the shape and
-/// MLP sweeps. Returns the process exit code: kExitCancelled when the sweep
-/// was truncated (partial results are printed, never silently capped).
-int report_sweep_outcome(const std::vector<advisor::SkippedCandidate>& skipped,
-                         std::size_t total, std::size_t evaluated,
-                         std::size_t resumed, std::size_t retries,
-                         std::size_t unreached, bool truncated,
-                         CancelReason reason) {
-  if (!skipped.empty()) {
-    std::cout << "\nskipped " << skipped.size() << " of " << total
-              << " candidate(s):\n";
-    TableWriter t({"candidate", "attempts", "reason"});
-    for (const auto& s : skipped) {
-      t.new_row()
-          .cell(s.config.name)
-          .cell(static_cast<std::int64_t>(s.attempts))
-          .cell(s.reason);
-    }
-    t.write(std::cout);
-  }
-  if (retries > 0) {
-    std::cout << "retried " << retries << " transient fault(s)\n";
-  }
-  if (resumed > 0) {
-    std::cout << "resumed " << resumed
-              << " candidate(s) from the checkpoint\n";
-  }
-  if (truncated) {
-    std::cout << "*** PARTIAL RESULTS: sweep cancelled ("
-              << cancel_reason_name(reason) << ") after " << evaluated
-              << " of " << total << " candidates; " << unreached
-              << " never evaluated ***\n"
-              << "*** re-run with --checkpoint=<file> --resume to finish ***\n";
-    return kExitCancelled;
-  }
-  return kExitOk;
-}
-
 int cmd_search(const CliArgs& args) {
   const bool metrics = metrics_arg(args);
   if (args.has("failpoints")) {
     fail::configure(args.get_string("failpoints", ""));
   }
-  const auto& cfg = model_arg(args);
+  // The banner/table/epilogue rendering lives in serve/ops.cpp so that a
+  // server-side search response is byte-identical to this command's output
+  // (minus the CLI-only cache summary and metrics epilogues below).
+  serve::SearchRequest request;
+  request.config = model_arg(args);
   const auto sim = sim_for(args);
-  advisor::SearchOptions options;
+  advisor::SearchOptions& options = request.options;
   // Resolve 0 = all hardware threads here so the banner reports the real
   // worker count, not the sentinel.
   options.threads = threads_arg(args);
@@ -272,8 +246,9 @@ int cmd_search(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("max", 16));
   options.faults.strict = args.get_bool("strict", false);
   options.faults.max_retries = static_cast<int>(args.get_int("retries", 2));
-  const double radius = args.get_double("radius", 0.1);
-  const std::string mode = args.get_string("mode", "joint");
+  request.radius = args.get_double("radius", 0.1);
+  request.mode = args.get_string("mode", "joint");
+  const serve::SearchModeSpec mode = serve::parse_search_mode(request.mode);
 
   // Cooperative cancellation: ^C and/or --deadline-ms truncate the sweep
   // between candidates; partial results come back with an explicit banner.
@@ -287,25 +262,17 @@ int cmd_search(const CliArgs& args) {
   }
   options.cancel = &cancel;
 
-  const bool is_mlp = mode == "mlp";
-  advisor::SearchMode shape_mode = advisor::SearchMode::kJoint;
-  if (mode == "heads") {
-    shape_mode = advisor::SearchMode::kHeads;
-  } else if (mode == "hidden") {
-    shape_mode = advisor::SearchMode::kHidden;
-  } else if (mode != "joint" && !is_mlp) {
-    throw Error("--mode must be heads, hidden, joint, or mlp; got '" + mode +
-                "'");
-  }
   // MLP scan range: (8/3)h ± 25% unless --lo/--hi override (§VII-B).
-  const auto dff_center = static_cast<std::int64_t>(8 * cfg.hidden_size / 3);
-  const std::int64_t dff_lo = args.get_int("lo", (dff_center * 3) / 4);
-  const std::int64_t dff_hi = args.get_int("hi", (dff_center * 5) / 4);
+  serve::default_dff_range(request.config, &request.dff_lo, &request.dff_hi);
+  request.dff_lo = args.get_int("lo", request.dff_lo);
+  request.dff_hi = args.get_int("hi", request.dff_hi);
 
   const std::string fingerprint =
-      is_mlp ? advisor::mlp_search_fingerprint(cfg, sim, dff_lo, dff_hi)
-             : advisor::shape_search_fingerprint(shape_mode, cfg, sim, radius,
-                                                 0);
+      mode.is_mlp
+          ? advisor::mlp_search_fingerprint(request.config, sim,
+                                            request.dff_lo, request.dff_hi)
+          : advisor::shape_search_fingerprint(mode.shape_mode, request.config,
+                                              sim, request.radius, 0);
   std::optional<advisor::SearchCheckpoint> resumed;
   std::optional<advisor::CheckpointWriter> writer;
   if (args.has("checkpoint")) {
@@ -326,58 +293,7 @@ int cmd_search(const CliArgs& args) {
                    "--resume requires --checkpoint=<file>");
   }
 
-  const auto banner = [&] {
-    std::cout << mode << " search around " << cfg.to_string() << " on "
-              << sim.gpu().id << " (" << options.threads << " thread"
-              << (options.threads == 1 ? "" : "s")
-              << (sim.cache() ? ", cached" : "")
-              << (options.faults.strict ? ", strict" : "") << "):\n";
-  };
-
-  int rc = kExitOk;
-  if (is_mlp) {
-    const advisor::MlpSearchOutcome outcome =
-        advisor::run_mlp_search(cfg, sim, dff_lo, dff_hi, options);
-    banner();
-    TableWriter t({"d_ff", "d_ff/h", "MLP time", "TFLOP/s", "percentile"});
-    for (const auto& c : outcome.ranked) {
-      t.new_row()
-          .cell(c.d_ff)
-          .cell(c.coefficient, 3)
-          .cell(human_time(c.mlp_time))
-          .cell(c.mlp_tflops, 1)
-          .cell(str_format("%.2f", c.rank_in_range));
-    }
-    t.write(std::cout);
-    rc = report_sweep_outcome(outcome.skipped, outcome.total_candidates,
-                              outcome.evaluated, outcome.resumed,
-                              outcome.retries, outcome.unreached(),
-                              outcome.truncated, outcome.cancel_reason);
-  } else {
-    const advisor::SearchOutcome outcome = advisor::run_shape_search(
-        shape_mode, cfg, sim, radius, 0, options);
-    banner();
-    TableWriter t({"candidate", "a", "h", "h/a", "layer time", "TFLOP/s",
-                   "speedup", "params", "rules", "note"});
-    for (const auto& c : outcome.ranked) {
-      t.new_row()
-          .cell(c.config.name)
-          .cell(c.config.num_heads)
-          .cell(c.config.hidden_size)
-          .cell(c.config.head_dim())
-          .cell(human_time(c.layer_time))
-          .cell(c.layer_tflops, 1)
-          .cell(str_format("%.3fx", c.speedup_vs_base))
-          .cell(human_count(c.param_count))
-          .cell(c.rules_pass ? "PASS" : "FAIL")
-          .cell(c.note);
-    }
-    t.write(std::cout);
-    rc = report_sweep_outcome(outcome.skipped, outcome.total_candidates,
-                              outcome.evaluated, outcome.resumed,
-                              outcome.retries, outcome.unreached(),
-                              outcome.truncated, outcome.cancel_reason);
-  }
+  const int rc = serve::render_search(std::cout, request, sim);
   print_cache_summary(sim);
   if (metrics) {
     if (sim.cache()) {
@@ -392,7 +308,7 @@ int cmd_search(const CliArgs& args) {
   return rc;
 }
 
-int cmd_gemm(const CliArgs& args) {
+gemm::GemmProblem problem_args(const CliArgs& args) {
   gemm::GemmProblem p;
   p.m = args.get_int("m", 0);
   p.n = args.get_int("n", 0);
@@ -400,33 +316,16 @@ int cmd_gemm(const CliArgs& args) {
   p.batch = args.get_int("batch", 1);
   p.dtype = gpu::dtype_from_name(args.get_string("dtype", "fp16"));
   p.validate();
-  const auto sim = sim_for(args);
-  const auto est = sim.estimate(p);
-  std::cout << p.to_string() << " on " << sim.gpu().id << ":\n"
-            << str_format(
-                   "  time %s  |  %.1f TFLOP/s  |  %s-bound  |  tile %s  |  "
-                   "%lld tiles in %lld waves\n",
-                   human_time(est.time).c_str(), est.tflops(),
-                   gemm::bound_name(est.bound), est.tile.name().c_str(),
-                   static_cast<long long>(est.tile_q.tiles_total),
-                   static_cast<long long>(est.wave_q.waves))
-            << str_format(
-                   "  alignment: m %.2f, n %.2f, k %.2f (combined %.2f, "
-                   "tensor cores %s)\n",
-                   est.alignment.m, est.alignment.n, est.alignment.k,
-                   est.alignment.combined,
-                   est.alignment.tensor_cores ? "ON" : "OFF");
+  return p;
+}
+
+int cmd_gemm(const CliArgs& args) {
+  serve::render_estimate(std::cout, problem_args(args), sim_for(args));
   return 0;
 }
 
 int cmd_explain(const CliArgs& args) {
-  gemm::GemmProblem p;
-  p.m = args.get_int("m", 0);
-  p.n = args.get_int("n", 0);
-  p.k = args.get_int("k", 0);
-  p.batch = args.get_int("batch", 1);
-  p.dtype = gpu::dtype_from_name(args.get_string("dtype", "fp16"));
-  p.validate();
+  const gemm::GemmProblem p = problem_args(args);
   const auto sim = sim_for(args);
   if (args.has("trace")) {
     // Capture one simulate() pass: the kernel-selection trail plus the
@@ -443,7 +342,7 @@ int cmd_explain(const CliArgs& args) {
         static_cast<long long>(des.blocks), des.sm_busy_time.size(),
         out.c_str());
   }
-  std::cout << gemm::explain_gemm(p, sim.gpu()).to_string();
+  serve::render_explain(std::cout, p, sim);
   return 0;
 }
 
@@ -628,6 +527,63 @@ int cmd_design(const CliArgs& args) {
   return 0;
 }
 
+int cmd_serve(const CliArgs& args) {
+  if (args.has("failpoints")) {
+    fail::configure(args.get_string("failpoints", ""));
+  }
+  const bool metrics_file = metrics_arg(args);
+  // The registry is always on while serving: {"op":"stats"} reads it, and
+  // the per-op histograms / queue gauges are the server's own telemetry.
+  obs::MetricsRegistry::set_enabled(true);
+
+  serve::ServerOptions options;
+  options.host = args.get_string("host", "127.0.0.1");
+  options.port = static_cast<int>(args.get_int("port", 8377));
+  const std::int64_t threads = args.get_int("threads", 4);
+  CODESIGN_CHECK(threads >= 0,
+                 "--threads must be >= 0 (0 = all hardware threads)");
+  options.threads = static_cast<std::size_t>(threads);
+  if (options.threads == 0) options.threads = ThreadPool::hardware_threads();
+  const std::int64_t queue = args.get_int("queue", 0);
+  CODESIGN_CHECK(queue >= 0, "--queue must be >= 0 (0 = 4 x threads)");
+  options.queue_capacity = static_cast<std::size_t>(queue);
+  if (options.queue_capacity == 0) options.queue_capacity = 4 * options.threads;
+  if (args.has("deadline-ms")) {
+    const std::int64_t ms = args.get_int("deadline-ms", 0);
+    CODESIGN_CHECK(ms > 0, "--deadline-ms must be positive");
+    options.default_deadline_ms = ms;
+  }
+  options.watch_sigint = true;
+
+  SigintGuard sigint;
+  serve::Server server(options);
+  server.start();
+  std::cout << str_format(
+                   "codesign serve listening on %s:%d (%zu workers, queue "
+                   "capacity %zu)\n",
+                   options.host.c_str(), server.port(), options.threads,
+                   options.queue_capacity)
+            << "^C drains in-flight requests and exits 0\n"
+            << std::flush;
+  server.join();  // returns after SIGINT-triggered drain completes
+  const serve::ServerStats s = server.stats();
+  std::cout << str_format(
+      "drained: %llu connection(s), %llu request(s) — %llu ok, %llu "
+      "error(s), %llu overloaded, %llu dropped\n",
+      static_cast<unsigned long long>(s.connections),
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.ok),
+      static_cast<unsigned long long>(s.errors),
+      static_cast<unsigned long long>(s.overloaded),
+      static_cast<unsigned long long>(s.dropped));
+  if (metrics_file) {
+    write_metrics_file(
+        args.get_string("metrics", ""),
+        obs::MetricsRegistry::global().snapshot({.include_best_effort = true}));
+  }
+  return 0;
+}
+
 int dispatch(int argc, const char* const* argv) {
   const CliArgs args = CliArgs::parse(argc, argv);
   if (args.positional().empty()) return usage();
@@ -647,6 +603,7 @@ int dispatch(int argc, const char* const* argv) {
   if (cmd == "design") return cmd_design(args);
   if (cmd == "compare") return cmd_compare(args);
   if (cmd == "plan") return cmd_plan(args);
+  if (cmd == "serve") return cmd_serve(args);
   std::cerr << "unknown command '" << cmd << "'\n";
   return usage();
 }
