@@ -94,6 +94,7 @@ void Server::accept_loop() {
       request_drain();
       break;
     }
+    reap_finished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, 50);
     if (pr < 0) {
@@ -104,6 +105,12 @@ void Server::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Fd pressure is transient (in-flight responses release fds as
+        // they complete) — back off and keep the listener alive.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
       break;
     }
     n_connections_.fetch_add(1, std::memory_order_relaxed);
@@ -120,16 +127,29 @@ void Server::accept_loop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>(fd);
     std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_reader_id_++;
     conns_.push_back(conn);
     ++live_readers_;
-    readers_.emplace_back([this, conn] { reader_loop(std::move(conn)); });
+    readers_.emplace(id, std::thread([this, conn, id] {
+                       reader_loop(std::move(conn), id);
+                     }));
   }
   // Stop accepting: refuse new connections for the rest of the drain.
   ::close(listen_fd_);
   listen_fd_ = -1;
 }
 
-void Server::reader_loop(std::shared_ptr<Connection> conn) {
+void Server::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done.swap(reap_);
+  }
+  for (std::thread& t : done) t.join();
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn,
+                         std::uint64_t reader_id) {
   std::string buf;
   char chunk[4096];
   for (;;) {
@@ -155,13 +175,28 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
                             "", kExitUsage,
                             str_format("request line exceeds %zu bytes",
                                        opt_.max_line_bytes)));
+      // The contract for max_line_bytes is "the connection is closed":
+      // half-close both directions so the client observes EOF now rather
+      // than at server drain. The fd itself closes via the reaping path.
+      ::shutdown(conn->fd, SHUT_RDWR);
       break;
     }
   }
+  // Reap-on-exit: drop this connection and park the thread handle for an
+  // opportunistic join. The fd closes when the last reference (possibly an
+  // in-flight dispatch still writing its response) releases the Connection.
   {
     std::lock_guard<std::mutex> lock(mu_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
+    auto it = readers_.find(reader_id);
+    if (it != readers_.end()) {
+      reap_.push_back(std::move(it->second));
+      readers_.erase(it);
+    }
     --live_readers_;
   }
+  conn.reset();
   idle_cv_.notify_all();
 }
 
@@ -271,6 +306,13 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
     cancel->deadline_after(std::chrono::milliseconds(deadline_ms));
   }
   pool_->submit([this, conn, request = std::move(request), cancel] {
+    // finish_one() must run on every exit path — if response writing or
+    // metrics recording throws, ThreadPool::submit swallows it and a
+    // missed decrement would wedge drain Phase 3 forever.
+    struct FinishGuard {
+      Server* server;
+      ~FinishGuard() { server->finish_one(); }
+    } finish_guard{this};
     const auto t0 = Clock::now();
     std::string response;
     try {
@@ -301,7 +343,6 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
       reg.histogram("serve.request_us", labels, obs::Stability::kBestEffort)
           .record(static_cast<double>(us));
     }
-    finish_one();
   });
 }
 
@@ -349,16 +390,20 @@ void Server::join() {
     }
   }
 
-  // Phase 4: join workers and readers, then close the connections.
+  // Phase 4: join workers and readers (live and reaped), then close any
+  // connections still open.
   pool_.reset();
-  std::vector<std::thread> readers;
+  std::unordered_map<std::uint64_t, std::thread> readers;
+  std::vector<std::thread> reaped;
   std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(mu_);
     readers.swap(readers_);
+    reaped.swap(reap_);
     conns.swap(conns_);
   }
-  for (std::thread& t : readers) t.join();
+  for (auto& [id, t] : readers) t.join();
+  for (std::thread& t : reaped) t.join();
   conns.clear();  // destructors close the fds
 
   // Phase 5: flush the final metrics state.

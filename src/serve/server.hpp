@@ -32,6 +32,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -114,7 +115,7 @@ class Server {
   };
 
   void accept_loop();
-  void reader_loop(std::shared_ptr<Connection> conn);
+  void reader_loop(std::shared_ptr<Connection> conn, std::uint64_t reader_id);
   void handle_line(const std::shared_ptr<Connection>& conn, std::string line);
   void dispatch(const std::shared_ptr<Connection>& conn, Request request);
   bool try_admit();
@@ -122,6 +123,7 @@ class Server {
   void write_line(Connection& conn, std::string_view line);
   std::int64_t retry_hint_ms() const;
   void publish_queue_depth() const;
+  void reap_finished();
 
   ServerOptions opt_;
   std::shared_ptr<gemm::EstimateCache> cache_;
@@ -138,10 +140,16 @@ class Server {
   std::atomic<std::uint64_t> service_us_total_{0};
   std::atomic<std::uint64_t> service_count_{0};
 
-  mutable std::mutex mu_;  ///< guards conns_, readers_, live_readers_
+  mutable std::mutex mu_;  ///< guards conns_, readers_, reap_, live_readers_
   std::condition_variable idle_cv_;
   std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> readers_;
+  /// Live readers by id. A reader removes itself on exit (closing the
+  /// connection once the last in-flight response drops its reference) and
+  /// parks its thread handle in reap_, joined from the accept loop and
+  /// join() — disconnected clients never accumulate fds or threads.
+  std::unordered_map<std::uint64_t, std::thread> readers_;
+  std::vector<std::thread> reap_;
+  std::uint64_t next_reader_id_ = 0;
   std::size_t live_readers_ = 0;
 
   std::atomic<std::uint64_t> n_connections_{0};

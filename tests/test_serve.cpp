@@ -8,6 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -491,6 +498,91 @@ TEST_F(ServeTest, AcceptFailpointDropsTheConnection) {
   client.close();
   shut_down(server);
   EXPECT_GE(server.stats().dropped, 1u);
+}
+
+std::size_t count_open_fds() {
+  std::size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+TEST_F(ServeTest, ConnectionChurnReapsFdsAndReaderThreads) {
+  serve::Server server(options(2));
+  server.start();
+
+  const std::size_t before = count_open_fds();
+  for (int i = 0; i < 50; ++i) {
+    ServeClient c("127.0.0.1", server.port());
+    ASSERT_TRUE(c.call_op("ping").ok());
+  }
+
+  // Readers exit asynchronously after each disconnect; the server must
+  // release every connection's fd long before drain — under churn a
+  // leak here eventually hits EMFILE and kills the listener.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::size_t now = count_open_fds();
+  while (now > before + 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    now = count_open_fds();
+  }
+  EXPECT_LE(now, before + 2);
+
+  // The listener survived the churn and still serves.
+  ServeClient probe("127.0.0.1", server.port());
+  EXPECT_TRUE(probe.call_op("ping").ok());
+  probe.close();
+
+  shut_down(server);
+  EXPECT_EQ(server.stats().connections, 51u);
+  EXPECT_EQ(server.stats().ok, 51u);
+}
+
+TEST_F(ServeTest, OversizedRequestLineAnswersUsageErrorAndClosesTheSocket) {
+  serve::ServerOptions opts = options(2);
+  opts.max_line_bytes = 1024;
+  serve::Server server(opts);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  timeval tv{5, 0};  // a regression hangs in recv(); fail instead
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  const std::string blob(2048, 'x');  // exceeds max_line_bytes, no newline
+  ASSERT_EQ(::send(fd, blob.data(), blob.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(blob.size()));
+
+  // Contract: a usage error comes back and the connection is closed —
+  // reading to EOF terminates now, not at server drain.
+  std::string rx;
+  char chunk[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    rx.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  ASSERT_FALSE(rx.empty());
+  const serve::Response r = serve::parse_response(rx);
+  EXPECT_EQ(r.status, "error");
+  EXPECT_EQ(r.code, kExitUsage);
+
+  // The server survives and answers fresh connections.
+  ServeClient probe("127.0.0.1", server.port());
+  EXPECT_TRUE(probe.call_op("ping").ok());
+  probe.close();
+  shut_down(server);
 }
 
 TEST_F(ServeTest, BindConflictThrowsIoError) {
