@@ -145,6 +145,56 @@ bool same_ranking(const std::vector<ShapeCandidate>& a,
   return a == b;  // field-exact, including every double, bit pattern aside
 }
 
+/// The >=`target`-candidate grid for the batched raw-throughput path
+/// (run_grid_search): every legal (h, a) joint point in [256, 4096],
+/// crossed with microbatch / sequence / depth / vocab variants until the
+/// target count is reached. Depth and vocab do not change the layer time,
+/// so the warm estimate cache sees realistic hit rates while the candidate
+/// count scales far past what the neighbourhood searches generate. Names
+/// are unique, so the (layer_time, name) ranking stays a total order.
+std::vector<tfm::TransformerConfig> batched_grid(
+    const tfm::TransformerConfig& base, std::size_t target) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> pairs;  // (h, a)
+  for (std::int64_t h = 256; h <= 4096; h += 64) {
+    for (std::int64_t a = 1; a <= h; ++a) {
+      if (h % a != 0) continue;
+      const std::int64_t head_dim = h / a;
+      if (head_dim < 32 || head_dim > 256) continue;
+      pairs.emplace_back(h, a);
+    }
+  }
+  const std::int64_t mbs[] = {1, 2, 4, 8, 16, 32, 64, 128};
+  const std::int64_t seqs[] = {512, 1024, 2048, 4096};
+  const std::int64_t depths[] = {8, 12, 16, 24};
+  const std::int64_t vocabs[] = {50304, 51264};
+  std::vector<tfm::TransformerConfig> grid;
+  grid.reserve(target + pairs.size());
+  for (std::size_t combo = 0; combo < 8 * 4 * 4 * 2 && grid.size() < target;
+       ++combo) {
+    const std::int64_t b = mbs[combo % 8];
+    const std::int64_t s = seqs[(combo / 8) % 4];
+    const std::int64_t l = depths[(combo / 32) % 4];
+    const std::int64_t v = vocabs[(combo / 128) % 2];
+    for (const auto& [h, a] : pairs) {
+      tfm::TransformerConfig cfg = base.with_hidden(h)
+                                       .with_heads(a)
+                                       .with_microbatch(b)
+                                       .with_seq_len(s)
+                                       .with_layers(l)
+                                       .with_vocab(v);
+      cfg.name = str_format("g_h%lld_a%lld_b%lld_s%lld_L%lld_v%lld",
+                            static_cast<long long>(h),
+                            static_cast<long long>(a),
+                            static_cast<long long>(b),
+                            static_cast<long long>(s),
+                            static_cast<long long>(l),
+                            static_cast<long long>(v));
+      grid.push_back(std::move(cfg));
+    }
+  }
+  return grid;
+}
+
 int body(BenchContext& ctx) {
   const bool smoke = ctx.args().get_bool("smoke", false);
   const std::string model_name =
@@ -218,6 +268,34 @@ int body(BenchContext& ctx) {
   const double speedup_warmN = seed.seconds / warmN.seconds;
   const double speedup_warm1 = seed.seconds / warm1.seconds;
 
+  // --- batched grid: run_grid_search raw throughput ---------------------
+  // The joint sweep above has a few hundred candidates; the batched
+  // estimation engine is sized for sweeps two orders of magnitude larger.
+  // This phase pushes a >=1e5-candidate grid (2e3 under --smoke) through
+  // run_grid_search with a warm cache and checks the ranking is identical
+  // at 1 and N threads.
+  const std::size_t grid_target = smoke ? 2000 : 100000;
+  const std::vector<tfm::TransformerConfig> grid =
+      batched_grid(base, grid_target);
+  SearchOptions grid_opt;
+  grid_opt.max_candidates = 64;  // rank everything, keep the head
+  gemm::GemmSimulator grid_sim = ctx.sim();
+  grid_sim.enable_cache();
+  const auto run_grid = [&](std::size_t nthreads) {
+    SearchOptions o = grid_opt;
+    o.threads = nthreads;
+    return advisor::run_grid_search(grid, base, grid_sim, o);
+  };
+  const advisor::SearchOutcome grid_ref = run_grid(1);  // also warms cache
+  CODESIGN_CHECK(grid_ref.evaluated == grid.size(),
+                 "batched grid evaluation skipped candidates");
+  const bool grid_deterministic =
+      same_ranking(grid_ref.ranked, run_grid(threads).ranked);
+  const Timing grid1 =
+      best_of(repeat, [&] { return run_grid(1).evaluated; });
+  const Timing gridN =
+      best_of(repeat, [&] { return run_grid(threads).evaluated; });
+
   TableWriter t({"configuration", "threads", "cache", "time", "candidates",
                  "evals/s", "speedup vs seed"});
   const auto row = [&](const std::string& name, std::size_t nthreads,
@@ -239,10 +317,26 @@ int body(BenchContext& ctx) {
   row("pipeline", threads, "warm", warmN);
   ctx.emit(t);
 
+  ctx.section("batched grid (run_grid_search)");
+  TableWriter tg({"configuration", "threads", "cache", "time", "candidates",
+                  "evals/s"});
+  const auto grid_row = [&](std::size_t nthreads, const Timing& timing) {
+    tg.new_row()
+        .cell("grid (batched)")
+        .cell(static_cast<std::int64_t>(nthreads))
+        .cell("warm")
+        .cell(human_time(timing.seconds))
+        .cell(static_cast<std::int64_t>(timing.candidates))
+        .cell(static_cast<double>(timing.candidates) / timing.seconds, 0);
+  };
+  grid_row(1, grid1);
+  grid_row(threads, gridN);
+  ctx.emit(tg);
+
   std::cout << str_format(
-      "deterministic ranking: %s | cache: %llu hits / %llu misses "
-      "(%.1f%% hit rate)\n",
-      deterministic ? "yes" : "NO",
+      "deterministic ranking: %s (joint) / %s (grid) | cache: %llu hits / "
+      "%llu misses (%.1f%% hit rate)\n",
+      deterministic ? "yes" : "NO", grid_deterministic ? "yes" : "NO",
       static_cast<unsigned long long>(cache_stats.hits),
       static_cast<unsigned long long>(cache_stats.misses),
       100.0 * cache_stats.hit_rate());
@@ -283,6 +377,12 @@ int body(BenchContext& ctx) {
                                                 cache_stats.hit_rate());
   report.context["cache_entries"] = std::to_string(cache_stats.entries);
   report.context["cache_evictions"] = std::to_string(cache_stats.evictions);
+  report.context["grid_candidates"] = std::to_string(grid.size());
+  report.context["grid_deterministic"] = grid_deterministic ? "true" : "false";
+  report.context["grid_evals_per_sec_1t"] =
+      str_format("%.0f", static_cast<double>(grid1.candidates) / grid1.seconds);
+  report.context["grid_evals_per_sec_Nt"] =
+      str_format("%.0f", static_cast<double>(gridN.candidates) / gridN.seconds);
   const auto add_case = [&](const std::string& name, const Timing& timing) {
     benchlib::CaseStats s;
     s.name = name;
@@ -300,10 +400,29 @@ int body(BenchContext& ctx) {
   add_case("search.pipeline_1t_coldcache", cold);
   add_case("search.pipeline_1t_warmcache", warm1);
   add_case("search.pipeline_Nt_warmcache", warmN);
+
+  // The batched grid ranks a different candidate set, so it carries its
+  // own checksum (folded over the kept head of the ranking).
+  std::uint64_t grid_checksum = benchlib::kChecksumSeed;
+  grid_checksum = benchlib::checksum_fold(
+      grid_checksum, static_cast<double>(grid_ref.evaluated));
+  for (const ShapeCandidate& cand : grid_ref.ranked) {
+    grid_checksum = benchlib::checksum_fold(grid_checksum, cand.layer_time);
+  }
+  benchlib::CaseStats gs;
+  gs.name = "search.pipeline_batched";
+  gs.bench = "bench_search_parallel";
+  gs.suites = {benchlib::kSuitePerf, benchlib::kSuiteSmoke};
+  gs.samples_ms = {gridN.seconds * 1e3};
+  gs.checksum = grid_checksum;
+  gs.checksum_stable = grid_deterministic;
+  benchlib::summarize(gs);
+  report.cases.push_back(std::move(gs));
+
   report.write_file(out_path);
   std::cout << "wrote " << out_path << "\n";
 
-  if (!deterministic) {
+  if (!deterministic || !grid_deterministic) {
     std::cerr << "FAIL: ranking depends on thread count or cache state\n";
     return 1;
   }
@@ -329,6 +448,47 @@ CODESIGN_BENCH_CASES(search_parallel) {
                    advisor::search_joint(base, cached, 0.05, 0, options);
                c.consume(static_cast<std::int64_t>(cands.size()));
                for (const auto& cand : cands) c.consume(cand.layer_time);
+             }
+           }});
+  reg.add({"search.pipeline_batched", "bench_search_parallel",
+           "run_grid_search over a 1e5-candidate grid, warm cache, 4 threads",
+           {benchlib::kSuitePerf, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const auto base = tfm::model_by_name("pythia-160m");
+             const auto grid = bench::batched_grid(base, 100000);
+             advisor::SearchOptions options;
+             options.threads = 4;
+             options.max_candidates = 64;
+             gemm::GemmSimulator cached = c.sim();
+             cached.enable_cache();
+             const advisor::SearchOutcome outcome =
+                 advisor::run_grid_search(grid, base, cached, options);
+             c.consume(static_cast<std::int64_t>(grid.size()));
+             c.consume(static_cast<std::int64_t>(outcome.evaluated));
+             for (const auto& cand : outcome.ranked) {
+               c.consume(cand.layer_time);
+             }
+           }});
+  reg.add({"estimate.many_warm", "bench_search_parallel",
+           "estimate_times over a 512-problem batch, 256 warm passes",
+           {benchlib::kSuitePerf, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             gemm::GemmSimulator sim = c.sim();
+             sim.enable_cache();
+             std::vector<gemm::GemmProblem> batch;
+             batch.reserve(512);
+             for (int i = 0; i < 512; ++i) {
+               batch.push_back(gemm::GemmProblem::gemm(
+                   256 + 64 * (i % 32), 512 + 128 * (i % 17),
+                   768 + 64 * (i % 23)));
+             }
+             gemm::GemmSimulator::BatchWorkspace ws;
+             std::vector<double> times(batch.size());
+             for (int round = 0; round < 256; ++round) {  // round 0 = cold
+               sim.estimate_times(batch, times, ws);
+               double sum = 0.0;
+               for (const double t : times) sum += t;
+               c.consume(sum);
              }
            }});
 }

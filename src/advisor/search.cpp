@@ -43,10 +43,13 @@ BaselineContext make_baseline(const TransformerConfig& base,
 
 ShapeCandidate evaluate_against(const TransformerConfig& config,
                                 const BaselineContext& base,
-                                const gemm::GemmSimulator& sim) {
-  // layer_total_time is the lean twin of analyze_layer: bit-identical
-  // total, none of the per-op report the search never reads.
-  const double layer_time = tfm::layer_total_time(config, sim);
+                                const gemm::GemmSimulator& sim,
+                                tfm::LayerWorkspace& ws) {
+  // The batched layer_total_time is the lean twin of analyze_layer:
+  // bit-identical total, none of the per-op report the search never reads,
+  // and the candidate's GEMM list resolves through one estimate_times()
+  // call against `ws` instead of one estimate() per op.
+  const double layer_time = tfm::layer_total_time(config, sim, ws);
   ShapeCandidate c;
   c.config = config;
   c.layer_time = layer_time;
@@ -156,8 +159,8 @@ SlotState run_guarded(const SearchOptions& options, GuardCounters& counters,
 /// The shared "generate → evaluate in parallel → deterministically merge"
 /// pipeline, now with per-candidate fault isolation, cancellation, and
 /// checkpoint/resume. `annotate` fills the human-readable note from the
-/// evaluated candidate; `keep` filters (e.g. the hidden sweep's
-/// parameter-delta bound). Candidates are evaluated into slots indexed by
+/// evaluated candidate (applied to ranked survivors only, after the trim);
+/// `keep` filters (e.g. the hidden sweep's parameter-delta bound). Candidates are evaluated into slots indexed by
 /// generation order, so the merged ranking — and the skip record — is
 /// byte-identical at any thread count.
 SearchOutcome evaluate_pipeline(
@@ -199,7 +202,6 @@ SearchOutcome evaluate_pipeline(
         c.param_count = e->param_count;
         c.param_delta_frac = e->param_delta_frac;
         c.rules_pass = e->rules_pass;
-        annotate(c);
         evaluated[i] = std::move(c);
         state[i] = SlotState::kDone;
         ++outcome.resumed;
@@ -212,14 +214,13 @@ SearchOutcome evaluate_pipeline(
     }
   }
 
-  const auto evaluate_one = [&](std::size_t i) {
+  const auto evaluate_one = [&](std::size_t i, tfm::LayerWorkspace& ws) {
     if (state[i] != SlotState::kPending) return;
     SkipInfo skip;
     const SlotState s = run_guarded(options, counters, &skip, [&] {
       CODESIGN_FAILPOINT_T("advisor.search.evaluate",
                            fail::token(configs[i].name));
-      ShapeCandidate c = evaluate_against(configs[i], base, sim);
-      annotate(c);
+      ShapeCandidate c = evaluate_against(configs[i], base, sim, ws);
       evaluated[i] = std::move(c);
     });
     state[i] = s;
@@ -241,10 +242,22 @@ SearchOutcome evaluate_pipeline(
     obs::ScopedEvent span("search", "evaluate");
     obs::ScopedTimer timer("advisor.search.evaluate_us");
     if (options.threads == 1) {
-      for (std::size_t i = 0; i < configs.size(); ++i) evaluate_one(i);
+      tfm::LayerWorkspace ws;
+      for (std::size_t i = 0; i < configs.size(); ++i) evaluate_one(i, ws);
     } else {
+      // Chunk-level dispatch: each pool task owns one workspace and feeds
+      // its whole candidate range through it, so buffer/batch setup is
+      // amortized across the chunk. Candidates still evaluate one at a time
+      // inside run_guarded — a fault touches exactly one slot, same as the
+      // sequential path.
       ThreadPool pool(options.threads);
-      pool.parallel_for(configs.size(), evaluate_one);
+      pool.parallel_for_ranges(configs.size(),
+                               [&](std::size_t begin, std::size_t end) {
+                                 tfm::LayerWorkspace ws;
+                                 for (std::size_t i = begin; i < end; ++i) {
+                                   evaluate_one(i, ws);
+                                 }
+                               });
     }
     if (timer.active() && !configs.empty()) {
       const double us = timer.elapsed_us();
@@ -277,6 +290,10 @@ SearchOutcome evaluate_pipeline(
       }
     }
     sort_and_trim(out, baseline, options);
+    // Notes are only visible on the ranked survivors, and neither `keep`
+    // nor the sort reads them, so the str_format work runs after the trim —
+    // O(kept) instead of O(evaluated) — with byte-identical output.
+    for (ShapeCandidate& c : out) annotate(c);
   }
   outcome.retries =
       static_cast<std::size_t>(counters.retries.load(std::memory_order_relaxed));
@@ -315,11 +332,13 @@ SearchOutcome evaluate_pipeline(
 std::vector<std::int64_t> legal_head_counts(std::int64_t h,
                                             std::int64_t tensor_parallel) {
   std::vector<std::int64_t> out;
-  for (std::int64_t a = 1; a <= h; ++a) {
+  // For a divisor a of h, 32 <= h/a <= 256 confines a to
+  // [ceil(h/256), floor(h/32)], so only that window needs scanning —
+  // O(h/32) instead of O(h), same candidates in the same ascending order.
+  const std::int64_t lo = std::max<std::int64_t>(1, (h + 255) / 256);
+  for (std::int64_t a = lo; a <= h / 32; ++a) {
     if (h % a != 0) continue;
     if (a % tensor_parallel != 0) continue;
-    const std::int64_t head_dim = h / a;
-    if (head_dim < 32 || head_dim > 256) continue;
     out.push_back(a);
   }
   return out;
@@ -357,7 +376,20 @@ const char* search_mode_name(SearchMode mode) {
 ShapeCandidate evaluate_candidate(const TransformerConfig& config,
                                   const TransformerConfig& baseline,
                                   const gemm::GemmSimulator& sim) {
-  return evaluate_against(config, make_baseline(baseline, sim), sim);
+  tfm::LayerWorkspace ws;
+  return evaluate_against(config, make_baseline(baseline, sim), sim, ws);
+}
+
+SearchOutcome run_grid_search(const std::vector<TransformerConfig>& configs,
+                              const TransformerConfig& baseline,
+                              const gemm::GemmSimulator& sim,
+                              const SearchOptions& options) {
+  baseline.validate();
+  const std::function<void(ShapeCandidate&)> annotate =
+      [](ShapeCandidate&) {};
+  const std::function<bool(const ShapeCandidate&)> keep =
+      [](const ShapeCandidate&) { return true; };
+  return evaluate_pipeline(configs, baseline, sim, options, annotate, keep);
 }
 
 std::string shape_search_fingerprint(SearchMode mode,
@@ -396,6 +428,18 @@ SearchOutcome run_shape_search(SearchMode mode, const TransformerConfig& base,
   std::function<bool(const ShapeCandidate&)> keep =
       [](const ShapeCandidate&) { return true; };
   const std::int64_t h0 = base.hidden_size;
+  // Generation-time twin of the hidden/joint `keep` filter. The parameter
+  // bound is a pure function of the config — the same arithmetic
+  // evaluate_against uses for param_delta_frac — so candidates that are
+  // certain to be dropped never reach the (orders of magnitude costlier)
+  // evaluation stage. `keep` stays on as the authoritative filter.
+  const double base_params = static_cast<double>(tfm::exact_param_count(base));
+  const auto param_delta_ok = [&](const TransformerConfig& cfg) {
+    if (cfg.hidden_size == h0) return true;
+    const double params = static_cast<double>(tfm::exact_param_count(cfg));
+    const double delta_frac = (params - base_params) / base_params;
+    return std::fabs(delta_frac) <= options.max_param_delta_frac;
+  };
 
   switch (mode) {
     case SearchMode::kHeads:
@@ -419,6 +463,7 @@ SearchOutcome run_shape_search(SearchMode mode, const TransformerConfig& base,
       for (std::int64_t h : hidden_grid(base, radius_frac, step)) {
         if (h % base.num_heads != 0) continue;  // keep a, integral h/a
         TransformerConfig cfg = base.with_hidden(h);
+        if (!param_delta_ok(cfg)) continue;
         if (h != base.hidden_size) {
           cfg.name = base.name + "-h" + std::to_string(h);
         }
@@ -438,6 +483,7 @@ SearchOutcome run_shape_search(SearchMode mode, const TransformerConfig& base,
       for (std::int64_t h : hidden_grid(base, radius_frac, step)) {
         for (std::int64_t a : legal_head_counts(h, base.tensor_parallel)) {
           TransformerConfig cfg = base.with_hidden(h).with_heads(a);
+          if (!param_delta_ok(cfg)) continue;
           if (h != base.hidden_size || a != base.num_heads) {
             cfg.name = base.name + "-a" + std::to_string(a) + "-h" +
                        std::to_string(h);
@@ -537,15 +583,32 @@ MlpSearchOutcome run_mlp_search(const TransformerConfig& base,
     return cfg;
   };
 
-  const auto evaluate_width = [&base, &sim](std::int64_t ff) {
+  // Batched width evaluation: the 2–3 MLP GEMMs of a candidate resolve
+  // through one estimate_times() call. The sum order matches the scalar
+  // formulation — (up + down) + gate — so the result is bit-identical to
+  // a latency() loop (the gate twin repeats the up shape; a batch computes
+  // it from the same expressions a second scalar call would).
+  struct MlpScratch {
+    std::vector<gemm::GemmProblem> problems;
+    std::vector<double> times;
+    gemm::GemmSimulator::BatchWorkspace batch;
+  };
+  const auto evaluate_width = [&base, &sim](std::int64_t ff, MlpScratch& ws) {
     TransformerConfig cfg = base;
     cfg.mlp_intermediate = ff;
     const gemm::GemmProblem up = tfm::mlp_up_gemm(cfg);
     const gemm::GemmProblem down = tfm::mlp_down_gemm(cfg);
-    double time = sim.latency(up) + sim.latency(down);
+    const bool gated = cfg.activation == tfm::Activation::kSwiGlu;
+    ws.problems.clear();
+    ws.problems.push_back(up);
+    ws.problems.push_back(down);
+    if (gated) ws.problems.push_back(up);  // the gate twin
+    ws.times.resize(ws.problems.size());
+    sim.estimate_times(ws.problems, ws.times, ws.batch);
+    double time = ws.times[0] + ws.times[1];
     double flops = up.flops() + down.flops();
-    if (cfg.activation == tfm::Activation::kSwiGlu) {
-      time += sim.latency(up);  // the gate twin
+    if (gated) {
+      time += ws.times[2];
       flops += up.flops();
     }
     MlpCandidate c;
@@ -582,13 +645,13 @@ MlpSearchOutcome run_mlp_search(const TransformerConfig& base,
     }
   }
 
-  const auto evaluate_one = [&](std::size_t i) {
+  const auto evaluate_one = [&](std::size_t i, MlpScratch& ws) {
     if (state[i] != SlotState::kPending) return;
     SkipInfo skip;
     const SlotState s = run_guarded(options, counters, &skip, [&] {
       CODESIGN_FAILPOINT_T("advisor.search.evaluate",
                            fail::token(skip_key(widths[i])));
-      slots[i] = evaluate_width(widths[i]);
+      slots[i] = evaluate_width(widths[i], ws);
     });
     state[i] = s;
     if (s == SlotState::kSkipped) {
@@ -604,10 +667,17 @@ MlpSearchOutcome run_mlp_search(const TransformerConfig& base,
     }
   };
   if (options.threads == 1) {
-    for (std::size_t i = 0; i < widths.size(); ++i) evaluate_one(i);
+    MlpScratch ws;
+    for (std::size_t i = 0; i < widths.size(); ++i) evaluate_one(i, ws);
   } else {
     ThreadPool pool(options.threads);
-    pool.parallel_for(widths.size(), evaluate_one);
+    pool.parallel_for_ranges(widths.size(),
+                             [&](std::size_t begin, std::size_t end) {
+                               MlpScratch ws;
+                               for (std::size_t i = begin; i < end; ++i) {
+                                 evaluate_one(i, ws);
+                               }
+                             });
   }
 
   std::vector<MlpCandidate> out;

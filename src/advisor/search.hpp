@@ -139,6 +139,18 @@ ShapeCandidate evaluate_candidate(const TransformerConfig& config,
                                   const TransformerConfig& baseline,
                                   const gemm::GemmSimulator& sim);
 
+/// Evaluate an arbitrary caller-built candidate grid through the shared
+/// "evaluate in parallel → deterministically merge" pipeline: per-candidate
+/// fault isolation, cancellation, batched GEMM estimation, and the
+/// (layer_time, name) ranking — but no candidate generation, annotation,
+/// or keep-filter. The raw-throughput entry point for very large sweeps
+/// (the search.pipeline_batched bench pushes 10^5+ configs through it).
+/// Checkpoint/resume fingerprints are the caller's responsibility here.
+SearchOutcome run_grid_search(const std::vector<TransformerConfig>& configs,
+                              const TransformerConfig& baseline,
+                              const gemm::GemmSimulator& sim,
+                              const SearchOptions& options = {});
+
 /// The full-outcome entry point behind search_heads/search_hidden/
 /// search_joint: same candidate generation and ranking, plus the skip/
 /// truncation/resume record. `radius_frac`/`step` are ignored for kHeads.

@@ -87,6 +87,17 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
+  parallel_for_ranges(
+      n,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallel_for_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (n == 0) return;
   if (grain == 0) {
     grain = std::max<std::size_t>(1, n / (size() * 4));
@@ -123,7 +134,7 @@ void ThreadPool::parallel_for(std::size_t n,
         std::exception_ptr error;
         if (!batch->failed.load(std::memory_order_relaxed)) {
           try {
-            for (std::size_t i = begin; i < end; ++i) fn(i);
+            fn(begin, end);
           } catch (...) {
             error = std::current_exception();
             batch->failed.store(true, std::memory_order_relaxed);

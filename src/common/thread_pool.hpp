@@ -43,6 +43,17 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 0);
 
+  /// Chunk-level variant of parallel_for: fn(begin, end) is invoked once
+  /// per contiguous chunk instead of once per index, so the body can set up
+  /// per-chunk state (a reusable workspace, a batch buffer) and amortize it
+  /// across the chunk's indices. Same chunking, blocking, fast-fail, and
+  /// first-exception-rethrow semantics as parallel_for — which is itself
+  /// implemented on top of this.
+  void parallel_for_ranges(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 0);
+
   /// Enqueue one independent task and return immediately (the serve worker
   /// pool's entry point, vs parallel_for's blocking fan-out). Tasks are
   /// expected to handle their own errors; an exception that does escape is

@@ -22,9 +22,16 @@ std::string format_arg(const char* fmt, double v) {
 /// tile with the efficiency factors the model weighed and why it lost (or
 /// won). Counters here are kBestEffort: with a cache attached the catalogue
 /// walk only happens on misses, so the counts depend on hit patterns.
+///
+/// All trace-formatting work (problem.to_string(), the per-tile arg
+/// strings) lives strictly behind the `recorder == nullptr` early-out:
+/// a --metrics run without --trace pays for two counter bumps and nothing
+/// else, and the metrics-off fast path in select_kernel never calls this
+/// function at all.
 void record_selection_trail(const GemmProblem& problem,
                             const std::vector<KernelEstimate>& all,
-                            std::size_t best_index) {
+                            std::size_t best_index,
+                            obs::EventRecorder* recorder) {
   if (obs::MetricsRegistry::enabled()) {
     auto& reg = obs::MetricsRegistry::global();
     reg.counter("gemmsim.select.computed", {}, obs::Stability::kBestEffort)
@@ -32,7 +39,6 @@ void record_selection_trail(const GemmProblem& problem,
     reg.counter("gemmsim.select.candidates", {}, obs::Stability::kBestEffort)
         .add(all.size());
   }
-  obs::EventRecorder* recorder = obs::EventRecorder::active();
   if (recorder == nullptr) return;
   const double origin_us = obs::EventRecorder::time_origin_us();
   const KernelEstimate& best = all[best_index];
@@ -75,6 +81,20 @@ double KernelEstimate::flops_per_second() const {
   return time > 0.0 ? problem.flops() / time : 0.0;
 }
 
+ProblemTerms problem_terms(const GemmProblem& problem,
+                           const gpu::GpuSpec& gpu) {
+  ProblemTerms t;
+  t.alignment = gpu::alignment_efficiency(problem.m, problem.n, problem.k,
+                                          problem.dtype, gpu);
+  t.math_base = gpu::effective_math_rate(t.alignment, problem.dtype, gpu);
+  t.bandwidth = gpu::effective_bandwidth(t.alignment, gpu);
+  t.esize = static_cast<double>(gpu::dtype_size(problem.dtype));
+  t.batch = static_cast<double>(problem.batch);
+  t.launch_overhead = gpu.kernel_launch_overhead;
+  t.accumulate_into_c = problem.accumulate_into_c;
+  return t;
+}
+
 KernelEstimate estimate_with_tile(const GemmProblem& problem,
                                   const gpu::TileConfig& tile,
                                   const gpu::GpuSpec& gpu) {
@@ -84,48 +104,16 @@ KernelEstimate estimate_with_tile(const GemmProblem& problem,
   e.tile = tile;
   e.tile_q = tile_quantization(problem, tile);
   e.wave_q = wave_quantization(e.tile_q.tiles_total, tile, gpu);
-  e.alignment = gpu::alignment_efficiency(problem.m, problem.n, problem.k,
-                                          problem.dtype, gpu);
-
-  // --- compute path ------------------------------------------------------
-  // Scheduled math includes both quantization paddings: every partial tile
-  // executes fully, and every partial wave occupies the whole machine.
-  const double padded_flops =
-      2.0 * static_cast<double>(e.tile_q.padded_m) *
-      static_cast<double>(e.tile_q.padded_n) *
-      static_cast<double>(e.tile_q.padded_k) *
-      static_cast<double>(problem.batch);
-  const double scheduled_flops = padded_flops / e.wave_q.efficiency;
-  const double math_rate =
-      gpu::effective_math_rate(e.alignment, problem.dtype, gpu) *
-      tile.intrinsic_efficiency;
-  CODESIGN_CHECK(math_rate > 0.0, "math rate must be positive");
-  e.compute_time = scheduled_flops / math_rate;
-
-  // --- memory path --------------------------------------------------------
-  // Padded operand traffic (partial tiles still load full tiles of A and B).
-  const double esize = static_cast<double>(gpu::dtype_size(problem.dtype));
-  const double a_bytes = static_cast<double>(e.tile_q.padded_m) *
-                         static_cast<double>(e.tile_q.padded_k) * esize;
-  const double b_bytes = static_cast<double>(e.tile_q.padded_k) *
-                         static_cast<double>(e.tile_q.padded_n) * esize;
-  const double c_elems = static_cast<double>(e.tile_q.padded_m) *
-                         static_cast<double>(e.tile_q.padded_n) * esize;
-  const double c_bytes = problem.accumulate_into_c ? 2.0 * c_elems : c_elems;
-  const double traffic =
-      (a_bytes + b_bytes + c_bytes) * static_cast<double>(problem.batch);
-  const double bandwidth = gpu::effective_bandwidth(e.alignment, gpu);
-  e.memory_time = traffic / bandwidth;
-
-  // --- combine -------------------------------------------------------------
-  e.launch_overhead = gpu.kernel_launch_overhead;
-  const double body = std::max(e.compute_time, e.memory_time);
-  e.time = body + e.launch_overhead;
-  if (e.launch_overhead > body) {
-    e.bound = Bound::kLaunch;
-  } else {
-    e.bound = e.compute_time >= e.memory_time ? Bound::kCompute : Bound::kMemory;
-  }
+  const ProblemTerms terms = problem_terms(problem, gpu);
+  e.alignment = terms.alignment;
+  const TileTiming timing =
+      tile_timing(e.tile_q, e.wave_q.efficiency, tile.intrinsic_efficiency,
+                  terms);
+  e.compute_time = timing.compute_time;
+  e.memory_time = timing.memory_time;
+  e.launch_overhead = terms.launch_overhead;
+  e.time = timing.time;
+  e.bound = timing.bound;
   return e;
 }
 
@@ -145,6 +133,34 @@ KernelEstimate select_kernel(const GemmProblem& problem,
                              const gpu::GpuSpec& gpu,
                              const std::vector<gpu::TileConfig>& catalogue) {
   CODESIGN_FAILPOINT_T("gemmsim.select_kernel", problem.hash_value());
+  CODESIGN_CHECK(!catalogue.empty(), "tile catalogue must not be empty");
+
+  obs::EventRecorder* recorder = obs::EventRecorder::active();
+  if (recorder == nullptr && !obs::MetricsRegistry::enabled()) {
+    // Hot path: neither the selection trail nor its counters are wanted, so
+    // skip materializing the per-tile KernelEstimate vector entirely — scan
+    // the catalogue with the shared timing core and build only the winner.
+    // Bit-identical to the trail path: same quantization calls, same
+    // tile_timing expressions, same strict-< tie-break.
+    problem.validate();
+    const ProblemTerms terms = problem_terms(problem, gpu);
+    std::size_t best_index = 0;
+    double best_time = 0.0;
+    for (std::size_t i = 0; i < catalogue.size(); ++i) {
+      const gpu::TileConfig& tile = catalogue[i];
+      const TileQuantization tile_q = tile_quantization(problem, tile);
+      const WaveQuantization wave_q =
+          wave_quantization(tile_q.tiles_total, tile, gpu);
+      const TileTiming timing = tile_timing(
+          tile_q, wave_q.efficiency, tile.intrinsic_efficiency, terms);
+      if (i == 0 || timing.time < best_time) {
+        best_index = i;
+        best_time = timing.time;
+      }
+    }
+    return estimate_with_tile(problem, catalogue[best_index], gpu);
+  }
+
   const std::vector<KernelEstimate> all =
       estimate_all_tiles(problem, gpu, catalogue);
   const auto best = std::min_element(
@@ -153,7 +169,8 @@ KernelEstimate select_kernel(const GemmProblem& problem,
         return a.time < b.time;  // strict: ties keep the earlier entry
       });
   record_selection_trail(problem, all,
-                         static_cast<std::size_t>(best - all.begin()));
+                         static_cast<std::size_t>(best - all.begin()),
+                         recorder);
   return *best;
 }
 

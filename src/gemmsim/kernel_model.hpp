@@ -14,8 +14,10 @@
 // tile behaviour of Fig 5b, the full catalogue the smoothing of Fig 5c.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
+#include "common/error.hpp"
 #include "gemmsim/gemm_problem.hpp"
 #include "gemmsim/quantization.hpp"
 #include "gemmsim/roofline.hpp"
@@ -48,6 +50,81 @@ struct KernelEstimate {
 KernelEstimate estimate_with_tile(const GemmProblem& problem,
                                   const gpu::TileConfig& tile,
                                   const gpu::GpuSpec& gpu);
+
+/// Problem-level terms of the tile loop — everything in the latency model
+/// that does not depend on the candidate tile, computed once per problem
+/// and shared across the whole catalogue. The scalar path
+/// (estimate_with_tile) and the batched path (PreparedCatalogue) both feed
+/// these into tile_timing(), which is what makes their results bit-identical
+/// by construction rather than by accident.
+struct ProblemTerms {
+  gpu::AlignmentEfficiency alignment;
+  double math_base = 0.0;   ///< effective_math_rate(alignment, dtype, gpu)
+  double bandwidth = 0.0;   ///< effective_bandwidth(alignment, gpu)
+  double esize = 0.0;       ///< dtype_size in bytes
+  double batch = 0.0;
+  double launch_overhead = 0.0;
+  bool accumulate_into_c = false;
+};
+
+/// Compute the tile-independent terms for one problem (does not validate).
+ProblemTerms problem_terms(const GemmProblem& problem, const gpu::GpuSpec& gpu);
+
+/// Per-tile timing outputs of the shared core.
+struct TileTiming {
+  double compute_time = 0.0;
+  double memory_time = 0.0;
+  double time = 0.0;
+  Bound bound = Bound::kCompute;
+};
+
+/// The per-(problem, tile) timing core: padded/scheduled flops, operand
+/// traffic, roofline max, launch floor. Inline so the scalar and batched
+/// paths compile the *same expression trees* — the determinism contract
+/// (docs/search_pipeline.md) requires their doubles to match bit for bit.
+inline TileTiming tile_timing(const TileQuantization& tile_q,
+                              double wave_efficiency,
+                              double intrinsic_efficiency,
+                              const ProblemTerms& terms) {
+  TileTiming out;
+  // --- compute path ------------------------------------------------------
+  // Scheduled math includes both quantization paddings: every partial tile
+  // executes fully, and every partial wave occupies the whole machine.
+  const double padded_flops = 2.0 * static_cast<double>(tile_q.padded_m) *
+                              static_cast<double>(tile_q.padded_n) *
+                              static_cast<double>(tile_q.padded_k) *
+                              terms.batch;
+  const double scheduled_flops = padded_flops / wave_efficiency;
+  const double math_rate = terms.math_base * intrinsic_efficiency;
+  CODESIGN_CHECK(math_rate > 0.0, "math rate must be positive");
+  out.compute_time = scheduled_flops / math_rate;
+
+  // --- memory path --------------------------------------------------------
+  // Padded operand traffic (partial tiles still load full tiles of A and B).
+  const double a_bytes = static_cast<double>(tile_q.padded_m) *
+                         static_cast<double>(tile_q.padded_k) * terms.esize;
+  const double b_bytes = static_cast<double>(tile_q.padded_k) *
+                         static_cast<double>(tile_q.padded_n) * terms.esize;
+  const double c_store_bytes = static_cast<double>(tile_q.padded_m) *
+                               static_cast<double>(tile_q.padded_n) *
+                               terms.esize;
+  // beta != 0 reads C as well as writing it.
+  const double c_bytes =
+      terms.accumulate_into_c ? 2.0 * c_store_bytes : c_store_bytes;
+  const double traffic = (a_bytes + b_bytes + c_bytes) * terms.batch;
+  out.memory_time = traffic / terms.bandwidth;
+
+  // --- combine -------------------------------------------------------------
+  const double body = std::max(out.compute_time, out.memory_time);
+  out.time = body + terms.launch_overhead;
+  if (terms.launch_overhead > body) {
+    out.bound = Bound::kLaunch;
+  } else {
+    out.bound = out.compute_time >= out.memory_time ? Bound::kCompute
+                                                    : Bound::kMemory;
+  }
+  return out;
+}
 
 /// Evaluate every tile in `catalogue` and return the fastest. Deterministic:
 /// ties resolve to the earlier catalogue entry.

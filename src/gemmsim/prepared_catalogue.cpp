@@ -1,0 +1,122 @@
+#include "gemmsim/prepared_catalogue.hpp"
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/math_util.hpp"
+#include "gemmsim/simulator.hpp"
+#include "obs/metrics.hpp"
+
+namespace codesign::gemm {
+
+PreparedCatalogue::PreparedCatalogue(
+    const gpu::GpuSpec& gpu, TilePolicy policy,
+    const std::vector<gpu::TileConfig>& catalogue)
+    : gpu_(&gpu), policy_(policy) {
+  gpu.validate();
+  CODESIGN_CHECK(!catalogue.empty(), "tile catalogue must not be empty");
+  // kFixedLargest models the fixed-tile kernel of Fig 5b: the prepared
+  // table degenerates to the single largest tile, so the same scan code
+  // serves both policies.
+  if (policy == TilePolicy::kFixedLargest) {
+    tiles_ = {gpu::largest_tile()};
+  } else {
+    tiles_ = catalogue;
+  }
+  const std::size_t n = tiles_.size();
+  tm_.reserve(n);
+  tn_.reserve(n);
+  tk_.reserve(n);
+  blocks_per_wave_.reserve(n);
+  intrinsic_.reserve(n);
+  for (const gpu::TileConfig& tile : tiles_) {
+    CODESIGN_CHECK(tile.tm > 0 && tile.tn > 0 && tile.tk > 0,
+                   "tile dimensions must be positive");
+    tm_.push_back(tile.tm);
+    tn_.push_back(tile.tn);
+    tk_.push_back(tile.tk);
+    blocks_per_wave_.push_back(static_cast<std::int64_t>(gpu.sm_count) *
+                               tile.blocks_per_sm);
+    intrinsic_.push_back(tile.intrinsic_efficiency);
+  }
+}
+
+std::size_t PreparedCatalogue::scan(const GemmProblem& problem,
+                                    const ProblemTerms& terms,
+                                    double* best_time) const {
+  // The inner loop of the batched engine: flat-array reads, exact integer
+  // quantization (same formulas as tile_quantization/wave_quantization),
+  // and the shared tile_timing() core. Ties keep the earlier entry, the
+  // scalar min_element contract.
+  std::size_t best_index = 0;
+  double best = 0.0;
+  const std::size_t n = tm_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    TileQuantization tile_q;
+    tile_q.tiles_m = ceil_div(problem.m, tm_[i]);
+    tile_q.tiles_n = ceil_div(problem.n, tn_[i]);
+    tile_q.tiles_total = tile_q.tiles_m * tile_q.tiles_n * problem.batch;
+    tile_q.padded_m = tile_q.tiles_m * tm_[i];
+    tile_q.padded_n = tile_q.tiles_n * tn_[i];
+    tile_q.padded_k = round_up(problem.k, tk_[i]);
+    const std::int64_t waves =
+        ceil_div(tile_q.tiles_total, blocks_per_wave_[i]);
+    const double wave_efficiency =
+        static_cast<double>(tile_q.tiles_total) /
+        static_cast<double>(waves * blocks_per_wave_[i]);
+    const TileTiming timing =
+        tile_timing(tile_q, wave_efficiency, intrinsic_[i], terms);
+    if (i == 0 || timing.time < best) {
+      best_index = i;
+      best = timing.time;
+    }
+  }
+  *best_time = best;
+  return best_index;
+}
+
+KernelEstimate PreparedCatalogue::estimate_one(
+    const GemmProblem& problem) const {
+  if (policy_ == TilePolicy::kFixedLargest) {
+    return estimate_with_tile(problem, tiles_.front(), *gpu_);
+  }
+  // Mirror select_kernel: the failpoint fires per selection with the
+  // problem hash as its token, so prob:P:seed drills skip the same
+  // candidates on the scalar and batched paths.
+  CODESIGN_FAILPOINT_T("gemmsim.select_kernel", problem.hash_value());
+  problem.validate();
+  if (obs::MetricsRegistry::enabled()) {
+    // The trail counters the scalar path records per catalogue walk
+    // (kBestEffort: cache hit patterns already make them scheduling-
+    // dependent).
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("gemmsim.select.computed", {}, obs::Stability::kBestEffort)
+        .add();
+    reg.counter("gemmsim.select.candidates", {}, obs::Stability::kBestEffort)
+        .add(tile_count());
+  }
+  const ProblemTerms terms = problem_terms(problem, *gpu_);
+  double best_time = 0.0;
+  const std::size_t best_index = scan(problem, terms, &best_time);
+  return estimate_with_tile(problem, tiles_[best_index], *gpu_);
+}
+
+double PreparedCatalogue::time_one(const GemmProblem& problem) const {
+  if (policy_ == TilePolicy::kFixedLargest) {
+    return estimate_with_tile(problem, tiles_.front(), *gpu_).time;
+  }
+  CODESIGN_FAILPOINT_T("gemmsim.select_kernel", problem.hash_value());
+  problem.validate();
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("gemmsim.select.computed", {}, obs::Stability::kBestEffort)
+        .add();
+    reg.counter("gemmsim.select.candidates", {}, obs::Stability::kBestEffort)
+        .add(tile_count());
+  }
+  const ProblemTerms terms = problem_terms(problem, *gpu_);
+  double best_time = 0.0;
+  scan(problem, terms, &best_time);
+  return best_time;
+}
+
+}  // namespace codesign::gemm

@@ -1,0 +1,74 @@
+// prepared_catalogue.hpp — the tile catalogue precompiled for batch speed.
+//
+// The batched estimation engine (GemmSimulator::estimate_many) exists to
+// sweep enormous (problem, tile, GPU) grids: a design-space search touches
+// 10^5+ candidate tuples, and the scalar path's per-call costs — a fresh
+// std::vector<KernelEstimate> per catalogue walk, the alignment model
+// re-evaluated per tile, the GpuSpec re-dereferenced per field — dominate
+// the arithmetic. A PreparedCatalogue flattens one (GpuSpec, TilePolicy)
+// pair into structure-of-arrays lookup tables (tile dims, intrinsic
+// efficiencies, wave constants) built once and shared by every batch, so
+// the inner loop is a branch-light scan over flat arrays with zero
+// allocation and zero per-tile model re-derivation.
+//
+// Determinism contract (docs/search_pipeline.md): estimate_one() is
+// bit-identical to the scalar path (select_kernel under kAuto,
+// estimate_with_tile(largest_tile) under kFixedLargest). It reuses the
+// exact integer quantization formulas and the shared tile_timing() core,
+// so every double is produced by the same expression tree the scalar path
+// compiles — asserted field-for-field by tests/test_estimate_many.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gemmsim/kernel_model.hpp"
+#include "gpuarch/gpu_spec.hpp"
+#include "gpuarch/tile_config.hpp"
+
+namespace codesign::gemm {
+
+enum class TilePolicy;  // defined in simulator.hpp
+
+class PreparedCatalogue {
+ public:
+  /// Precompile `catalogue` for one (gpu, policy) pair. Under
+  /// kFixedLargest the prepared table holds only the single largest tile,
+  /// mirroring the scalar policy dispatch. `gpu` must outlive the
+  /// catalogue (GpuSpec instances are registry-owned singletons).
+  PreparedCatalogue(const gpu::GpuSpec& gpu, TilePolicy policy,
+                    const std::vector<gpu::TileConfig>& catalogue =
+                        gpu::default_tile_catalogue());
+
+  const gpu::GpuSpec& gpu() const { return *gpu_; }
+  TilePolicy policy() const { return policy_; }
+  std::size_t tile_count() const { return tm_.size(); }
+
+  /// Full estimate for one problem — bit-identical to the scalar
+  /// estimate() path for the same (problem, policy, gpu). Fires the
+  /// gemmsim.select_kernel failpoint under kAuto exactly as select_kernel
+  /// does, so fault drills land on the same candidates either way.
+  KernelEstimate estimate_one(const GemmProblem& problem) const;
+
+  /// Lean twin: just the winning time, no KernelEstimate materialized.
+  /// Bit-identical to estimate_one(problem).time.
+  double time_one(const GemmProblem& problem) const;
+
+ private:
+  /// Scan the flat tables; returns the winning tile index and its time.
+  std::size_t scan(const GemmProblem& problem, const ProblemTerms& terms,
+                   double* best_time) const;
+
+  const gpu::GpuSpec* gpu_;  ///< registry- or caller-owned, never null
+  TilePolicy policy_;
+
+  // Structure-of-arrays tile tables, indexed by catalogue position.
+  std::vector<std::int64_t> tm_;
+  std::vector<std::int64_t> tn_;
+  std::vector<std::int64_t> tk_;
+  std::vector<std::int64_t> blocks_per_wave_;  ///< sm_count * blocks_per_sm
+  std::vector<double> intrinsic_;
+  std::vector<gpu::TileConfig> tiles_;  ///< original entries (winner rebuild)
+};
+
+}  // namespace codesign::gemm

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "gemmsim/flash_attention.hpp"
 #include "gemmsim/gemm_problem.hpp"
 #include "gemmsim/kernel_model.hpp"
+#include "gemmsim/prepared_catalogue.hpp"
 #include "gemmsim/sm_scheduler.hpp"
 #include "gpuarch/gpu_spec.hpp"
 
@@ -49,6 +51,50 @@ class GemmSimulator {
   /// Sum of per-kernel latencies for a kernel sequence (one CUDA stream).
   double sequence_latency(const std::vector<GemmProblem>& problems) const;
 
+  /// Reusable scratch for the batched entry points below. Keep one per
+  /// worker thread and pass it to every call — steady-state batch calls
+  /// then allocate nothing.
+  struct BatchWorkspace {
+    std::vector<EstimateCache::Key> keys;
+    std::vector<std::uint8_t> hit;
+    std::vector<KernelEstimate> estimates;
+    std::vector<double> times;
+    EstimateCache::BatchScratch scratch;
+  };
+
+  /// Batched estimate: fills out[i] with exactly what estimate(problems[i])
+  /// returns — bit-identical, any cache state, any thread count. The batch
+  /// amortizes the per-call costs of the scalar path: cache probes are
+  /// grouped per stripe lock (EstimateCache::lookup_many), misses scan the
+  /// precompiled SoA tile tables (PreparedCatalogue), and validation /
+  /// metrics / failpoint checks run per batch item without per-call setup.
+  /// Divergences from N scalar calls are confined to best-effort
+  /// observability: cache hit/miss counter splits, LRU recency order, and
+  /// order-dependent (once:/every:) failpoint triggers — see
+  /// docs/search_pipeline.md for the contract.
+  void estimate_many(std::span<const GemmProblem> problems,
+                     std::span<KernelEstimate> out,
+                     BatchWorkspace& workspace) const;
+
+  /// Convenience overload with a throwaway workspace.
+  void estimate_many(std::span<const GemmProblem> problems,
+                     std::span<KernelEstimate> out) const;
+
+  /// Times-only batch: out[i] == estimate(problems[i]).time bit-identically,
+  /// but cache hits copy one double instead of a full KernelEstimate. The
+  /// hot call of the batched search pipeline. Misses still compute and
+  /// insert the full estimate, so cache population matches the scalar path.
+  void estimate_times(std::span<const GemmProblem> problems,
+                      std::span<double> out, BatchWorkspace& workspace) const;
+
+  /// Batched overload of sequence_latency: sums estimate_times() outputs in
+  /// input order — bit-identical to the scalar overload.
+  double sequence_latency(std::span<const GemmProblem> problems,
+                          BatchWorkspace& workspace) const;
+
+  /// The precompiled tile tables this simulator scans on a cache miss.
+  const PreparedCatalogue& prepared() const { return *prepared_; }
+
   /// Discrete-event cross-check of the analytical estimate.
   DesResult simulate(const GemmProblem& problem,
                      const DesOptions& options = {}) const;
@@ -74,6 +120,8 @@ class GemmSimulator {
   const gpu::GpuSpec* gpu_;  ///< registry-owned, never null
   TilePolicy policy_;
   std::shared_ptr<EstimateCache> cache_;  ///< null = caching disabled
+  /// Built once per (gpu, policy) at construction; copies share it.
+  std::shared_ptr<const PreparedCatalogue> prepared_;
 };
 
 }  // namespace codesign::gemm

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "gemmsim/explain.hpp"
@@ -226,6 +227,49 @@ OpResult op_advise(const Request& request, const OpContext& context) {
   return {kExitOk, os.str()};
 }
 
+/// Batched advisory: one request carries N (model|custom, gpu) tuples and
+/// the response payload is one JSON array of strings, element i being
+/// byte-identical to the scalar advise payload for tuple i (asserted by
+/// test_serve and the bench_serve_throughput checksum mix). Amortizes the
+/// request round-trip and shares the process-wide estimate cache across
+/// tuples; the deadline is re-checked between tuples so a slow batch
+/// cancels cleanly instead of overrunning.
+OpResult op_advise_many(const Request& request, const OpContext& context) {
+  check_deadline(context, "advise_many");
+  const json::Value* items = request.body.get("items");
+  if (items == nullptr || !items->is_array()) {
+    throw UsageError(
+        "advise_many needs \"items\": an array of {model|custom, gpu} "
+        "tuples");
+  }
+  const auto& tuples = items->as_array();
+  if (tuples.empty()) {
+    throw UsageError("advise_many: \"items\" must not be empty");
+  }
+  constexpr std::size_t kMaxTuples = 256;
+  if (tuples.size() > kMaxTuples) {
+    throw UsageError(str_format(
+        "advise_many: at most %zu items per request (got %zu) — split the "
+        "batch",
+        kMaxTuples, tuples.size()));
+  }
+  std::ostringstream payload;
+  json::Writer w(payload);
+  w.begin_array();
+  for (const json::Value& item : tuples) {
+    check_deadline(context, "advise_many item");
+    const tfm::TransformerConfig cfg = model_from_body(item);
+    const gemm::GemmSimulator sim = sim_from_body(item, context);
+    advisor::ReportOptions options;  // threads = 1: concurrency is per-request
+    std::ostringstream os;
+    render_advise(os, cfg, sim, options);
+    w.value(os.str());
+  }
+  w.end_array();
+  payload << "\n";
+  return {kExitOk, payload.str()};
+}
+
 OpResult op_search(const Request& request, const OpContext& context) {
   check_deadline(context, "search");
   SearchRequest sr;
@@ -297,6 +341,7 @@ OpResult op_sleep(const Request& request, const OpContext& context) {
 
 OpResult execute_op(const Request& request, const OpContext& context) {
   if (request.op == "advise") return op_advise(request, context);
+  if (request.op == "advise_many") return op_advise_many(request, context);
   if (request.op == "search") return op_search(request, context);
   if (request.op == "estimate") return op_estimate(request, context);
   if (request.op == "explain") return op_explain(request, context);
@@ -305,7 +350,7 @@ OpResult execute_op(const Request& request, const OpContext& context) {
   if (request.op == "ping") return {kExitOk, "pong\n"};
   throw UsageError(
       "unknown op '" + request.op +
-      "' (advise|search|estimate|explain|stats|ping|sleep)");
+      "' (advise|advise_many|search|estimate|explain|stats|ping|sleep)");
 }
 
 }  // namespace codesign::serve

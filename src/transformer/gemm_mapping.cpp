@@ -156,6 +156,12 @@ MappedOp elementwise_op(LayerOp op, double bytes, double flops = 0.0) {
 }  // namespace
 
 std::vector<MappedOp> layer_ops(const TransformerConfig& c) {
+  std::vector<MappedOp> ops;
+  layer_ops_into(c, ops);
+  return ops;
+}
+
+void layer_ops_into(const TransformerConfig& c, std::vector<MappedOp>& ops) {
   c.validate();
   const double h = static_cast<double>(c.hidden_size);
   const double h_tp = static_cast<double>(c.hidden_per_tp());
@@ -165,7 +171,7 @@ std::vector<MappedOp> layer_ops(const TransformerConfig& c) {
   const double heads_tp = static_cast<double>(c.heads_per_tp());
   const double e = esize(c);
 
-  std::vector<MappedOp> ops;
+  ops.clear();
 
   // LayerNorm 1: read x, write y (running stats stay on chip).
   ops.push_back(elementwise_op(LayerOp::kLayerNorm1,
@@ -223,7 +229,6 @@ std::vector<MappedOp> layer_ops(const TransformerConfig& c) {
 
   ops.push_back(elementwise_op(LayerOp::kResidualAdd2,
                                3.0 * act_bytes(c, h), bs * h));
-  return ops;
 }
 
 std::vector<MappedOp> model_level_ops(const TransformerConfig& c) {

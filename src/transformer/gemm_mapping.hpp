@@ -84,6 +84,12 @@ std::vector<gemm::GemmProblem> layer_gemms(const TransformerConfig& config);
 /// execution order.
 std::vector<MappedOp> layer_ops(const TransformerConfig& config);
 
+/// Allocation-reusing twin of layer_ops(): clears `out` and fills it with
+/// the identical schedule, keeping the vector's capacity. The batched
+/// search hot path calls this once per candidate with a per-worker buffer.
+void layer_ops_into(const TransformerConfig& config,
+                    std::vector<MappedOp>& out);
+
 /// Model-level ops outside the layer stack: embedding lookup, final
 /// LayerNorm, logit projection.
 std::vector<MappedOp> model_level_ops(const TransformerConfig& config);

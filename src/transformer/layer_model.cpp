@@ -50,19 +50,23 @@ namespace {
 
 /// Parallel-layer formulation fuses the attention and MLP branches
 /// (§VI-C1): one shared LayerNorm and one fused residual, saving the
-/// second LN's and one residual add's traffic + launches.
+/// second LN's and one residual add's traffic + launches. The _into
+/// variant reuses the buffer's capacity for the batched hot path; the
+/// in-place erase preserves op order, so both produce the identical
+/// schedule.
+void schedule_for_into(const TransformerConfig& c,
+                       std::vector<MappedOp>& ops) {
+  layer_ops_into(c, ops);
+  if (!c.parallel_layers) return;
+  std::erase_if(ops, [](const MappedOp& op) {
+    return op.op == LayerOp::kLayerNorm2 || op.op == LayerOp::kResidualAdd1;
+  });
+}
+
 std::vector<MappedOp> schedule_for(const TransformerConfig& c) {
-  std::vector<MappedOp> ops = layer_ops(c);
-  if (!c.parallel_layers) return ops;
-  std::vector<MappedOp> fused;
-  fused.reserve(ops.size());
-  for (const MappedOp& op : ops) {
-    if (op.op == LayerOp::kLayerNorm2 || op.op == LayerOp::kResidualAdd1) {
-      continue;  // absorbed into the fused block
-    }
-    fused.push_back(op);
-  }
-  return fused;
+  std::vector<MappedOp> ops;
+  schedule_for_into(c, ops);
+  return ops;
 }
 
 }  // namespace
@@ -97,6 +101,37 @@ double layer_total_time(const TransformerConfig& config,
   for (const MappedOp& op : schedule_for(config)) {
     if (op.gemm.has_value()) {
       total += sim.estimate(*op.gemm).time;
+    } else if (op.flash.has_value()) {
+      total += sim.estimate_flash(*op.flash).time;
+    } else {
+      total += op.elementwise_bytes / sim.gpu().achievable_bandwidth() +
+               sim.gpu().kernel_launch_overhead;
+    }
+  }
+  return total;
+}
+
+double layer_total_time(const TransformerConfig& config,
+                        const gemm::GemmSimulator& sim, LayerWorkspace& ws) {
+  // The batched hot path: same schedule, same estimates, same summation
+  // order as the scalar overload — only the mechanics change. GEMMs are
+  // gathered in op order and resolved with one estimate_times() call
+  // (grouped cache probes, SoA scan on misses); flash and elementwise
+  // terms are computed inline exactly as the scalar loop does, so the
+  // left-to-right sum adds the identical doubles in the identical order.
+  config.validate();
+  schedule_for_into(config, ws.ops);
+  ws.gemms.clear();
+  for (const MappedOp& op : ws.ops) {
+    if (op.gemm.has_value()) ws.gemms.push_back(*op.gemm);
+  }
+  ws.gemm_times.resize(ws.gemms.size());
+  sim.estimate_times(ws.gemms, ws.gemm_times, ws.batch);
+  double total = 0.0;
+  std::size_t g = 0;
+  for (const MappedOp& op : ws.ops) {
+    if (op.gemm.has_value()) {
+      total += ws.gemm_times[g++];
     } else if (op.flash.has_value()) {
       total += sim.estimate_flash(*op.flash).time;
     } else {

@@ -61,6 +61,23 @@ LayerLatencyReport analyze_layer(const TransformerConfig& config,
 double layer_total_time(const TransformerConfig& config,
                         const gemm::GemmSimulator& sim);
 
+/// Reusable buffers for the batched layer evaluation. Keep one per worker
+/// thread; after warm-up, evaluating a candidate allocates nothing.
+struct LayerWorkspace {
+  std::vector<MappedOp> ops;               ///< reused schedule buffer
+  std::vector<gemm::GemmProblem> gemms;    ///< the layer's GEMMs, in op order
+  std::vector<double> gemm_times;
+  gemm::GemmSimulator::BatchWorkspace batch;
+};
+
+/// Batched twin of layer_total_time(): gathers the layer's GEMMs and
+/// resolves them through one GemmSimulator::estimate_times() call (grouped
+/// cache probes, SoA catalogue scan on misses) instead of one estimate()
+/// per op. Bit-identical to the scalar overload — same estimates, summed
+/// in the same op order.
+double layer_total_time(const TransformerConfig& config,
+                        const gemm::GemmSimulator& sim, LayerWorkspace& ws);
+
 struct ModelLatencyReport {
   TransformerConfig config;
   LayerLatencyReport layer;        ///< one representative layer

@@ -1,0 +1,393 @@
+// Tests for the batched estimation engine: GemmSimulator::estimate_many /
+// estimate_times, PreparedCatalogue, and EstimateCache::lookup_many /
+// insert_many. The contract under test is lockstep bit-identity — a batch
+// of N problems returns exactly what N scalar estimate() calls return, in
+// every cache state, at any thread count, and under failpoint drills the
+// same candidates fault either way.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "gemmsim/estimate_cache.hpp"
+#include "gemmsim/prepared_catalogue.hpp"
+#include "gemmsim/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "transformer/layer_model.hpp"
+#include "transformer/model_zoo.hpp"
+
+namespace codesign::gemm {
+namespace {
+
+GemmProblem problem(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return GemmProblem::gemm(m, n, k);
+}
+
+/// The working set every lockstep test sweeps: quantization-friendly and
+/// hostile shapes, batched BMMs, odd dtypes, and accumulate variants.
+std::vector<GemmProblem> shape_set() {
+  std::vector<GemmProblem> shapes = {
+      problem(2048, 2560, 2560),  problem(80, 80, 2560),
+      problem(4096, 50304, 2560), GemmProblem::bmm(64, 2048, 2048, 80),
+      problem(1, 1, 1),           problem(108 * 256, 128, 64),
+      problem(4096, 4096, 1024),  problem(96, 96, 4096),
+      problem(1000, 1000, 1000),  problem(2048, 2730, 2560),
+  };
+  GemmProblem bf = problem(512, 512, 512);
+  bf.dtype = gpu::DType::kBF16;
+  shapes.push_back(bf);
+  GemmProblem acc = problem(768, 768, 768);
+  acc.accumulate_into_c = true;
+  shapes.push_back(acc);
+  return shapes;
+}
+
+/// Field-exact equality — the batch contract is bitwise, not approximate.
+void expect_identical(const KernelEstimate& a, const KernelEstimate& b) {
+  EXPECT_EQ(a.problem, b.problem);
+  EXPECT_EQ(a.tile.tm, b.tile.tm);
+  EXPECT_EQ(a.tile.tn, b.tile.tn);
+  EXPECT_EQ(a.tile.tk, b.tile.tk);
+  EXPECT_EQ(a.tile_q.tiles_total, b.tile_q.tiles_total);
+  EXPECT_EQ(a.tile_q.padded_m, b.tile_q.padded_m);
+  EXPECT_EQ(a.tile_q.padded_n, b.tile_q.padded_n);
+  EXPECT_EQ(a.tile_q.padded_k, b.tile_q.padded_k);
+  EXPECT_EQ(a.wave_q.waves, b.wave_q.waves);
+  EXPECT_EQ(a.wave_q.efficiency, b.wave_q.efficiency);
+  EXPECT_EQ(a.alignment.combined, b.alignment.combined);
+  EXPECT_EQ(a.compute_time, b.compute_time);
+  EXPECT_EQ(a.memory_time, b.memory_time);
+  EXPECT_EQ(a.launch_overhead, b.launch_overhead);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.bound, b.bound);
+}
+
+TEST(PreparedCatalogue, EstimateOneMatchesSelectKernel) {
+  const gpu::GpuSpec& gpu = gpu::gpu_by_name("a100");
+  const PreparedCatalogue prepared(gpu, TilePolicy::kAuto);
+  EXPECT_EQ(prepared.tile_count(), gpu::default_tile_catalogue().size());
+  for (const GemmProblem& p : shape_set()) {
+    expect_identical(select_kernel(p, gpu), prepared.estimate_one(p));
+    EXPECT_EQ(prepared.time_one(p), prepared.estimate_one(p).time);
+  }
+}
+
+TEST(PreparedCatalogue, FixedLargestDegeneratesToOneTile) {
+  const gpu::GpuSpec& gpu = gpu::gpu_by_name("v100");
+  const PreparedCatalogue prepared(gpu, TilePolicy::kFixedLargest);
+  EXPECT_EQ(prepared.tile_count(), 1u);
+  for (const GemmProblem& p : shape_set()) {
+    expect_identical(estimate_with_tile(p, gpu::largest_tile(), gpu),
+                     prepared.estimate_one(p));
+    EXPECT_EQ(prepared.time_one(p), prepared.estimate_one(p).time);
+  }
+}
+
+TEST(EstimateMany, ColdNoCacheLockstep) {
+  for (const TilePolicy policy :
+       {TilePolicy::kAuto, TilePolicy::kFixedLargest}) {
+    const GemmSimulator sim(gpu::gpu_by_name("a100"), policy);
+    const std::vector<GemmProblem> shapes = shape_set();
+    std::vector<KernelEstimate> batch(shapes.size());
+    sim.estimate_many(shapes, batch);
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      expect_identical(sim.estimate(shapes[i]), batch[i]);
+    }
+  }
+}
+
+TEST(EstimateMany, ColdAndWarmCacheLockstep) {
+  const gpu::GpuSpec& gpu = gpu::gpu_by_name("a100");
+  GemmSimulator scalar(gpu);
+  GemmSimulator batched(gpu);
+  scalar.enable_cache();
+  batched.enable_cache();
+
+  const std::vector<GemmProblem> shapes = shape_set();
+  std::vector<KernelEstimate> scalar_out;
+  for (const GemmProblem& p : shapes) scalar_out.push_back(scalar.estimate(p));
+
+  GemmSimulator::BatchWorkspace ws;
+  std::vector<KernelEstimate> cold(shapes.size());
+  batched.estimate_many(shapes, cold, ws);  // all misses
+  std::vector<KernelEstimate> warm(shapes.size());
+  batched.estimate_many(shapes, warm, ws);  // all hits
+  const CacheStats stats = batched.cache()->stats();
+  EXPECT_EQ(stats.misses, shapes.size());
+  EXPECT_EQ(stats.hits, shapes.size());
+
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    expect_identical(scalar_out[i], cold[i]);
+    expect_identical(scalar_out[i], warm[i]);
+    // Crossover: the batch-populated cache serves scalar reads bit-exactly.
+    expect_identical(scalar_out[i], batched.estimate(shapes[i]));
+  }
+}
+
+TEST(EstimateMany, DuplicateProblemsWithinOneBatch) {
+  GemmSimulator sim = GemmSimulator::for_gpu("a100");
+  sim.enable_cache();
+  const GemmProblem p = problem(640, 640, 640);
+  const std::vector<GemmProblem> shapes = {p, p, p};
+  std::vector<KernelEstimate> out(shapes.size());
+  sim.estimate_many(shapes, out);
+  const KernelEstimate reference = select_kernel(p, gpu::gpu_by_name("a100"));
+  for (const KernelEstimate& e : out) expect_identical(reference, e);
+  EXPECT_EQ(sim.cache()->stats().entries, 1u);  // stored once
+}
+
+TEST(EstimateMany, EstimateTimesMatchesEstimateBitForBit) {
+  GemmSimulator sim = GemmSimulator::for_gpu("a100");
+  sim.enable_cache();
+  const std::vector<GemmProblem> shapes = shape_set();
+  GemmSimulator::BatchWorkspace ws;
+  std::vector<double> cold(shapes.size());
+  sim.estimate_times(shapes, cold, ws);
+  std::vector<double> warm(shapes.size());
+  sim.estimate_times(shapes, warm, ws);
+  GemmSimulator reference = GemmSimulator::for_gpu("a100");
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const double expected = reference.estimate(shapes[i]).time;
+    EXPECT_EQ(expected, cold[i]);
+    EXPECT_EQ(expected, warm[i]);
+  }
+  // The times-only path still populated the cache with full estimates.
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    expect_identical(reference.estimate(shapes[i]), sim.estimate(shapes[i]));
+  }
+}
+
+TEST(EstimateMany, SequenceLatencyBatchedMatchesScalar) {
+  const std::vector<GemmProblem> seq = {
+      problem(2048, 2560, 2560), problem(2048, 2560, 2560),
+      problem(80, 80, 2560), GemmProblem::bmm(64, 2048, 2048, 80)};
+  GemmSimulator sim = GemmSimulator::for_gpu("a100");
+  double expected = 0.0;
+  for (const GemmProblem& p : seq) expected += sim.estimate(p).time;
+  GemmSimulator::BatchWorkspace ws;
+  EXPECT_EQ(expected, sim.sequence_latency(std::span<const GemmProblem>(seq),
+                                           ws));
+  EXPECT_EQ(expected, sim.sequence_latency(seq));
+}
+
+TEST(EstimateMany, MetricsOnPathStaysLockstep) {
+  obs::MetricsRegistry::set_enabled(true);
+  const std::vector<GemmProblem> shapes = shape_set();
+  GemmSimulator sim = GemmSimulator::for_gpu("a100");
+  sim.enable_cache();
+  GemmSimulator::BatchWorkspace ws;
+  std::vector<KernelEstimate> out(shapes.size());
+  sim.estimate_many(shapes, out, ws);
+  std::vector<double> times(shapes.size());
+  sim.estimate_times(shapes, times, ws);
+  obs::MetricsRegistry::set_enabled(false);
+  const GemmSimulator reference = GemmSimulator::for_gpu("a100");
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    expect_identical(reference.estimate(shapes[i]), out[i]);
+    EXPECT_EQ(reference.estimate(shapes[i]).time, times[i]);
+  }
+}
+
+TEST(EstimateMany, SharedCacheAcrossThreadsStaysExact) {
+  GemmSimulator sim = GemmSimulator::for_gpu("a100");
+  sim.enable_cache();
+  const GemmSimulator reference = GemmSimulator::for_gpu("a100");
+
+  // 8 threads push overlapping batches through one shared cache; every
+  // element of every batch must match the uncached scalar answer exactly.
+  std::vector<std::thread> workers;
+  std::vector<int> failures(8, 0);
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([w, &sim, &reference, &failures] {
+      GemmSimulator::BatchWorkspace ws;
+      std::vector<GemmProblem> batch;
+      std::vector<KernelEstimate> out;
+      for (int round = 0; round < 20; ++round) {
+        batch.clear();
+        for (int j = 0; j < 6; ++j) {
+          const std::int64_t m = 64 * (1 + (w + round + j) % 10);
+          batch.push_back(GemmProblem::gemm(m, 2560, 2560));
+        }
+        out.resize(batch.size());
+        sim.estimate_many(batch, out, ws);
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+          if (out[j].time != reference.estimate(batch[j]).time) {
+            ++failures[static_cast<std::size_t>(w)];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int f : failures) EXPECT_EQ(f, 0);
+  EXPECT_LE(sim.cache()->stats().entries, 10u);  // 10 distinct shapes
+}
+
+TEST(EstimateCacheBatch, LookupManyInsertManyRoundTrip) {
+  EstimateCache cache;
+  const gpu::GpuSpec& gpu = gpu::gpu_by_name("a100");
+  const std::vector<GemmProblem> shapes = shape_set();
+
+  std::vector<EstimateCache::Key> keys;
+  std::vector<KernelEstimate> estimates;
+  for (const GemmProblem& p : shapes) {
+    keys.push_back(EstimateCache::Key{p, TilePolicy::kAuto, &gpu});
+    estimates.push_back(select_kernel(p, gpu));
+  }
+
+  EstimateCache::BatchScratch scratch;
+  std::vector<KernelEstimate> out(keys.size());
+  std::vector<std::uint8_t> hit(keys.size(), 2);
+  EXPECT_EQ(cache.lookup_many(keys, out.data(), hit.data(), scratch), 0u);
+  for (const std::uint8_t h : hit) EXPECT_EQ(h, 0);
+
+  // Insert only the odd-indexed keys; the rest stay absent.
+  std::vector<std::uint8_t> miss(keys.size(), 0);
+  for (std::size_t i = 1; i < keys.size(); i += 2) miss[i] = 1;
+  cache.insert_many(keys, estimates, miss.data(), scratch);
+
+  std::fill(hit.begin(), hit.end(), 2);
+  const std::size_t hits =
+      cache.lookup_many(keys, out.data(), hit.data(), scratch);
+  EXPECT_EQ(hits, keys.size() / 2);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(hit[i], i % 2 == 0 ? 0 : 1);
+    if (hit[i]) expect_identical(estimates[i], out[i]);
+  }
+
+  // Times-only twin: same hit set, just the .time field.
+  std::vector<double> times(keys.size(), -1.0);
+  std::fill(hit.begin(), hit.end(), 2);
+  EXPECT_EQ(cache.lookup_times_many(keys, times.data(), hit.data(), scratch),
+            keys.size() / 2);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (hit[i]) {
+      EXPECT_EQ(times[i], estimates[i].time);
+    }
+  }
+
+  // insert_many never clobbers present entries (racing-miss semantics), and
+  // a null miss mask means "insert everything absent".
+  cache.insert_many(keys, estimates, nullptr, scratch);
+  EXPECT_EQ(cache.stats().entries, keys.size());
+}
+
+TEST(EstimateCacheBatch, KeyHashMemoIsTransparent) {
+  const gpu::GpuSpec& gpu = gpu::gpu_by_name("a100");
+  const EstimateCache::Key a{problem(512, 512, 512), TilePolicy::kAuto, &gpu};
+  EstimateCache::Key b = a;
+  const std::size_t h = a.hash_value();  // memoizes inside a
+  EXPECT_EQ(h, a.hash_value());
+  EXPECT_EQ(h, b.hash_value());
+  EXPECT_EQ(a, b);  // memo state never affects equality
+}
+
+/// Which problems of the set fault, evaluated one way or the other. The
+/// failpoint contract: prob:P:seed triggers hash a stable per-operation
+/// token, so the fire set is identical for scalar and batched evaluation
+/// at candidate granularity.
+std::vector<bool> scalar_fault_set(const std::vector<GemmProblem>& shapes,
+                                   bool with_cache) {
+  std::vector<bool> faulted;
+  for (const GemmProblem& p : shapes) {
+    GemmSimulator sim = GemmSimulator::for_gpu("a100");
+    if (with_cache) sim.enable_cache();
+    bool f = false;
+    try {
+      sim.estimate(p);
+    } catch (const fail::InjectedFault&) {
+      f = true;
+    }
+    faulted.push_back(f);
+  }
+  return faulted;
+}
+
+std::vector<bool> batched_fault_set(const std::vector<GemmProblem>& shapes,
+                                    bool with_cache) {
+  std::vector<bool> faulted;
+  GemmSimulator::BatchWorkspace ws;
+  for (const GemmProblem& p : shapes) {
+    GemmSimulator sim = GemmSimulator::for_gpu("a100");
+    if (with_cache) sim.enable_cache();
+    // One candidate's GEMMs per batch, the search pipeline's granularity.
+    const std::vector<GemmProblem> batch = {p};
+    std::vector<KernelEstimate> out(batch.size());
+    bool f = false;
+    try {
+      sim.estimate_many(batch, out, ws);
+    } catch (const fail::InjectedFault&) {
+      f = true;
+    }
+    faulted.push_back(f);
+  }
+  return faulted;
+}
+
+TEST(EstimateMany, SelectKernelDrillFaultsSameCandidates) {
+  const std::vector<GemmProblem> shapes = shape_set();
+  fail::clear();
+  fail::configure("gemmsim.select_kernel=prob:0.5:1234");
+  const std::vector<bool> scalar = scalar_fault_set(shapes, false);
+  const std::vector<bool> batched = batched_fault_set(shapes, false);
+  fail::clear();
+  EXPECT_EQ(scalar, batched);
+  // The drill must actually bite for the comparison to mean anything.
+  EXPECT_NE(std::count(scalar.begin(), scalar.end(), true), 0);
+}
+
+TEST(EstimateMany, CacheLookupDrillFaultsSameCandidates) {
+  const std::vector<GemmProblem> shapes = shape_set();
+  fail::clear();
+  fail::configure("gemmsim.cache.lookup=prob:0.5:77");
+  const std::vector<bool> scalar = scalar_fault_set(shapes, true);
+  const std::vector<bool> batched = batched_fault_set(shapes, true);
+  fail::clear();
+  EXPECT_EQ(scalar, batched);
+  EXPECT_NE(std::count(scalar.begin(), scalar.end(), true), 0);
+}
+
+TEST(EstimateMany, MultiProblemBatchThrowsIffAnyMemberFaults) {
+  const std::vector<GemmProblem> shapes = shape_set();
+  fail::clear();
+  fail::configure("gemmsim.select_kernel=prob:0.5:1234");
+  const std::vector<bool> scalar = scalar_fault_set(shapes, false);
+  const bool any_scalar =
+      std::count(scalar.begin(), scalar.end(), true) != 0;
+  const GemmSimulator sim = GemmSimulator::for_gpu("a100");
+  std::vector<KernelEstimate> out(shapes.size());
+  bool batch_threw = false;
+  try {
+    sim.estimate_many(shapes, out);
+  } catch (const fail::InjectedFault&) {
+    batch_threw = true;
+  }
+  fail::clear();
+  EXPECT_EQ(any_scalar, batch_threw);
+}
+
+}  // namespace
+}  // namespace codesign::gemm
+
+namespace codesign::tfm {
+namespace {
+
+TEST(LayerWorkspace, BatchedLayerTotalTimeMatchesAnalyzeLayer) {
+  LayerWorkspace ws;
+  for (const char* name : {"pythia-70m", "gpt3-2.7b", "llama2-7b"}) {
+    const TransformerConfig cfg = model_by_name(name);
+    gemm::GemmSimulator sim = gemm::GemmSimulator::for_gpu("a100");
+    sim.enable_cache();
+    const double batched = layer_total_time(cfg, sim, ws);
+    EXPECT_EQ(batched, layer_total_time(cfg, sim));
+    EXPECT_EQ(batched, analyze_layer(cfg, sim).total_time);
+    // Warm pass through the same workspace: still bit-identical.
+    EXPECT_EQ(batched, layer_total_time(cfg, sim, ws));
+  }
+}
+
+}  // namespace
+}  // namespace codesign::tfm

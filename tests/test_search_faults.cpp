@@ -139,7 +139,7 @@ TEST_F(SearchFaultsTest, StrictModeRestoresTheRethrow) {
 TEST_F(SearchFaultsTest, FaultsInTheSimulatorLayerAreIsolatedToo) {
   // Inject below the search layer — kernel selection — to prove the whole
   // evaluation stack is covered by per-candidate isolation.
-  fail::configure("gemmsim.select_kernel=prob:0.02:7:fatal");
+  fail::configure("gemmsim.select_kernel=prob:0.05:7:fatal");
   const SearchOutcome o = run_shape_search(SearchMode::kJoint,
                                            model_by_name("gpt3-2.7b"), sim());
   EXPECT_EQ(o.evaluated + o.skipped.size(), o.total_candidates);

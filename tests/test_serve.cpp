@@ -228,6 +228,37 @@ TEST_F(ServeTest, AdviseAndExplainPayloadsMatchTheCliBytes) {
   shut_down(server);
 }
 
+TEST_F(ServeTest, AdviseManyElementsMatchScalarAdviseBytes) {
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+
+  // One request, three tuples (with a duplicate): the payload is a JSON
+  // array of strings whose element i is byte-identical to the scalar
+  // advise payload for tuple i.
+  const serve::Response many = client.call_op(
+      "advise_many",
+      R"("items":[{"model":"pythia-70m"},{"model":"gpt3-125m"},)"
+      R"({"model":"pythia-70m"}])");
+  ASSERT_TRUE(many.ok()) << many.error;
+  EXPECT_EQ(many.code, kExitOk);
+  const json::Value doc = json::Value::parse(many.payload);
+  ASSERT_TRUE(doc.is_array());
+  const auto& elems = doc.as_array();
+  ASSERT_EQ(elems.size(), 3u);
+  EXPECT_EQ(elems[0].as_string(), expected_advise("pythia-70m"));
+  EXPECT_EQ(elems[1].as_string(), expected_advise("gpt3-125m"));
+  EXPECT_EQ(elems[2].as_string(), elems[0].as_string());
+
+  // An empty batch is a usage error, not a crash.
+  const serve::Response empty = client.call_op("advise_many", R"("items":[])");
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.code, kExitUsage);
+
+  client.close();
+  shut_down(server);
+}
+
 TEST_F(ServeTest, SearchPayloadMatchesTheCliBytesWithTheCachedBanner) {
   serve::Server server(options(2));
   server.start();

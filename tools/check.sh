@@ -32,8 +32,8 @@ cmake -B "${BUILD_DIR}" -S "${SRC_DIR}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-SAN_TESTS=(test_thread_pool test_estimate_cache test_obs test_logging
-           test_failpoint test_search_faults test_serve)
+SAN_TESTS=(test_thread_pool test_estimate_cache test_estimate_many test_obs
+           test_logging test_failpoint test_search_faults test_serve)
 
 echo "== tier 2: ThreadSanitizer (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S "${SRC_DIR}" -DCODESIGN_SANITIZE=thread

@@ -30,6 +30,11 @@ constexpr const char* kUsage =
     "\n"
     "ops (flags mirror the request fields in docs/SERVING.md):\n"
     "  advise    --model=NAME | --custom=h=...,a=...,L=...  [--gpu=a100]\n"
+    "  advise_many\n"
+    "            --models=NAME,NAME,... [--gpu=a100]   (one gpu for all), or\n"
+    "            --items='[{\"model\":...,\"gpu\":...},...]'  (full tuples);\n"
+    "            payload is a JSON array, element i byte-identical to the\n"
+    "            scalar advise payload for tuple i\n"
     "  search    --model=|--custom=  [--gpu=] [--mode=joint|heads|hidden|mlp]\n"
     "            [--radius=0.1] [--max=16] [--strict] [--retries=2]\n"
     "            [--lo=|--hi=]\n"
@@ -96,6 +101,28 @@ std::string build_request(const CliArgs& args, const std::string& op) {
     forward_string(w, args, "custom", "custom");
     forward_string(w, args, "gpu", "gpu");
   }
+  if (op == "advise_many") {
+    if (args.has("items")) {
+      // Validate client-side so a malformed batch fails before the wire.
+      const json::Value items =
+          json::Value::parse(args.get_string("items", ""));
+      CODESIGN_CHECK(items.is_array(), "--items must be a JSON array");
+      w.key("items").raw(json::dump(items));
+    } else {
+      const std::string models = args.get_string("models", "");
+      CODESIGN_CHECK(!models.empty(),
+                     "advise_many needs --items or --models");
+      w.key("items");
+      w.begin_array();
+      for (const std::string& name : split(models, ',')) {
+        w.begin_object();
+        w.member("model", name);
+        if (args.has("gpu")) w.member("gpu", args.get_string("gpu", ""));
+        w.end_object();
+      }
+      w.end_array();
+    }
+  }
   if (op == "search") {
     forward_string(w, args, "mode", "mode");
     forward_double(w, args, "radius", "radius");
@@ -120,6 +147,7 @@ std::string build_request(const CliArgs& args, const std::string& op) {
 
 std::vector<std::string> op_flags(const std::string& op) {
   if (op == "advise") return {"model", "custom", "gpu"};
+  if (op == "advise_many") return {"items", "models", "gpu"};
   if (op == "search") {
     return {"model", "custom", "gpu",     "mode", "radius",
             "max",   "strict", "retries", "lo",   "hi"};
