@@ -15,6 +15,7 @@
 #include "common/thread_pool.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/req_scope.hpp"
 #include "transformer/flops.hpp"
 #include "transformer/gemm_mapping.hpp"
 #include "transformer/layer_model.hpp"
@@ -322,6 +323,9 @@ SearchOutcome evaluate_pipeline(
       reg.counter("advisor.search.unreached", {}, obs::Stability::kBestEffort)
           .add(outcome.unreached());
     }
+  }
+  if (auto* rs = obs::RequestScope::current()) {
+    rs->search_candidates += outcome.evaluated;
   }
   outcome.ranked = std::move(out);
   return outcome;
@@ -729,6 +733,9 @@ MlpSearchOutcome run_mlp_search(const TransformerConfig& base,
     reg.counter("advisor.mlp_scan.skipped").add(outcome.skipped.size());
     reg.counter("advisor.mlp_scan.retries").add(outcome.retries);
     reg.counter("advisor.mlp_scan.resumed").add(outcome.resumed);
+  }
+  if (auto* rs = obs::RequestScope::current()) {
+    rs->search_candidates += outcome.evaluated;
   }
   outcome.ranked = std::move(out);
   return outcome;

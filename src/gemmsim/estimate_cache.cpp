@@ -239,4 +239,21 @@ void EstimateCache::publish_metrics(obs::MetricsRegistry& registry) const {
   registry.gauge("gemmsim.cache.hit_rate", {}, kBe).set(s.hit_rate());
 }
 
+void EstimateCache::append_metrics(obs::MetricsSnapshot& snapshot) const {
+  const CacheStats s = stats();
+  const auto gauge = [&snapshot](const char* name, double v) {
+    obs::MetricsSnapshot::Series series;
+    series.name = name;
+    series.kind = obs::MetricKind::kGauge;
+    series.stability = obs::Stability::kBestEffort;
+    series.value = v;
+    snapshot.add_series(std::move(series));
+  };
+  gauge("gemmsim.cache.hits", static_cast<double>(s.hits));
+  gauge("gemmsim.cache.misses", static_cast<double>(s.misses));
+  gauge("gemmsim.cache.evictions", static_cast<double>(s.evictions));
+  gauge("gemmsim.cache.entries", static_cast<double>(s.entries));
+  gauge("gemmsim.cache.hit_rate", s.hit_rate());
+}
+
 }  // namespace codesign::gemm

@@ -36,6 +36,7 @@
 
 namespace codesign::obs {
 class MetricsRegistry;
+struct MetricsSnapshot;
 }  // namespace codesign::obs
 
 namespace codesign::gemm {
@@ -132,6 +133,12 @@ class EstimateCache {
   /// the hit/miss split scheduling-dependent. Call at snapshot time; the
   /// cache never touches the registry on its hot path.
   void publish_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Snapshot-local twin of publish_metrics: append the same five gauge
+  /// series to `snapshot` without touching any registry. Lets readers (the
+  /// serve stats op) report cache state side-effect-free — two back-to-back
+  /// reads with no traffic in between produce identical documents.
+  void append_metrics(obs::MetricsSnapshot& snapshot) const;
 
   const CacheOptions& options() const { return options_; }
 

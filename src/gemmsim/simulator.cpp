@@ -5,6 +5,7 @@
 #include "gpuarch/tile_config.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/req_scope.hpp"
 
 namespace codesign::gemm {
 
@@ -59,6 +60,7 @@ KernelEstimate GemmSimulator::estimate(const GemmProblem& problem) const {
     est = estimate_uncached(problem, policy_, *gpu_);
   }
   if (obs::MetricsRegistry::enabled()) record_estimate_metrics(est);
+  if (auto* rs = obs::RequestScope::current()) rs->estimates += 1;
   return est;
 }
 
@@ -136,6 +138,9 @@ void GemmSimulator::estimate_many(std::span<const GemmProblem> problems,
     // scalar estimate() calls would — deterministic counters stay identical.
     for (std::size_t i = 0; i < n; ++i) record_estimate_metrics(out[i]);
   }
+  // Request attribution (serve): a batch item is exactly one estimate. The
+  // traced path above already counted through the scalar calls.
+  if (auto* rs = obs::RequestScope::current()) rs->estimates += n;
 }
 
 void GemmSimulator::estimate_many(std::span<const GemmProblem> problems,
@@ -164,6 +169,7 @@ void GemmSimulator::estimate_times(std::span<const GemmProblem> problems,
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = prepared_->time_one(problems[i]);
     }
+    if (auto* rs = obs::RequestScope::current()) rs->estimates += n;
     return;
   }
   workspace.keys.clear();
@@ -192,6 +198,7 @@ void GemmSimulator::estimate_times(std::span<const GemmProblem> problems,
     cache_->insert_many(workspace.keys, workspace.estimates,
                         workspace.hit.data(), workspace.scratch);
   }
+  if (auto* rs = obs::RequestScope::current()) rs->estimates += n;
 }
 
 double GemmSimulator::sequence_latency(std::span<const GemmProblem> problems,

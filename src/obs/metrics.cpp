@@ -34,12 +34,25 @@ void Gauge::update_max(double v) {
 int Histogram::bucket_index(double v) {
   if (!(v > 0.0)) return 0;
   const int exp = static_cast<int>(std::floor(std::log2(v)));
-  return std::clamp(exp + 32, 0, kBuckets - 1);
+  if (exp < -32) return 0;
+  if (exp > kMajorBuckets - 1 - 32) return kBuckets - 1;
+  // Linear sub-bucket within the octave [2^exp, 2^(exp+1)); the division
+  // keeps the index exact even when log2's rounding lands v on an octave
+  // boundary.
+  const double lo = std::ldexp(1.0, exp);
+  const int sub = std::clamp(
+      static_cast<int>((v - lo) / lo * static_cast<double>(kSubBuckets)), 0,
+      kSubBuckets - 1);
+  return (exp + 32) * kSubBuckets + sub;
 }
 
 double Histogram::bucket_lower_bound(int index) {
   if (index <= 0) return 0.0;
-  return std::ldexp(1.0, index - 32);
+  const int major = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(
+      1.0 + static_cast<double>(sub) / static_cast<double>(kSubBuckets),
+      major - 32);
 }
 
 void Histogram::record(double v) {
@@ -62,16 +75,25 @@ double Histogram::Data::percentile(double p) const {
   if (count <= samples.size()) {
     return codesign::percentile(samples, p);
   }
-  // Sample cap exceeded: walk the log2 buckets to the one holding the
-  // rank and report its lower bound (clamped into [min, max]).
-  const auto rank = static_cast<std::uint64_t>(
-      p / 100.0 * static_cast<double>(count - 1));
-  std::uint64_t cumulative = 0;
+  // Sample cap exceeded: walk the log-linear buckets to the one holding
+  // the rank and interpolate linearly inside it, clamped into [min, max].
+  // Bounded error at fixed memory: a bucket spans 1/16th of an octave, so
+  // the reported tail is within ~6% of the true order statistic no matter
+  // how long the run is.
+  const double target = p / 100.0 * static_cast<double>(count - 1);
+  std::uint64_t before = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    cumulative += buckets[static_cast<std::size_t>(b)];
-    if (cumulative > rank) {
-      return std::clamp(bucket_lower_bound(b), min, max);
+    const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(before + in_bucket) > target) {
+      const double lower = bucket_lower_bound(b);
+      const double upper =
+          b + 1 < kBuckets ? bucket_lower_bound(b + 1) : max;
+      const double frac = (target - static_cast<double>(before)) /
+                          static_cast<double>(in_bucket);
+      return std::clamp(lower + frac * (upper - lower), min, max);
     }
+    before += in_bucket;
   }
   return max;
 }
@@ -85,6 +107,20 @@ void Histogram::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   data_ = Data{};
 }
+
+namespace {
+
+void sort_series(std::vector<MetricsSnapshot::Series>& series) {
+  std::sort(series.begin(), series.end(),
+            [](const MetricsSnapshot::Series& a,
+               const MetricsSnapshot::Series& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.labels != b.labels) return a.labels < b.labels;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
+}  // namespace
 
 template <typename T>
 T& MetricsRegistry::find_or_create(SeriesMap<T>& map, std::string_view name,
@@ -174,14 +210,13 @@ MetricsSnapshot MetricsRegistry::snapshot(
       snap.series.push_back(std::move(s));
     }
   }
-  std::sort(snap.series.begin(), snap.series.end(),
-            [](const MetricsSnapshot::Series& a,
-               const MetricsSnapshot::Series& b) {
-              if (a.name != b.name) return a.name < b.name;
-              if (a.labels != b.labels) return a.labels < b.labels;
-              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
-            });
+  sort_series(snap.series);
   return snap;
+}
+
+void MetricsSnapshot::add_series(Series series_to_add) {
+  series.push_back(std::move(series_to_add));
+  sort_series(series);
 }
 
 void MetricsRegistry::reset_values() {
@@ -280,6 +315,102 @@ std::string MetricsSnapshot::to_csv() const {
         break;
     }
     os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes
+/// '_' ("serve.request_us" -> "codesign_serve_request_us").
+std::string prom_name(const std::string& name) {
+  std::string out = "codesign_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Render the canonical "k=v,k2=v2" label string plus the stability tag as
+/// a Prometheus label set; `extra` ("quantile=0.99") is appended verbatim
+/// key/value when non-empty.
+std::string prom_labels(const MetricsSnapshot::Series& s,
+                        const std::string& extra_key = {},
+                        const std::string& extra_value = {}) {
+  std::string out = "{";
+  std::size_t start = 0;
+  while (start < s.labels.size()) {
+    std::size_t end = s.labels.find(',', start);
+    if (end == std::string::npos) end = s.labels.size();
+    const std::string part = s.labels.substr(start, end - start);
+    const std::size_t eq = part.find('=');
+    if (eq != std::string::npos) {
+      out += part.substr(0, eq) + "=\"" + prom_escape(part.substr(eq + 1)) +
+             "\",";
+    }
+    start = end + 1;
+  }
+  out += std::string("stability=\"") + stability_name(s.stability) + "\"";
+  if (!extra_key.empty()) {
+    out += "," + extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prom() const {
+  std::ostringstream os;
+  std::string last_name;
+  for (const Series& s : series) {
+    const std::string name = prom_name(s.name);
+    if (name != last_name) {
+      const char* type = s.kind == MetricKind::kCounter ? "counter"
+                         : s.kind == MetricKind::kGauge ? "gauge"
+                                                        : "summary";
+      os << "# TYPE " << name << " " << type << "\n";
+      last_name = name;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << name << prom_labels(s) << " " << s.count << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << name << prom_labels(s) << " " << format_double(s.value) << "\n";
+        break;
+      case MetricKind::kHistogram:
+        os << name << prom_labels(s, "quantile", "0.5") << " "
+           << format_double(s.p50) << "\n"
+           << name << prom_labels(s, "quantile", "0.95") << " "
+           << format_double(s.p95) << "\n"
+           << name << prom_labels(s, "quantile", "0.99") << " "
+           << format_double(s.p99) << "\n"
+           << name << "_sum" << prom_labels(s) << " " << format_double(s.sum)
+           << "\n"
+           << name << "_count" << prom_labels(s) << " " << s.count << "\n"
+           << name << "_min" << prom_labels(s) << " " << format_double(s.min)
+           << "\n"
+           << name << "_max" << prom_labels(s) << " " << format_double(s.max)
+           << "\n";
+        break;
+    }
   }
   return os.str();
 }

@@ -68,17 +68,22 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Count/sum/min/max plus log2 buckets. Mutex-protected: histograms are
-/// recorded per task / per pipeline stage, not per GEMM estimate, so a
+/// Count/sum/min/max plus log-linear buckets. Mutex-protected: histograms
+/// are recorded per task / per pipeline stage, not per GEMM estimate, so a
 /// short critical section is fine.
 ///
 /// The first kMaxSamples recorded values are retained verbatim so
 /// snapshots can report exact p50/p95/p99 tail latencies (via
-/// common/stats percentile); past the cap, percentiles degrade to a
-/// bucket-boundary approximation rather than growing memory unboundedly.
+/// common/stats percentile). Past the cap, percentiles come from the
+/// log-linear buckets — 64 power-of-two octaves × 16 linear sub-buckets,
+/// interpolated within the bucket that holds the rank — so long runs keep
+/// honest tails (≤ ~1/16 relative error) at fixed memory instead of the
+/// pre-PR-7 behaviour of collapsing to a power-of-two lower bound.
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kMajorBuckets = 64;  ///< power-of-two octaves
+  static constexpr int kSubBuckets = 16;    ///< linear slices per octave
+  static constexpr int kBuckets = kMajorBuckets * kSubBuckets;
   static constexpr std::size_t kMaxSamples = 4096;
 
   struct Data {
@@ -95,8 +100,9 @@ class Histogram {
     }
 
     /// p in [0, 100]. Exact (sorted-sample interpolation) while count <=
-    /// kMaxSamples; afterwards approximated from the log2 bucket whose
-    /// cumulative count crosses the rank. Returns 0 for an empty histogram.
+    /// kMaxSamples; afterwards interpolated inside the log-linear bucket
+    /// whose cumulative count crosses the rank, clamped into [min, max].
+    /// Returns 0 for an empty histogram.
     double percentile(double p) const;
   };
 
@@ -104,8 +110,11 @@ class Histogram {
   Data data() const;
   void reset();
 
-  /// Bucket i covers [2^(i-32), 2^(i-31)); values <= 0 land in bucket 0.
+  /// Bucket index for `v`: octave floor(log2 v) (clamped to ±32) × 16
+  /// linear sub-buckets within the octave. Values <= 0 land in bucket 0.
   static int bucket_index(double v);
+  /// Inclusive lower bound of bucket `index`:
+  /// 2^(major-32) * (1 + sub/16) where index = major*16 + sub.
   static double bucket_lower_bound(int index);
 
  private:
@@ -132,6 +141,20 @@ struct MetricsSnapshot {
 
   std::string to_json() const;
   std::string to_csv() const;
+  /// Prometheus text exposition (v0.0.4). Counters and gauges export
+  /// verbatim; histograms export summary-style (quantile labels plus
+  /// _count/_sum/_min/_max). Series names are sanitized ('.' -> '_') and
+  /// prefixed "codesign_"; every sample carries a stability="..." label so
+  /// scrapers (and check.sh's serve-obs drill) can split deterministic
+  /// series from wall-clock ones. Ordering follows the snapshot's sorted
+  /// series, so the document is byte-deterministic for identical values.
+  std::string to_prom() const;
+
+  /// Append a synthesized series (used by callers that merge non-registry
+  /// values — e.g. the serve stats op folding cache counters into a
+  /// snapshot without mutating the global registry) and restore the
+  /// (name, labels, kind) sort order.
+  void add_series(Series series_to_add);
 };
 
 struct SnapshotOptions {

@@ -1,0 +1,7 @@
+#include "obs/req_scope.hpp"
+
+namespace codesign::obs {
+
+thread_local RequestScopeCounters* RequestScope::tls_ = nullptr;
+
+}  // namespace codesign::obs

@@ -312,14 +312,38 @@ OpResult op_explain(const Request& request, const OpContext& context) {
   return {kExitOk, os.str()};
 }
 
-OpResult op_stats(const OpContext& context) {
-  if (context.cache != nullptr) {
-    context.cache->publish_metrics(obs::MetricsRegistry::global());
+OpResult op_stats(const Request& request, const OpContext& context) {
+  const std::string format = request.body.string_or("format", "json");
+  if (format != "json" && format != "prom") {
+    throw UsageError("stats: \"format\" must be json or prom; got '" + format +
+                     "'");
   }
   // Full snapshot: serve metrics are wall-clock (kBestEffort) by nature.
-  return {kExitOk, obs::MetricsRegistry::global()
-                       .snapshot({.include_best_effort = true})
-                       .to_json()};
+  // Cache counters are folded into *this snapshot* rather than published
+  // into the global registry, so reading stats has no side effect on
+  // registry contents — two stats calls with no traffic between them
+  // return identical documents.
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot(
+      {.include_best_effort = true});
+  if (context.cache != nullptr) context.cache->append_metrics(snap);
+  return {kExitOk, format == "prom" ? snap.to_prom() : snap.to_json()};
+}
+
+/// Last-N completed requests with phase breakdowns, newest (or slowest)
+/// first. Body fields: "n" (default 16, capped 4096), "filter"
+/// (all|slow|errors, default slow). Bypasses admission control like stats:
+/// the moment you need tail is the moment the queue is full.
+OpResult op_tail(const Request& request, const OpContext& context) {
+  if (context.trace_log == nullptr) {
+    throw UsageError(
+        "tail: request tracing is disabled on this server (restart serve "
+        "with a nonzero --tail ring)");
+  }
+  const std::int64_t raw_n = int_field(request.body, "n", 16);
+  if (raw_n < 1) throw UsageError("tail: \"n\" must be >= 1");
+  const auto n = static_cast<std::size_t>(std::min<std::int64_t>(raw_n, 4096));
+  const std::string filter = request.body.string_or("filter", "slow");
+  return {kExitOk, render_tail(context.trace_log->tail(n, filter))};
 }
 
 /// Diagnostic op: hold a worker for "ms" (capped at 10 s), polling the
@@ -345,12 +369,13 @@ OpResult execute_op(const Request& request, const OpContext& context) {
   if (request.op == "search") return op_search(request, context);
   if (request.op == "estimate") return op_estimate(request, context);
   if (request.op == "explain") return op_explain(request, context);
-  if (request.op == "stats") return op_stats(context);
+  if (request.op == "stats") return op_stats(request, context);
+  if (request.op == "tail") return op_tail(request, context);
   if (request.op == "sleep") return op_sleep(request, context);
   if (request.op == "ping") return {kExitOk, "pong\n"};
   throw UsageError(
       "unknown op '" + request.op +
-      "' (advise|advise_many|search|estimate|explain|stats|ping|sleep)");
+      "' (advise|advise_many|search|estimate|explain|stats|tail|ping|sleep)");
 }
 
 }  // namespace codesign::serve

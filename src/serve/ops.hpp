@@ -19,6 +19,7 @@
 #include "common/cancel.hpp"
 #include "gemmsim/simulator.hpp"
 #include "serve/protocol.hpp"
+#include "serve/trace.hpp"
 #include "transformer/config.hpp"
 
 namespace codesign::serve {
@@ -81,6 +82,9 @@ struct OpContext {
   /// Per-request deadline token (may be null). Searches truncate with the
   /// banner; other ops throw CancelledError once it trips.
   const CancelToken* cancel = nullptr;
+  /// The server's request-trace sink, read by the `tail` op. Null when
+  /// tracing is disabled (tail then answers with a usage error).
+  const RequestTraceLog* trace_log = nullptr;
 };
 
 struct OpResult {

@@ -11,8 +11,15 @@
 // writer the bench reports use.
 //
 // Request (docs/SERVING.md has the full schema):
-//   {"op":"advise"|"search"|"estimate"|"explain"|"stats"|"ping"|"sleep",
+//   {"op":"advise"|"advise_many"|"search"|"estimate"|"explain"|"stats"
+//        |"tail"|"ping"|"sleep",
 //    "id":"<echoed>", "deadline_ms":N, ...op-specific fields...}
+//
+// stats takes "format":"json"|"prom" (default json); tail takes "n"
+// (default 16) and "filter":"slow"|"all"|"errors" (default slow) and
+// returns the recent-request ring with per-phase latency breakdowns
+// (docs/OBSERVABILITY.md documents the record schema). stats, ping, and
+// tail bypass admission control.
 //
 // Response envelope:
 //   {"status":"ok",         "code":0|6, "id":..., "payload":"<CLI bytes>"}

@@ -45,6 +45,9 @@ void Server::start() {
   if (opt_.threads == 0) opt_.threads = ThreadPool::hardware_threads();
   if (opt_.queue_capacity == 0) opt_.queue_capacity = 4 * opt_.threads;
   cache_ = std::make_shared<gemm::EstimateCache>(opt_.cache);
+  if (opt_.trace.enabled && opt_.trace.ring_capacity > 0) {
+    trace_log_ = std::make_unique<RequestTraceLog>(opt_.trace);
+  }
   pool_ = std::make_unique<ThreadPool>(opt_.threads);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -247,33 +250,103 @@ std::int64_t Server::retry_hint_ms() const {
 void Server::handle_line(const std::shared_ptr<Connection>& conn,
                          std::string line) {
   n_requests_.fetch_add(1, std::memory_order_relaxed);
+  // The trace is born on the reader thread before parsing, so parse time
+  // and queue wait are part of the request's phase breakdown.
+  std::shared_ptr<RequestTrace> trace;
+  if (trace_log_) trace = trace_log_->begin_request();
+
   Request request;
   try {
+    ScopedPhase parse_span(trace.get(), Phase::kParse);
     CODESIGN_FAILPOINT("serve.parse");
     request = parse_request(line);
   } catch (const std::exception& e) {
     const int code = exit_code_for_current_exception();
     n_parse_errors_.fetch_add(1, std::memory_order_relaxed);
     n_errors_.fetch_add(1, std::memory_order_relaxed);
-    write_line(*conn, error_response("", code, e.what()));
+    std::string response;
+    {
+      ScopedPhase render_span(trace.get(), Phase::kRender);
+      response = error_response("", code, e.what());
+    }
+    {
+      ScopedPhase write_span(trace.get(), Phase::kWrite);
+      write_line(*conn, response);
+    }
+    if (trace) {
+      RequestRecord& rec = trace->record();
+      rec.op = "?";
+      rec.status = "error";
+      rec.code = code;
+      rec.error = e.what();
+      rec.error_phase = "parse";
+      trace_log_->finish(*trace);
+    }
     return;
+  }
+  if (trace) {
+    trace->record().id = request.id;
+    trace->record().op = request.op;
   }
 
   // Introspection ops bypass admission control: stats must answer even
-  // when the queue is full, and ping is the liveness probe.
-  if (request.op == "stats" || request.op == "ping") {
+  // when the queue is full, ping is the liveness probe, and tail has to be
+  // readable exactly when the server is saturated.
+  if (request.op == "stats" || request.op == "ping" || request.op == "tail") {
     publish_queue_depth();
-    const OpResult r = execute_op(request, OpContext{cache_, nullptr});
-    n_ok_.fetch_add(1, std::memory_order_relaxed);
-    write_line(*conn, ok_response(request.id, r.code, r.payload));
+    std::string status = "ok";
+    int code = kExitOk;
+    std::string error, error_phase, response;
+    try {
+      OpResult r;
+      {
+        ScopedPhase exec_span(trace.get(), Phase::kExecute);
+        r = execute_op(request, OpContext{cache_, nullptr, trace_log_.get()});
+      }
+      code = r.code;
+      n_ok_.fetch_add(1, std::memory_order_relaxed);
+      ScopedPhase render_span(trace.get(), Phase::kRender);
+      response = ok_response(request.id, r.code, r.payload);
+    } catch (const std::exception& e) {
+      status = "error";
+      code = exit_code_for_current_exception();
+      error = e.what();
+      error_phase = "execute";
+      n_errors_.fetch_add(1, std::memory_order_relaxed);
+      ScopedPhase render_span(trace.get(), Phase::kRender);
+      response = error_response(request.id, code, e.what());
+    }
+    {
+      ScopedPhase write_span(trace.get(), Phase::kWrite);
+      write_line(*conn, response);
+    }
+    if (trace) {
+      RequestRecord& rec = trace->record();
+      rec.status = status;
+      rec.code = code;
+      rec.error = error;
+      rec.error_phase = error_phase;
+      trace_log_->finish(*trace);
+    }
     return;
   }
 
   if (draining()) {
     n_errors_.fetch_add(1, std::memory_order_relaxed);
-    write_line(*conn,
-               error_response(request.id, kExitUnavailable,
-                              "server is draining; connection will close"));
+    {
+      ScopedPhase write_span(trace.get(), Phase::kWrite);
+      write_line(*conn,
+                 error_response(request.id, kExitUnavailable,
+                                "server is draining; connection will close"));
+    }
+    if (trace) {
+      RequestRecord& rec = trace->record();
+      rec.status = "error";
+      rec.code = kExitUnavailable;
+      rec.error = "server is draining; connection will close";
+      rec.error_phase = "admission";
+      trace_log_->finish(*trace);
+    }
     return;
   }
   if (!try_admit()) {
@@ -283,20 +356,30 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
           .counter("serve.rejected.overload", {}, obs::Stability::kBestEffort)
           .add();
     }
-    write_line(*conn,
-               overloaded_response(
-                   request.id, retry_hint_ms(),
-                   str_format("server overloaded: %zu requests in flight "
-                              "(capacity %zu)",
-                              pending_.load(std::memory_order_relaxed),
-                              opt_.queue_capacity)));
+    const std::string detail =
+        str_format("server overloaded: %zu requests in flight (capacity %zu)",
+                   pending_.load(std::memory_order_relaxed),
+                   opt_.queue_capacity);
+    {
+      ScopedPhase write_span(trace.get(), Phase::kWrite);
+      write_line(*conn,
+                 overloaded_response(request.id, retry_hint_ms(), detail));
+    }
+    if (trace) {
+      RequestRecord& rec = trace->record();
+      rec.status = "overloaded";
+      rec.code = kExitUnavailable;
+      rec.error = detail;
+      rec.error_phase = "admission";
+      trace_log_->finish(*trace);
+    }
     return;
   }
-  dispatch(conn, std::move(request));
+  dispatch(conn, std::move(request), std::move(trace));
 }
 
 void Server::dispatch(const std::shared_ptr<Connection>& conn,
-                      Request request) {
+                      Request request, std::shared_ptr<RequestTrace> trace) {
   // The token outlives the lambda via shared_ptr; the deadline starts at
   // admission so queueing time counts against the budget.
   auto cancel = std::make_shared<CancelToken>();
@@ -305,7 +388,11 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
   if (deadline_ms > 0) {
     cancel->deadline_after(std::chrono::milliseconds(deadline_ms));
   }
-  pool_->submit([this, conn, request = std::move(request), cancel] {
+  // queue_wait spans admission to worker pickup; stamped here because the
+  // ScopedPhase pattern cannot straddle the thread hop.
+  const double admit_us = trace ? trace_log_->now_us() : 0.0;
+  pool_->submit([this, conn, request = std::move(request), cancel, trace,
+                 admit_us] {
     // finish_one() must run on every exit path — if response writing or
     // metrics recording throws, ThreadPool::submit swallows it and a
     // missed decrement would wedge drain Phase 3 forever.
@@ -313,30 +400,72 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
       Server* server;
       ~FinishGuard() { server->finish_one(); }
     } finish_guard{this};
+    if (trace) {
+      trace->add_phase(Phase::kQueueWait, trace_log_->now_us() - admit_us);
+    }
     const auto t0 = Clock::now();
-    std::string response;
+    std::string status = "ok";
+    int code = kExitOk;
+    std::string error, error_phase, response;
+    obs::RequestScopeCounters work;
     try {
-      CODESIGN_FAILPOINT("serve.dispatch");
-      const OpResult r = execute_op(request, OpContext{cache_, cancel.get()});
+      OpResult r;
+      {
+        ScopedPhase exec_span(trace.get(), Phase::kExecute);
+        // Bind request attribution only when tracing: the estimator and
+        // search hot paths fold their counts into `work` via
+        // obs::RequestScope::current().
+        obs::RequestScope::Bind bind(trace ? &work : nullptr);
+        CODESIGN_FAILPOINT("serve.dispatch");
+        r = execute_op(request, OpContext{cache_, cancel.get(),
+                                          trace_log_.get()});
+      }
+      code = r.code;
       n_ok_.fetch_add(1, std::memory_order_relaxed);
+      ScopedPhase render_span(trace.get(), Phase::kRender);
       response = ok_response(request.id, r.code, r.payload);
     } catch (const std::exception& e) {
-      const int code = exit_code_for_current_exception();
+      status = "error";
+      code = exit_code_for_current_exception();
+      error = e.what();
+      error_phase = "execute";
       n_errors_.fetch_add(1, std::memory_order_relaxed);
+      ScopedPhase render_span(trace.get(), Phase::kRender);
       response = error_response(request.id, code, e.what());
     } catch (...) {
+      status = "error";
+      code = kExitInternal;
+      error = "internal error: unknown exception";
+      error_phase = "execute";
       n_errors_.fetch_add(1, std::memory_order_relaxed);
-      response = error_response(request.id, kExitInternal,
-                                "internal error: unknown exception");
+      ScopedPhase render_span(trace.get(), Phase::kRender);
+      response = error_response(request.id, kExitInternal, error);
     }
-    write_line(*conn, response);
+    {
+      ScopedPhase write_span(trace.get(), Phase::kWrite);
+      write_line(*conn, response);
+    }
     const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                         Clock::now() - t0)
                         .count();
     service_us_total_.fetch_add(static_cast<std::uint64_t>(us),
                                 std::memory_order_relaxed);
     service_count_.fetch_add(1, std::memory_order_relaxed);
-    if (obs::MetricsRegistry::enabled()) {
+    if (trace) {
+      RequestRecord& rec = trace->record();
+      rec.status = status;
+      rec.code = code;
+      rec.error = error;
+      rec.error_phase = error_phase;
+      rec.estimates = work.estimates;
+      rec.search_candidates = work.search_candidates;
+      rec.deadline_missed = cancel->cancelled() &&
+                            cancel->reason() == CancelReason::kDeadline;
+      // finish() records serve.requests / serve.request_us with the same
+      // (name, labels) as the legacy inline path below — one or the other
+      // runs, never both.
+      trace_log_->finish(*trace);
+    } else if (obs::MetricsRegistry::enabled()) {
       auto& reg = obs::MetricsRegistry::global();
       const std::string labels = "op=" + request.op;
       reg.counter("serve.requests", labels, obs::Stability::kBestEffort).add();

@@ -39,6 +39,7 @@
 #include "gemmsim/estimate_cache.hpp"
 #include "serve/ops.hpp"
 #include "serve/protocol.hpp"
+#include "serve/trace.hpp"
 
 namespace codesign::serve {
 
@@ -60,6 +61,10 @@ struct ServerOptions {
   std::size_t max_line_bytes = 1 << 20;
   /// Shared estimate-cache geometry.
   gemm::CacheOptions cache;
+  /// Request-scoped tracing: per-phase spans, the `tail` ring, SLO
+  /// accounting (CLI --tail/--slo-p99-ms). trace.enabled = false or
+  /// ring_capacity = 0 turns the whole layer off.
+  TraceOptions trace;
 };
 
 /// Monotonic totals since start() (drain summary + tests).
@@ -103,6 +108,10 @@ class Server {
   /// The process-wide estimate cache (valid after start()).
   const std::shared_ptr<gemm::EstimateCache>& cache() const { return cache_; }
 
+  /// The request-trace sink, or nullptr when tracing is disabled (valid
+  /// after start(); the CLI reads the SLO summary from here at drain).
+  const RequestTraceLog* trace_log() const { return trace_log_.get(); }
+
  private:
   struct Connection {
     explicit Connection(int fd) : fd(fd) {}
@@ -117,7 +126,8 @@ class Server {
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn, std::uint64_t reader_id);
   void handle_line(const std::shared_ptr<Connection>& conn, std::string line);
-  void dispatch(const std::shared_ptr<Connection>& conn, Request request);
+  void dispatch(const std::shared_ptr<Connection>& conn, Request request,
+                std::shared_ptr<RequestTrace> trace);
   bool try_admit();
   void finish_one();
   void write_line(Connection& conn, std::string_view line);
@@ -127,6 +137,7 @@ class Server {
 
   ServerOptions opt_;
   std::shared_ptr<gemm::EstimateCache> cache_;
+  std::unique_ptr<RequestTraceLog> trace_log_;
   std::unique_ptr<ThreadPool> pool_;
   int listen_fd_ = -1;
   int port_ = 0;

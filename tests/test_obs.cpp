@@ -91,9 +91,11 @@ TEST_F(ObsTest, GaugeSetAndUpdateMax) {
 
 TEST_F(ObsTest, HistogramAggregatesAndBuckets) {
   obs::Histogram h;
-  h.record(1.0);   // bucket 32: [1, 2)
-  h.record(1.5);   // bucket 32
-  h.record(4.0);   // bucket 34: [4, 8)
+  // Log-linear buckets: octave [2^e, 2^{e+1}) is cut into 16 linear
+  // sub-buckets, octaves offset by +32 → 1.0 lands at (0+32)*16 = 512.
+  h.record(1.0);   // bucket 512: [1, 1.0625)
+  h.record(1.5);   // bucket 520: [1.5, 1.5625)
+  h.record(4.0);   // bucket 544: [4, 4.25)
   h.record(-3.0);  // non-positive values land in bucket 0
   const obs::Histogram::Data d = h.data();
   EXPECT_EQ(d.count, 4u);
@@ -101,18 +103,44 @@ TEST_F(ObsTest, HistogramAggregatesAndBuckets) {
   EXPECT_DOUBLE_EQ(d.min, -3.0);
   EXPECT_DOUBLE_EQ(d.max, 4.0);
   EXPECT_DOUBLE_EQ(d.mean(), 3.5 / 4.0);
-  EXPECT_EQ(d.buckets[32], 2u);
-  EXPECT_EQ(d.buckets[34], 1u);
+  EXPECT_EQ(d.buckets[512], 1u);
+  EXPECT_EQ(d.buckets[520], 1u);
+  EXPECT_EQ(d.buckets[544], 1u);
   EXPECT_EQ(d.buckets[0], 1u);
 
   EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0);
-  EXPECT_EQ(obs::Histogram::bucket_index(1.0), 32);
-  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower_bound(32), 1.0);
-  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower_bound(33), 2.0);
+  EXPECT_EQ(obs::Histogram::bucket_index(1.0), 512);
+  EXPECT_EQ(obs::Histogram::bucket_index(1.5), 520);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower_bound(512), 1.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower_bound(513), 1.0625);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower_bound(528), 2.0);
   EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower_bound(0), 0.0);
 
   h.reset();
   EXPECT_EQ(h.data().count, 0u);
+}
+
+TEST_F(ObsTest, HistogramPercentilesStayHonestPastTheSampleCap) {
+  // 10000 samples of a linear ramp 1..10000 — far past kMaxSamples, so
+  // percentiles must come from the log-linear buckets. The sub-bucket
+  // interpolation keeps them within ~1/16 relative error of the exact
+  // rank (the pre-PR-7 scheme collapsed to the octave's lower bound:
+  // p99 of this ramp reported 8192 instead of ~9900).
+  obs::Histogram h;
+  constexpr int kN = 10000;
+  for (int i = 1; i <= kN; ++i) h.record(static_cast<double>(i));
+  const obs::Histogram::Data d = h.data();
+  ASSERT_EQ(d.count, static_cast<std::uint64_t>(kN));
+  ASSERT_GT(d.count, obs::Histogram::kMaxSamples);
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    const double exact = p / 100.0 * kN;
+    const double got = d.percentile(p);
+    EXPECT_NEAR(got, exact, exact * 0.07)
+        << "p" << p << " drifted: got " << got << ", exact " << exact;
+  }
+  // Extremes clamp into the observed range.
+  EXPECT_GE(d.percentile(0.0), d.min);
+  EXPECT_LE(d.percentile(100.0), d.max);
 }
 
 TEST_F(ObsTest, SnapshotSortedAndBestEffortFiltered) {
@@ -149,7 +177,7 @@ TEST_F(ObsTest, SnapshotJsonAndCsv) {
   EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
   EXPECT_NE(json.find("\"value\":7"), std::string::npos);
   EXPECT_NE(json.find("\"stability\":\"best_effort\""), std::string::npos);
-  EXPECT_NE(json.find("\"buckets\":[[2,1]]"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[3,1]]"), std::string::npos);
 
   const std::string csv = snap.to_csv();
   EXPECT_EQ(

@@ -11,6 +11,13 @@
 #           (5% dispatch-failpoint drill + one over-deadline request):
 #           client payloads must byte-match the one-shot CLI, and SIGINT
 #           mid-flight must drain cleanly and exit 0
+#   serve-obs  tracing determinism drill: two identical TSan server runs
+#           with request tracing + a deterministic serve.dispatch fault;
+#           `stats --format=prom` is scraped from both and every
+#           stability="deterministic" series must be byte-identical across
+#           the runs, `tail --filter=errors` must attribute the injected
+#           fault to its execute phase, and the drain summary must report
+#           the latency/SLO line
 #   perf    codesign-bench smoke suite gated against the committed
 #           baseline (bench/baselines/). Thresholds are deliberately
 #           loose (CODESIGN_PERF_MIN_FRAC, default 0.75 = fail only on a
@@ -33,7 +40,8 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 SAN_TESTS=(test_thread_pool test_estimate_cache test_estimate_many test_obs
-           test_logging test_failpoint test_search_faults test_serve)
+           test_logging test_failpoint test_search_faults test_serve
+           test_serve_trace)
 
 echo "== tier 2: ThreadSanitizer (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S "${SRC_DIR}" -DCODESIGN_SANITIZE=thread
@@ -148,6 +156,92 @@ if [ "${SERVE_RC}" -ne 0 ]; then
 fi
 grep -q "drained:" "${SERVE_LOG}" || {
   echo "FAIL: serve printed no drain summary"; cat "${SERVE_LOG}"; exit 1
+}
+
+echo "== serve-obs: tracing determinism drill under tsan =="
+OBS_PORT=$((SERVE_PORT + 1))
+run_obs_pass() {  # run_obs_pass <prom-out> <tail-out> <log>
+  local prom_out="$1" tail_out="$2" log="$3"
+  # once:3 faults the 3rd *dispatched* request in both passes (ping, tail,
+  # and stats bypass admission and never reach the dispatch failpoint).
+  CODESIGN_FAILPOINTS='serve.dispatch=once:3' \
+      "${SERVE_BIN}" serve --port="${OBS_PORT}" --threads=2 \
+      --slo-p99-ms=5000 >"${log}" 2>&1 &
+  local pid=$!
+  for i in $(seq 1 100); do
+    if "${CLIENT_BIN}" ping --port="${OBS_PORT}" >/dev/null 2>&1; then break; fi
+    if [ "${i}" -eq 100 ]; then
+      echo "FAIL: serve-obs server never became ready"; cat "${log}"; exit 1
+    fi
+    sleep 0.1
+  done
+  # The identical serial sequence both passes replay: the third dispatched
+  # request (the 2048 estimate) trips the injected fault deterministically.
+  "${CLIENT_BIN}" estimate --m=1024 --n=1024 --k=1024 \
+      --port="${OBS_PORT}" >/dev/null 2>&1 || true
+  "${CLIENT_BIN}" explain --m=512 --n=512 --k=512 \
+      --port="${OBS_PORT}" >/dev/null 2>&1 || true
+  "${CLIENT_BIN}" estimate --m=2048 --n=2048 --k=2048 \
+      --port="${OBS_PORT}" >/dev/null 2>&1 || true
+  "${CLIENT_BIN}" advise --model=pythia-70m \
+      --port="${OBS_PORT}" >/dev/null 2>&1 || true
+  # Records land in the ring just after their responses are written; retry
+  # until the injected fault shows up in the error tail.
+  for i in $(seq 1 20); do
+    "${CLIENT_BIN}" tail --filter=errors --port="${OBS_PORT}" \
+        >"${tail_out}" 2>/dev/null || true
+    if grep -q "injected fault" "${tail_out}"; then break; fi
+    sleep 0.1
+  done
+  for i in $(seq 1 20); do
+    "${CLIENT_BIN}" stats --format=prom --port="${OBS_PORT}" \
+        >"${prom_out}" 2>/dev/null || true
+    if grep -q "codesign_serve_request_us" "${prom_out}"; then break; fi
+    sleep 0.1
+  done
+  kill -INT "${pid}"
+  local rc=0
+  wait "${pid}" || rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "FAIL: serve-obs server exited ${rc} after SIGINT, want 0"
+    cat "${log}"; exit 1
+  fi
+}
+run_obs_pass "${TSAN_DIR}/obs_prom_1.txt" "${TSAN_DIR}/obs_tail_1.txt" \
+    "${TSAN_DIR}/serve_obs_1.log"
+run_obs_pass "${TSAN_DIR}/obs_prom_2.txt" "${TSAN_DIR}/obs_tail_2.txt" \
+    "${TSAN_DIR}/serve_obs_2.log"
+
+# Deterministic-tagged series must not drift between identical runs; the
+# wall-clock (best_effort) series are allowed to.
+grep 'stability="deterministic"' "${TSAN_DIR}/obs_prom_1.txt" \
+    >"${TSAN_DIR}/obs_det_1.txt" || true
+grep 'stability="deterministic"' "${TSAN_DIR}/obs_prom_2.txt" \
+    >"${TSAN_DIR}/obs_det_2.txt" || true
+diff -u "${TSAN_DIR}/obs_det_1.txt" "${TSAN_DIR}/obs_det_2.txt" || {
+  echo "FAIL: deterministic-tagged prom series drifted between two" \
+       "identical serve runs"
+  exit 1
+}
+grep -q "codesign_serve_request_us" "${TSAN_DIR}/obs_prom_1.txt" || {
+  echo "FAIL: prom scrape is missing the serve.request_us summary"
+  cat "${TSAN_DIR}/obs_prom_1.txt"; exit 1
+}
+grep -q "injected fault" "${TSAN_DIR}/obs_tail_1.txt" || {
+  echo "FAIL: tail --filter=errors never surfaced the injected fault"
+  cat "${TSAN_DIR}/obs_tail_1.txt"; exit 1
+}
+grep -q '"error_phase":"execute"' "${TSAN_DIR}/obs_tail_1.txt" || {
+  echo "FAIL: the injected fault was not attributed to the execute phase"
+  cat "${TSAN_DIR}/obs_tail_1.txt"; exit 1
+}
+grep -q "latency: p50" "${TSAN_DIR}/serve_obs_1.log" || {
+  echo "FAIL: serve-obs drain summary printed no latency line"
+  cat "${TSAN_DIR}/serve_obs_1.log"; exit 1
+}
+grep -q "SLO p99 <= 5000.00 ms: met" "${TSAN_DIR}/serve_obs_1.log" || {
+  echo "FAIL: serve-obs drain summary printed no SLO verdict"
+  cat "${TSAN_DIR}/serve_obs_1.log"; exit 1
 }
 
 echo "== perf: bench smoke suite vs committed baseline =="

@@ -42,6 +42,7 @@
 #include "transformer/training.hpp"
 
 #include <fstream>
+#include <memory>
 #include <optional>
 
 namespace codesign {
@@ -78,10 +79,15 @@ int usage() {
          "  plan <model> --gpus=N [--cluster=aws-p4d] [--microbatches=32]\n"
          "                               rank (t, p, d) parallel layouts\n"
          "  serve [--port=8377] [--host=127.0.0.1] [--threads=4] [--queue=N]\n"
-         "        [--deadline-ms=N] [--metrics=<f>]\n"
+         "        [--deadline-ms=N] [--metrics=<f>] [--tail=256]\n"
+         "        [--slo-p99-ms=N] [--trace=<f>]\n"
          "                               advisory server over newline-\n"
          "                               delimited JSON (docs/SERVING.md);\n"
-         "                               ^C drains in-flight work, exits 0\n"
+         "                               ^C drains in-flight work, exits 0;\n"
+         "                               --tail sizes the request ring (0 =\n"
+         "                               tracing off), --slo-p99-ms adds an\n"
+         "                               SLO verdict to the drain summary,\n"
+         "                               --trace captures per-request spans\n"
          "\n"
          "Model-taking commands also accept --custom=h=...,a=...,L=...\n"
          "Exit codes: 0 ok, 1 error, 2 usage, 3 config, 4 shape, 5 lookup,\n"
@@ -555,14 +561,33 @@ int cmd_serve(const CliArgs& args) {
   }
   options.watch_sigint = true;
 
+  // Request tracing: --tail sizes the recent-request ring (0 disables the
+  // tracing layer entirely), --slo-p99-ms sets the declarative latency SLO
+  // reported at drain, --trace captures per-request chrome-trace spans.
+  const std::int64_t tail = args.get_int("tail", 256);
+  CODESIGN_CHECK(tail >= 0, "--tail must be >= 0 (0 disables tracing)");
+  options.trace.enabled = tail > 0;
+  options.trace.ring_capacity = static_cast<std::size_t>(tail);
+  const double slo_p99 = args.get_double("slo-p99-ms", 0.0);
+  CODESIGN_CHECK(slo_p99 >= 0.0, "--slo-p99-ms must be >= 0");
+  options.trace.slo_p99_ms = slo_p99;
+
+  std::unique_ptr<obs::ScopedRecorder> scoped_recorder;
+  if (args.has("trace")) {
+    CODESIGN_CHECK(options.trace.enabled,
+                   "--trace needs request tracing (a nonzero --tail)");
+    scoped_recorder = std::make_unique<obs::ScopedRecorder>();
+  }
+
   SigintGuard sigint;
   serve::Server server(options);
   server.start();
   std::cout << str_format(
                    "codesign serve listening on %s:%d (%zu workers, queue "
-                   "capacity %zu)\n",
+                   "capacity %zu%s)\n",
                    options.host.c_str(), server.port(), options.threads,
-                   options.queue_capacity)
+                   options.queue_capacity,
+                   options.trace.enabled ? "" : ", tracing off")
             << "^C drains in-flight requests and exits 0\n"
             << std::flush;
   server.join();  // returns after SIGINT-triggered drain completes
@@ -576,6 +601,29 @@ int cmd_serve(const CliArgs& args) {
       static_cast<unsigned long long>(s.errors),
       static_cast<unsigned long long>(s.overloaded),
       static_cast<unsigned long long>(s.dropped));
+  if (const serve::RequestTraceLog* log = server.trace_log()) {
+    const serve::SloSummary slo = log->slo_summary();
+    std::cout << str_format(
+        "latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms over %llu traced "
+        "request(s) — %llu deadline miss(es), %llu truncated\n",
+        slo.p50_ms, slo.p95_ms, slo.p99_ms,
+        static_cast<unsigned long long>(slo.requests),
+        static_cast<unsigned long long>(slo.deadline_misses),
+        static_cast<unsigned long long>(slo.truncated));
+    if (slo.slo_p99_ms > 0.0) {
+      std::cout << str_format("SLO p99 <= %.2f ms: %s\n", slo.slo_p99_ms,
+                              slo.violated() ? "VIOLATED" : "met");
+    }
+  }
+  if (scoped_recorder != nullptr) {
+    obs::ChromeTraceOptions trace_options;
+    trace_options.other_data.emplace_back("source", "codesign serve");
+    const std::string out = args.get_string("trace", "serve_trace.json");
+    write_file(out,
+               scoped_recorder->recorder().chrome_trace_json(trace_options));
+    std::cout << str_format("wrote request trace (%zu events) to %s\n",
+                            scoped_recorder->recorder().size(), out.c_str());
+  }
   if (metrics_file) {
     write_metrics_file(
         args.get_string("metrics", ""),

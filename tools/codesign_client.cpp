@@ -40,7 +40,9 @@ constexpr const char* kUsage =
     "            [--lo=|--hi=]\n"
     "  estimate  --m= --n= --k= [--batch=1] [--dtype=fp16] [--gpu=a100]\n"
     "  explain   --m= --n= --k= [--batch=1] [--dtype=fp16] [--gpu=a100]\n"
-    "  stats     server metrics snapshot (JSON)\n"
+    "  stats     [--format=json|prom]  server metrics snapshot\n"
+    "  tail      [--n=16] [--filter=slow|all|errors]\n"
+    "            recent requests with per-phase latency breakdowns\n"
     "  ping      liveness probe\n"
     "  sleep     [--ms=10]  hold a worker (drain/overload drills)\n"
     "\n"
@@ -141,6 +143,11 @@ std::string build_request(const CliArgs& args, const std::string& op) {
     forward_string(w, args, "gpu", "gpu");
   }
   if (op == "sleep") forward_int(w, args, "ms", "ms");
+  if (op == "stats") forward_string(w, args, "format", "format");
+  if (op == "tail") {
+    forward_int(w, args, "n", "n");
+    forward_string(w, args, "filter", "filter");
+  }
   w.end_object();
   return os.str();
 }
@@ -156,7 +163,9 @@ std::vector<std::string> op_flags(const std::string& op) {
     return {"m", "n", "k", "batch", "dtype", "gpu"};
   }
   if (op == "sleep") return {"ms"};
-  if (op == "stats" || op == "ping") return {};
+  if (op == "stats") return {"format"};
+  if (op == "tail") return {"n", "filter"};
+  if (op == "ping") return {};
   throw UsageError("unknown op '" + op + "'\n\n" + kUsage);
 }
 
