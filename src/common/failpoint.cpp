@@ -55,6 +55,9 @@ constexpr const char* kBuiltinSites[] = {
     "serve.accept",
     "serve.parse",
     "serve.dispatch",
+    "serve.net.read_stall",
+    "serve.net.write_drop",
+    "serve.net.conn_close",
 };
 
 bool is_known_site_locked(Registry& r, std::string_view name) {

@@ -36,13 +36,17 @@ class RequestScope {
   static RequestScopeCounters* current() { return tls_; }
 
   /// RAII bind/restore. Nestable; the previous binding is restored on
-  /// scope exit.
+  /// scope exit. Defined out of line: GCC 12's UBSan emits a spurious
+  /// "store to null pointer" for the inlined thread_local access when the
+  /// enclosing frame is complex enough (the address check fires even
+  /// though a load of the same variable two instructions earlier is
+  /// clean); in the defining TU the TLS access is direct and the check is
+  /// sound. Bind sits on the per-request dispatch path, not the per-GEMM
+  /// hot path, so the call is free in practice.
   class Bind {
    public:
-    explicit Bind(RequestScopeCounters* counters) : prev_(tls_) {
-      tls_ = counters;
-    }
-    ~Bind() { tls_ = prev_; }
+    explicit Bind(RequestScopeCounters* counters);
+    ~Bind();
 
     Bind(const Bind&) = delete;
     Bind& operator=(const Bind&) = delete;

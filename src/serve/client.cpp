@@ -1,9 +1,5 @@
 #include "serve/client.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -11,33 +7,18 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "serve/net.hpp"
 
 namespace codesign::serve {
 
-ServeClient::ServeClient(const std::string& host, int port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw IoError(std::string("client: socket(): ") + std::strerror(errno));
+ServeClient::ServeClient(const std::string& host, int port,
+                         ClientOptions options)
+    : opt_(options) {
+  try {
+    fd_ = net::connect_with_timeout(host, port, opt_.connect_timeout_ms);
+  } catch (const IoError& e) {
+    throw IoError(std::string("client: ") + e.what());
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw IoError("client: bad host address '" + host + "'");
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string what = str_format("client: cannot connect to %s:%d: %s",
-                                        host.c_str(), port,
-                                        std::strerror(errno));
-    ::close(fd_);
-    fd_ = -1;
-    throw IoError(what);
-  }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 ServeClient::~ServeClient() { close(); }
@@ -53,15 +34,14 @@ Response ServeClient::call(std::string_view request_line) {
   CODESIGN_CHECK(fd_ >= 0, "call() on a closed client");
   std::string line(request_line);
   if (line.empty() || line.back() != '\n') line += '\n';
-  std::size_t off = 0;
-  while (off < line.size()) {
-    const ssize_t n =
-        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw IoError(std::string("client: send(): ") + std::strerror(errno));
-    }
-    off += static_cast<std::size_t>(n);
+  switch (net::timed_send_all(fd_, line, opt_.write_timeout_ms)) {
+    case net::SendOutcome::kOk:
+      break;
+    case net::SendOutcome::kTimeout:
+      throw IoError(str_format("client: send timed out after %lld ms",
+                               static_cast<long long>(opt_.write_timeout_ms)));
+    case net::SendOutcome::kPeerGone:
+      throw IoError("client: connection lost while sending the request");
   }
   return parse_response(read_line());
 }
@@ -86,10 +66,15 @@ std::string ServeClient::read_line() {
       rx_.erase(0, nl + 1);
       return line;
     }
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    ssize_t n;
+    try {
+      n = net::timed_recv(fd_, chunk, sizeof(chunk), opt_.read_timeout_ms);
+    } catch (const IoError& e) {
+      throw IoError(std::string("client: ") + e.what());
+    }
     if (n < 0) {
-      if (errno == EINTR) continue;
-      throw IoError(std::string("client: recv(): ") + std::strerror(errno));
+      throw IoError(str_format("client: no response within %lld ms",
+                               static_cast<long long>(opt_.read_timeout_ms)));
     }
     if (n == 0) {
       throw IoError("client: connection closed by server");

@@ -2,10 +2,15 @@
 //
 // One connection, synchronous request/response: call() writes a request
 // line and blocks for the matching response line. Used by the
-// codesign-client CLI, the bench_serve_throughput load generator, and the
-// serve tests. Connection-level failures (refused, reset, EOF mid-read)
-// throw IoError; protocol-level failures come back as parsed Response
-// envelopes with status "error"/"overloaded".
+// codesign-client CLI, the bench_serve_throughput load generator, the
+// FleetClient (one ServeClient per endpoint), and the serve tests.
+// Connection-level failures (refused, reset, EOF mid-read, a timed-out
+// connect/read/write) throw IoError; protocol-level failures come back as
+// parsed Response envelopes with status "error"/"overloaded".
+//
+// All socket I/O goes through serve/net.hpp: the connect is poll-based
+// with a default 5 s timeout (a black-holed endpoint can no longer hang
+// the caller forever), and reads/writes take optional per-call budgets.
 #pragma once
 
 #include <cstdint>
@@ -16,18 +21,27 @@
 
 namespace codesign::serve {
 
+/// Per-connection I/O budgets. 0 = wait forever (reads/writes only —
+/// connects always have a finite timeout).
+struct ClientOptions {
+  std::int64_t connect_timeout_ms = 5000;
+  std::int64_t read_timeout_ms = 0;   ///< per call(), response wait
+  std::int64_t write_timeout_ms = 0;  ///< per call(), request flush
+};
+
 class ServeClient {
  public:
   /// Connect (IPv4 dotted host). Throws IoError when the server is not
-  /// there — exit code 7 at the CLI.
-  ServeClient(const std::string& host, int port);
+  /// there or the connect times out — exit code 7 at the CLI.
+  ServeClient(const std::string& host, int port, ClientOptions options = {});
   ~ServeClient();
 
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
   /// Send one request line (a '\n' is appended when missing) and block for
-  /// its response. Throws IoError if the connection dies first.
+  /// its response, up to the configured read/write budgets. Throws IoError
+  /// if the connection dies or a budget expires first.
   Response call(std::string_view request_line);
 
   /// Build-and-call convenience: op plus already-rendered JSON members
@@ -40,6 +54,7 @@ class ServeClient {
  private:
   std::string read_line();
 
+  ClientOptions opt_;
   int fd_ = -1;
   std::string rx_;
 };

@@ -1,0 +1,73 @@
+// net.hpp — timeout-aware socket helpers shared by every serve endpoint.
+//
+// Both sides of the wire (ServeClient / FleetClient on one end, the
+// Server's reader and writer paths on the other) funnel their socket I/O
+// through these helpers so that
+//   * no call ever blocks unboundedly: connects, reads, and writes all
+//     take explicit millisecond budgets (0 / negative = wait forever,
+//     still via poll so EINTR and drills behave identically), and
+//   * the three network failpoints live in exactly one place:
+//       serve.net.read_stall   sleep kReadStallMs before a ready read
+//                              (slow-network / slow-peer simulation)
+//       serve.net.conn_close   shutdown(SHUT_RDWR) before a ready read —
+//                              the peer observes a clean connection death
+//       serve.net.write_drop   shutdown(SHUT_RDWR) instead of writing —
+//                              the response vanishes mid-flight
+//     Armed in a server process they simulate a flaky fleet; armed in a
+//     client process they simulate a flaky edge. Either way the fault is
+//     a *transport* fault (EOF / reset), never a corrupted byte stream,
+//     so retries can assert byte-identical payloads.
+//
+// Sockets produced by connect_with_timeout (and the server's accepted
+// fds) are non-blocking; the helpers supply the blocking behaviour via
+// poll, which is what makes the write deadline enforceable at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <sys/types.h>
+
+namespace codesign::serve::net {
+
+/// How long serve.net.read_stall pauses a ready read when it fires.
+inline constexpr std::int64_t kReadStallMs = 40;
+
+/// Poll `fd` for readability/writability. Returns true when ready (or on
+/// POLLERR/POLLHUP — the subsequent recv/send surfaces the error), false
+/// on timeout. timeout_ms <= 0 waits forever. Retries EINTR.
+bool wait_readable(int fd, std::int64_t timeout_ms);
+bool wait_writable(int fd, std::int64_t timeout_ms);
+
+/// Set or clear O_NONBLOCK. Throws IoError on fcntl failure.
+void set_nonblocking(int fd, bool on);
+
+/// Non-blocking connect to an IPv4 dotted host with a poll-based timeout
+/// (<= 0 waits forever). Returns a connected, non-blocking, TCP_NODELAY
+/// socket. Throws IoError on refusal, bad address, or timeout — a
+/// black-holed endpoint costs timeout_ms, never an indefinite hang.
+int connect_with_timeout(const std::string& host, int port,
+                         std::int64_t timeout_ms);
+
+/// One poll+recv round: wait up to timeout_ms for readability, then recv
+/// once. Returns the byte count (> 0), 0 on EOF, or -1 on timeout.
+/// Throws IoError on a socket error. The serve.net.read_stall and
+/// serve.net.conn_close failpoints are evaluated only when data is
+/// actually ready, so drill fire rates track traffic, not idle polls.
+ssize_t timed_recv(int fd, char* buf, std::size_t len,
+                   std::int64_t timeout_ms);
+
+enum class SendOutcome {
+  kOk,        ///< every byte written
+  kTimeout,   ///< the peer stopped draining and the deadline expired
+  kPeerGone,  ///< EPIPE/ECONNRESET, or the write_drop drill fired
+};
+
+/// Write all of `data` within timeout_ms (<= 0 = no deadline). The
+/// serve.net.write_drop failpoint is evaluated once per call, before the
+/// first byte goes out.
+SendOutcome timed_send_all(int fd, std::string_view data,
+                           std::int64_t timeout_ms);
+
+}  // namespace codesign::serve::net

@@ -346,6 +346,38 @@ OpResult op_tail(const Request& request, const OpContext& context) {
   return {kExitOk, render_tail(context.trace_log->tail(n, filter))};
 }
 
+/// Liveness + load in one probe. Bypasses admission control (the moment a
+/// fleet wants to know whether a replica is shedding load is the moment
+/// its queue is full), so it must stay cheap: a handful of atomic loads
+/// rendered into one compact JSON line.
+OpResult op_health(const Request& request, const OpContext& context) {
+  (void)request;
+  if (!context.health) {
+    throw UsageError(
+        "health: only available over codesign serve (no server is bound to "
+        "this context)");
+  }
+  const HealthInfo h = context.health();
+  const char* status = h.draining      ? "draining"
+                       : h.overloaded  ? "overloaded"
+                       : h.brownout    ? "brownout"
+                                       : "ok";
+  std::ostringstream payload;
+  json::Writer w(payload);
+  w.begin_object();
+  w.member("status", status);
+  w.member("ok", !h.draining && !h.overloaded && !h.brownout);
+  w.member("draining", h.draining);
+  w.member("overloaded", h.overloaded);
+  w.member("brownout", h.brownout);
+  w.member("queue_depth", static_cast<long long>(h.queue_depth));
+  w.member("queue_capacity", static_cast<long long>(h.queue_capacity));
+  w.member("uptime_s", static_cast<long long>(h.uptime_s));
+  w.end_object();
+  payload << "\n";
+  return {kExitOk, payload.str()};
+}
+
 /// Diagnostic op: hold a worker for "ms" (capped at 10 s), polling the
 /// request deadline. The overload and drain tests use it to pin workers
 /// deterministically; it is not part of the advisory surface.
@@ -371,11 +403,12 @@ OpResult execute_op(const Request& request, const OpContext& context) {
   if (request.op == "explain") return op_explain(request, context);
   if (request.op == "stats") return op_stats(request, context);
   if (request.op == "tail") return op_tail(request, context);
+  if (request.op == "health") return op_health(request, context);
   if (request.op == "sleep") return op_sleep(request, context);
   if (request.op == "ping") return {kExitOk, "pong\n"};
-  throw UsageError(
-      "unknown op '" + request.op +
-      "' (advise|advise_many|search|estimate|explain|stats|tail|ping|sleep)");
+  throw UsageError("unknown op '" + request.op +
+                   "' (advise|advise_many|search|estimate|explain|stats|tail|"
+                   "health|ping|sleep)");
 }
 
 }  // namespace codesign::serve

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -75,6 +76,20 @@ int report_sweep_outcome(std::ostream& os,
                          std::size_t unreached, bool truncated,
                          CancelReason reason);
 
+/// The server's self-assessment, rendered by the `health` op. The overall
+/// status string is the most severe applicable state: "draining" >
+/// "overloaded" (admission queue full) > "brownout" (expensive ops shed)
+/// > "ok"; `ok` is true only for plain "ok" — a fleet client or probe can
+/// branch on the bool and log the string.
+struct HealthInfo {
+  bool draining = false;
+  bool overloaded = false;
+  bool brownout = false;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::int64_t uptime_s = 0;
+};
+
 /// Server-side request execution context.
 struct OpContext {
   /// The process-wide estimate cache shared across requests (may be null).
@@ -85,6 +100,9 @@ struct OpContext {
   /// The server's request-trace sink, read by the `tail` op. Null when
   /// tracing is disabled (tail then answers with a usage error).
   const RequestTraceLog* trace_log = nullptr;
+  /// Live health snapshot, bound by the server. Null outside a server
+  /// (health then answers with a usage error, like tail without tracing).
+  std::function<HealthInfo()> health;
 };
 
 struct OpResult {

@@ -12,14 +12,16 @@
 //
 // Request (docs/SERVING.md has the full schema):
 //   {"op":"advise"|"advise_many"|"search"|"estimate"|"explain"|"stats"
-//        |"tail"|"ping"|"sleep",
+//        |"tail"|"health"|"ping"|"sleep",
 //    "id":"<echoed>", "deadline_ms":N, ...op-specific fields...}
 //
 // stats takes "format":"json"|"prom" (default json); tail takes "n"
 // (default 16) and "filter":"slow"|"all"|"errors" (default slow) and
 // returns the recent-request ring with per-phase latency breakdowns
-// (docs/OBSERVABILITY.md documents the record schema). stats, ping, and
-// tail bypass admission control.
+// (docs/OBSERVABILITY.md documents the record schema); health returns the
+// server's {status, ok, draining, overloaded, brownout, queue_depth,
+// queue_capacity, uptime_s} self-assessment. stats, ping, tail, and
+// health bypass admission control.
 //
 // Response envelope:
 //   {"status":"ok",         "code":0|6, "id":..., "payload":"<CLI bytes>"}

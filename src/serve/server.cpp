@@ -17,6 +17,7 @@
 #include "common/failpoint.hpp"
 #include "common/strings.hpp"
 #include "obs/metrics.hpp"
+#include "serve/net.hpp"
 
 namespace codesign::serve {
 
@@ -24,8 +25,23 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Reader poll tick: how often an otherwise-silent reader wakes to check
+/// the idle deadline (and, during drain, notices the SHUT_RD promptly).
+constexpr std::int64_t kReaderTickMs = 100;
+
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));
+}
+
+bool is_expensive_op(const std::string& op) {
+  return op == "search" || op == "advise_many";
+}
+
+void bump_counter(const char* name) {
+  if (!obs::MetricsRegistry::enabled()) return;
+  obs::MetricsRegistry::global()
+      .counter(name, {}, obs::Stability::kBestEffort)
+      .add();
 }
 
 }  // namespace
@@ -44,6 +60,10 @@ void Server::start() {
   CODESIGN_CHECK(!started_, "server already started");
   if (opt_.threads == 0) opt_.threads = ThreadPool::hardware_threads();
   if (opt_.queue_capacity == 0) opt_.queue_capacity = 4 * opt_.threads;
+  brownout_watermark_ = opt_.brownout_watermark > 0
+                            ? opt_.brownout_watermark
+                            : std::max<std::size_t>(1, 3 * opt_.queue_capacity / 4);
+  start_time_ = Clock::now();
   cache_ = std::make_shared<gemm::EstimateCache>(opt_.cache);
   if (opt_.trace.enabled && opt_.trace.ring_capacity > 0) {
     trace_log_ = std::make_unique<RequestTraceLog>(opt_.trace);
@@ -128,6 +148,19 @@ void Server::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (opt_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opt_.sndbuf_bytes,
+                   sizeof(opt_.sndbuf_bytes));
+    }
+    // Non-blocking from birth: the reader polls in ticks (idle reaping)
+    // and the write path needs send() to return EAGAIN so the per-response
+    // deadline in net::timed_send_all is enforceable.
+    try {
+      net::set_nonblocking(fd, true);
+    } catch (const IoError&) {
+      ::close(fd);
+      continue;
+    }
     auto conn = std::make_shared<Connection>(fd);
     std::lock_guard<std::mutex> lock(mu_);
     const std::uint64_t id = next_reader_id_++;
@@ -155,13 +188,31 @@ void Server::reader_loop(std::shared_ptr<Connection> conn,
                          std::uint64_t reader_id) {
   std::string buf;
   char chunk[4096];
+  Clock::time_point last_activity = Clock::now();
   for (;;) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    ssize_t n;
+    try {
+      n = net::timed_recv(conn->fd, chunk, sizeof(chunk), kReaderTickMs);
+    } catch (const IoError&) {
+      break;  // connection reset or comparable; reap below
+    }
     if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
+      // Tick with no bytes: reap the connection once it has been silent
+      // with nothing in flight for the idle budget (slow-loris bound).
+      if (opt_.idle_timeout_ms > 0 &&
+          conn->inflight.load(std::memory_order_acquire) == 0 &&
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Clock::now() - last_activity)
+                  .count() >= opt_.idle_timeout_ms) {
+        n_idle_closed_.fetch_add(1, std::memory_order_relaxed);
+        bump_counter("serve.idle_closed");
+        ::shutdown(conn->fd, SHUT_RDWR);
+        break;
+      }
+      continue;
     }
     if (n == 0) break;  // client EOF, or our SHUT_RD during drain
+    last_activity = Clock::now();
     buf.append(chunk, static_cast<std::size_t>(n));
     std::size_t nl;
     while ((nl = buf.find('\n')) != std::string::npos) {
@@ -290,9 +341,10 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
   }
 
   // Introspection ops bypass admission control: stats must answer even
-  // when the queue is full, ping is the liveness probe, and tail has to be
-  // readable exactly when the server is saturated.
-  if (request.op == "stats" || request.op == "ping" || request.op == "tail") {
+  // when the queue is full, ping is the liveness probe, and tail and
+  // health have to be readable exactly when the server is saturated.
+  if (request.op == "stats" || request.op == "ping" || request.op == "tail" ||
+      request.op == "health") {
     publish_queue_depth();
     std::string status = "ok";
     int code = kExitOk;
@@ -301,7 +353,9 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       OpResult r;
       {
         ScopedPhase exec_span(trace.get(), Phase::kExecute);
-        r = execute_op(request, OpContext{cache_, nullptr, trace_log_.get()});
+        OpContext context{cache_, nullptr, trace_log_.get(), {}};
+        context.health = [this] { return health_info(); };
+        r = execute_op(request, context);
       }
       code = r.code;
       n_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -349,6 +403,36 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     }
     return;
   }
+  // Brownout: past the high-water mark the server sheds its expensive ops
+  // (search, advise_many) with the same typed, retryable rejection as a
+  // full queue — cheap ops keep flowing, so a fleet under pressure
+  // degrades to reduced service instead of rejecting everything at the
+  // (higher) admission cap.
+  if (is_expensive_op(request.op) &&
+      pending_.load(std::memory_order_acquire) >= brownout_watermark_) {
+    n_brownout_.fetch_add(1, std::memory_order_relaxed);
+    n_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    bump_counter("serve.rejected.brownout");
+    const std::string detail = str_format(
+        "server brownout: op '%s' shed at queue depth %zu (watermark %zu); "
+        "retry later or on a sibling",
+        request.op.c_str(), pending_.load(std::memory_order_relaxed),
+        brownout_watermark_);
+    {
+      ScopedPhase write_span(trace.get(), Phase::kWrite);
+      write_line(*conn,
+                 overloaded_response(request.id, retry_hint_ms(), detail));
+    }
+    if (trace) {
+      RequestRecord& rec = trace->record();
+      rec.status = "overloaded";
+      rec.code = kExitUnavailable;
+      rec.error = detail;
+      rec.error_phase = "admission";
+      trace_log_->finish(*trace);
+    }
+    return;
+  }
   if (!try_admit()) {
     n_overloaded_.fetch_add(1, std::memory_order_relaxed);
     if (obs::MetricsRegistry::enabled()) {
@@ -391,15 +475,22 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
   // queue_wait spans admission to worker pickup; stamped here because the
   // ScopedPhase pattern cannot straddle the thread hop.
   const double admit_us = trace ? trace_log_->now_us() : 0.0;
+  conn->inflight.fetch_add(1, std::memory_order_acq_rel);
   pool_->submit([this, conn, request = std::move(request), cancel, trace,
                  admit_us] {
     // finish_one() must run on every exit path — if response writing or
     // metrics recording throws, ThreadPool::submit swallows it and a
-    // missed decrement would wedge drain Phase 3 forever.
+    // missed decrement would wedge drain Phase 3 forever. The connection
+    // inflight count drops with it so the idle reaper never closes a
+    // connection that is still owed a response.
     struct FinishGuard {
       Server* server;
-      ~FinishGuard() { server->finish_one(); }
-    } finish_guard{this};
+      Connection* conn;
+      ~FinishGuard() {
+        conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+        server->finish_one();
+      }
+    } finish_guard{this, conn.get()};
     if (trace) {
       trace->add_phase(Phase::kQueueWait, trace_log_->now_us() - admit_us);
     }
@@ -417,13 +508,36 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
         // obs::RequestScope::current().
         obs::RequestScope::Bind bind(trace ? &work : nullptr);
         CODESIGN_FAILPOINT("serve.dispatch");
-        r = execute_op(request, OpContext{cache_, cancel.get(),
-                                          trace_log_.get()});
+        OpContext context{cache_, cancel.get(), trace_log_.get(), {}};
+        context.health = [this] { return health_info(); };
+        r = execute_op(request, context);
       }
       code = r.code;
       n_ok_.fetch_add(1, std::memory_order_relaxed);
       ScopedPhase render_span(trace.get(), Phase::kRender);
       response = ok_response(request.id, r.code, r.payload);
+    } catch (const fail::InjectedFault& e) {
+      // A transient injected fault models a recoverable blip (the thing a
+      // retry is *for*), so it answers as a typed retryable rejection —
+      // FleetClient absorbs it and the chaos drill sees zero user-visible
+      // errors. A fatal fault stays a hard code-1 error.
+      if (e.transient()) {
+        status = "overloaded";
+        code = kExitUnavailable;
+        error = e.what();
+        error_phase = "execute";
+        n_overloaded_.fetch_add(1, std::memory_order_relaxed);
+        ScopedPhase render_span(trace.get(), Phase::kRender);
+        response = overloaded_response(request.id, retry_hint_ms(), e.what());
+      } else {
+        status = "error";
+        code = kExitError;
+        error = e.what();
+        error_phase = "execute";
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
+        ScopedPhase render_span(trace.get(), Phase::kRender);
+        response = error_response(request.id, code, e.what());
+      }
     } catch (const std::exception& e) {
       status = "error";
       code = exit_code_for_current_exception();
@@ -477,18 +591,35 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
 
 void Server::write_line(Connection& conn, std::string_view line) {
   std::lock_guard<std::mutex> lock(conn.write_mu);
-  std::size_t off = 0;
-  while (off < line.size()) {
-    const ssize_t n = ::send(conn.fd, line.data() + off, line.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+  switch (net::timed_send_all(conn.fd, line, opt_.write_timeout_ms)) {
+    case net::SendOutcome::kOk:
+      return;
+    case net::SendOutcome::kTimeout:
+      // The peer stopped reading and our deadline elapsed: a stalled
+      // client must not pin a worker (or the drain) forever. Close it —
+      // the reader observes the shutdown and reaps the connection.
+      n_slow_client_closed_.fetch_add(1, std::memory_order_relaxed);
+      bump_counter("serve.slow_client_closed");
+      ::shutdown(conn.fd, SHUT_RDWR);
+      return;
+    case net::SendOutcome::kPeerGone:
       // Client went away mid-response; the request still completed.
       n_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
-    }
-    off += static_cast<std::size_t>(n);
   }
+}
+
+HealthInfo Server::health_info() const {
+  HealthInfo h;
+  h.draining = draining();
+  h.queue_depth = pending_.load(std::memory_order_acquire);
+  h.queue_capacity = opt_.queue_capacity;
+  h.overloaded = h.queue_depth >= opt_.queue_capacity;
+  h.brownout = h.queue_depth >= brownout_watermark_;
+  h.uptime_s = std::chrono::duration_cast<std::chrono::seconds>(Clock::now() -
+                                                                start_time_)
+                   .count();
+  return h;
 }
 
 void Server::join() {
@@ -554,6 +685,9 @@ ServerStats Server::stats() const {
   s.overloaded = n_overloaded_.load(std::memory_order_relaxed);
   s.parse_errors = n_parse_errors_.load(std::memory_order_relaxed);
   s.dropped = n_dropped_.load(std::memory_order_relaxed);
+  s.brownout = n_brownout_.load(std::memory_order_relaxed);
+  s.slow_client_closed = n_slow_client_closed_.load(std::memory_order_relaxed);
+  s.idle_closed = n_idle_closed_.load(std::memory_order_relaxed);
   return s;
 }
 

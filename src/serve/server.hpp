@@ -14,7 +14,19 @@
 //     repeat shape queries are warm-cache hits;
 //   * per-request deadlines through CancelToken (request deadline_ms, or
 //     the server default), with search truncation-banner semantics;
-//   * failpoint drill sites serve.accept / serve.parse / serve.dispatch;
+//   * slow-loris protection: accepted sockets are non-blocking, readers
+//     poll in ticks and reap connections idle past idle_timeout_ms, and
+//     each response write has a bounded deadline (write_timeout_ms) — a
+//     peer that stops reading is closed and counted, never held forever;
+//   * brownout load shedding: when the queue depth crosses
+//     brownout_watermark, expensive ops (search, advise_many) are shed
+//     with a typed code-75 rejection while cheap ops still serve;
+//   * a `health` op ({ok, draining, overloaded, brownout, queue depth,
+//     uptime}) that bypasses admission like stats/ping/tail;
+//   * failpoint drill sites serve.accept / serve.parse / serve.dispatch,
+//     plus serve.net.* in the shared socket helpers (serve/net.hpp). A
+//     transient serve.dispatch fault answers as a retryable code-75
+//     rejection (a FleetClient recovers it); a fatal one stays code 1;
 //   * per-op latency histograms and queue-depth gauges in the obs
 //     MetricsRegistry, exposed over the wire via {"op":"stats"};
 //   * graceful drain (request_drain(), or SIGINT when watch_sigint): stop
@@ -26,6 +38,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -59,6 +72,19 @@ struct ServerOptions {
   /// A request line larger than this is answered with a usage error and
   /// the connection is closed (memory bound per connection).
   std::size_t max_line_bytes = 1 << 20;
+  /// A connection with no in-flight request and no bytes received for this
+  /// long is closed by its reader (slow-loris bound; 0 = never).
+  std::int64_t idle_timeout_ms = 30000;
+  /// Per-response write deadline. A peer that cannot absorb a response
+  /// within this budget is closed and counted in slow_client_closed
+  /// (0 = wait forever, the pre-resilience behaviour).
+  std::int64_t write_timeout_ms = 5000;
+  /// Queue depth at which expensive ops (search, advise_many) are shed
+  /// with a code-75 rejection. 0 = auto: max(1, 3 × queue_capacity / 4).
+  std::size_t brownout_watermark = 0;
+  /// Test knob: SO_SNDBUF for accepted sockets (0 = kernel default).
+  /// Shrinking it makes the write deadline reachable with small payloads.
+  int sndbuf_bytes = 0;
   /// Shared estimate-cache geometry.
   gemm::CacheOptions cache;
   /// Request-scoped tracing: per-phase spans, the `tail` ring, SLO
@@ -76,6 +102,9 @@ struct ServerStats {
   std::uint64_t overloaded = 0;      ///< typed admission rejections
   std::uint64_t parse_errors = 0;    ///< lines that failed parse_request
   std::uint64_t dropped = 0;         ///< connections lost mid-response / drills
+  std::uint64_t brownout = 0;        ///< expensive ops shed at the watermark
+  std::uint64_t slow_client_closed = 0;  ///< write deadline exceeded
+  std::uint64_t idle_closed = 0;         ///< idle reaper closes
 };
 
 class Server {
@@ -121,6 +150,10 @@ class Server {
 
     const int fd;
     std::mutex write_mu;  ///< responses are single complete lines
+    /// Admitted-but-unanswered requests on this connection. The idle
+    /// reaper only closes a connection when this is zero — a silent client
+    /// awaiting a slow response is waiting, not loitering.
+    std::atomic<int> inflight{0};
   };
 
   void accept_loop();
@@ -130,6 +163,7 @@ class Server {
                 std::shared_ptr<RequestTrace> trace);
   bool try_admit();
   void finish_one();
+  HealthInfo health_info() const;
   void write_line(Connection& conn, std::string_view line);
   std::int64_t retry_hint_ms() const;
   void publish_queue_depth() const;
@@ -142,6 +176,8 @@ class Server {
   int listen_fd_ = -1;
   int port_ = 0;
   bool started_ = false;
+  std::size_t brownout_watermark_ = 0;  ///< resolved in start()
+  std::chrono::steady_clock::time_point start_time_{};
   std::thread accept_thread_;
   std::atomic<bool> draining_{false};
 
@@ -170,6 +206,9 @@ class Server {
   std::atomic<std::uint64_t> n_overloaded_{0};
   std::atomic<std::uint64_t> n_parse_errors_{0};
   std::atomic<std::uint64_t> n_dropped_{0};
+  std::atomic<std::uint64_t> n_brownout_{0};
+  std::atomic<std::uint64_t> n_slow_client_closed_{0};
+  std::atomic<std::uint64_t> n_idle_closed_{0};
 };
 
 }  // namespace codesign::serve

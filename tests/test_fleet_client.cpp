@@ -1,0 +1,434 @@
+// Tests for the resilience layer: FleetClient retry/backoff/failover
+// semantics, the per-endpoint circuit breaker (driven by a fake clock),
+// deterministic attempt logs under a fixed seed, and the timeout-aware
+// socket helpers in serve/net.hpp. The cross-process chaos drill (three
+// servers, probabilistic serve.net.* faults, byte-identity against the
+// one-shot CLI) lives in tools/check.sh's chaos-fleet tier.
+#include "serve/fleet_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/json.hpp"
+#include "serve/client.hpp"
+#include "serve/net.hpp"
+#include "serve/server.hpp"
+
+namespace codesign {
+namespace {
+
+using serve::AttemptOutcome;
+using serve::BreakerState;
+using serve::FleetClient;
+using serve::FleetEndpoint;
+using serve::FleetOptions;
+using serve::ServeClient;
+
+class FleetClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fail::clear();
+    SigintGuard::reset();
+  }
+  void TearDown() override { fail::clear(); }
+
+  static serve::ServerOptions server_options(std::size_t threads,
+                                             std::size_t queue_capacity = 0) {
+    serve::ServerOptions o;
+    o.port = 0;
+    o.threads = threads;
+    o.queue_capacity = queue_capacity;
+    return o;
+  }
+
+  static void shut_down(serve::Server& server) {
+    server.request_drain();
+    server.join();
+  }
+
+  /// A port that was just bound and released: connecting to it refuses
+  /// (nothing re-binds an ephemeral port in the few ms the test needs it).
+  static int dead_port() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    const int port = static_cast<int>(ntohs(addr.sin_port));
+    ::close(fd);
+    return port;
+  }
+
+  /// Options with a fake clock + fake sleep: sleeps advance the clock
+  /// instantly and are recorded, so backoff schedules are assertable and
+  /// the suite never actually waits.
+  struct FakeTime {
+    std::int64_t now_ms = 0;
+    std::vector<std::int64_t> sleeps;
+  };
+  static FleetOptions fake_time_options(std::vector<FleetEndpoint> endpoints,
+                                        std::shared_ptr<FakeTime> time) {
+    FleetOptions o;
+    o.endpoints = std::move(endpoints);
+    o.connect_timeout_ms = 1000;
+    o.read_timeout_ms = 5000;
+    o.now_ms = [time] { return time->now_ms; };
+    o.sleep_ms = [time](std::int64_t ms) {
+      time->sleeps.push_back(ms);
+      time->now_ms += ms;
+    };
+    return o;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Endpoint-spec parsing.
+
+TEST(FleetEndpoints, ParseAcceptsHostPortListsAndBarePorts) {
+  const auto eps = serve::parse_endpoints("127.0.0.1:8377, 10.0.0.2:9000,8378");
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_EQ(eps[0].host, "127.0.0.1");
+  EXPECT_EQ(eps[0].port, 8377);
+  EXPECT_EQ(eps[1].host, "10.0.0.2");
+  EXPECT_EQ(eps[1].port, 9000);
+  EXPECT_EQ(eps[2].host, "127.0.0.1");  // bare port: loopback default
+  EXPECT_EQ(eps[2].port, 8378);
+}
+
+TEST(FleetEndpoints, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(serve::parse_endpoints(""), UsageError);
+  EXPECT_THROW(serve::parse_endpoints(",,"), UsageError);
+  EXPECT_THROW(serve::parse_endpoints("host:"), UsageError);
+  EXPECT_THROW(serve::parse_endpoints(":8377"), UsageError);
+  EXPECT_THROW(serve::parse_endpoints("127.0.0.1:notaport"), UsageError);
+  EXPECT_THROW(serve::parse_endpoints("127.0.0.1:99999"), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Retry semantics: the retry_after_ms hint floors the backoff, and a
+// recovering server eventually answers within one call().
+
+TEST_F(FleetClientTest, RetryHonorsRetryAfterHintAgainstRecoveringServer) {
+  serve::Server server(server_options(/*threads=*/1, /*queue_capacity=*/1));
+  server.start();
+
+  // Pin the only worker: the first fleet attempt is a typed rejection
+  // with a retry hint, and the call must absorb it and retry to success.
+  std::thread pin([&] {
+    ServeClient a("127.0.0.1", server.port());
+    (void)a.call_op("sleep", R"("ms":250)");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  FleetOptions o;
+  o.endpoints = {{"127.0.0.1", server.port()}};
+  o.backoff_base_ms = 10;
+  o.backoff_max_ms = 100;
+  o.call_deadline_ms = 10000;
+  FleetClient fleet(std::move(o));
+  const serve::Response r =
+      fleet.call_op("estimate", R"("m":256,"n":256,"k":256)");
+  ASSERT_TRUE(r.ok()) << r.error << "\n" << fleet.attempt_log();
+
+  // At least one overloaded attempt carrying the server's hint, and the
+  // backoff taken after it was floored at that hint.
+  const auto& attempts = fleet.last_attempts();
+  ASSERT_GE(attempts.size(), 2u) << fleet.attempt_log();
+  bool saw_hinted_backoff = false;
+  for (const auto& a : attempts) {
+    if (a.outcome == AttemptOutcome::kOverloaded) {
+      EXPECT_GE(a.retry_after_ms, 1);
+      if (a.backoff_ms >= a.retry_after_ms) saw_hinted_backoff = true;
+    }
+  }
+  EXPECT_TRUE(saw_hinted_backoff) << fleet.attempt_log();
+  EXPECT_GE(fleet.stats().retries, 1u);
+  EXPECT_GE(fleet.stats().overloaded_seen, 1u);
+
+  pin.join();
+  shut_down(server);
+}
+
+TEST_F(FleetClientTest, OverloadFailsOverToASiblingWithoutSleeping) {
+  serve::Server busy(server_options(/*threads=*/1, /*queue_capacity=*/1));
+  busy.start();
+  serve::Server idle(server_options(/*threads=*/2));
+  idle.start();
+
+  std::thread pin([&] {
+    ServeClient a("127.0.0.1", busy.port());
+    (void)a.call_op("sleep", R"("ms":250)");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  auto time = std::make_shared<FakeTime>();
+  FleetOptions o = fake_time_options(
+      {{"127.0.0.1", busy.port()}, {"127.0.0.1", idle.port()}}, time);
+  FleetClient fleet(std::move(o));
+  const serve::Response r =
+      fleet.call_op("estimate", R"("m":128,"n":128,"k":128)");
+  ASSERT_TRUE(r.ok()) << r.error << "\n" << fleet.attempt_log();
+
+  // Round-robin started at the busy replica; the rejection moved the next
+  // attempt to the sibling immediately — no backoff sleep was taken.
+  const auto& attempts = fleet.last_attempts();
+  ASSERT_EQ(attempts.size(), 2u) << fleet.attempt_log();
+  EXPECT_EQ(attempts[0].endpoint, 0u);
+  EXPECT_EQ(attempts[0].outcome, AttemptOutcome::kOverloaded);
+  EXPECT_EQ(attempts[1].endpoint, 1u);
+  EXPECT_EQ(attempts[1].outcome, AttemptOutcome::kOk);
+  EXPECT_TRUE(time->sleeps.empty());
+  EXPECT_EQ(fleet.stats().failovers, 1u);
+
+  pin.join();
+  shut_down(busy);
+  shut_down(idle);
+}
+
+TEST_F(FleetClientTest, ConnectionDeathFailsOverAndLaterReconnects) {
+  auto doomed = std::make_unique<serve::Server>(server_options(2));
+  doomed->start();
+  serve::Server survivor(server_options(2));
+  survivor.start();
+
+  FleetOptions o;
+  o.endpoints = {{"127.0.0.1", doomed->port()},
+                 {"127.0.0.1", survivor.port()}};
+  o.backoff_base_ms = 1;
+  o.backoff_max_ms = 2;
+  FleetClient fleet(std::move(o));
+
+  // Call 1 lands on the doomed replica (round-robin starts at 0) and
+  // caches its connection.
+  ASSERT_TRUE(fleet.call_op("ping").ok());
+
+  // Kill the replica. Its cached connection answers the next attempt with
+  // EOF; the call must fail over to the survivor, not surface an error.
+  doomed->request_drain();
+  doomed->join();
+  doomed.reset();
+
+  // Call 2's round-robin cursor starts at the survivor; force traffic at
+  // the dead replica by calling until the cursor wraps onto it.
+  bool exercised_dead_endpoint = false;
+  for (int i = 0; i < 4; ++i) {
+    const serve::Response r = fleet.call_op("ping");
+    ASSERT_TRUE(r.ok()) << r.error << "\n" << fleet.attempt_log();
+    for (const auto& a : fleet.last_attempts()) {
+      if (a.endpoint == 0 && a.outcome == AttemptOutcome::kIoError) {
+        exercised_dead_endpoint = true;
+      }
+    }
+  }
+  EXPECT_TRUE(exercised_dead_endpoint) << fleet.attempt_log();
+  EXPECT_GE(fleet.stats().io_errors, 1u);
+  EXPECT_GE(fleet.stats().failovers, 1u);
+
+  shut_down(survivor);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker: closed -> open -> half-open -> closed, on a fake clock.
+
+TEST_F(FleetClientTest, BreakerOpensHalfOpensAndRecloses) {
+  serve::Server server(server_options(2));
+  server.start();
+
+  auto time = std::make_shared<FakeTime>();
+  FleetOptions o =
+      fake_time_options({{"127.0.0.1", server.port()}}, time);
+  o.max_attempts = 2;
+  o.breaker.failure_threshold = 2;
+  o.breaker.open_ms = 1000;
+  FleetClient fleet(std::move(o));
+
+  // Every read is answered by a drill that half-closes the connection:
+  // two consecutive IoError attempts trip the breaker.
+  fail::configure("serve.net.conn_close=always");
+  EXPECT_THROW((void)fleet.call_op("ping"), IoError);
+  EXPECT_EQ(fleet.breaker_state(0), BreakerState::kOpen);
+  EXPECT_EQ(fleet.stats().breaker_trips, 1u);
+
+  // Cooldown elapsed: the next call probes half-open. Keep the drill
+  // armed so the probe fails — a half-open failure re-opens immediately.
+  time->now_ms += 1000;
+  EXPECT_THROW((void)fleet.call_op("ping"), IoError);
+  EXPECT_EQ(fleet.breaker_state(0), BreakerState::kOpen);
+  EXPECT_GE(fleet.stats().breaker_trips, 2u);
+
+  // Cooldown again, drill disarmed: the half-open probe succeeds and the
+  // breaker recloses.
+  fail::configure("serve.net.conn_close=off");
+  time->now_ms += 1000;
+  const serve::Response r = fleet.call_op("ping");
+  ASSERT_TRUE(r.ok()) << r.error << "\n" << fleet.attempt_log();
+  EXPECT_EQ(r.payload, "pong\n");
+  EXPECT_EQ(fleet.breaker_state(0), BreakerState::kClosed);
+
+  shut_down(server);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same seed + same fault pattern => identical attempt logs.
+
+TEST_F(FleetClientTest, SameSeedProducesIdenticalAttemptLogs) {
+  const int port_a = dead_port();
+  const int port_b = dead_port();
+
+  auto run_one = [&](std::uint64_t seed) {
+    auto time = std::make_shared<FakeTime>();
+    FleetOptions o = fake_time_options(
+        {{"127.0.0.1", port_a}, {"127.0.0.1", port_b}}, time);
+    o.seed = seed;
+    o.max_attempts = 8;
+    o.backoff_base_ms = 5;
+    o.backoff_max_ms = 500;
+    o.breaker.failure_threshold = 100;  // keep both endpoints selectable
+    FleetClient fleet(std::move(o));
+    EXPECT_THROW((void)fleet.call_op("ping"), IoError);
+    EXPECT_EQ(fleet.last_attempts().size(), 8u);
+    return fleet.attempt_log() + "sleeps:" + [&] {
+      std::string s;
+      for (const std::int64_t ms : time->sleeps) {
+        s += " " + std::to_string(ms);
+      }
+      return s;
+    }();
+  };
+
+  const std::string log_a = run_one(42);
+  const std::string log_b = run_one(42);
+  EXPECT_FALSE(log_a.empty());
+  EXPECT_EQ(log_a, log_b);
+  // The schedule is jittered: with 8 attempts over 2 endpoints there are
+  // backoff rounds, and they show up in the recorded sleeps.
+  EXPECT_NE(log_a.find("backoff"), std::string::npos) << log_a;
+}
+
+// ---------------------------------------------------------------------------
+// Read-timeout failover: an accepting-but-silent endpoint must not wedge
+// the call — the per-attempt read budget expires and a sibling answers.
+
+TEST_F(FleetClientTest, ReadTimeoutFailsOverToLiveSibling) {
+  // A listening socket nobody accepts on: connects complete (backlog),
+  // requests vanish, responses never come.
+  const int silent_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(silent_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(silent_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(silent_fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(silent_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int silent_port = static_cast<int>(ntohs(addr.sin_port));
+
+  serve::Server live(server_options(2));
+  live.start();
+
+  FleetOptions o;
+  o.endpoints = {{"127.0.0.1", silent_port}, {"127.0.0.1", live.port()}};
+  o.read_timeout_ms = 100;
+  o.backoff_base_ms = 1;
+  o.backoff_max_ms = 2;
+  FleetClient fleet(std::move(o));
+
+  const serve::Response r = fleet.call_op("ping");
+  ASSERT_TRUE(r.ok()) << r.error << "\n" << fleet.attempt_log();
+  const auto& attempts = fleet.last_attempts();
+  ASSERT_EQ(attempts.size(), 2u) << fleet.attempt_log();
+  EXPECT_EQ(attempts[0].endpoint, 0u);
+  EXPECT_EQ(attempts[0].outcome, AttemptOutcome::kIoError);
+  EXPECT_EQ(attempts[1].endpoint, 1u);
+  EXPECT_EQ(fleet.stats().io_errors, 1u);
+
+  shut_down(live);
+  ::close(silent_fd);
+}
+
+// ---------------------------------------------------------------------------
+// net.hpp unit coverage: the send deadline and peer-gone classification.
+
+TEST(ServeNet, TimedSendAllTimesOutAgainstAStalledPeer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  serve::net::set_nonblocking(fds[0], true);
+  const int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+  // Nobody reads fds[1]: the kernel buffers fill and the deadline trips.
+  const std::string big(4 << 20, 'x');
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcome = serve::net::timed_send_all(fds[0], big, 100);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(outcome, serve::net::SendOutcome::kTimeout);
+  EXPECT_GE(elapsed_ms, 90);
+  EXPECT_LT(elapsed_ms, 5000);
+
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeNet, TimedSendAllReportsPeerGoneOnClosedSocket) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  serve::net::set_nonblocking(fds[0], true);
+  ::close(fds[1]);
+  std::string data(1 << 20, 'y');
+  // The first send may land in the buffer; keep writing until the EPIPE
+  // surfaces.
+  serve::net::SendOutcome outcome = serve::net::SendOutcome::kOk;
+  for (int i = 0; i < 8 && outcome == serve::net::SendOutcome::kOk; ++i) {
+    outcome = serve::net::timed_send_all(fds[0], data, 100);
+  }
+  EXPECT_EQ(outcome, serve::net::SendOutcome::kPeerGone);
+  ::close(fds[0]);
+}
+
+TEST(ServeNet, ConnectWithTimeoutRefusesDeadPortQuickly) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = static_cast<int>(ntohs(addr.sin_port));
+  ::close(fd);
+  EXPECT_THROW((void)serve::net::connect_with_timeout("127.0.0.1", port, 1000),
+               IoError);
+}
+
+}  // namespace
+}  // namespace codesign

@@ -34,6 +34,7 @@
 #include "gpuarch/dtype.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
+#include "serve/fleet_client.hpp"
 #include "serve/ops.hpp"
 #include "serve/protocol.hpp"
 #include "transformer/model_zoo.hpp"
@@ -41,6 +42,7 @@
 namespace codesign {
 namespace {
 
+using serve::FleetOptions;
 using serve::ServeClient;
 
 // ---------------------------------------------------------------------------
@@ -435,13 +437,16 @@ TEST_F(ServeTest, SearchDeadlineKeepsTruncationSemantics) {
   server.start();
   ServeClient client("127.0.0.1", server.port());
 
-  // A joint sweep over a GPT-3-sized grid cannot finish in 1 ms: either the
-  // deadline trips mid-sweep (ok + partial banner, like the CLI) or it
-  // trips before the sweep starts (CancelledError). Both are code 6.
+  // A ~1M-candidate d_ff scan cannot finish in 1 ms (the full sweep takes
+  // seconds even on a fast host): either the deadline trips mid-sweep
+  // (ok + partial banner, like the CLI) or it trips before the sweep
+  // starts (CancelledError). Both are code 6. A small joint sweep is no
+  // good here — the analytic estimator finishes one in microseconds, so a
+  // 1 ms deadline would race the sweep instead of reliably truncating it.
   const serve::Response r = client.call_op(
       "search",
-      R"("custom":"h=12288,a=96,L=96,v=50257","mode":"joint","radius":0.25,)"
-      R"("deadline_ms":1)");
+      R"("custom":"h=12288,a=96,L=96,v=50257","mode":"mlp",)"
+      R"("lo":256,"hi":1000000,"max":100000000,"deadline_ms":1)");
   EXPECT_EQ(r.code, kExitCancelled);
   if (r.ok()) {
     EXPECT_NE(r.payload.find("*** PARTIAL RESULTS: sweep cancelled (deadline)"),
@@ -494,12 +499,23 @@ TEST_F(ServeTest, ParseAndDispatchFailpointsAnswerTypedErrors) {
   EXPECT_EQ(parse_fault.status, "error");
   EXPECT_EQ(parse_fault.code, kExitError);
 
+  // A transient dispatch fault is a recoverable blip: it answers as a
+  // typed retryable rejection (code 75 with a retry hint), the thing a
+  // FleetClient absorbs without surfacing an error to the caller.
   fail::configure("serve.parse=off");
   fail::configure("serve.dispatch=always");
   const serve::Response dispatch_fault =
       client.call_op("estimate", R"("m":64,"n":64,"k":64)");
-  EXPECT_EQ(dispatch_fault.status, "error");
-  EXPECT_EQ(dispatch_fault.code, kExitError);
+  EXPECT_EQ(dispatch_fault.status, "overloaded");
+  EXPECT_EQ(dispatch_fault.code, kExitUnavailable);
+  EXPECT_GE(dispatch_fault.retry_after_ms, 1);
+
+  // A fatal dispatch fault stays a hard, non-retryable error.
+  fail::configure("serve.dispatch=always:fatal");
+  const serve::Response fatal_fault =
+      client.call_op("estimate", R"("m":64,"n":64,"k":64)");
+  EXPECT_EQ(fatal_fault.status, "error");
+  EXPECT_EQ(fatal_fault.code, kExitError);
 
   // Disarmed, the same connection serves normally again.
   fail::clear();
@@ -692,6 +708,253 @@ TEST_F(ServeTest, SigintDuringABurstDrainsOnceAndCleanly) {
   const serve::ServerStats s = server.stats();
   EXPECT_EQ(s.connections, 2u);
   EXPECT_EQ(s.ok, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience layer: the health op, brownout shedding, the write deadline
+// for stalled peers, and FleetClient recovery under armed drills.
+
+TEST_F(ServeTest, HealthReportsOkOnAnIdleServer) {
+  serve::ServerOptions o = options(/*threads=*/2, /*queue_capacity=*/8);
+  serve::Server server(o);
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+
+  const serve::Response r = client.call_op("health", R"("id":"h-1")");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.id, "h-1");
+  const json::Value doc = json::Value::parse(r.payload);
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_FALSE(doc.at("draining").as_bool());
+  EXPECT_FALSE(doc.at("overloaded").as_bool());
+  EXPECT_FALSE(doc.at("brownout").as_bool());
+  EXPECT_EQ(static_cast<int>(doc.at("queue_depth").as_number()), 0);
+  EXPECT_EQ(static_cast<int>(doc.at("queue_capacity").as_number()), 8);
+  EXPECT_GE(doc.at("uptime_s").as_number(), 0.0);
+
+  client.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, HealthBypassesAdmissionAndReportsPressure) {
+  // One worker, admission cap one: a pinned worker saturates the queue,
+  // and health must still answer inline — reporting the saturation.
+  serve::Server server(options(/*threads=*/1, /*queue_capacity=*/1));
+  server.start();
+
+  std::thread pin([&] {
+    ServeClient a("127.0.0.1", server.port());
+    (void)a.call_op("sleep", R"("ms":300)");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  ServeClient b("127.0.0.1", server.port());
+  const serve::Response r = b.call_op("health");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const json::Value doc = json::Value::parse(r.payload);
+  EXPECT_EQ(doc.at("status").as_string(), "overloaded");
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_TRUE(doc.at("overloaded").as_bool());
+  EXPECT_TRUE(doc.at("brownout").as_bool());  // watermark <= capacity
+  EXPECT_EQ(static_cast<int>(doc.at("queue_depth").as_number()), 1);
+
+  pin.join();
+  b.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, HealthOutsideAServerIsAUsageError) {
+  serve::Request request;
+  request.op = "health";
+  EXPECT_THROW((void)serve::execute_op(request, serve::OpContext{}),
+               UsageError);
+}
+
+TEST_F(ServeTest, BrownoutShedsExpensiveOpsWhileCheapOnesServe) {
+  serve::ServerOptions o = options(/*threads=*/1, /*queue_capacity=*/4);
+  o.brownout_watermark = 1;
+  serve::Server server(o);
+  server.start();
+
+  std::thread pin([&] {
+    ServeClient a("127.0.0.1", server.port());
+    (void)a.call_op("sleep", R"("ms":300)");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  // Queue depth 1 >= watermark 1: expensive ops shed with the typed
+  // retryable rejection...
+  ServeClient b("127.0.0.1", server.port());
+  const serve::Response search =
+      b.call_op("search", R"("model":"gpt3-2.7b","max":4)");
+  EXPECT_TRUE(search.overloaded());
+  EXPECT_EQ(search.code, kExitUnavailable);
+  EXPECT_GE(search.retry_after_ms, 1);
+  EXPECT_NE(search.error.find("brownout"), std::string::npos) << search.error;
+
+  const serve::Response many = b.call_op(
+      "advise_many", R"("items":[{"model":"gpt3-2.7b"}])");
+  EXPECT_TRUE(many.overloaded());
+
+  // ...while cheap ops are admitted (queued behind the pin) and complete.
+  const serve::Response cheap =
+      b.call_op("estimate", R"("m":256,"n":256,"k":256)");
+  ASSERT_TRUE(cheap.ok()) << cheap.error;
+  EXPECT_EQ(cheap.payload, expected_estimate(256, 256, 256));
+
+  pin.join();
+
+  // Pressure gone: the same expensive op now serves. The queue counter
+  // decrements just after the pinned response hits the wire, so poll
+  // briefly rather than race it.
+  serve::Response after;
+  for (int i = 0; i < 100; ++i) {
+    after = b.call_op("search", R"("model":"gpt3-2.7b")");
+    if (after.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(after.ok()) << after.error;
+
+  b.close();
+  const serve::ServerStats s = server.stats();
+  EXPECT_GE(s.brownout, 2u);
+  shut_down(server);
+}
+
+TEST_F(ServeTest, SlowClientIsClosedAtTheWriteDeadline) {
+  // Tiny server-side socket buffer + a peer that never reads + a bounded
+  // write deadline: the response cannot be flushed, the server closes the
+  // connection and counts it, and the server stays healthy throughout.
+  serve::ServerOptions o = options(/*threads=*/2);
+  o.write_timeout_ms = 100;
+  o.sndbuf_bytes = 4096;
+  serve::Server server(o);
+  server.start();
+
+  // Raw client with a tiny receive window that sends a request producing
+  // a payload far larger than both buffers, then stalls.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 2048;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::string request = R"({"op":"advise_many","items":[)";
+  for (int i = 0; i < 64; ++i) {
+    if (i > 0) request += ',';
+    request += R"({"model":"gpt3-2.7b"})";
+  }
+  request += "]}\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  // The worker renders, fills both kernel buffers, hits the deadline, and
+  // closes the connection.
+  bool closed = false;
+  for (int i = 0; i < 200 && !closed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    closed = server.stats().slow_client_closed >= 1;
+  }
+  EXPECT_TRUE(closed) << "server never closed the stalled client";
+  ::close(fd);
+
+  // The server survived and serves the next (well-behaved) client.
+  ServeClient ok_client("127.0.0.1", server.port());
+  const serve::Response r = ok_client.call_op("ping");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ok_client.close();
+  shut_down(server);
+  EXPECT_EQ(server.stats().slow_client_closed, 1u);
+}
+
+TEST_F(ServeTest, IdleConnectionsAreReapedAndActiveOnesAreNot) {
+  serve::ServerOptions o = options(/*threads=*/2);
+  o.idle_timeout_ms = 150;
+  serve::Server server(o);
+  server.start();
+
+  // An idle connection is closed by the reaper: the client observes EOF.
+  ServeClient idle("127.0.0.1", server.port());
+  ASSERT_TRUE(idle.call_op("ping").ok());
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 40; ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          (void)idle.call_op("ping");  // eventually hits the closed socket
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+      },
+      IoError);
+  EXPECT_GE(server.stats().idle_closed, 1u);
+
+  // A connection with a request in flight is never idle-reaped, even when
+  // the request takes far longer than the idle budget.
+  ServeClient active("127.0.0.1", server.port());
+  const serve::Response slept = active.call_op("sleep", R"("ms":600)");
+  ASSERT_TRUE(slept.ok()) << slept.error;
+  EXPECT_EQ(slept.payload, "slept 600 ms\n");
+
+  active.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, FleetClientCompletesAMixedWorkloadUnderArmedDrills) {
+  // Two replicas, every network drill armed probabilistically, plus
+  // transient dispatch faults: a FleetClient must complete the whole mix
+  // with zero user-visible errors and byte-identical payloads. The drills
+  // fire on both sides of the socket (client and servers share the
+  // in-process failpoint registry).
+  serve::Server a(options(/*threads=*/2));
+  a.start();
+  serve::Server b(options(/*threads=*/2));
+  b.start();
+
+  const std::string want_estimate = expected_estimate(512, 512, 512);
+  const std::string want_advise = expected_advise("gpt3-2.7b");
+
+  fail::configure(
+      "serve.net.read_stall=prob:0.3:11,"
+      "serve.net.write_drop=prob:0.15:12,"
+      "serve.net.conn_close=prob:0.2:13,"
+      "serve.dispatch=prob:0.25:7");
+
+  FleetOptions fo;
+  fo.endpoints = {{"127.0.0.1", a.port()}, {"127.0.0.1", b.port()}};
+  fo.backoff_base_ms = 1;
+  fo.backoff_max_ms = 20;
+  fo.breaker.open_ms = 50;  // short cooldowns keep the suite fast
+  fo.seed = 7;
+  serve::FleetClient fleet(std::move(fo));
+
+  for (int i = 0; i < 30; ++i) {
+    if (i % 3 == 0) {
+      const serve::Response r =
+          fleet.call_op("advise", R"("model":"gpt3-2.7b")");
+      ASSERT_TRUE(r.ok()) << i << ": " << r.error << "\n"
+                          << fleet.attempt_log();
+      EXPECT_EQ(r.payload, want_advise) << "advise payload diverged at " << i;
+    } else {
+      const serve::Response r =
+          fleet.call_op("estimate", R"("m":512,"n":512,"k":512)");
+      ASSERT_TRUE(r.ok()) << i << ": " << r.error << "\n"
+                          << fleet.attempt_log();
+      EXPECT_EQ(r.payload, want_estimate)
+          << "estimate payload diverged at " << i;
+    }
+  }
+  // The drills actually fired — this exercised the retry machinery, not a
+  // quiet fast path.
+  EXPECT_GT(fleet.stats().attempts, 30u) << fleet.attempt_log();
+
+  fail::clear();
+  shut_down(a);
+  shut_down(b);
 }
 
 }  // namespace

@@ -204,8 +204,11 @@ TEST_F(ServeTraceTest, TailReturnsInjectedFailureWithErrorPhase) {
   ServeClient client("127.0.0.1", server.port());
 
   // The second dispatched request trips the failpoint; its neighbours
-  // succeed (requests on one connection dispatch in arrival order).
-  fail::configure("serve.dispatch=once:2");
+  // succeed (requests on one connection dispatch in arrival order). Fatal
+  // class: a transient fault would answer as a retryable code-75
+  // rejection (test_serve covers that); this test wants a hard error to
+  // attribute.
+  fail::configure("serve.dispatch=once:2:fatal");
   const serve::Response r1 =
       client.call_op("estimate", R"("id":"ok-1","m":128,"n":128,"k":128)");
   const serve::Response r2 =

@@ -18,6 +18,14 @@
 #           the runs, `tail --filter=errors` must attribute the injected
 #           fault to its execute phase, and the drain summary must report
 #           the latency/SLO line
+#   chaos-fleet  a 3-server TSan mini-fleet with 5% network failpoints
+#           (serve.net.read_stall / write_drop / conn_close) plus 5%
+#           dispatch faults armed on BOTH sides of the wire; a fixed
+#           request mix through `codesign-client --endpoints=...` must
+#           complete with zero user-visible errors (every invocation
+#           exits 0, no shell-side retries — the FleetClient absorbs the
+#           faults) and byte-identical payloads vs the one-shot CLI, then
+#           all three servers must drain cleanly on SIGINT
 #   perf    codesign-bench smoke suite gated against the committed
 #           baseline (bench/baselines/). Thresholds are deliberately
 #           loose (CODESIGN_PERF_MIN_FRAC, default 0.75 = fail only on a
@@ -41,7 +49,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 SAN_TESTS=(test_thread_pool test_estimate_cache test_estimate_many test_obs
            test_logging test_failpoint test_search_faults test_serve
-           test_serve_trace)
+           test_serve_trace test_fleet_client)
 
 echo "== tier 2: ThreadSanitizer (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S "${SRC_DIR}" -DCODESIGN_SANITIZE=thread
@@ -243,6 +251,99 @@ grep -q "SLO p99 <= 5000.00 ms: met" "${TSAN_DIR}/serve_obs_1.log" || {
   echo "FAIL: serve-obs drain summary printed no SLO verdict"
   cat "${TSAN_DIR}/serve_obs_1.log"; exit 1
 }
+
+echo "== chaos-fleet: 3 replicas, 5% network faults, zero visible errors =="
+CHAOS_FAULTS='serve.net.read_stall=prob:0.05:11,serve.net.write_drop=prob:0.05:12'
+CHAOS_FAULTS+=',serve.net.conn_close=prob:0.05:13,serve.dispatch=prob:0.05:7'
+CHAOS_PORTS=($((SERVE_PORT + 2)) $((SERVE_PORT + 3)) $((SERVE_PORT + 4)))
+CHAOS_PIDS=()
+CHAOS_LOGS=()
+for port in "${CHAOS_PORTS[@]}"; do
+  log="${TSAN_DIR}/chaos_${port}.log"
+  CODESIGN_FAILPOINTS="${CHAOS_FAULTS}" \
+      "${SERVE_BIN}" serve --port="${port}" --threads=2 >"${log}" 2>&1 &
+  CHAOS_PIDS+=($!)
+  CHAOS_LOGS+=("${log}")
+done
+for port in "${CHAOS_PORTS[@]}"; do
+  for i in $(seq 1 100); do
+    # Readiness pings run fault-free: the drills under test belong to the
+    # fleet mix below, not to the startup probe.
+    if "${CLIENT_BIN}" ping --port="${port}" >/dev/null 2>&1; then break; fi
+    if [ "${i}" -eq 100 ]; then
+      echo "FAIL: chaos-fleet server :${port} never became ready"
+      cat "${TSAN_DIR}/chaos_${port}.log"; exit 1
+    fi
+    sleep 0.1
+  done
+done
+
+# Expected payloads straight from the one-shot CLI (the byte-identity
+# oracle for every fleet response).
+"${SERVE_BIN}" gemm --m=1024 --n=2048 --k=768 >"${TSAN_DIR}/chaos_est_a.txt"
+"${SERVE_BIN}" gemm --m=4096 --n=4096 --k=4096 >"${TSAN_DIR}/chaos_est_b.txt"
+"${SERVE_BIN}" gemm --m=512 --n=1536 --k=896 --batch=4 \
+    >"${TSAN_DIR}/chaos_est_c.txt"
+"${SERVE_BIN}" advise pythia-70m >"${TSAN_DIR}/chaos_adv_a.txt"
+"${SERVE_BIN}" advise gpt3-2.7b >"${TSAN_DIR}/chaos_adv_b.txt"
+
+ENDPOINTS="127.0.0.1:${CHAOS_PORTS[0]},127.0.0.1:${CHAOS_PORTS[1]}"
+ENDPOINTS+=",127.0.0.1:${CHAOS_PORTS[2]}"
+chaos_call() {  # chaos_call <expected-file> <seed> <op> [flags...]
+  # One shot, no shell-side retries: the FleetClient must absorb every
+  # injected fault (client- and server-side) and exit 0 with the exact
+  # one-shot CLI bytes.
+  local expect="$1" seed="$2"; shift 2
+  local got="${TSAN_DIR}/chaos_got.txt"
+  if ! CODESIGN_FAILPOINTS="${CHAOS_FAULTS}" \
+      "${CLIENT_BIN}" "$@" --endpoints="${ENDPOINTS}" --seed="${seed}" \
+      >"${got}" 2>"${TSAN_DIR}/chaos_err.txt"; then
+    echo "FAIL: chaos-fleet request surfaced an error: $*"
+    cat "${TSAN_DIR}/chaos_err.txt"; exit 1
+  fi
+  diff -u "${expect}" "${got}" || {
+    echo "FAIL: chaos-fleet payload differs from the one-shot CLI: $*"
+    exit 1
+  }
+}
+for i in $(seq 1 4); do
+  chaos_call "${TSAN_DIR}/chaos_est_a.txt" "$((i * 5 + 1))" \
+      estimate --m=1024 --n=2048 --k=768
+  chaos_call "${TSAN_DIR}/chaos_est_b.txt" "$((i * 5 + 2))" \
+      estimate --m=4096 --n=4096 --k=4096
+  chaos_call "${TSAN_DIR}/chaos_est_c.txt" "$((i * 5 + 3))" \
+      estimate --m=512 --n=1536 --k=896 --batch=4
+  chaos_call "${TSAN_DIR}/chaos_adv_a.txt" "$((i * 5 + 4))" \
+      advise --model=pythia-70m
+  chaos_call "${TSAN_DIR}/chaos_adv_b.txt" "$((i * 5 + 5))" \
+      advise --model=gpt3-2.7b
+done
+
+# health must answer on every replica even with the drills armed.
+for port in "${CHAOS_PORTS[@]}"; do
+  HEALTH_OUT="$(CODESIGN_FAILPOINTS="${CHAOS_FAULTS}" "${CLIENT_BIN}" health \
+      --endpoints="127.0.0.1:${port}")" || {
+    echo "FAIL: chaos-fleet health probe failed on :${port}"; exit 1
+  }
+  echo "${HEALTH_OUT}" | grep -q '"status":"ok"' || {
+    echo "FAIL: chaos-fleet replica :${port} reported unhealthy:"
+    echo "${HEALTH_OUT}"; exit 1
+  }
+done
+
+for pid in "${CHAOS_PIDS[@]}"; do kill -INT "${pid}"; done
+for idx in "${!CHAOS_PIDS[@]}"; do
+  rc=0
+  wait "${CHAOS_PIDS[$idx]}" || rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "FAIL: chaos-fleet server exited ${rc} after SIGINT, want 0"
+    cat "${CHAOS_LOGS[$idx]}"; exit 1
+  fi
+  grep -q "drained:" "${CHAOS_LOGS[$idx]}" || {
+    echo "FAIL: chaos-fleet server printed no drain summary"
+    cat "${CHAOS_LOGS[$idx]}"; exit 1
+  }
+done
 
 echo "== perf: bench smoke suite vs committed baseline =="
 PERF_MIN_FRAC="${CODESIGN_PERF_MIN_FRAC:-0.75}"

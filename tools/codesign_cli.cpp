@@ -80,14 +80,21 @@ int usage() {
          "                               rank (t, p, d) parallel layouts\n"
          "  serve [--port=8377] [--host=127.0.0.1] [--threads=4] [--queue=N]\n"
          "        [--deadline-ms=N] [--metrics=<f>] [--tail=256]\n"
-         "        [--slo-p99-ms=N] [--trace=<f>]\n"
+         "        [--slo-p99-ms=N] [--trace=<f>] [--idle-timeout-ms=30000]\n"
+         "        [--write-timeout-ms=5000] [--brownout=N]\n"
          "                               advisory server over newline-\n"
          "                               delimited JSON (docs/SERVING.md);\n"
          "                               ^C drains in-flight work, exits 0;\n"
          "                               --tail sizes the request ring (0 =\n"
          "                               tracing off), --slo-p99-ms adds an\n"
          "                               SLO verdict to the drain summary,\n"
-         "                               --trace captures per-request spans\n"
+         "                               --trace captures per-request spans;\n"
+         "                               --idle-timeout-ms reaps silent\n"
+         "                               connections, --write-timeout-ms\n"
+         "                               bounds each response write, and\n"
+         "                               --brownout sets the queue depth at\n"
+         "                               which search/advise_many are shed\n"
+         "                               (0 = 3/4 of the queue capacity)\n"
          "\n"
          "Model-taking commands also accept --custom=h=...,a=...,L=...\n"
          "Exit codes: 0 ok, 1 error, 2 usage, 3 config, 4 shape, 5 lookup,\n"
@@ -561,6 +568,19 @@ int cmd_serve(const CliArgs& args) {
   }
   options.watch_sigint = true;
 
+  // Resilience knobs (docs/SERVING.md "Resilience").
+  const std::int64_t idle_ms = args.get_int("idle-timeout-ms", 30000);
+  CODESIGN_CHECK(idle_ms >= 0, "--idle-timeout-ms must be >= 0 (0 = never)");
+  options.idle_timeout_ms = idle_ms;
+  const std::int64_t write_ms = args.get_int("write-timeout-ms", 5000);
+  CODESIGN_CHECK(write_ms >= 0,
+                 "--write-timeout-ms must be >= 0 (0 = wait forever)");
+  options.write_timeout_ms = write_ms;
+  const std::int64_t brownout = args.get_int("brownout", 0);
+  CODESIGN_CHECK(brownout >= 0,
+                 "--brownout must be >= 0 (0 = 3/4 of the queue capacity)");
+  options.brownout_watermark = static_cast<std::size_t>(brownout);
+
   // Request tracing: --tail sizes the recent-request ring (0 disables the
   // tracing layer entirely), --slo-p99-ms sets the declarative latency SLO
   // reported at drain, --trace captures per-request chrome-trace spans.
@@ -601,6 +621,14 @@ int cmd_serve(const CliArgs& args) {
       static_cast<unsigned long long>(s.errors),
       static_cast<unsigned long long>(s.overloaded),
       static_cast<unsigned long long>(s.dropped));
+  if (s.brownout + s.slow_client_closed + s.idle_closed > 0) {
+    std::cout << str_format(
+        "resilience: %llu brownout shed(s), %llu slow client(s) closed, "
+        "%llu idle connection(s) reaped\n",
+        static_cast<unsigned long long>(s.brownout),
+        static_cast<unsigned long long>(s.slow_client_closed),
+        static_cast<unsigned long long>(s.idle_closed));
+  }
   if (const serve::RequestTraceLog* log = server.trace_log()) {
     const serve::SloSummary slo = log->slo_summary();
     std::cout << str_format(

@@ -17,9 +17,11 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/json.hpp"
 #include "common/strings.hpp"
 #include "serve/client.hpp"
+#include "serve/fleet_client.hpp"
 
 namespace codesign {
 namespace {
@@ -27,6 +29,9 @@ namespace {
 constexpr const char* kUsage =
     "usage: codesign-client <op> [--host=127.0.0.1] [--port=8377]\n"
     "                       [--id=S] [--deadline-ms=N]\n"
+    "                       [--endpoints=host:port,host:port,...]\n"
+    "                       [--attempts=16] [--seed=1]\n"
+    "                       [--call-deadline-ms=30000]\n"
     "\n"
     "ops (flags mirror the request fields in docs/SERVING.md):\n"
     "  advise    --model=NAME | --custom=h=...,a=...,L=...  [--gpu=a100]\n"
@@ -43,16 +48,25 @@ constexpr const char* kUsage =
     "  stats     [--format=json|prom]  server metrics snapshot\n"
     "  tail      [--n=16] [--filter=slow|all|errors]\n"
     "            recent requests with per-phase latency breakdowns\n"
+    "  health    liveness + load probe: {status, ok, draining, overloaded,\n"
+    "            brownout, queue_depth, queue_capacity, uptime_s}\n"
     "  ping      liveness probe\n"
     "  sleep     [--ms=10]  hold a worker (drain/overload drills)\n"
+    "\n"
+    "--endpoints routes the request through the resilient FleetClient\n"
+    "(docs/SERVING.md \"Resilience\"): deadline-budgeted retries with\n"
+    "jittered backoff, failover between the listed replicas on overload\n"
+    "or connection death, and a per-endpoint circuit breaker. --attempts,\n"
+    "--seed, and --call-deadline-ms tune it; --host/--port are ignored.\n"
     "\n"
     "The response payload is printed verbatim; the exit code is the\n"
     "response code (0 ok, 6 cancelled/partial, 75 overloaded/draining),\n"
     "or 7 when the server cannot be reached.\n";
 
 /// Flags every op accepts on top of its own field flags.
-const std::vector<std::string> kCommonFlags = {"host", "port", "id",
-                                               "deadline-ms"};
+const std::vector<std::string> kCommonFlags = {
+    "host", "port",     "id",   "deadline-ms",     "endpoints",
+    "attempts", "seed", "call-deadline-ms"};
 
 void reject_unknown_flags(const CliArgs& args,
                           std::vector<std::string> allowed) {
@@ -165,7 +179,7 @@ std::vector<std::string> op_flags(const std::string& op) {
   if (op == "sleep") return {"ms"};
   if (op == "stats") return {"format"};
   if (op == "tail") return {"n", "filter"};
-  if (op == "ping") return {};
+  if (op == "ping" || op == "health") return {};
   throw UsageError("unknown op '" + op + "'\n\n" + kUsage);
 }
 
@@ -180,9 +194,20 @@ int run(int argc, char** argv) {
   const std::string& op = args.positional().front();
   reject_unknown_flags(args, op_flags(op));
 
-  serve::ServeClient client(args.get_string("host", "127.0.0.1"),
-                            static_cast<int>(args.get_int("port", 8377)));
-  const serve::Response r = client.call(build_request(args, op));
+  serve::Response r;
+  if (args.has("endpoints")) {
+    serve::FleetOptions fleet;
+    fleet.endpoints = serve::parse_endpoints(args.get_string("endpoints", ""));
+    fleet.max_attempts = static_cast<int>(args.get_int("attempts", 16));
+    fleet.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    fleet.call_deadline_ms = args.get_int("call-deadline-ms", 30000);
+    serve::FleetClient client(std::move(fleet));
+    r = client.call(build_request(args, op));
+  } else {
+    serve::ServeClient client(args.get_string("host", "127.0.0.1"),
+                              static_cast<int>(args.get_int("port", 8377)));
+    r = client.call(build_request(args, op));
+  }
   if (r.overloaded()) {
     std::cerr << "codesign-client: " << r.error << " (retry after "
               << r.retry_after_ms << " ms)\n";
@@ -202,6 +227,10 @@ int run(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
+    // CODESIGN_FAILPOINTS arms this process too: the chaos-fleet drill
+    // injects faults into the client's own socket helpers (serve.net.*)
+    // as well as the servers', and the FleetClient must absorb both.
+    codesign::fail::configure_from_env();
     return codesign::run(argc, argv);
   } catch (const codesign::Error& e) {
     std::cerr << "codesign-client: " << e.what() << "\n";
