@@ -6,6 +6,11 @@
 //   metrics   — MetricsRegistry enabled (counters on every estimate)
 //   recorder  — metrics + an installed EventRecorder (selection trail
 //               events on every kernel selection)
+// plus the attribution state:
+//   breakdown — gemm::bound_breakdown() computed after every estimate (the
+//               `codesign analyze` hot path); contract: <= 1.1x "off".
+//               When attribution is not requested the breakdown is simply
+//               never called, so the disabled cost IS the "off" row.
 // The "off" row is the zero-overhead contract of docs/OBSERVABILITY.md.
 // Writes the measurements as a schema-versioned BenchReport
 // (--out=BENCH_obs.json) so the overhead trajectory is machine-readable.
@@ -59,6 +64,28 @@ double ns_per_estimate(const gemm::GemmSimulator& sim,
   return ns / (static_cast<double>(iters) * problems.size());
 }
 
+/// The attribution hot loop: estimate, then decompose. The breakdown is a
+/// handful of divisions over fields the estimate already carries, so this
+/// must stay within 1.1x of the bare loop.
+double ns_per_estimate_with_breakdown(
+    const gemm::GemmSimulator& sim,
+    const std::vector<gemm::GemmProblem>& problems, int iters) {
+  double sink = 0.0;
+  for (const auto& p : problems) sink += sim.estimate(p).time;
+  const auto start = Clock::now();
+  for (int it = 0; it < iters; ++it) {
+    for (const auto& p : problems) {
+      const gemm::KernelEstimate e = sim.estimate(p);
+      const gemm::BoundBreakdown b = gemm::bound_breakdown(e);
+      sink += e.time + b.compute + b.tile_waste;
+    }
+  }
+  const double ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+  if (sink < 0.0) std::cerr << sink;
+  return ns / (static_cast<double>(iters) * problems.size());
+}
+
 int body(bench::BenchContext& ctx) {
   ctx.banner("obs overhead",
              "estimate() latency with instrumentation off / metrics / "
@@ -70,6 +97,8 @@ int body(bench::BenchContext& ctx) {
 
   obs::MetricsRegistry::set_enabled(false);
   const double off_ns = ns_per_estimate(ctx.sim(), problems, iters);
+  const double breakdown_ns =
+      ns_per_estimate_with_breakdown(ctx.sim(), problems, iters);
 
   obs::MetricsRegistry::set_enabled(true);
   const double metrics_ns = ns_per_estimate(ctx.sim(), problems, iters);
@@ -90,6 +119,7 @@ int body(bench::BenchContext& ctx) {
         .cell(str_format("%.2fx", ns / off_ns));
   };
   row("off", off_ns);
+  row("off+breakdown", breakdown_ns);
   row("metrics", metrics_ns);
   row("metrics+recorder", recorder_ns);
   ctx.emit(t);
@@ -116,6 +146,8 @@ int body(bench::BenchContext& ctx) {
       str_format("%.3f", metrics_ns / off_ns);
   report.context["overhead_recorder_vs_off"] =
       str_format("%.3f", recorder_ns / off_ns);
+  report.context["overhead_breakdown_vs_off"] =
+      str_format("%.3f", breakdown_ns / off_ns);
   const auto add_case = [&](const std::string& name, double ns) {
     benchlib::CaseStats s;
     s.name = name;
@@ -127,6 +159,7 @@ int body(bench::BenchContext& ctx) {
     report.cases.push_back(std::move(s));
   };
   add_case("obs.estimate_off", off_ns);
+  add_case("obs.estimate_breakdown", breakdown_ns);
   add_case("obs.estimate_metrics", metrics_ns);
   add_case("obs.estimate_metrics_recorder", recorder_ns);
   report.write_file(out_path);
@@ -147,6 +180,21 @@ CODESIGN_BENCH_CASES(obs_overhead) {
              double sink = 0.0;
              for (int it = 0; it < 40; ++it) {
                for (const auto& p : problems) sink += c.sim().estimate(p).time;
+             }
+             c.consume(sink);
+           },
+           /*threshold_frac=*/0.30});
+  reg.add({"obs.estimate_breakdown_loop", "bench_obs_overhead",
+           "estimate() + bound_breakdown() attribution hot loop",
+           {benchlib::kSuitePerf, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const auto problems = hot_problems();
+             double sink = 0.0;
+             for (int it = 0; it < 40; ++it) {
+               for (const auto& p : problems) {
+                 const gemm::KernelEstimate e = c.sim().estimate(p);
+                 sink += gemm::bound_breakdown(e).compute + e.time;
+               }
              }
              c.consume(sink);
            },

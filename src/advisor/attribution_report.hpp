@@ -1,0 +1,47 @@
+// attribution_report.hpp — the versioned attribution & sensitivity report.
+//
+// Serializes a model's bottleneck attribution (tfm::attribute_model) and an
+// optional per-dimension sensitivity round (advisor::sensitivity_probe)
+// into one JSON document through common/json's Writer — the same emitter
+// the bench reports and serve responses use. The report contains only
+// simulated quantities, so its bytes are identical across thread counts,
+// cache states, and machines; check.sh's attribution tier diffs a
+// --threads=1 run against a --threads=8 run to pin that down.
+//
+// docs/OBSERVABILITY.md ("Attribution & sensitivity") documents the schema.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "advisor/search.hpp"
+#include "gemmsim/simulator.hpp"
+#include "transformer/config.hpp"
+
+namespace codesign::advisor {
+
+inline constexpr const char* kAttributionReportName = "codesign.attribution";
+inline constexpr int kAttributionReportVersion = 1;
+
+/// Analyze `config` on `sim` and write the full report. `sensitivity` is
+/// embedded verbatim when non-empty (`codesign analyze` and
+/// `search --attribution` pass a sensitivity_probe round); callers that
+/// skip the probes pass the default empty round and the report carries an
+/// empty sensitivity array. `compact` collapses the
+/// document to a single line with no trailing newline — required when the
+/// report rides inside a serve response, whose framing is one JSON object
+/// per line.
+void write_attribution_report(
+    std::ostream& os, const tfm::TransformerConfig& config,
+    const gemm::GemmSimulator& sim,
+    const std::vector<DimensionSensitivity>& sensitivity = {},
+    bool compact = false);
+
+/// Convenience: the report as a string.
+std::string attribution_report(
+    const tfm::TransformerConfig& config, const gemm::GemmSimulator& sim,
+    const std::vector<DimensionSensitivity>& sensitivity = {},
+    bool compact = false);
+
+}  // namespace codesign::advisor

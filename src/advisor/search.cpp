@@ -366,7 +366,177 @@ std::vector<std::int64_t> hidden_grid(const TransformerConfig& base,
   return out;
 }
 
+/// Fold one probe round into the deterministic `advisor.sensitivity.*`
+/// series. The probes run sequentially on the calling thread, so the gauge
+/// writes are ordered and the export is byte-identical at any --threads
+/// value (gauges must opt in to kDeterministic — their default is
+/// best-effort).
+void record_sensitivity(const std::vector<DimensionSensitivity>& dims) {
+  if (!obs::MetricsRegistry::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("advisor.sensitivity.rounds").add();
+  for (const DimensionSensitivity& s : dims) {
+    const std::string labels = "dim=" + s.dimension;
+    reg.counter("advisor.sensitivity.probes", labels).add();
+    if (!s.probed) {
+      reg.counter("advisor.sensitivity.illegal", labels).add();
+      continue;
+    }
+    reg.gauge("advisor.sensitivity.delta_frac", labels,
+              obs::Stability::kDeterministic)
+        .set(s.delta_frac);
+    reg.gauge("advisor.sensitivity.probe_time_s", labels,
+              obs::Stability::kDeterministic)
+        .set(s.probe_time);
+  }
+}
+
 }  // namespace
+
+std::vector<DimensionSensitivity> sensitivity_probe(
+    const TransformerConfig& base, const gemm::GemmSimulator& sim) {
+  base.validate();
+  // The objective is the whole-model forward time: it sees the logit GEMM,
+  // so the vocab dimension registers (a layer-only objective would not).
+  const double f0 = tfm::analyze_model(base, sim).total_time;
+  std::vector<DimensionSensitivity> out;
+
+  const auto probe = [&](const char* dimension, double base_value,
+                         double probe_value, std::string note,
+                         const std::function<double()>& eval) {
+    DimensionSensitivity s;
+    s.dimension = dimension;
+    s.base_value = base_value;
+    s.probe_value = probe_value;
+    s.base_time = f0;
+    s.note = std::move(note);
+    try {
+      s.probe_time = eval();
+      s.delta_frac = (s.probe_time - f0) / f0;
+      s.probed = true;
+    } catch (const std::exception& e) {
+      s.probed = false;
+      s.note = std::string("probe failed: ") + e.what();
+    }
+    out.push_back(std::move(s));
+  };
+  const auto skip = [&](const char* dimension, double base_value,
+                        std::string note) {
+    DimensionSensitivity s;
+    s.dimension = dimension;
+    s.base_value = base_value;
+    s.base_time = f0;
+    s.note = std::move(note);
+    out.push_back(std::move(s));
+  };
+  const auto model_time = [&sim](const TransformerConfig& cfg) {
+    return tfm::analyze_model(cfg, sim).total_time;
+  };
+
+  // heads: the nearest legal alternative (a | h, t | a, 32 <= h/a <= 256),
+  // preferring the next count up (smaller head dim).
+  {
+    const std::vector<std::int64_t> legal =
+        legal_head_counts(base.hidden_size, base.tensor_parallel);
+    std::int64_t pick = 0;
+    for (std::int64_t a : legal) {  // ascending
+      if (a > base.num_heads) { pick = a; break; }
+      if (a < base.num_heads) pick = a;  // best lower neighbour so far
+    }
+    if (pick == 0) {
+      skip("heads", static_cast<double>(base.num_heads),
+           "no legal alternative head count");
+    } else {
+      probe("heads", static_cast<double>(base.num_heads),
+            static_cast<double>(pick),
+            str_format("a %lld -> %lld",
+                       static_cast<long long>(base.num_heads),
+                       static_cast<long long>(pick)),
+            [&, pick] { return model_time(base.with_heads(pick)); });
+    }
+  }
+
+  // hidden: one granule step up, rounded to keep a | h (t | a implies
+  // t | h' too). d_ff is pinned to the base's resolved width so the probe
+  // isolates h — the MLP width has its own scan (search_mlp_intermediate).
+  {
+    const std::int64_t granule = 64 * base.tensor_parallel;
+    const std::int64_t step =
+        ((granule + base.num_heads - 1) / base.num_heads) * base.num_heads;
+    const std::int64_t h1 = base.hidden_size + step;
+    probe("hidden", static_cast<double>(base.hidden_size),
+          static_cast<double>(h1),
+          str_format("h %lld -> %lld (d_ff pinned at %lld)",
+                     static_cast<long long>(base.hidden_size),
+                     static_cast<long long>(h1),
+                     static_cast<long long>(base.d_ff())),
+          [&, h1] {
+            TransformerConfig cfg = base;
+            cfg.mlp_intermediate = base.d_ff();
+            return model_time(cfg.with_hidden(h1));
+          });
+  }
+
+  // tensor_parallel: double if legal, else halve.
+  {
+    std::int64_t t1 = 0;
+    for (std::int64_t cand : {base.tensor_parallel * 2,
+                              base.tensor_parallel / 2}) {
+      if (cand < 1) continue;
+      TransformerConfig cfg = base.with_tensor_parallel(cand);
+      try {
+        cfg.validate();
+      } catch (const std::exception&) {
+        continue;
+      }
+      t1 = cand;
+      break;
+    }
+    if (t1 == 0) {
+      skip("tensor_parallel", static_cast<double>(base.tensor_parallel),
+           "no legal alternative tensor-parallel size");
+    } else {
+      probe("tensor_parallel", static_cast<double>(base.tensor_parallel),
+            static_cast<double>(t1),
+            str_format("t %lld -> %lld",
+                       static_cast<long long>(base.tensor_parallel),
+                       static_cast<long long>(t1)),
+            [&, t1] { return model_time(base.with_tensor_parallel(t1)); });
+    }
+  }
+
+  // vocab: one 64-row pad step per tensor-parallel rank keeps t | v.
+  {
+    const std::int64_t v1 = base.vocab_size + 64 * base.tensor_parallel;
+    probe("vocab", static_cast<double>(base.vocab_size),
+          static_cast<double>(v1),
+          str_format("v %lld -> %lld",
+                     static_cast<long long>(base.vocab_size),
+                     static_cast<long long>(v1)),
+          [&, v1] { return model_time(base.with_vocab(v1)); });
+  }
+
+  // tile_policy: the same shape through the other selection policy —
+  // kAuto's catalogue smoothing vs kFixedLargest's quantization cliffs.
+  {
+    const gemm::TilePolicy flipped =
+        sim.policy() == gemm::TilePolicy::kAuto
+            ? gemm::TilePolicy::kFixedLargest
+            : gemm::TilePolicy::kAuto;
+    probe("tile_policy", static_cast<double>(static_cast<int>(sim.policy())),
+          static_cast<double>(static_cast<int>(flipped)),
+          std::string("policy ") +
+              (sim.policy() == gemm::TilePolicy::kAuto ? "auto" : "fixed") +
+              " -> " +
+              (flipped == gemm::TilePolicy::kAuto ? "auto" : "fixed"),
+          [&, flipped] {
+            const gemm::GemmSimulator alt(sim.gpu(), flipped);
+            return tfm::analyze_model(base, alt).total_time;
+          });
+  }
+
+  return out;
+}
 
 const char* search_mode_name(SearchMode mode) {
   switch (mode) {
@@ -509,7 +679,16 @@ SearchOutcome run_shape_search(SearchMode mode, const TransformerConfig& base,
       break;
   }
 
-  return evaluate_pipeline(configs, base, sim, options, annotate, keep);
+  SearchOutcome outcome =
+      evaluate_pipeline(configs, base, sim, options, annotate, keep);
+  if (options.sensitivity) {
+    // Probed once per round, sequentially, after the sweep: the probes are
+    // pure model analyses, so the outcome and the obs series they feed stay
+    // byte-identical at any thread count.
+    outcome.sensitivity = sensitivity_probe(base, sim);
+    record_sensitivity(outcome.sensitivity);
+  }
+  return outcome;
 }
 
 std::vector<ShapeCandidate> search_heads(const TransformerConfig& base,
@@ -736,6 +915,10 @@ MlpSearchOutcome run_mlp_search(const TransformerConfig& base,
   }
   if (auto* rs = obs::RequestScope::current()) {
     rs->search_candidates += outcome.evaluated;
+  }
+  if (options.sensitivity) {
+    outcome.sensitivity = sensitivity_probe(base, sim);
+    record_sensitivity(outcome.sensitivity);
   }
   outcome.ranked = std::move(out);
   return outcome;

@@ -71,11 +71,40 @@ struct FaultPolicy {
   int max_retries = 2;
 };
 
+/// One dimension's finite-difference sensitivity around the base config:
+/// how much the whole-model forward time moves when that dimension takes
+/// one deterministic step (the smallest legal one) while everything else
+/// stays fixed. The raw material of bottleneck-guided search pruning.
+struct DimensionSensitivity {
+  std::string dimension;  ///< heads|hidden|tensor_parallel|vocab|tile_policy
+  bool probed = false;    ///< false: no legal probe exists (note says why)
+  double base_value = 0.0;   ///< the dimension's value at the base point
+  double probe_value = 0.0;  ///< the value the probe evaluated
+  double base_time = 0.0;    ///< model forward seconds at the base point
+  double probe_time = 0.0;   ///< model forward seconds at the probe point
+  double delta_frac = 0.0;   ///< (probe_time - base_time) / base_time
+  std::string note;
+
+  bool operator==(const DimensionSensitivity&) const = default;
+};
+
+/// Probe every dimension once around `base`. Sequential and pure — the
+/// result is byte-identical at any thread count and cache state. Probes
+/// that would produce an illegal config (e.g. no divisor-compatible head
+/// count) come back with probed == false instead of throwing.
+std::vector<DimensionSensitivity> sensitivity_probe(
+    const TransformerConfig& base, const gemm::GemmSimulator& sim);
+
 struct SearchOptions {
   /// Maximum |param delta| tolerated for a candidate (fraction of base).
   /// One 64-element step of h changes the count by ~2·64/h, so ~6% admits
   /// the immediate neighbours of typical hidden sizes.
   double max_param_delta_frac = 0.06;
+  /// Run the per-dimension sensitivity_probe() around the base config and
+  /// attach it to the outcome (and, when metrics are enabled, to the
+  /// deterministic `advisor.sensitivity.*` obs series). Off by default —
+  /// it costs a handful of extra model analyses per search round.
+  bool sensitivity = false;
   /// Keep at most this many candidates (best first). The baseline config is
   /// always retained for reference: if trimming would drop it, it replaces
   /// the worst kept candidate.
@@ -124,6 +153,10 @@ struct SearchOutcome {
   std::uint64_t backoff_units = 0;   ///< deterministic 2^attempt accounting
   bool truncated = false;            ///< cancel/deadline stopped the sweep
   CancelReason cancel_reason = CancelReason::kNone;
+  /// Per-dimension sensitivity around the base (SearchOptions::sensitivity;
+  /// empty when off). Probed sequentially, so byte-identical at any
+  /// --threads value.
+  std::vector<DimensionSensitivity> sensitivity;
 
   /// Candidates never started because the sweep was cancelled.
   std::size_t unreached() const {
@@ -225,6 +258,8 @@ struct MlpSearchOutcome {
   std::uint64_t backoff_units = 0;
   bool truncated = false;
   CancelReason cancel_reason = CancelReason::kNone;
+  /// See SearchOutcome::sensitivity.
+  std::vector<DimensionSensitivity> sensitivity;
 
   std::size_t unreached() const {
     return total_candidates - evaluated - skipped.size();

@@ -46,6 +46,39 @@ struct KernelEstimate {
   double tflops() const { return flops_per_second() / 1e12; }
 };
 
+/// Fractional attribution of one estimate's predicted time across the five
+/// mechanisms the latency model composes. Each field is a fraction of
+/// KernelEstimate::time; they are non-negative and sum to 1 (up to rounding
+/// in the divisions). The roofline hides the non-limiting pipeline, so a
+/// compute-bound estimate attributes 0 to `memory` and vice versa — the
+/// breakdown explains the *critical path*, not total resource usage.
+///
+///   compute     useful math on the compute roof (compute-bound only)
+///   memory      useful operand traffic on the DRAM roof (memory-bound only)
+///   launch      the kernel-launch floor
+///   tile_waste  padding scheduled/moved outside the real output
+///               (tile quantization, on whichever roof is limiting)
+///   wave_tail   partial-wave occupancy of the machine
+///               (wave quantization; compute path only — DRAM traffic does
+///               not grow with scheduling waves in this model)
+struct BoundBreakdown {
+  double compute = 0.0;
+  double memory = 0.0;
+  double launch = 0.0;
+  double tile_waste = 0.0;
+  double wave_tail = 0.0;
+  Bound bound = Bound::kCompute;  ///< the estimate's limiting mechanism
+
+  bool operator==(const BoundBreakdown&) const = default;
+};
+
+/// Derive the attribution from an already-computed estimate. A pure
+/// function of the KernelEstimate's stored fields — it re-runs no part of
+/// the model, so it costs nothing unless called, and the scalar estimate()
+/// path and the estimate_many/PreparedCatalogue path yield bit-identical
+/// breakdowns because their KernelEstimates are already bit-identical.
+BoundBreakdown bound_breakdown(const KernelEstimate& estimate);
+
 /// Evaluate the model for a specific tile configuration.
 KernelEstimate estimate_with_tile(const GemmProblem& problem,
                                   const gpu::TileConfig& tile,

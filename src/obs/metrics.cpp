@@ -395,13 +395,32 @@ std::string MetricsSnapshot::to_prom() const {
       case MetricKind::kGauge:
         os << name << prom_labels(s) << " " << format_double(s.value) << "\n";
         break;
-      case MetricKind::kHistogram:
+      case MetricKind::kHistogram: {
         os << name << prom_labels(s, "quantile", "0.5") << " "
            << format_double(s.p50) << "\n"
            << name << prom_labels(s, "quantile", "0.95") << " "
            << format_double(s.p95) << "\n"
            << name << prom_labels(s, "quantile", "0.99") << " "
-           << format_double(s.p99) << "\n"
+           << format_double(s.p99) << "\n";
+        // Cumulative histogram exposition: one `_bucket` line per occupied
+        // log-linear bucket, `le` being the bucket's exclusive upper bound
+        // (the next bucket's lower bound), plus the mandatory le="+Inf"
+        // line whose count equals `_count`. Snapshot buckets carry lower
+        // bounds; bucket_index inverts them exactly (the bounds are
+        // 2^e * (1 + k/16), representable and round-trippable).
+        std::uint64_t cumulative = 0;
+        for (const auto& [lower, in_bucket] : s.buckets) {
+          cumulative += in_bucket;
+          const int index = Histogram::bucket_index(lower);
+          if (index + 1 >= Histogram::kBuckets) continue;  // +Inf covers it
+          os << name << "_bucket"
+             << prom_labels(s, "le",
+                            format_double(
+                                Histogram::bucket_lower_bound(index + 1)))
+             << " " << cumulative << "\n";
+        }
+        os << name << "_bucket" << prom_labels(s, "le", "+Inf") << " "
+           << s.count << "\n"
            << name << "_sum" << prom_labels(s) << " " << format_double(s.sum)
            << "\n"
            << name << "_count" << prom_labels(s) << " " << s.count << "\n"
@@ -410,6 +429,7 @@ std::string MetricsSnapshot::to_prom() const {
            << name << "_max" << prom_labels(s) << " " << format_double(s.max)
            << "\n";
         break;
+      }
     }
   }
   return os.str();

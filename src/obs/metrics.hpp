@@ -142,8 +142,10 @@ struct MetricsSnapshot {
   std::string to_json() const;
   std::string to_csv() const;
   /// Prometheus text exposition (v0.0.4). Counters and gauges export
-  /// verbatim; histograms export summary-style (quantile labels plus
-  /// _count/_sum/_min/_max). Series names are sanitized ('.' -> '_') and
+  /// verbatim; histograms export both summary-style quantile samples and
+  /// true cumulative `_bucket` lines (`le` = the log-linear bucket's upper
+  /// bound, closing with le="+Inf" == `_count`), plus
+  /// _count/_sum/_min/_max. Series names are sanitized ('.' -> '_') and
   /// prefixed "codesign_"; every sample carries a stability="..." label so
   /// scrapers (and check.sh's serve-obs drill) can split deterministic
   /// series from wall-clock ones. Ordering follows the snapshot's sorted

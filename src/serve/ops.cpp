@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <ostream>
 #include <sstream>
+#include <system_error>
 #include <thread>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "advisor/attribution_report.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/json.hpp"
@@ -224,7 +232,16 @@ OpResult op_advise(const Request& request, const OpContext& context) {
   advisor::ReportOptions options;  // threads = 1: concurrency is per-request
   std::ostringstream os;
   render_advise(os, cfg, sim, options);
-  return {kExitOk, os.str()};
+  OpResult result{kExitOk, os.str()};
+  if (request.body.bool_or("attribution", false)) {
+    // Compact (single-line) so the envelope stays one frame of the
+    // newline-delimited protocol. Sensitivity probes are a CLI-side
+    // concern (`codesign analyze` / `search --attribution`); the serve
+    // block carries the attribution rollups with an empty round.
+    result.attribution =
+        advisor::attribution_report(cfg, sim, {}, /*compact=*/true);
+  }
+  return result;
 }
 
 /// Batched advisory: one request carries N (model|custom, gpu) tuples and
@@ -253,9 +270,13 @@ OpResult op_advise_many(const Request& request, const OpContext& context) {
         "batch",
         kMaxTuples, tuples.size()));
   }
+  const bool want_attribution = request.body.bool_or("attribution", false);
   std::ostringstream payload;
   json::Writer w(payload);
   w.begin_array();
+  std::ostringstream attribution;
+  json::Writer aw(attribution);
+  if (want_attribution) aw.begin_array();
   for (const json::Value& item : tuples) {
     check_deadline(context, "advise_many item");
     const tfm::TransformerConfig cfg = model_from_body(item);
@@ -264,10 +285,19 @@ OpResult op_advise_many(const Request& request, const OpContext& context) {
     std::ostringstream os;
     render_advise(os, cfg, sim, options);
     w.value(os.str());
+    if (want_attribution) {
+      // Element i attributes tuple i — same alignment as the payload array.
+      aw.raw(advisor::attribution_report(cfg, sim, {}, /*compact=*/true));
+    }
   }
   w.end_array();
   payload << "\n";
-  return {kExitOk, payload.str()};
+  OpResult result{kExitOk, payload.str()};
+  if (want_attribution) {
+    aw.end_array();
+    result.attribution = attribution.str();
+  }
+  return result;
 }
 
 OpResult op_search(const Request& request, const OpContext& context) {
@@ -312,6 +342,51 @@ OpResult op_explain(const Request& request, const OpContext& context) {
   return {kExitOk, os.str()};
 }
 
+/// Best-effort process health gauges folded into a stats snapshot: resident
+/// set size, open file descriptors, server uptime. Values come from
+/// /proc/self (skipped wholesale on platforms without it) and are tagged
+/// kBestEffort — they can never appear in a deterministic export. Like the
+/// cache fold below, this synthesizes snapshot-local series and leaves the
+/// global registry untouched.
+void append_process_series(obs::MetricsSnapshot& snap,
+                           const OpContext& context) {
+  auto add_gauge = [&snap](const char* name, double value) {
+    obs::MetricsSnapshot::Series s;
+    s.name = name;
+    s.kind = obs::MetricKind::kGauge;
+    s.stability = obs::Stability::kBestEffort;
+    s.value = value;
+    snap.add_series(std::move(s));
+  };
+#if defined(__linux__)
+  std::ifstream statm("/proc/self/statm");
+  if (statm.good()) {
+    long long total_pages = 0, rss_pages = 0;
+    if (statm >> total_pages >> rss_pages) {
+      const long page = sysconf(_SC_PAGESIZE);
+      add_gauge("process.rss_bytes",
+                static_cast<double>(rss_pages) * static_cast<double>(page));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::directory_iterator it("/proc/self/fd", ec);
+  if (!ec) {
+    std::uint64_t fds = 0;
+    for (const auto& entry : it) {
+      (void)entry;
+      ++fds;
+    }
+    // The iterator itself holds one fd while we count; don't report it.
+    if (fds > 0) --fds;
+    add_gauge("process.open_fds", static_cast<double>(fds));
+  }
+#endif
+  if (context.health) {
+    add_gauge("process.uptime_s",
+              static_cast<double>(context.health().uptime_s));
+  }
+}
+
 OpResult op_stats(const Request& request, const OpContext& context) {
   const std::string format = request.body.string_or("format", "json");
   if (format != "json" && format != "prom") {
@@ -322,10 +397,11 @@ OpResult op_stats(const Request& request, const OpContext& context) {
   // Cache counters are folded into *this snapshot* rather than published
   // into the global registry, so reading stats has no side effect on
   // registry contents — two stats calls with no traffic between them
-  // return identical documents.
+  // return identical documents (modulo the live process gauges).
   obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot(
       {.include_best_effort = true});
   if (context.cache != nullptr) context.cache->append_metrics(snap);
+  append_process_series(snap, context);
   return {kExitOk, format == "prom" ? snap.to_prom() : snap.to_json()};
 }
 

@@ -108,6 +108,13 @@ struct OpContext {
 struct OpResult {
   int code = 0;         ///< CLI exit-code taxonomy value (0 or 6)
   std::string payload;  ///< the bytes the CLI would have printed
+  /// Optional machine-readable attribution block, requested with
+  /// `"attribution": true` on advise/advise_many. Compact JSON (an object
+  /// for advise, an array aligned with "items" for advise_many) spliced
+  /// verbatim into the response envelope; empty means absent. Kept out of
+  /// `payload` so the payload ≡ CLI-stdout byte-identity contract holds
+  /// whether or not attribution was requested.
+  std::string attribution;
 };
 
 /// Execute one parsed request. Throws typed codesign errors for the caller

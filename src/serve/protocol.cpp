@@ -50,11 +50,17 @@ void begin_envelope(json::Writer& w, std::string_view status, int code,
 }  // namespace
 
 std::string ok_response(std::string_view id, int code,
-                        std::string_view payload) {
+                        std::string_view payload,
+                        std::string_view attribution) {
   std::ostringstream os;
   json::Writer w(os);
   begin_envelope(w, "ok", code, id);
   w.member("payload", payload);
+  if (!attribution.empty()) {
+    // Pre-rendered compact JSON from the op layer; spliced verbatim. It
+    // must not contain raw newlines — the protocol frames on them.
+    w.key("attribution").raw(attribution);
+  }
   w.end_object();
   os << '\n';
   return os.str();
@@ -104,6 +110,9 @@ Response parse_response(std::string_view line) {
   r.id = doc.string_or("id", "");
   r.payload = doc.string_or("payload", "");
   r.error = doc.string_or("error", "");
+  if (const json::Value* attribution = doc.get("attribution")) {
+    r.attribution = json::dump(*attribution);
+  }
   r.retry_after_ms =
       static_cast<std::int64_t>(doc.number_or("retry_after_ms", 0.0));
   return r;

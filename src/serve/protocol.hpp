@@ -62,9 +62,15 @@ struct Request {
 Request parse_request(std::string_view line);
 
 /// Response envelope builders. Each returns one complete line, terminated
-/// with '\n'. `id` is echoed when non-empty.
+/// with '\n'. `id` is echoed when non-empty. `attribution`, when non-empty,
+/// is pre-rendered single-line compact JSON (advise: an attribution report
+/// object; advise_many: an array aligned with "items") spliced verbatim
+/// into an "attribution" member — requested with `"attribution": true` on
+/// advise/advise_many and absent otherwise, so default envelopes are
+/// byte-identical to protocol version 1 clients' expectations.
 std::string ok_response(std::string_view id, int code,
-                        std::string_view payload);
+                        std::string_view payload,
+                        std::string_view attribution = {});
 std::string error_response(std::string_view id, int code,
                            std::string_view message);
 std::string overloaded_response(std::string_view id,
@@ -79,6 +85,9 @@ struct Response {
   std::string payload;             ///< status "ok" only
   std::string error;               ///< status "error"/"overloaded"
   std::int64_t retry_after_ms = 0; ///< status "overloaded" only
+  /// The envelope's optional "attribution" member re-serialized compact
+  /// (empty when absent). Clients parse it with json::Value::parse.
+  std::string attribution;
 
   bool ok() const { return status == "ok"; }
   bool overloaded() const { return status == "overloaded"; }

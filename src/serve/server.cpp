@@ -360,7 +360,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       code = r.code;
       n_ok_.fetch_add(1, std::memory_order_relaxed);
       ScopedPhase render_span(trace.get(), Phase::kRender);
-      response = ok_response(request.id, r.code, r.payload);
+      response = ok_response(request.id, r.code, r.payload, r.attribution);
     } catch (const std::exception& e) {
       status = "error";
       code = exit_code_for_current_exception();
@@ -515,7 +515,7 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
       code = r.code;
       n_ok_.fetch_add(1, std::memory_order_relaxed);
       ScopedPhase render_span(trace.get(), Phase::kRender);
-      response = ok_response(request.id, r.code, r.payload);
+      response = ok_response(request.id, r.code, r.payload, r.attribution);
     } catch (const fail::InjectedFault& e) {
       // A transient injected fault models a recoverable blip (the thing a
       // retry is *for*), so it answers as a typed retryable rejection —

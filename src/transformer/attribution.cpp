@@ -1,0 +1,239 @@
+#include "transformer/attribution.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "transformer/layer_model.hpp"
+
+namespace codesign::tfm {
+
+namespace {
+
+/// Accumulate `b` into `acc` weighted by the op's absolute time. The
+/// accumulator holds weighted *seconds* until normalize() divides it back
+/// to fractions.
+void weighted_add(gemm::BoundBreakdown& acc, const gemm::BoundBreakdown& b,
+                  double time) {
+  acc.compute += b.compute * time;
+  acc.memory += b.memory * time;
+  acc.launch += b.launch * time;
+  acc.tile_waste += b.tile_waste * time;
+  acc.wave_tail += b.wave_tail * time;
+}
+
+void normalize(gemm::BoundBreakdown& acc, double total) {
+  if (!(total > 0.0)) return;
+  acc.compute /= total;
+  acc.memory /= total;
+  acc.launch /= total;
+  acc.tile_waste /= total;
+  acc.wave_tail /= total;
+}
+
+/// The rollup's headline mechanism: the bound holding the most time.
+/// Ties resolve to the lower enum value — deterministic.
+gemm::Bound dominant_bound(const BoundHistogram& h) {
+  int best = 0;
+  for (int i = 1; i < 3; ++i) {
+    if (h.time[i] > h.time[best]) best = i;
+  }
+  return static_cast<gemm::Bound>(best);
+}
+
+std::string gemm_detail(const gemm::KernelEstimate& est) {
+  return str_format("%s tile=%s bound=%s waves=%lld",
+                    est.problem.to_string().c_str(), est.tile.name().c_str(),
+                    gemm::bound_name(est.bound),
+                    static_cast<long long>(est.wave_q.waves));
+}
+
+}  // namespace
+
+LayerBranch op_branch(LayerOp op) {
+  switch (op) {
+    case LayerOp::kQkvTransform:
+    case LayerOp::kAttentionScore:
+    case LayerOp::kAttentionOverValue:
+    case LayerOp::kPostAttnProjection:
+    case LayerOp::kFlashAttention:
+    case LayerOp::kSoftmax:
+    case LayerOp::kRotaryEmbedding:
+      return LayerBranch::kAttention;
+    case LayerOp::kMlpUp:
+    case LayerOp::kMlpGate:
+    case LayerOp::kMlpDown:
+    case LayerOp::kActivation:
+      return LayerBranch::kMlp;
+    default:
+      return LayerBranch::kOther;
+  }
+}
+
+gemm::BoundBreakdown op_breakdown(const MappedOp& op,
+                                  const gemm::GemmSimulator& sim,
+                                  double* time_out) {
+  if (op.gemm.has_value()) {
+    const gemm::KernelEstimate est = sim.estimate(*op.gemm);
+    if (time_out != nullptr) *time_out = est.time;
+    return gemm::bound_breakdown(est);
+  }
+  gemm::BoundBreakdown b;
+  if (op.flash.has_value()) {
+    // The fused kernel has no tile/wave terms in the model; its time splits
+    // into the limiting roof's body plus the launch floor.
+    const gemm::FlashAttentionEstimate est = sim.estimate_flash(*op.flash);
+    b.bound = est.bound;
+    if (est.time > 0.0) {
+      const double body = std::max(est.compute_time, est.memory_time);
+      b.launch = (est.time - body) / est.time;
+      if (est.compute_time >= est.memory_time) {
+        b.compute = body / est.time;
+      } else {
+        b.memory = body / est.time;
+      }
+    }
+    if (time_out != nullptr) *time_out = est.time;
+    return b;
+  }
+  // Elementwise/reduction kernel: DRAM traffic plus the launch floor — the
+  // exact expression op_latency()/layer_total_time() use.
+  const double launch = sim.gpu().kernel_launch_overhead;
+  const double traffic =
+      op.elementwise_bytes / sim.gpu().achievable_bandwidth();
+  const double time = traffic + launch;
+  b.bound = launch > traffic ? gemm::Bound::kLaunch : gemm::Bound::kMemory;
+  if (time > 0.0) {
+    b.memory = traffic / time;
+    b.launch = launch / time;
+  }
+  if (time_out != nullptr) *time_out = time;
+  return b;
+}
+
+LayerAttribution attribute_layer(const TransformerConfig& config,
+                                 const gemm::GemmSimulator& sim) {
+  config.validate();
+  LayerAttribution r;
+  r.config = config;
+  gemm::BoundBreakdown acc;
+  for (const MappedOp& op : layer_schedule(config)) {
+    double t = 0.0;
+    gemm::BoundBreakdown b;
+    FamilyAttribution f;
+    bool is_family = false;
+    if (op.gemm.has_value()) {
+      const gemm::KernelEstimate est = sim.estimate(*op.gemm);
+      t = est.time;
+      b = gemm::bound_breakdown(est);
+      f.detail = gemm_detail(est);
+      is_family = true;
+    } else {
+      b = op_breakdown(op, sim, &t);
+      if (op.flash.has_value()) {
+        f.detail = str_format("flash(s=%lld d=%lld) bound=%s",
+                              static_cast<long long>(op.flash->seq),
+                              static_cast<long long>(op.flash->head_dim),
+                              gemm::bound_name(b.bound));
+        is_family = true;
+      }
+    }
+    r.total_time += t;
+    const int bi = static_cast<int>(b.bound);
+    r.histogram.count[static_cast<std::size_t>(bi)] += 1;
+    r.histogram.time[static_cast<std::size_t>(bi)] += t;
+    switch (op_branch(op.op)) {
+      case LayerBranch::kAttention: r.attention_time += t; break;
+      case LayerBranch::kMlp: r.mlp_time += t; break;
+      case LayerBranch::kOther: r.other_time += t; break;
+    }
+    weighted_add(acc, b, t);
+    if (is_family) {
+      r.gemm_time += t;
+      f.op = op.op;
+      f.name = op_name(op.op);
+      f.count = 1;
+      f.time = t;
+      f.bound = b.bound;
+      f.breakdown = b;
+      r.gemms.push_back(std::move(f));
+    } else {
+      r.non_gemm_time += t;
+    }
+  }
+  for (FamilyAttribution& f : r.gemms) {
+    f.share = r.gemm_time > 0.0 ? f.time / r.gemm_time : 0.0;
+  }
+  normalize(acc, r.total_time);
+  acc.bound = dominant_bound(r.histogram);
+  r.breakdown = acc;
+  return r;
+}
+
+ModelAttribution attribute_model(const TransformerConfig& config,
+                                 const gemm::GemmSimulator& sim) {
+  ModelAttribution r;
+  r.config = config;
+  r.layer = attribute_layer(config, sim);
+  const double layers = static_cast<double>(config.num_layers);
+
+  for (const FamilyAttribution& f : r.layer.gemms) {
+    FamilyAttribution g = f;
+    g.count = static_cast<std::uint64_t>(config.num_layers);
+    g.time = f.time * layers;
+    r.gemms.push_back(std::move(g));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    r.histogram.count[i] =
+        r.layer.histogram.count[i] *
+        static_cast<std::uint64_t>(config.num_layers);
+    r.histogram.time[i] = r.layer.histogram.time[i] * layers;
+  }
+  gemm::BoundBreakdown acc;
+  weighted_add(acc, r.layer.breakdown, layers * r.layer.total_time);
+
+  for (const MappedOp& op : model_level_ops(config)) {
+    double t = 0.0;
+    gemm::BoundBreakdown b;
+    if (op.gemm.has_value()) {
+      const gemm::KernelEstimate est = sim.estimate(*op.gemm);
+      t = est.time;
+      b = gemm::bound_breakdown(est);
+      FamilyAttribution f;
+      f.op = op.op;
+      f.name = op_name(op.op);
+      f.count = 1;
+      f.time = t;
+      f.bound = b.bound;
+      f.breakdown = b;
+      f.detail = gemm_detail(est);
+      r.gemms.push_back(std::move(f));
+    } else {
+      b = op_breakdown(op, sim, &t);
+    }
+    switch (op.op) {
+      case LayerOp::kEmbeddingLookup: r.embedding_time = t; break;
+      case LayerOp::kFinalLayerNorm: r.final_ln_time = t; break;
+      case LayerOp::kLogitProjection: r.logit_time = t; break;
+      default: break;
+    }
+    const auto bi = static_cast<std::size_t>(static_cast<int>(b.bound));
+    r.histogram.count[bi] += 1;
+    r.histogram.time[bi] += t;
+    weighted_add(acc, b, t);
+  }
+
+  // Same expression analyze_model() uses, so the totals stay bit-identical.
+  r.total_time = static_cast<double>(config.num_layers) * r.layer.total_time +
+                 r.embedding_time + r.final_ln_time + r.logit_time;
+  const double model_gemm_time =
+      layers * r.layer.gemm_time + r.logit_time;
+  for (FamilyAttribution& f : r.gemms) {
+    f.share = model_gemm_time > 0.0 ? f.time / model_gemm_time : 0.0;
+  }
+  normalize(acc, r.total_time);
+  acc.bound = dominant_bound(r.histogram);
+  r.breakdown = acc;
+  return r;
+}
+
+}  // namespace codesign::tfm

@@ -71,6 +71,10 @@ std::vector<MappedOp> schedule_for(const TransformerConfig& c) {
 
 }  // namespace
 
+std::vector<MappedOp> layer_schedule(const TransformerConfig& config) {
+  return schedule_for(config);
+}
+
 double LayerLatencyReport::share_of(LayerOp op) const {
   CODESIGN_CHECK(total_time > 0.0, "report has zero total time");
   double t = 0.0;

@@ -50,6 +50,13 @@ struct LayerLatencyReport {
   double gemm_share_of(LayerOp op) const;
 };
 
+/// The layer's executed operator schedule: layer_ops() with the
+/// parallel-layer fusion applied (one LayerNorm and one residual dropped
+/// when config.parallel_layers). Every latency entry point in this header
+/// walks exactly this schedule; the attribution rollups reuse it so their
+/// totals stay bit-identical to analyze_layer().
+std::vector<MappedOp> layer_schedule(const TransformerConfig& config);
+
 /// Analyze one transformer layer on the simulator's GPU.
 LayerLatencyReport analyze_layer(const TransformerConfig& config,
                                  const gemm::GemmSimulator& sim);

@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "advisor/search.hpp"
+#include "common/json.hpp"
 #include "gemmsim/kernel_model.hpp"
 #include "gemmsim/simulator.hpp"
 #include "gemmsim/sm_scheduler.hpp"
@@ -194,6 +196,72 @@ TEST_F(ObsTest, SnapshotJsonAndCsv) {
     EXPECT_DOUBLE_EQ(s.p95, 3.0);
     EXPECT_DOUBLE_EQ(s.p99, 3.0);
   }
+}
+
+/// Round-trip the Prometheus exposition's cumulative histogram lines: parse
+/// every `_bucket{...le="..."}` sample back out and check that the counts
+/// are non-decreasing, close with le="+Inf" == `_count`, that the `le`
+/// boundaries are the log-linear buckets' upper bounds, and that undoing
+/// the cumulative sum reproduces the snapshot's per-bucket counts.
+TEST_F(ObsTest, PromHistogramBucketsRoundTrip) {
+  MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat_us", "op=advise",
+                                    Stability::kBestEffort);
+  const std::vector<double> samples = {0.5,  3.0,   3.0,  17.0, 100.0,
+                                       1e-9, 4096.0, 3.25, 64.0, 63.999};
+  for (const double v : samples) h.record(v);
+  const auto snap = reg.snapshot();
+  const std::string prom = snap.to_prom();
+
+  // Collect (le, cumulative) in document order.
+  std::vector<std::pair<std::string, std::uint64_t>> buckets;
+  std::size_t pos = 0;
+  const std::string needle = "codesign_lat_us_bucket{";
+  while ((pos = prom.find(needle, pos)) != std::string::npos) {
+    const std::size_t le = prom.find("le=\"", pos);
+    ASSERT_NE(le, std::string::npos);
+    const std::size_t le_end = prom.find('"', le + 4);
+    const std::size_t sp = prom.find(' ', le_end);
+    const std::size_t nl = prom.find('\n', sp);
+    buckets.emplace_back(
+        prom.substr(le + 4, le_end - (le + 4)),
+        static_cast<std::uint64_t>(
+            std::stoull(prom.substr(sp + 1, nl - sp - 1))));
+    pos = nl;
+  }
+  const auto* series = &snap.series[0];
+  for (const auto& s : snap.series) {
+    if (s.name == "lat_us") series = &s;
+  }
+  ASSERT_EQ(buckets.size(), series->buckets.size() + 1);
+  EXPECT_EQ(buckets.back().first, "+Inf");
+  EXPECT_EQ(buckets.back().second, samples.size());
+  std::uint64_t previous = 0;
+  for (std::size_t i = 0; i < series->buckets.size(); ++i) {
+    const auto& [le_text, cumulative] = buckets[i];
+    // Cumulative and consistent with the snapshot's per-bucket counts.
+    EXPECT_EQ(cumulative - previous, series->buckets[i].second);
+    EXPECT_GE(cumulative, previous);
+    previous = cumulative;
+    // le is the bucket's exclusive upper bound: the lower bound of the
+    // next log-linear bucket, strictly above this bucket's lower bound.
+    const int index = obs::Histogram::bucket_index(series->buckets[i].first);
+    EXPECT_EQ(le_text,
+              json::format_double(obs::Histogram::bucket_lower_bound(
+                  index + 1)));
+    EXPECT_GT(std::stod(le_text), series->buckets[i].first);
+    // Every recorded sample at or below le is inside the cumulative count.
+    std::uint64_t at_or_below = 0;
+    for (const double v : samples) {
+      if (obs::Histogram::bucket_index(v) <= index) ++at_or_below;
+    }
+    EXPECT_EQ(cumulative, at_or_below);
+  }
+  // Quantile summary lines survive alongside the buckets.
+  EXPECT_NE(prom.find("codesign_lat_us{op=\"advise\",stability=\"best_"
+                      "effort\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("codesign_lat_us_count{"), std::string::npos);
 }
 
 TEST_F(ObsTest, HistogramPercentilesFromSamples) {

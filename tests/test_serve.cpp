@@ -90,6 +90,26 @@ TEST(ServeProtocol, ResponseBuildersRoundTripThroughTheParser) {
   EXPECT_EQ(r3.retry_after_ms, 25);
 }
 
+TEST(ServeProtocol, AttributionBlockRidesTheOkEnvelope) {
+  // Without an attribution block the envelope is unchanged (old clients
+  // keep parsing exactly what they always did).
+  const std::string plain = serve::ok_response("id-2", 0, "payload");
+  EXPECT_EQ(plain.find("attribution"), std::string::npos);
+  EXPECT_TRUE(serve::parse_response(plain).attribution.empty());
+
+  // With one, the compact JSON is spliced as a member and the parser hands
+  // it back re-serialized compact.
+  const std::string block = R"({"report":"codesign.attribution","version":1})";
+  const std::string with =
+      serve::ok_response("id-3", 0, "payload", block);
+  EXPECT_EQ(with.find('\n'), with.size() - 1)
+      << "the envelope must stay one protocol frame";
+  const serve::Response r = serve::parse_response(with);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.payload, "payload");
+  EXPECT_EQ(r.attribution, block);
+}
+
 TEST(ServeProtocol, NastyIdsSurviveTheEnvelope) {
   const std::string nasty = "a\"b\\c\n\x01 \xE2\x82\xAC";
   const serve::Response r =
@@ -261,6 +281,46 @@ TEST_F(ServeTest, AdviseManyElementsMatchScalarAdviseBytes) {
   shut_down(server);
 }
 
+TEST_F(ServeTest, AdviseAttributionBlockIsOptInAndLeavesThePayloadAlone) {
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+
+  // Opted in: the envelope carries a parseable attribution report and the
+  // payload stays byte-identical to the un-opted request.
+  const serve::Response with = client.call_op(
+      "advise", R"("model":"pythia-70m","attribution":true)");
+  ASSERT_TRUE(with.ok()) << with.error;
+  EXPECT_EQ(with.payload, expected_advise("pythia-70m"));
+  ASSERT_FALSE(with.attribution.empty());
+  const json::Value report = json::Value::parse(with.attribution);
+  EXPECT_EQ(report.at("report").as_string(), "codesign.attribution");
+  EXPECT_EQ(report.at("model").as_string(), "pythia-70m");
+  EXPECT_TRUE(report.at("sensitivity").as_array().empty());
+
+  // Default: no attribution member at all.
+  const serve::Response without =
+      client.call_op("advise", R"("model":"pythia-70m")");
+  ASSERT_TRUE(without.ok()) << without.error;
+  EXPECT_TRUE(without.attribution.empty());
+  EXPECT_EQ(without.payload, with.payload);
+
+  // advise_many: the block is an array aligned with "items".
+  const serve::Response many = client.call_op(
+      "advise_many",
+      R"("items":[{"model":"pythia-70m"},{"model":"gpt3-125m"}],)"
+      R"("attribution":true)");
+  ASSERT_TRUE(many.ok()) << many.error;
+  const json::Value blocks = json::Value::parse(many.attribution);
+  ASSERT_TRUE(blocks.is_array());
+  ASSERT_EQ(blocks.as_array().size(), 2u);
+  EXPECT_EQ(blocks.as_array()[0].at("model").as_string(), "pythia-70m");
+  EXPECT_EQ(blocks.as_array()[1].at("model").as_string(), "gpt3-125m");
+
+  client.close();
+  shut_down(server);
+}
+
 TEST_F(ServeTest, SearchPayloadMatchesTheCliBytesWithTheCachedBanner) {
   serve::Server server(options(2));
   server.start();
@@ -412,6 +472,27 @@ TEST_F(ServeTest, StatsAndPingBypassAdmissionControl) {
   ASSERT_TRUE(after.ok()) << after.error;
   EXPECT_NE(after.payload.find("serve.requests"), std::string::npos);
   EXPECT_NE(after.payload.find("serve.request_us"), std::string::npos);
+  // Best-effort process gauges ride along (uptime everywhere; RSS and fd
+  // count wherever /proc/self exists). They are snapshot-local: best
+  // effort by construction and never in the registry itself.
+  EXPECT_NE(after.payload.find("process.uptime_s"), std::string::npos);
+#if defined(__linux__)
+  EXPECT_NE(after.payload.find("process.rss_bytes"), std::string::npos);
+  EXPECT_NE(after.payload.find("process.open_fds"), std::string::npos);
+#endif
+  const serve::Response prom =
+      b.call_op("stats", R"("format":"prom")");
+  ASSERT_TRUE(prom.ok()) << prom.error;
+  // The completed sleep's latency histogram exports cumulative buckets,
+  // closing with le="+Inf".
+  EXPECT_NE(prom.payload.find("codesign_serve_request_us_bucket{"),
+            std::string::npos);
+  EXPECT_NE(prom.payload.find("le=\"+Inf\""), std::string::npos);
+#if defined(__linux__)
+  EXPECT_NE(prom.payload.find("codesign_process_rss_bytes{stability=\"best_"
+                              "effort\"}"),
+            std::string::npos);
+#endif
 
   b.close();
   shut_down(server);

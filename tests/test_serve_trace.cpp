@@ -336,7 +336,24 @@ TEST_F(ServeTraceTest, PayloadBytesIdenticalTracingOnVsOffAcrossEightClients) {
 // ---------------------------------------------------------------------------
 // stats is snapshot-local: reading it twice returns identical documents and
 // leaves the global registry untouched (cache counters are folded into the
-// response, not published).
+// response, not published). The process.* gauges are point-in-time process
+// readings (uptime, RSS, fd count) — the one sanctioned exception to the
+// byte-idempotence of back-to-back reads — so they are stripped before
+// comparing.
+
+/// Remove every `{"name":"process....}` series object (flat, no nesting)
+/// from a stats payload.
+std::string without_process_series(std::string payload) {
+  const std::string needle = "{\"name\":\"process.";
+  for (std::size_t pos = payload.find(needle); pos != std::string::npos;
+       pos = payload.find(needle, pos)) {
+    std::size_t end = payload.find('}', pos);
+    if (end == std::string::npos) break;
+    if (end + 1 < payload.size() && payload[end + 1] == ',') ++end;
+    payload.erase(pos, end + 1 - pos);
+  }
+  return payload;
+}
 
 TEST_F(ServeTraceTest, StatsIsSnapshotLocalAndIdempotent) {
   serve::ServerOptions off = options(2);
@@ -366,8 +383,10 @@ TEST_F(ServeTraceTest, StatsIsSnapshotLocalAndIdempotent) {
   const serve::Response s2 = client.call_op("stats", "");
   ASSERT_TRUE(s1.ok()) << s1.error;
   ASSERT_TRUE(s2.ok()) << s2.error;
-  EXPECT_EQ(s1.payload, s2.payload);
+  EXPECT_EQ(without_process_series(s1.payload),
+            without_process_series(s2.payload));
   EXPECT_NE(s1.payload.find("gemmsim.cache.hits"), std::string::npos);
+  EXPECT_NE(s1.payload.find("process.uptime_s"), std::string::npos);
   EXPECT_NE(s1.payload.find("gemmsim.cache.entries"), std::string::npos);
   const std::string after = obs::MetricsRegistry::global()
                                 .snapshot({.include_best_effort = true})

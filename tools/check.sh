@@ -18,6 +18,10 @@
 #           the runs, `tail --filter=errors` must attribute the injected
 #           fault to its execute phase, and the drain summary must report
 #           the latency/SLO line
+#   attribution  determinism drill for the attribution layer: the TSan
+#           CLI runs `analyze` plus `search --attribution` at --threads 1
+#           and 8; the three reports must be byte-identical and carry the
+#           codesign.attribution schema header
 #   chaos-fleet  a 3-server TSan mini-fleet with 5% network failpoints
 #           (serve.net.read_stall / write_drop / conn_close) plus 5%
 #           dispatch faults armed on BOTH sides of the wire; a fixed
@@ -48,8 +52,8 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 SAN_TESTS=(test_thread_pool test_estimate_cache test_estimate_many test_obs
-           test_logging test_failpoint test_search_faults test_serve
-           test_serve_trace test_fleet_client)
+           test_attribution test_logging test_failpoint test_search_faults
+           test_serve test_serve_trace test_fleet_client)
 
 echo "== tier 2: ThreadSanitizer (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S "${SRC_DIR}" -DCODESIGN_SANITIZE=thread
@@ -250,6 +254,29 @@ grep -q "latency: p50" "${TSAN_DIR}/serve_obs_1.log" || {
 grep -q "SLO p99 <= 5000.00 ms: met" "${TSAN_DIR}/serve_obs_1.log" || {
   echo "FAIL: serve-obs drain summary printed no SLO verdict"
   cat "${TSAN_DIR}/serve_obs_1.log"; exit 1
+}
+
+echo "== attribution: analyze + search --attribution determinism under tsan =="
+# The attribution report must be byte-identical at any search thread count
+# (the sensitivity probe is sequential by design), and `codesign analyze`
+# must produce the exact bytes a sensitivity-enabled search attaches.
+"${SERVE_BIN}" analyze gpt3-2.7b --out="${TSAN_DIR}/attr_analyze.json" \
+    >/dev/null
+"${SERVE_BIN}" search gpt3-2.7b --mode=joint --threads=1 \
+    --attribution="${TSAN_DIR}/attr_t1.json" >/dev/null
+"${SERVE_BIN}" search gpt3-2.7b --mode=joint --threads=8 \
+    --attribution="${TSAN_DIR}/attr_t8.json" >/dev/null
+diff -u "${TSAN_DIR}/attr_t1.json" "${TSAN_DIR}/attr_t8.json" || {
+  echo "FAIL: search --attribution report drifted across thread counts"
+  exit 1
+}
+diff -u "${TSAN_DIR}/attr_analyze.json" "${TSAN_DIR}/attr_t1.json" || {
+  echo "FAIL: analyze report differs from the search attribution report"
+  exit 1
+}
+grep -q '"report": "codesign.attribution"' "${TSAN_DIR}/attr_analyze.json" || {
+  echo "FAIL: attribution report is missing its schema header"
+  exit 1
 }
 
 echo "== chaos-fleet: 3 replicas, 5% network faults, zero visible errors =="

@@ -13,6 +13,7 @@
 // (see `codesign models`).
 #include <iostream>
 
+#include "advisor/attribution_report.hpp"
 #include "advisor/compare.hpp"
 #include "advisor/designer.hpp"
 #include "advisor/report.hpp"
@@ -55,9 +56,16 @@ int usage() {
          "  clusters                     list the Table-III systems\n"
          "  models                       list the model zoo\n"
          "  advise <model> [--gpu=] [--threads=N] [--cache] [--metrics=<f>]\n"
-         "                               sizing-rule report + re-shapes\n"
+         "         [--attribution=<f>]   sizing-rule report + re-shapes\n"
+         "  analyze <model> [--gpu=] [--cache] [--out=<f>] [--no-sensitivity]\n"
+         "                               attribution & sensitivity report\n"
+         "                               (versioned JSON; byte-identical\n"
+         "                               across thread counts — see\n"
+         "                               docs/OBSERVABILITY.md)\n"
          "  search <model> [--mode=joint|heads|hidden|mlp] [--radius=0.1]\n"
          "         [--max=16] [--threads=N] [--cache] [--metrics=<f>]\n"
+         "         [--attribution=<f>]   (also records advisor.sensitivity.*\n"
+         "                               series when --metrics is set)\n"
          "         [--lo=|--hi=]         (mlp d_ff range; default (8/3)h±25%)\n"
          "         [--strict] [--retries=2] [--failpoints=<spec>]\n"
          "         [--deadline-ms=N] [--checkpoint=<f>] [--resume]\n"
@@ -220,12 +228,47 @@ int cmd_models() {
   return 0;
 }
 
+/// --attribution=<file>: write the attribution & sensitivity companion
+/// report next to a subcommand's normal output (`codesign analyze` emits
+/// the same document to stdout). The report depends only on simulated
+/// quantities, so the file is byte-identical across --threads values.
+void write_attribution_file(
+    const CliArgs& args, const tfm::TransformerConfig& config,
+    const gemm::GemmSimulator& sim,
+    const std::vector<advisor::DimensionSensitivity>& sensitivity) {
+  const std::string path = args.get_string("attribution", "");
+  write_file(path, advisor::attribution_report(config, sim, sensitivity));
+  std::cout << "wrote attribution report to " << path << "\n";
+}
+
+int cmd_analyze(const CliArgs& args) {
+  const auto sim = sim_for(args);
+  const tfm::TransformerConfig cfg = model_arg(args);
+  std::vector<advisor::DimensionSensitivity> sensitivity;
+  if (!args.get_bool("no-sensitivity", false)) {
+    sensitivity = advisor::sensitivity_probe(cfg, sim);
+  }
+  if (args.has("out")) {
+    const std::string out = args.get_string("out", "");
+    write_file(out, advisor::attribution_report(cfg, sim, sensitivity));
+    std::cout << "wrote attribution report to " << out << "\n";
+  } else {
+    advisor::write_attribution_report(std::cout, cfg, sim, sensitivity);
+  }
+  print_cache_summary(sim);
+  return 0;
+}
+
 int cmd_advise(const CliArgs& args) {
   const bool metrics = metrics_arg(args);
   advisor::ReportOptions options;
   options.search_threads = threads_arg(args);
   const auto sim = sim_for(args);
-  serve::render_advise(std::cout, model_arg(args), sim, options);
+  const tfm::TransformerConfig cfg = model_arg(args);
+  serve::render_advise(std::cout, cfg, sim, options);
+  if (args.has("attribution")) {
+    write_attribution_file(args, cfg, sim, advisor::sensitivity_probe(cfg, sim));
+  }
   if (metrics) {
     if (sim.cache()) {
       sim.cache()->publish_metrics(obs::MetricsRegistry::global());
@@ -262,6 +305,10 @@ int cmd_search(const CliArgs& args) {
   request.radius = args.get_double("radius", 0.1);
   request.mode = args.get_string("mode", "joint");
   const serve::SearchModeSpec mode = serve::parse_search_mode(request.mode);
+  // --attribution turns on the sensitivity probes inside the search (they
+  // run sequentially after the sweep, so thread count never matters) and
+  // writes the companion report after the ranked table.
+  options.sensitivity = args.has("attribution");
 
   // Cooperative cancellation: ^C and/or --deadline-ms truncate the sweep
   // between candidates; partial results come back with an explicit banner.
@@ -308,6 +355,13 @@ int cmd_search(const CliArgs& args) {
 
   const int rc = serve::render_search(std::cout, request, sim);
   print_cache_summary(sim);
+  if (args.has("attribution")) {
+    // sensitivity_probe is a pure function of (config, sim); this re-run
+    // reproduces the exact values the search recorded into the metrics
+    // registry, keeping render_search byte-identical to the serve path.
+    write_attribution_file(args, request.config, sim,
+                           advisor::sensitivity_probe(request.config, sim));
+  }
   if (metrics) {
     if (sim.cache()) {
       sim.cache()->publish_metrics(obs::MetricsRegistry::global());
@@ -668,6 +722,7 @@ int dispatch(int argc, const char* const* argv) {
   if (cmd == "clusters") return cmd_clusters();
   if (cmd == "models") return cmd_models();
   if (cmd == "advise") return cmd_advise(args);
+  if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "search") return cmd_search(args);
   if (cmd == "gemm") return cmd_gemm(args);
   if (cmd == "explain") return cmd_explain(args);
