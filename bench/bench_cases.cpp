@@ -16,6 +16,7 @@ CODESIGN_DECLARE_BENCH(ext_3d_parallel);
 CODESIGN_DECLARE_BENCH(ext_gqa);
 CODESIGN_DECLARE_BENCH(ext_pipeline);
 CODESIGN_DECLARE_BENCH(ext_seqlen);
+CODESIGN_DECLARE_BENCH(ext_sweep_matrix);
 CODESIGN_DECLARE_BENCH(ext_tp_comm);
 CODESIGN_DECLARE_BENCH(ext_training_step);
 CODESIGN_DECLARE_BENCH(ext_volta_vs_ampere);
@@ -53,6 +54,7 @@ void register_all_cases(benchlib::BenchRegistry& reg) {
   CODESIGN_CALL_BENCH(ext_gqa);
   CODESIGN_CALL_BENCH(ext_pipeline);
   CODESIGN_CALL_BENCH(ext_seqlen);
+  CODESIGN_CALL_BENCH(ext_sweep_matrix);
   CODESIGN_CALL_BENCH(ext_tp_comm);
   CODESIGN_CALL_BENCH(ext_training_step);
   CODESIGN_CALL_BENCH(ext_volta_vs_ampere);

@@ -1,0 +1,92 @@
+// Extension — the scenario matrix engine (docs/SWEEP.md): a small
+// workload x hardware sweep run end-to-end through the SweepDriver, both
+// as a standalone cross-hardware ranking table and as the timed
+// `sweep.matrix_small` case guarding the matrix-planning + grid-search
+// hot path in the smoke/perf suites.
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "gemmsim/estimate_cache.hpp"
+#include "sweep/driver.hpp"
+#include "sweep/plan.hpp"
+
+#include <memory>
+
+namespace codesign {
+namespace {
+
+// Two families x two parts (one HBM, one bandwidth-starved edge part),
+// two variants per workload: 4 cells / 8 variants — big enough to walk
+// every driver stage, small enough for a smoke-suite sample.
+constexpr const char* kMatrixConfig =
+    "[sweep]\n"
+    "name = bench-matrix\n"
+    "gpus = a100, npu-edge\n"
+    "[workload]\n"
+    "family = gqa\n"
+    "name = gqa-125m\n"
+    "model = gpt3-125m\n"
+    "kv_ratios = 1, 4\n"
+    "[workload]\n"
+    "family = prefill\n"
+    "name = prefill-125m\n"
+    "model = gpt3-125m\n"
+    "seq_lens = 512, 2048\n";
+
+const bench::BenchSpec kSpec{
+    "bench_ext_sweep_matrix",
+    "Extension: workload x hardware scenario matrix (codesign sweep)",
+    {}};
+
+int body(bench::BenchContext& ctx) {
+  ctx.banner("Extension: scenario matrix",
+             "2 workload families x {a100, npu-edge} through the SweepDriver");
+
+  const sweep::SweepPlan plan =
+      sweep::parse_sweep_config(kMatrixConfig, "bench-matrix");
+  sweep::SweepOptions options;
+  options.threads = 1;
+  options.cache = std::make_shared<gemm::EstimateCache>();
+  const sweep::SweepResult result = sweep::run_sweep(plan, options);
+
+  TableWriter t({"workload", "gpu", "winner", "time/token", "TFLOP/s"});
+  for (const sweep::SweepCell& c : result.cells) {
+    const sweep::SweepVariantResult& win = c.variants.front();
+    t.new_row()
+        .cell(c.workload)
+        .cell(c.gpu)
+        .cell(win.label)
+        .cell(human_time(win.time_per_token))
+        .cell(win.layer_tflops, 1);
+  }
+  ctx.emit(t);
+  std::cout << "(the full matrix — 5 families x 4 parts with checkpointed "
+               "resume — runs via `codesign sweep "
+               "--config=examples/sweeps/full_matrix.conf`)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace codesign
+
+CODESIGN_BENCH_CASES(ext_sweep_matrix) {
+  using namespace codesign;
+  reg.add({"sweep.matrix_small", "bench_ext_sweep_matrix",
+           "4-cell scenario matrix end-to-end through the SweepDriver",
+           {benchlib::kSuitePerf, benchlib::kSuiteSmoke},
+           [](benchlib::CaseContext& c) {
+             const sweep::SweepPlan plan =
+                 sweep::parse_sweep_config(kMatrixConfig, "bench-matrix");
+             sweep::SweepOptions options;
+             options.threads = 1;
+             options.cache = std::make_shared<gemm::EstimateCache>();
+             const sweep::SweepResult result = sweep::run_sweep(plan, options);
+             for (const sweep::SweepCell& cell : result.cells) {
+               for (const sweep::SweepVariantResult& v : cell.variants) {
+                 c.consume(v.time_per_token);
+                 c.consume(v.layer_tflops);
+               }
+             }
+           }});
+}
+
+CODESIGN_BENCH_MAIN(codesign::kSpec, codesign::body);

@@ -52,6 +52,7 @@ constexpr const char* kBuiltinSites[] = {
     "gemmsim.select_kernel",
     "gemmsim.des.simulate",
     "advisor.search.evaluate",
+    "sweep.cell",
     "serve.accept",
     "serve.parse",
     "serve.dispatch",

@@ -182,6 +182,33 @@ GpuSpec make_h100() {
   return g;
 }
 
+std::vector<AlignmentStep> cdna3_ladder() {
+  return {
+      {64, 1.00},  // 32 fp16 elements — MFMA granule carried over from CDNA2
+      {32, 0.75},  // CDNA3 narrows the misalignment cliff slightly
+      {16, 0.55},
+      {8, 0.40},
+      {4, 0.30},
+      {2, 0.22},
+      {1, 0.18},
+  };
+}
+
+std::vector<AlignmentStep> npu_ladder() {
+  // Edge NPUs run fixed-shape systolic/MAC arrays with little of the kernel
+  // variety a datacenter GPU ships, so off-granule shapes pay a steeper
+  // penalty than any of the GPU ladders above.
+  return {
+      {64, 1.00},
+      {32, 0.55},
+      {16, 0.40},
+      {8, 0.30},
+      {4, 0.22},
+      {2, 0.18},
+      {1, 0.15},
+  };
+}
+
 GpuSpec make_mi250x_gcd() {
   // The MI250X is two GCDs on one package; software sees each GCD as a
   // device, so we model one GCD (matching how GPT-NeoX/Megatron ran on
@@ -208,6 +235,90 @@ GpuSpec make_mi250x_gcd() {
   return g;
 }
 
+GpuSpec make_b200() {
+  // Blackwell-class datacenter part. Class-representative numbers (dense,
+  // no sparsity), standing in for a B200-SXM: the point of this entry is a
+  // hardware axis sample with ~2.3x H100 math and ~2.4x H100 bandwidth,
+  // not a datasheet reproduction.
+  GpuSpec g;
+  g.id = "b200-sxm";
+  g.marketing_name = "NVIDIA B200-SXM (Blackwell class)";
+  g.vendor = "NVIDIA";
+  g.sm_count = 148;
+  g.boost_clock_ghz = 1.96;
+  g.tensor_flops_fp16 = 2250 * TFLOPS;  // dense (no sparsity)
+  g.tensor_flops_bf16 = 2250 * TFLOPS;
+  g.tensor_flops_tf32 = 1125 * TFLOPS;
+  g.vector_flops_fp32 = 75 * TFLOPS;
+  g.vector_flops_fp16 = 150 * TFLOPS;
+  g.vector_flops_fp64 = 37 * TFLOPS;
+  g.hbm_bandwidth = 8000 * GBps;  // HBM3e
+  g.hbm_capacity = 192 * GiB;
+  g.l2_bytes = 126 * MiB;
+  g.smem_per_sm_bytes = 228 * KiB;
+  g.tc_full_alignment_bytes = 128;
+  g.tc_min_alignment_bytes = 16;
+  g.alignment_ladder = ampere_ladder();  // Blackwell keeps the 128 B granule
+  return g;
+}
+
+GpuSpec make_mi300x() {
+  // CDNA3 flagship: one logical device (no GCD split like the MI250X).
+  GpuSpec g;
+  g.id = "mi300x";
+  g.marketing_name = "AMD Instinct MI300X";
+  g.vendor = "AMD";
+  g.sm_count = 304;  // compute units across all XCDs
+  g.boost_clock_ghz = 2.1;
+  g.tensor_flops_fp16 = 1307 * TFLOPS;  // matrix-core fp16, dense
+  g.tensor_flops_bf16 = 1307 * TFLOPS;
+  g.tensor_flops_tf32 = 163.4 * TFLOPS;  // fp32 matrix rate
+  g.vector_flops_fp32 = 81.7 * TFLOPS;
+  g.vector_flops_fp16 = 163.4 * TFLOPS;
+  g.vector_flops_fp64 = 81.7 * TFLOPS;
+  g.hbm_bandwidth = 5300 * GBps;
+  g.hbm_capacity = 192 * GiB;
+  g.l2_bytes = 32 * MiB;  // 4 MiB per XCD; Infinity Cache modelled via HBM BW
+  g.smem_per_sm_bytes = 64 * KiB;
+  g.tc_full_alignment_bytes = 64;
+  g.tc_min_alignment_bytes = 8;
+  g.alignment_ladder = cdna3_ladder();
+  return g;
+}
+
+GpuSpec make_npu_edge() {
+  // On-device/NPU-class point for the scenario matrix (ROADMAP: "one
+  // on-device/NPU-class point"). Class-representative of a premium
+  // phone/laptop NPU tile: tens of TFLOPS of dense fp16 MAC-array math
+  // behind a shared LPDDR bus — two orders of magnitude less bandwidth
+  // than an HBM part, so the compute/memory balance point sits at a far
+  // higher arithmetic intensity and small decode batches go memory-bound
+  // almost immediately.
+  GpuSpec g;
+  g.id = "npu-edge";
+  g.marketing_name = "On-device NPU (edge class)";
+  g.vendor = "generic";
+  g.sm_count = 8;  // MAC-array tiles
+  g.boost_clock_ghz = 1.0;
+  g.tensor_flops_fp16 = 20 * TFLOPS;
+  g.tensor_flops_bf16 = 20 * TFLOPS;
+  g.tensor_flops_tf32 = 0;  // no tf32 path; fp32 falls back to vector ALUs
+  g.vector_flops_fp32 = 2 * TFLOPS;
+  g.vector_flops_fp16 = 4 * TFLOPS;
+  g.vector_flops_fp64 = 0.1 * TFLOPS;
+  g.hbm_bandwidth = 120 * GBps;  // shared LPDDR5X bus
+  g.hbm_capacity = 16 * GiB;    // unified memory visible to the NPU
+  g.l2_bytes = 8 * MiB;         // on-chip SRAM scratch
+  g.smem_per_sm_bytes = 128 * KiB;
+  g.kernel_launch_overhead = 20e-6;  // driver/DSP round-trip per dispatch
+  g.achievable_math_fraction = 0.70;  // thinner kernel library than cuBLAS
+  g.achievable_mem_fraction = 0.70;   // contended shared LPDDR bus
+  g.tc_full_alignment_bytes = 64;
+  g.tc_min_alignment_bytes = 16;
+  g.alignment_ladder = npu_ladder();
+  return g;
+}
+
 const std::map<std::string, GpuSpec>& registry() {
   static const std::map<std::string, GpuSpec> reg = [] {
     std::map<std::string, GpuSpec> m;
@@ -220,7 +331,10 @@ const std::map<std::string, GpuSpec>& registry() {
     add(make_a100("a100-40gb", 40 * GiB, 1555 * GBps));
     add(make_a100("a100-80gb", 80 * GiB, 2039 * GBps));
     add(make_h100());
+    add(make_b200());
     add(make_mi250x_gcd());
+    add(make_mi300x());
+    add(make_npu_edge());
     return m;
   }();
   return reg;
@@ -231,7 +345,9 @@ std::string canonical_name(const std::string& name) {
   if (n == "a100") return "a100-40gb";
   if (n == "v100") return "v100-16gb";
   if (n == "h100") return "h100-sxm";
+  if (n == "b200") return "b200-sxm";
   if (n == "mi250x") return "mi250x-gcd";
+  if (n == "npu") return "npu-edge";
   return n;
 }
 

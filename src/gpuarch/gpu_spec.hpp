@@ -91,7 +91,8 @@ struct GpuSpec {
 
 /// Look up a GPU by id (case-insensitive; common aliases accepted:
 /// "a100" -> "a100-40gb", "v100" -> "v100-16gb", "h100" -> "h100-sxm",
-/// "mi250x" -> "mi250x-gcd"). Throws LookupError for unknown names.
+/// "b200" -> "b200-sxm", "mi250x" -> "mi250x-gcd", "npu" -> "npu-edge").
+/// Throws LookupError for unknown names.
 const GpuSpec& gpu_by_name(const std::string& name);
 
 /// All registry ids, sorted.

@@ -43,7 +43,18 @@ Response ServeClient::call(std::string_view request_line) {
     case net::SendOutcome::kPeerGone:
       throw IoError("client: connection lost while sending the request");
   }
-  return parse_response(read_line());
+  const std::string response_line = read_line();
+  try {
+    return parse_response(response_line);
+  } catch (const Error& e) {
+    // A garbled response line is a transport-level failure, not a caller
+    // bug: surface it as IoError (exit 7, like a dead connection) so the
+    // exit-code taxonomy survives talking to a mismatched server. Typed
+    // server-side errors (e.g. "unknown op" from a server predating an op
+    // this client knows) never take this path — they arrive as well-formed
+    // "error" envelopes and keep their own codes.
+    throw IoError(std::string("client: ") + e.what());
+  }
 }
 
 Response ServeClient::call_op(std::string_view op,

@@ -22,6 +22,8 @@
 #include "gemmsim/explain.hpp"
 #include "gpuarch/dtype.hpp"
 #include "obs/metrics.hpp"
+#include "sweep/driver.hpp"
+#include "sweep/report.hpp"
 #include "transformer/config_parse.hpp"
 #include "transformer/model_zoo.hpp"
 
@@ -342,6 +344,33 @@ OpResult op_explain(const Request& request, const OpContext& context) {
   return {kExitOk, os.str()};
 }
 
+/// Run a declarative workload x hardware scenario matrix (docs/SWEEP.md).
+/// The body carries the sweep config file's text inline in "config"; the
+/// payload is the compact codesign.sweep report plus a trailing newline —
+/// byte-identical to `codesign sweep --config=<f> --json` stdout for the
+/// same config text, so a fleet can fan matrix slices out to servers and
+/// diff the results against local runs.
+OpResult op_sweep(const Request& request, const OpContext& context) {
+  check_deadline(context, "sweep");
+  const json::Value* text = request.body.get("config");
+  if (text == nullptr || !text->is_string()) {
+    throw UsageError(
+        "sweep: request needs \"config\" (the sweep config file's text)");
+  }
+  const sweep::SweepPlan plan = sweep::parse_sweep_config(
+      text->as_string(), request.body.string_or("origin", "request"));
+  sweep::SweepOptions options;
+  options.threads = 1;  // the worker pool parallelizes across requests
+  options.cache = context.cache;
+  options.faults.strict = request.body.bool_or("strict", false);
+  options.faults.max_retries =
+      static_cast<int>(int_field(request.body, "retries", 2));
+  options.cancel = context.cancel;
+  const sweep::SweepResult result = sweep::run_sweep(plan, options);
+  return {result.truncated ? kExitCancelled : kExitOk,
+          sweep::sweep_report_json(result, /*compact=*/true) + "\n"};
+}
+
 /// Best-effort process health gauges folded into a stats snapshot: resident
 /// set size, open file descriptors, server uptime. Values come from
 /// /proc/self (skipped wholesale on platforms without it) and are tagged
@@ -475,6 +504,7 @@ OpResult execute_op(const Request& request, const OpContext& context) {
   if (request.op == "advise") return op_advise(request, context);
   if (request.op == "advise_many") return op_advise_many(request, context);
   if (request.op == "search") return op_search(request, context);
+  if (request.op == "sweep") return op_sweep(request, context);
   if (request.op == "estimate") return op_estimate(request, context);
   if (request.op == "explain") return op_explain(request, context);
   if (request.op == "stats") return op_stats(request, context);
@@ -483,8 +513,8 @@ OpResult execute_op(const Request& request, const OpContext& context) {
   if (request.op == "sleep") return op_sleep(request, context);
   if (request.op == "ping") return {kExitOk, "pong\n"};
   throw UsageError("unknown op '" + request.op +
-                   "' (advise|advise_many|search|estimate|explain|stats|tail|"
-                   "health|ping|sleep)");
+                   "' (advise|advise_many|search|sweep|estimate|explain|stats|"
+                   "tail|health|ping|sleep)");
 }
 
 }  // namespace codesign::serve

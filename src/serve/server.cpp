@@ -34,7 +34,7 @@ constexpr std::int64_t kReaderTickMs = 100;
 }
 
 bool is_expensive_op(const std::string& op) {
-  return op == "search" || op == "advise_many";
+  return op == "search" || op == "advise_many" || op == "sweep";
 }
 
 void bump_counter(const char* name) {

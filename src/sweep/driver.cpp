@@ -1,0 +1,136 @@
+#include "sweep/driver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "gpuarch/gpu_spec.hpp"
+
+namespace codesign::sweep {
+
+namespace {
+
+/// Cell-unique candidate name: the search checkpoint keys records by
+/// config name, and the whole matrix shares one checkpoint file, so every
+/// (workload, variant, gpu) triple must map to a distinct name.
+std::string candidate_name(const WorkloadSpec& wl, const WorkloadVariant& v,
+                           const std::string& gpu) {
+  return wl.name + "/" + v.label + "@" + gpu;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
+  // run_grid_search leaves fingerprint validation to its caller; the sweep
+  // owns the matrix identity, so validate and seed here once for all cells.
+  if (options.resume != nullptr) {
+    const std::string fp = sweep_fingerprint(plan, options.policy);
+    if (options.resume->fingerprint() != fp) {
+      throw ConfigError(
+          "cannot resume: checkpoint belongs to a different sweep (file: '" +
+          options.resume->fingerprint() + "', this run: '" + fp + "')");
+    }
+    if (options.checkpoint != nullptr) {
+      options.checkpoint->seed_from(*options.resume);
+    }
+  }
+
+  SweepResult result;
+  result.name = plan.name;
+  result.policy = options.policy;
+  result.gpus = plan.gpus;
+  result.planned_cells = plan.cells();
+  for (const WorkloadSpec& wl : plan.workloads) {
+    result.workloads.push_back(
+        {wl.name, wl.family, wl.base.to_string(), wl.variants.size()});
+  }
+
+  for (const WorkloadSpec& wl : plan.workloads) {
+    for (const std::string& gpu : plan.gpus) {
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        result.truncated = true;
+        result.cancel_reason = options.cancel->reason();
+        return result;
+      }
+      const std::string cell_key = wl.name + "@" + gpu;
+      CODESIGN_FAILPOINT_T("sweep.cell", fail::token(cell_key));
+
+      gemm::GemmSimulator sim(gpu::gpu_by_name(gpu), options.policy);
+      if (options.cache != nullptr) sim.set_cache(options.cache);
+
+      std::vector<tfm::TransformerConfig> configs;
+      configs.reserve(wl.variants.size());
+      std::map<std::string, const WorkloadVariant*> by_name;
+      for (const WorkloadVariant& v : wl.variants) {
+        tfm::TransformerConfig c = v.config;
+        c.name = candidate_name(wl, v, gpu);
+        by_name.emplace(c.name, &v);
+        configs.push_back(std::move(c));
+      }
+
+      advisor::SearchOptions so;
+      so.threads = options.threads;
+      so.max_candidates = configs.size();
+      so.faults = options.faults;
+      so.cancel = options.cancel;
+      so.checkpoint = options.checkpoint;
+      so.resume = options.resume;
+      const advisor::SearchOutcome outcome =
+          advisor::run_grid_search(configs, wl.base, sim, so);
+
+      result.evaluated += outcome.evaluated;
+      result.resumed += outcome.resumed;
+      result.retries += outcome.retries;
+      result.skipped += outcome.skipped.size();
+      if (outcome.truncated) {
+        result.truncated = true;
+        result.cancel_reason = outcome.cancel_reason;
+        return result;  // drop the partial cell: completed cells only
+      }
+
+      SweepCell cell;
+      cell.workload = wl.name;
+      cell.family = wl.family;
+      cell.gpu = gpu;
+      for (const advisor::ShapeCandidate& cand : outcome.ranked) {
+        const WorkloadVariant& v = *by_name.at(cand.config.name);
+        SweepVariantResult vr;
+        vr.label = v.label;
+        vr.note = v.note;
+        vr.config = cand.config;
+        vr.layer_time = cand.layer_time;
+        vr.layer_tflops = cand.layer_tflops;
+        vr.time_per_token =
+            cand.layer_time / static_cast<double>(cand.config.tokens());
+        vr.param_count = cand.param_count;
+        vr.rules_pass = cand.rules_pass;
+        cell.variants.push_back(std::move(vr));
+      }
+      // Families vary seq_len within one cell, so the comparable score is
+      // time per token, not raw layer time; (tpt, label) is a total order.
+      std::stable_sort(cell.variants.begin(), cell.variants.end(),
+                       [](const SweepVariantResult& a,
+                          const SweepVariantResult& b) {
+                         if (a.time_per_token != b.time_per_token) {
+                           return a.time_per_token < b.time_per_token;
+                         }
+                         return a.label < b.label;
+                       });
+      for (const advisor::SkippedCandidate& s : outcome.skipped) {
+        cell.skipped.push_back(
+            {by_name.at(s.config.name)->label, s.reason, s.attempts});
+      }
+      if (!cell.variants.empty()) {
+        cell.attribution =
+            tfm::attribute_model(cell.variants.front().config, sim);
+      }
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  if (options.checkpoint != nullptr) options.checkpoint->flush();
+  return result;
+}
+
+}  // namespace codesign::sweep

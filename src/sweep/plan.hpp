@@ -1,0 +1,40 @@
+// plan.hpp — the parsed, validated scenario matrix.
+//
+// A SweepPlan is one sweep config file resolved end to end: the hardware
+// axis (GPU registry ids, file order) crossed with the lowered workload
+// specs (file order). The grid is planned deterministically — cell order,
+// variant order, and the checkpoint fingerprint are pure functions of the
+// config text and tile policy — which is what lets an interrupted sweep
+// resume byte-identically (docs/SWEEP.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gemmsim/simulator.hpp"
+#include "sweep/workload.hpp"
+
+namespace codesign::sweep {
+
+struct SweepPlan {
+  std::string name;                ///< [sweep] name, defaults "sweep"
+  std::vector<std::string> gpus;   ///< canonical registry ids, file order
+  std::vector<WorkloadSpec> workloads;  ///< file order
+
+  std::size_t cells() const { return gpus.size() * workloads.size(); }
+};
+
+/// Parse a sweep config (docs/SWEEP.md): one optional `[sweep]` section
+/// (name=, gpus=) plus one `[workload]` section per workload. `origin` is
+/// the path used in diagnostics. Throws ConfigError naming origin:line on
+/// malformed text, unknown sections/keys/GPUs, or an empty matrix.
+SweepPlan parse_sweep_config(const std::string& text,
+                             const std::string& origin);
+
+/// Identity of the matrix for checkpoint/resume: covers the plan name,
+/// tile policy, GPU axis, and every lowered variant config. Any edit to
+/// the config file changes the fingerprint, so a stale checkpoint is
+/// rejected instead of silently resumed.
+std::string sweep_fingerprint(const SweepPlan& plan, gemm::TilePolicy policy);
+
+}  // namespace codesign::sweep

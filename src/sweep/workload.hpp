@@ -1,0 +1,60 @@
+// workload.hpp — declarative workload specs for the scenario matrix.
+//
+// A WorkloadSpec is one `[workload]` section of a sweep config file
+// (docs/SWEEP.md), lowered onto the existing TransformerConfig layer/
+// analyzer machinery. Each spec names a base model (zoo name or custom
+// spec string) plus a *family* that expands it into a deterministic list
+// of variants:
+//
+//   decoder  — the plain decoder LM, optionally gridded over `heads` and
+//              `hidden` lists (cross product, file order);
+//   gqa      — grouped-/multi-query attention: `kv_ratios` of query heads
+//              per KV head (1 = MHA, a = MQA);
+//   moe      — mixture-of-experts: `experts` x `top_k` grid lowered to the
+//              dense-equivalent *activated* MLP width (top_k x expert_dff).
+//              Expert count is carried in the note: routing and weight
+//              capacity are outside the latency model's scope;
+//   prefill  — long-context prefill: `seq_lens` variants;
+//   specdec  — speculative decoding verify step: each `gammas` entry gamma
+//              becomes a gamma+1-token step (draft tokens + 1), exposing
+//              the small-m GEMM efficiency the verify pass lives or dies on;
+//   vit      — vision transformer: `patches` sizes over an `image` edge,
+//              lowered to an encoder with (image/patch)^2 tokens.
+//
+// Lowering is pure and validated: every variant config passes
+// TransformerConfig::validate(), and every diagnostic names the offending
+// file:line of the section that produced it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transformer/config.hpp"
+#include "transformer/config_parse.hpp"
+
+namespace codesign::sweep {
+
+/// One evaluated point of a workload: a lowered, validated config.
+struct WorkloadVariant {
+  std::string label;  ///< unique within the workload, e.g. "kv8", "s8192"
+  tfm::TransformerConfig config;
+  std::string note;  ///< human-readable lowering summary
+};
+
+struct WorkloadSpec {
+  std::string name;    ///< unique within the sweep
+  std::string family;  ///< decoder|gqa|moe|prefill|specdec|vit
+  tfm::TransformerConfig base;           ///< the cell's search baseline
+  std::vector<WorkloadVariant> variants;  ///< deterministic (file) order
+};
+
+/// Lower one `[workload]` config section. `origin` is the config path used
+/// in diagnostics. Throws ConfigError (naming origin:line) on unknown
+/// keys, missing family keys, or variants that fail config validation.
+WorkloadSpec workload_from_section(const tfm::ConfigSection& section,
+                                   const std::string& origin);
+
+/// The family names workload_from_section accepts, sorted.
+std::vector<std::string> known_families();
+
+}  // namespace codesign::sweep

@@ -129,4 +129,68 @@ TransformerConfig parse_config_string(const std::string& spec) {
   return c;
 }
 
+const ConfigEntry* ConfigSection::find(const std::string& key) const {
+  for (const ConfigEntry& e : entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<ConfigSection> parse_config_sections(const std::string& text,
+                                                 const std::string& origin) {
+  const auto where = [&](int line) {
+    return origin + ":" + std::to_string(line) + ": ";
+  };
+
+  std::vector<ConfigSection> sections;
+  int line_no = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    std::string line{trim(raw)};
+    // Strip trailing comments; full-line comments fall out as empty lines.
+    const auto hash = line.find_first_of("#;");
+    if (hash != std::string::npos) line = std::string{trim(line.substr(0, hash))};
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw ConfigError(where(line_no) + "malformed section header '" +
+                          line + "' (want [name])");
+      }
+      const std::string name =
+          to_lower(std::string{trim(line.substr(1, line.size() - 2))});
+      if (name.empty()) {
+        throw ConfigError(where(line_no) + "empty section name");
+      }
+      sections.push_back({name, line_no, {}});
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ConfigError(where(line_no) + "expected 'key = value' or " +
+                        "'[section]', got '" + line + "'");
+    }
+    if (sections.empty()) {
+      throw ConfigError(where(line_no) + "entry before any [section] header");
+    }
+    ConfigSection& section = sections.back();
+    ConfigEntry entry;
+    entry.key = to_lower(std::string{trim(line.substr(0, eq))});
+    entry.value = std::string{trim(line.substr(eq + 1))};
+    entry.line = line_no;
+    if (entry.value.empty()) {
+      throw ConfigError(where(line_no) + "key '" + entry.key +
+                        "' has an empty value");
+    }
+    if (const ConfigEntry* prior = section.find(entry.key)) {
+      throw ConfigError(where(line_no) + "duplicate key '" + entry.key +
+                        "' in section [" + section.name + "] (first at line " +
+                        std::to_string(prior->line) + ")");
+    }
+    section.entries.push_back(std::move(entry));
+  }
+  return sections;
+}
+
 }  // namespace codesign::tfm

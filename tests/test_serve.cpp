@@ -37,6 +37,8 @@
 #include "serve/fleet_client.hpp"
 #include "serve/ops.hpp"
 #include "serve/protocol.hpp"
+#include "sweep/driver.hpp"
+#include "sweep/report.hpp"
 #include "transformer/model_zoo.hpp"
 
 namespace codesign {
@@ -337,6 +339,85 @@ TEST_F(ServeTest, SearchPayloadMatchesTheCliBytesWithTheCachedBanner) {
 
   client.close();
   shut_down(server);
+}
+
+TEST_F(ServeTest, SweepPayloadMatchesTheCliJsonBytes) {
+  // A one-cell matrix small enough for a unit test; the big-matrix
+  // byte-identity drills live in tests/test_sweep.cpp and check.sh.
+  const std::string config_text =
+      "[sweep]\nname = t\ngpus = a100\n"
+      "[workload]\nfamily = prefill\nname = p\nmodel = gpt3-125m\n"
+      "seq_lens = 256, 512\n";
+  const sweep::SweepPlan plan = sweep::parse_sweep_config(config_text, "t");
+  sweep::SweepOptions sweep_options;
+  sweep_options.threads = 1;
+  sweep_options.cache = std::make_shared<gemm::EstimateCache>();
+  const std::string expected =
+      sweep::sweep_report_json(sweep::run_sweep(plan, sweep_options),
+                               /*compact=*/true) +
+      "\n";
+
+  serve::Server server(options(2));
+  server.start();
+  ServeClient client("127.0.0.1", server.port());
+  std::ostringstream request;
+  json::Writer w(request);
+  w.begin_object().member("op", "sweep").member("config", config_text);
+  w.end_object();
+  const serve::Response r = client.call(request.str());
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.code, kExitOk);
+  // The payload is the compact codesign.sweep report — byte-identical to
+  // `codesign sweep --config=<f> --json` stdout for the same config text.
+  EXPECT_EQ(r.payload, expected);
+
+  // Body errors keep the taxonomy: a missing "config" is a usage error, a
+  // malformed config is a config error naming the client-supplied origin.
+  EXPECT_EQ(client.call_op("sweep").code, kExitUsage);
+  std::ostringstream bad;
+  json::Writer bw(bad);
+  bw.begin_object()
+      .member("op", "sweep")
+      .member("config", "key = 1\n")
+      .member("origin", "remote.conf");
+  bw.end_object();
+  const serve::Response r2 = client.call(bad.str());
+  EXPECT_EQ(r2.code, kExitConfig);
+  EXPECT_NE(r2.error.find("remote.conf:1"), std::string::npos) << r2.error;
+
+  client.close();
+  shut_down(server);
+}
+
+TEST_F(ServeTest, GarbledResponseLineSurfacesAsIoError) {
+  // A mismatched peer that answers with a non-envelope line must surface
+  // as IoError (exit 7, like a dead connection) — not a raw Error that
+  // would exit 1 and break the documented taxonomy.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = static_cast<int>(ntohs(addr.sin_port));
+  ASSERT_EQ(::listen(fd, 1), 0);
+  std::thread peer([fd] {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) return;
+    char buf[512];
+    (void)::recv(conn, buf, sizeof(buf), 0);  // swallow the request line
+    const char garbage[] = "HTTP/1.1 400 Bad Request\n";
+    (void)::send(conn, garbage, sizeof(garbage) - 1, 0);
+    ::close(conn);
+  });
+  ServeClient client("127.0.0.1", port);
+  EXPECT_THROW(client.call_op("ping"), IoError);
+  peer.join();
+  ::close(fd);
 }
 
 TEST_F(ServeTest, ByteIdentityHoldsAcrossEightConcurrentClients) {

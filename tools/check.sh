@@ -53,7 +53,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 SAN_TESTS=(test_thread_pool test_estimate_cache test_estimate_many test_obs
            test_attribution test_logging test_failpoint test_search_faults
-           test_serve test_serve_trace test_fleet_client)
+           test_serve test_serve_trace test_fleet_client test_sweep)
 
 echo "== tier 2: ThreadSanitizer (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S "${SRC_DIR}" -DCODESIGN_SANITIZE=thread
@@ -371,6 +371,49 @@ for idx in "${!CHAOS_PIDS[@]}"; do
     cat "${CHAOS_LOGS[$idx]}"; exit 1
   }
 done
+
+echo "== sweep: matrix determinism + resume drill under tsan =="
+# The codesign.sweep report must be byte-identical at any thread count, and
+# a run interrupted at the "sweep.cell" failpoint must resume from its
+# checkpoint into the exact bytes of an uninterrupted run (docs/SWEEP.md).
+SWEEP_CONF="${SRC_DIR}/examples/sweeps/full_matrix.conf"
+"${SERVE_BIN}" sweep --config="${SWEEP_CONF}" --threads=1 --cache \
+    --out="${TSAN_DIR}/sweep_t1.json" >/dev/null
+"${SERVE_BIN}" sweep --config="${SWEEP_CONF}" --threads=8 --cache \
+    --out="${TSAN_DIR}/sweep_t8.json" >/dev/null
+diff -u "${TSAN_DIR}/sweep_t1.json" "${TSAN_DIR}/sweep_t8.json" || {
+  echo "FAIL: sweep report drifted across thread counts"
+  exit 1
+}
+grep -q '"report": "codesign.sweep"' "${TSAN_DIR}/sweep_t1.json" || {
+  echo "FAIL: sweep report is missing its schema header"
+  exit 1
+}
+SWEEP_CP="${TSAN_DIR}/sweep_resume_cp.txt"
+rm -f "${SWEEP_CP}"
+# Interrupt at the 6th cell: cells 1-5 land in the checkpoint, the rest
+# must be re-planned and evaluated by the resumed run.
+if CODESIGN_FAILPOINTS='sweep.cell=once:6:fatal' \
+    "${SERVE_BIN}" sweep --config="${SWEEP_CONF}" --threads=2 \
+    --checkpoint="${SWEEP_CP}" >/dev/null 2>&1; then
+  echo "FAIL: armed sweep.cell failpoint did not abort the sweep"
+  exit 1
+fi
+[ -s "${SWEEP_CP}" ] || {
+  echo "FAIL: interrupted sweep left no checkpoint"
+  exit 1
+}
+"${SERVE_BIN}" sweep --config="${SWEEP_CONF}" --threads=2 \
+    --checkpoint="${SWEEP_CP}" --resume \
+    --out="${TSAN_DIR}/sweep_resumed.json" \
+    | grep -q "from checkpoint" || {
+  echo "FAIL: resumed sweep reported no checkpointed variants"
+  exit 1
+}
+diff -u "${TSAN_DIR}/sweep_resumed.json" "${TSAN_DIR}/sweep_t1.json" || {
+  echo "FAIL: resumed sweep report differs from the uninterrupted run"
+  exit 1
+}
 
 echo "== perf: bench smoke suite vs committed baseline =="
 PERF_MIN_FRAC="${CODESIGN_PERF_MIN_FRAC:-0.75}"

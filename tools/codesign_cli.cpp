@@ -33,6 +33,7 @@
 #include "obs/metrics.hpp"
 #include "serve/ops.hpp"
 #include "serve/server.hpp"
+#include "sweep/report.hpp"
 #include "transformer/config_parse.hpp"
 #include "transformer/inference.hpp"
 #include "transformer/model_zoo.hpp"
@@ -45,6 +46,7 @@
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 
 namespace codesign {
 namespace {
@@ -72,6 +74,17 @@ int usage() {
          "         [--checkpoint-every=64]\n"
          "                               ranked shape search (resumable;\n"
          "                               see docs/ROBUSTNESS.md)\n"
+         "  sweep --config=<f> [--threads=N] [--cache] [--json] [--out=<f>]\n"
+         "        [--strict] [--retries=2] [--failpoints=<spec>]\n"
+         "        [--deadline-ms=N] [--checkpoint=<f>] [--resume]\n"
+         "        [--checkpoint-every=64]\n"
+         "                               workload x hardware scenario matrix\n"
+         "                               (docs/SWEEP.md): prints the cross-\n"
+         "                               hardware comparison table (--json:\n"
+         "                               the compact report instead); --out\n"
+         "                               writes the versioned codesign.sweep\n"
+         "                               JSON report, byte-identical at any\n"
+         "                               thread count and across resume\n"
          "  gemm --m= --n= --k= [--batch=] [--dtype=fp16] [--gpu=]\n"
          "  explain --m= --n= --k= [--batch=] [--gpu=] [--trace=<f>]\n"
          "                               factor breakdown (+DES timeline)\n"
@@ -373,6 +386,85 @@ int cmd_search(const CliArgs& args) {
         obs::MetricsRegistry::global().snapshot({.include_best_effort = false}));
   }
   return rc;
+}
+
+/// Read a whole file or die with a typed IoError (exit 7).
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) throw IoError("cannot open '" + path + "' for reading");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  if (f.bad()) throw IoError("failed reading '" + path + "'");
+  return ss.str();
+}
+
+int cmd_sweep(const CliArgs& args) {
+  if (args.has("failpoints")) {
+    fail::configure(args.get_string("failpoints", ""));
+  }
+  const std::string path = args.get_string("config", "");
+  if (path.empty()) {
+    throw UsageError("sweep requires --config=<file> (see examples/sweeps/)");
+  }
+  const sweep::SweepPlan plan =
+      sweep::parse_sweep_config(read_file(path), path);
+
+  sweep::SweepOptions options;
+  options.threads = threads_arg(args);
+  if (options.threads == 0) options.threads = ThreadPool::hardware_threads();
+  if (args.get_bool("cache", false)) {
+    // One cache for the whole matrix: estimates are keyed on (problem,
+    // policy, gpu), so cells on different GPUs share it safely.
+    options.cache = std::make_shared<gemm::EstimateCache>();
+  }
+  options.faults.strict = args.get_bool("strict", false);
+  options.faults.max_retries = static_cast<int>(args.get_int("retries", 2));
+
+  SigintGuard sigint;
+  CancelToken cancel;
+  cancel.link_to_sigint();
+  if (args.has("deadline-ms")) {
+    const std::int64_t ms = args.get_int("deadline-ms", 0);
+    CODESIGN_CHECK(ms > 0, "--deadline-ms must be positive");
+    cancel.deadline_after(std::chrono::milliseconds(ms));
+  }
+  options.cancel = &cancel;
+
+  const std::string fingerprint =
+      sweep::sweep_fingerprint(plan, options.policy);
+  std::optional<advisor::SearchCheckpoint> resumed;
+  std::optional<advisor::CheckpointWriter> writer;
+  if (args.has("checkpoint")) {
+    // Load before constructing the writer (same dance as cmd_search): the
+    // writer's first flush overwrites the file, carrying loaded entries
+    // forward via seed_from inside run_sweep.
+    if (args.get_bool("resume", false)) {
+      resumed = advisor::SearchCheckpoint::load(
+          args.get_string("checkpoint", ""));
+      options.resume = &*resumed;
+    }
+    writer.emplace(args.get_string("checkpoint", ""), fingerprint,
+                   static_cast<std::size_t>(
+                       args.get_int("checkpoint-every", 64)));
+    options.checkpoint = &*writer;
+  } else {
+    CODESIGN_CHECK(!args.get_bool("resume", false),
+                   "--resume requires --checkpoint=<file>");
+  }
+
+  const sweep::SweepResult result = sweep::run_sweep(plan, options);
+  if (args.get_bool("json", false)) {
+    // The compact report + newline: byte-identical to the `sweep` serve
+    // op's payload, so remote slices diff clean against local runs.
+    std::cout << sweep::sweep_report_json(result, /*compact=*/true) << "\n";
+  } else {
+    sweep::render_sweep_table(std::cout, result);
+  }
+  if (args.has("out")) {
+    write_file(args.get_string("out", ""),
+               sweep::sweep_report_json(result, /*compact=*/false));
+  }
+  return result.truncated ? kExitCancelled : kExitOk;
 }
 
 gemm::GemmProblem problem_args(const CliArgs& args) {
@@ -724,6 +816,7 @@ int dispatch(int argc, const char* const* argv) {
   if (cmd == "advise") return cmd_advise(args);
   if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "search") return cmd_search(args);
+  if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "gemm") return cmd_gemm(args);
   if (cmd == "explain") return cmd_explain(args);
   if (cmd == "profile") return cmd_profile(args);

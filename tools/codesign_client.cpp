@@ -9,6 +9,7 @@
 // code is the response's `code` field (the CLI taxonomy: 0 ok, 6 partial,
 // 75 overloaded/draining, ...); connection failures exit 7 (IoError).
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <set>
 #include <sstream>
@@ -43,6 +44,11 @@ constexpr const char* kUsage =
     "  search    --model=|--custom=  [--gpu=] [--mode=joint|heads|hidden|mlp]\n"
     "            [--radius=0.1] [--max=16] [--strict] [--retries=2]\n"
     "            [--lo=|--hi=]\n"
+    "  sweep     --config=FILE  [--strict] [--retries=2]\n"
+    "            workload x hardware scenario matrix (docs/SWEEP.md); the\n"
+    "            config file's text is sent inline, and the payload is the\n"
+    "            compact codesign.sweep report, byte-identical to\n"
+    "            `codesign sweep --config=FILE --json`\n"
     "  estimate  --m= --n= --k= [--batch=1] [--dtype=fp16] [--gpu=a100]\n"
     "  explain   --m= --n= --k= [--batch=1] [--dtype=fp16] [--gpu=a100]\n"
     "  stats     [--format=json|prom]  server metrics snapshot\n"
@@ -80,6 +86,16 @@ void reject_unknown_flags(const CliArgs& args,
   std::sort(unknown.begin(), unknown.end());
   throw UsageError("unknown flag(s): --" + join(unknown, ", --") + "\n\n" +
                    kUsage);
+}
+
+/// Slurp a sweep config for inline transport. IoError (exit 7) on a
+/// missing/unreadable file — same taxonomy as `codesign sweep --config=`.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
 }
 
 /// Copy a flag into the request verbatim when present (the server applies
@@ -148,6 +164,20 @@ std::string build_request(const CliArgs& args, const std::string& op) {
     forward_int(w, args, "hi", "hi");
     if (args.get_bool("strict", false)) w.member("strict", true);
   }
+  if (op == "sweep") {
+    const std::string path = args.get_string("config", "");
+    if (path.empty()) {
+      throw UsageError(std::string("sweep needs --config=<file>\n\n") +
+                       kUsage);
+    }
+    // The file's text travels inline (the server has no filesystem view of
+    // the client); "origin" keeps server-side parse errors pointing at the
+    // real path:line instead of an anonymous buffer.
+    w.member("config", read_file(path));
+    w.member("origin", path);
+    forward_int(w, args, "retries", "retries");
+    if (args.get_bool("strict", false)) w.member("strict", true);
+  }
   if (op == "estimate" || op == "explain") {
     forward_int(w, args, "m", "m");
     forward_int(w, args, "n", "n");
@@ -173,6 +203,7 @@ std::vector<std::string> op_flags(const std::string& op) {
     return {"model", "custom", "gpu",     "mode", "radius",
             "max",   "strict", "retries", "lo",   "hi"};
   }
+  if (op == "sweep") return {"config", "strict", "retries"};
   if (op == "estimate" || op == "explain") {
     return {"m", "n", "k", "batch", "dtype", "gpu"};
   }
@@ -194,6 +225,10 @@ int run(int argc, char** argv) {
   const std::string& op = args.positional().front();
   reject_unknown_flags(args, op_flags(op));
 
+  // Build (and so validate) the request before touching the network: a
+  // missing/bad flag is a usage error even when no server is reachable.
+  const std::string request = build_request(args, op);
+
   serve::Response r;
   if (args.has("endpoints")) {
     serve::FleetOptions fleet;
@@ -202,11 +237,11 @@ int run(int argc, char** argv) {
     fleet.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     fleet.call_deadline_ms = args.get_int("call-deadline-ms", 30000);
     serve::FleetClient client(std::move(fleet));
-    r = client.call(build_request(args, op));
+    r = client.call(request);
   } else {
     serve::ServeClient client(args.get_string("host", "127.0.0.1"),
                               static_cast<int>(args.get_int("port", 8377)));
-    r = client.call(build_request(args, op));
+    r = client.call(request);
   }
   if (r.overloaded()) {
     std::cerr << "codesign-client: " << r.error << " (retry after "
